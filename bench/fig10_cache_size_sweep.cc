@@ -1,0 +1,80 @@
+// Regenerates Fig. 10: improvement in server throughput (%) vs the size
+// of the MEMS cache bank (k = 1..8), striped management, $100 total
+// budget, 100 KB/s streams, each device caching 1% of the content, for
+// the five popularity distributions.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "model/planner.h"
+
+int main() {
+  using namespace memstream;
+
+  auto disk = bench::AnalyticFutureDisk();
+  const auto latency = model::DiskLatencyFn(disk);
+
+  const model::Popularity distributions[] = {
+      {0.01, 0.99}, {0.05, 0.95}, {0.10, 0.90}, {0.20, 0.80}, {0.50, 0.50}};
+
+  std::cout << "Fig. 10: throughput improvement vs MEMS cache size\n"
+            << "  (striped, $100 budget, 100 KB/s streams, 1% of content "
+               "per device)\n\n";
+  TablePrinter table({"k", "1:99", "5:95", "10:90", "20:80", "50:50"});
+  CsvWriter csv(bench::CsvPath("fig10_cache_size_sweep"),
+                {"k", "popularity_x", "improvement_percent", "streams",
+                 "baseline"});
+
+  model::CacheSystemConfig base;
+  base.total_budget = 100;
+  base.dram_per_byte = 20.0 / kGB;
+  base.mems_device_cost = 10;
+  base.policy = model::CachePolicy::kStriped;
+  base.mems_capacity = 10 * kGB;
+  base.content_size = 1000 * kGB;
+  base.bit_rate = 100 * kKBps;
+  base.disk_rate = 300 * kMBps;
+  base.disk_latency = latency;
+  base.mems = bench::MemsProfileAtRatio(5.0);
+
+  double best_improvement = 0;
+  for (std::int64_t k = 1; k <= 8; ++k) {
+    std::vector<std::string> row{TablePrinter::Cell(k)};
+    for (const auto& pop : distributions) {
+      model::CacheSystemConfig config = base;
+      config.popularity = pop;
+      config.k = 0;
+      auto none = model::MaxCacheSystemThroughput(config);
+      config.k = k;
+      auto with_cache = model::MaxCacheSystemThroughput(config);
+      if (!none.ok() || !with_cache.ok() ||
+          none.value().total_streams == 0) {
+        row.push_back("-");
+        continue;
+      }
+      const double improvement =
+          100.0 *
+          (static_cast<double>(with_cache.value().total_streams) /
+               static_cast<double>(none.value().total_streams) -
+           1.0);
+      best_improvement = std::max(best_improvement, improvement);
+      row.push_back(TablePrinter::Cell(improvement, 1) + "%");
+      csv.AddRow(std::vector<std::string>{
+          std::to_string(k), std::to_string(pop.x),
+          std::to_string(improvement),
+          std::to_string(with_cache.value().total_streams),
+          std::to_string(none.value().total_streams)});
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nBest improvement over the sweep: " << best_improvement
+            << "% (paper: up to ~140%, i.e. 2.4x)\n"
+            << "Shape check (paper §5.2.4): each skewed distribution has "
+               "an optimal k; the uniform 50:50 column only degrades as "
+               "k grows.\n";
+  std::cout << "CSV: " << bench::CsvPath("fig10_cache_size_sweep") << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates Fig. 2: effective device throughput as a function of the
+// average IO size, for the 2007 FutureDisk (average access latency) and
+// the G3 MEMS device (maximum access latency) — the paper's motivation
+// for why MEMS needs an order of magnitude smaller IOs than the disk to
+// reach the same utilization.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "device/device.h"
+
+int main() {
+  using namespace memstream;
+
+  auto disk = bench::AnalyticFutureDisk();
+  auto mems = device::MemsDevice::Create(device::MemsG3()).value();
+  const Seconds disk_latency = disk.AverageAccessLatency();   // 4.3 ms
+  const Seconds mems_latency = mems.MaxAccessLatency();       // 0.86 ms
+
+  std::cout << "Fig. 2: Effective device throughputs vs average IO size\n"
+            << "  disk: avg latency " << ToMs(disk_latency)
+            << " ms, rate 300 MB/s;  MEMS: max latency "
+            << ToMs(mems_latency) << " ms, rate 320 MB/s\n\n";
+
+  TablePrinter table({"IO size [kB]", "MEMS [MB/s]", "Disk [MB/s]",
+                      "MEMS/disk"});
+  CsvWriter csv(bench::CsvPath("fig2_effective_throughput"),
+                {"io_kb", "mems_mbps", "disk_mbps"});
+
+  std::vector<double> sizes_kb;
+  for (double s = 16; s <= 10240; s *= 2) sizes_kb.push_back(s);
+  for (double s : {100.0, 1000.0, 2000.0, 4000.0, 6000.0, 8000.0, 10000.0}) {
+    sizes_kb.push_back(s);
+  }
+  std::sort(sizes_kb.begin(), sizes_kb.end());
+  sizes_kb.erase(std::unique(sizes_kb.begin(), sizes_kb.end()),
+                 sizes_kb.end());
+
+  for (double kb : sizes_kb) {
+    const Bytes io = kb * kKB;
+    const double mems_tput =
+        device::EffectiveThroughput(io, mems_latency, 320 * kMBps) / kMBps;
+    const double disk_tput =
+        device::EffectiveThroughput(io, disk_latency, 300 * kMBps) / kMBps;
+    table.AddRow({TablePrinter::Cell(kb, 0), TablePrinter::Cell(mems_tput, 1),
+                  TablePrinter::Cell(disk_tput, 1),
+                  TablePrinter::Cell(mems_tput / disk_tput, 2)});
+    csv.AddRow(std::vector<double>{kb, mems_tput, disk_tput});
+  }
+  table.Print(std::cout);
+
+  // Headline comparison: IO size needed to reach 90% of peak throughput.
+  auto io90_mems =
+      device::IoSizeForThroughput(0.9 * 320 * kMBps, mems_latency,
+                                  320 * kMBps);
+  auto io90_disk =
+      device::IoSizeForThroughput(0.9 * 300 * kMBps, disk_latency,
+                                  300 * kMBps);
+  std::cout << "\nIO size for 90% utilization: MEMS "
+            << ToMB(io90_mems.value()) << " MB vs disk "
+            << ToMB(io90_disk.value()) << " MB ("
+            << io90_disk.value() / io90_mems.value() << "x)\n";
+  std::cout << "CSV: " << bench::CsvPath("fig2_effective_throughput")
+            << "\n";
+  return 0;
+}

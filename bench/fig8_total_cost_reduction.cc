@@ -1,0 +1,94 @@
+// Regenerates Fig. 8: reduction in the *total* buffering cost (DRAM plus
+// the MEMS storage actually used, per-byte pricing) vs the number of
+// streams, for the four media types. The disk IO cycle T_disk is chosen
+// by the planner's closed-form per-byte optimum.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "model/planner.h"
+#include "model/stream.h"
+#include "model/timecycle.h"
+
+int main() {
+  using namespace memstream;
+
+  const auto latency = bench::PaperConservativeDiskLatency();
+  model::CostInputs prices;
+  prices.dram_per_byte = 20.0 / kGB;
+  prices.mems_per_byte = 1.0 / kGB;
+  prices.mems_capacity = 10 * kGB;
+
+  std::cout << "Fig. 8: Reduction in total buffering cost [$] vs N\n"
+            << "  (per-byte MEMS pricing, k = 2 G3 devices, optimal "
+               "T_disk)\n\n";
+
+  TablePrinter table({"Media", "N", "Cost w/o MEMS [$]",
+                      "Cost with MEMS [$]", "Reduction [$]"});
+  CsvWriter csv(bench::CsvPath("fig8_total_cost_reduction"),
+                {"media", "bit_rate_bps", "n", "cost_without",
+                 "cost_with", "reduction"});
+
+  for (const auto& media : model::PaperStreamClasses()) {
+    const std::int64_t cap =
+        model::MaxStreamsBandwidthBound(300 * kMBps, media.bit_rate);
+    // Log-spaced sweep plus near-saturation points (the figure's right
+    // edge, where the savings peak).
+    std::vector<std::int64_t> stream_counts;
+    for (std::int64_t n = 2; n < cap / 2;
+         n = std::max<std::int64_t>(n + 1, static_cast<std::int64_t>(
+                                               std::llround(n * 2.15)))) {
+      stream_counts.push_back(n);
+    }
+    for (double frac : {0.5, 0.7, 0.85, 0.95}) {
+      stream_counts.push_back(
+          static_cast<std::int64_t>(frac * static_cast<double>(cap)));
+    }
+    std::sort(stream_counts.begin(), stream_counts.end());
+    stream_counts.erase(
+        std::unique(stream_counts.begin(), stream_counts.end()),
+        stream_counts.end());
+    for (std::int64_t n : stream_counts) {
+      if (n > cap || n < 2) continue;
+      model::DeviceProfile disk_profile;
+      disk_profile.rate = 300 * kMBps;
+      disk_profile.latency = latency(n);
+      auto without = model::TotalBufferSize(n, media.bit_rate, disk_profile);
+      if (!without.ok()) continue;
+      const Dollars cost_without =
+          without.value() * prices.dram_per_byte;
+
+      model::MemsBufferParams params;
+      params.k = 2;
+      params.disk = disk_profile;
+      params.mems = bench::MemsProfileAtRatio(5.0);
+      params.mems_capacity_override = 1e18;  // per-byte pricing: no cap
+      auto best = model::OptimalTdiskPerByte(n, media.bit_rate, params,
+                                             prices);
+      if (!best.ok()) continue;
+
+      const Dollars reduction = cost_without - best.value().total_cost;
+      table.AddRow({media.name, TablePrinter::Cell(n),
+                    TablePrinter::Cell(cost_without, 3),
+                    TablePrinter::Cell(best.value().total_cost, 3),
+                    TablePrinter::Cell(reduction, 3)});
+      csv.AddRow(std::vector<std::string>{
+          media.name, std::to_string(media.bit_rate), std::to_string(n),
+          std::to_string(cost_without),
+          std::to_string(best.value().total_cost),
+          std::to_string(reduction)});
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nShape check (paper §5.1.2): savings are positive for "
+               "every media type and grow toward lower bit-rates — tens "
+               "of dollars for HDTV up to tens of thousands for mp3 at "
+               "full load.\n";
+  std::cout << "CSV: " << bench::CsvPath("fig8_total_cost_reduction")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks for the library's hot paths: the
+// analytical solvers (called inside planner search loops), the IO-queue
+// schedulers, the device service models, and the discrete-event engine.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "device/device_catalog.h"
+#include "device/disk_scheduler.h"
+#include "model/mems_buffer.h"
+#include "model/planner.h"
+#include "model/timecycle.h"
+#include "sim/simulator.h"
+
+namespace memstream {
+namespace {
+
+void BM_Theorem1Sizing(benchmark::State& state) {
+  model::DeviceProfile disk;
+  disk.rate = 300 * kMBps;
+  disk.latency = 4.3 * kMillisecond;
+  for (auto _ : state) {
+    auto s = model::PerStreamBufferSize(state.range(0), 1 * kMBps, disk);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Theorem1Sizing)->Arg(10)->Arg(100);
+
+void BM_Theorem2Solve(benchmark::State& state) {
+  model::MemsBufferParams params;
+  params.k = 2;
+  params.disk.rate = 300 * kMBps;
+  params.disk.latency = 2 * kMillisecond;
+  params.mems.rate = 320 * kMBps;
+  params.mems.latency = 0.86 * kMillisecond;
+  params.mems.capacity = 10 * kGB;
+  for (auto _ : state) {
+    auto s = model::SolveMemsBuffer(state.range(0), 1 * kMBps, params);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Theorem2Solve)->Arg(10)->Arg(100);
+
+void BM_CachePlannerMaxThroughput(benchmark::State& state) {
+  auto disk = device::DiskDrive::Create(device::FutureDisk2007()).value();
+  model::CacheSystemConfig config;
+  config.total_budget = 100;
+  config.k = 2;
+  config.popularity = {0.05, 0.95};
+  config.bit_rate = 100 * kKBps;
+  config.disk_latency = model::DiskLatencyFn(disk);
+  config.mems.rate = 320 * kMBps;
+  config.mems.latency = 0.86 * kMillisecond;
+  config.mems.capacity = 10 * kGB;
+  for (auto _ : state) {
+    auto t = model::MaxCacheSystemThroughput(config);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_CachePlannerMaxThroughput);
+
+void BM_ElevatorScheduleOrder(benchmark::State& state) {
+  Rng rng(42);
+  std::vector<device::IoSpan> batch;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    batch.push_back(
+        {rng.NextInt(0, static_cast<std::int64_t>(900 * kGB)), 1 * kMB});
+  }
+  for (auto _ : state) {
+    auto order =
+        device::ScheduleOrder(device::SchedulerPolicy::kCLook, 0, batch);
+    benchmark::DoNotOptimize(order);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ElevatorScheduleOrder)->Arg(64)->Arg(1024);
+
+void BM_DiskService(benchmark::State& state) {
+  auto disk = device::DiskDrive::Create(device::FutureDisk2007()).value();
+  Rng rng(7);
+  for (auto _ : state) {
+    auto t = disk.Service(
+        {rng.NextInt(0, static_cast<std::int64_t>(900 * kGB)), 1 * kMB},
+        &rng);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_DiskService);
+
+void BM_MemsService(benchmark::State& state) {
+  auto mems = device::MemsDevice::Create(device::MemsG3()).value();
+  Rng rng(7);
+  for (auto _ : state) {
+    auto t = mems.Service(
+        {rng.NextInt(0, static_cast<std::int64_t>(9 * kGB)), 64 * kKB},
+        nullptr);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_MemsService);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      (void)sim.Schedule(static_cast<double>((i * 7919) % 1000),
+                         [&fired] { ++fired; });
+    }
+    auto n = sim.Run();
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution dist(10000, 1.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace memstream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Regenerates Table 1: storage media characteristics for 2002 and the
+// 2007 predictions (DRAM / MEMS / Disk).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace memstream;
+
+  std::cout << "Table 1: Storage media characteristics (paper values)\n\n";
+  TablePrinter table({"Year", "Medium", "Capacity [GB]", "Access time [ms]",
+                      "Bandwidth [MB/s]", "Cost/GB", "Cost/device"});
+  CsvWriter csv(bench::CsvPath("table1_media_characteristics"),
+                {"year", "medium", "capacity_gb", "access_time_ms",
+                 "bandwidth_mbps", "cost_per_gb", "cost_per_device"});
+  for (const auto& row : device::Table1Rows()) {
+    table.AddRow({std::to_string(row.year), row.medium, row.capacity_gb,
+                  row.access_time_ms, row.bandwidth_mbps, row.cost_per_gb,
+                  row.cost_per_device});
+    csv.AddRow(std::vector<std::string>{
+        std::to_string(row.year), row.medium, row.capacity_gb,
+        row.access_time_ms, row.bandwidth_mbps, row.cost_per_gb,
+        row.cost_per_device});
+  }
+  table.Print(std::cout);
+  std::cout << "\nCSV: " << bench::CsvPath("table1_media_characteristics")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates Table 3: performance characteristics of the 2007 case-study
+// devices (FutureDisk, G3 MEMS, DRAM), plus the derived latencies our
+// models compute from them (average disk access, max/average MEMS access,
+// and the §5.1 latency ratio).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace memstream;
+
+  std::cout << "Table 3: Storage devices in the year 2007 (paper values)\n\n";
+  TablePrinter table({"Parameter", "FutureDisk", "G3 MEMS", "DRAM"});
+  const auto cols = device::Table3Columns();
+  table.AddRow({"RPM", cols[0].rpm, cols[1].rpm, cols[2].rpm});
+  table.AddRow({"Max. bandwidth [MB/s]",
+                TablePrinter::Cell(cols[0].max_bandwidth_mbps, 0),
+                TablePrinter::Cell(cols[1].max_bandwidth_mbps, 0),
+                TablePrinter::Cell(cols[2].max_bandwidth_mbps, 0)});
+  table.AddRow({"Average seek [ms]", cols[0].average_seek_ms,
+                cols[1].average_seek_ms, cols[2].average_seek_ms});
+  table.AddRow({"Full stroke seek [ms]", cols[0].full_stroke_seek_ms,
+                cols[1].full_stroke_seek_ms, cols[2].full_stroke_seek_ms});
+  table.AddRow({"X settle time [ms]", cols[0].x_settle_ms,
+                cols[1].x_settle_ms, cols[2].x_settle_ms});
+  table.AddRow({"Capacity per device [GB]",
+                TablePrinter::Cell(cols[0].capacity_gb, 0),
+                TablePrinter::Cell(cols[1].capacity_gb, 0),
+                TablePrinter::Cell(cols[2].capacity_gb, 0)});
+  table.AddRow({"Cost/GB [$]", TablePrinter::Cell(cols[0].cost_per_gb, 1),
+                TablePrinter::Cell(cols[1].cost_per_gb, 1),
+                TablePrinter::Cell(cols[2].cost_per_gb, 1)});
+  table.AddRow({"Cost/device [$]", cols[0].cost_per_device,
+                cols[1].cost_per_device, cols[2].cost_per_device});
+  table.Print(std::cout);
+
+  auto disk = bench::AnalyticFutureDisk();
+  auto mems = device::MemsDevice::Create(device::MemsG3()).value();
+  std::cout << "\nDerived model quantities:\n";
+  TablePrinter derived({"Quantity", "Value"});
+  derived.AddRow({"Disk average access latency [ms]",
+                  TablePrinter::Cell(ToMs(disk.AverageAccessLatency()), 2)});
+  derived.AddRow({"Disk rotation period [ms]",
+                  TablePrinter::Cell(ToMs(disk.RotationPeriod()), 2)});
+  derived.AddRow({"MEMS max access latency [ms]",
+                  TablePrinter::Cell(ToMs(mems.MaxAccessLatency()), 2)});
+  derived.AddRow(
+      {"MEMS average access latency [ms]",
+       TablePrinter::Cell(ToMs(mems.AverageAccessLatency()), 2)});
+  derived.AddRow(
+      {"Latency ratio (disk avg / MEMS max)",
+       TablePrinter::Cell(
+           disk.AverageAccessLatency() / mems.MaxAccessLatency(), 2)});
+  derived.Print(std::cout);
+
+  CsvWriter csv(bench::CsvPath("table3_devices_2007"),
+                {"device", "max_bandwidth_mbps", "capacity_gb",
+                 "cost_per_gb"});
+  for (const auto& col : cols) {
+    csv.AddRow(std::vector<std::string>{
+        col.name, std::to_string(col.max_bandwidth_mbps),
+        std::to_string(col.capacity_gb), std::to_string(col.cost_per_gb)});
+  }
+  std::cout << "\nCSV: " << bench::CsvPath("table3_devices_2007") << "\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: size a streaming server with and without a MEMS buffer,
+// then execute both schedules in the simulator to confirm jitter-free
+// playback.
+//
+//   $ ./quickstart
+//
+// Walks through the library's three core steps:
+//   1. describe devices (Table 3 presets),
+//   2. size buffers analytically (Theorems 1 and 2),
+//   3. validate by simulation (MediaServer facade).
+
+#include <cstdio>
+
+#include "device/device_catalog.h"
+#include "model/mems_buffer.h"
+#include "model/profiles.h"
+#include "model/timecycle.h"
+#include "server/media_server.h"
+
+int main() {
+  using namespace memstream;
+
+  // --- 1. Devices: the paper's 2007 case study --------------------------
+  device::DiskParameters disk_params = device::FutureDisk2007();
+  disk_params.inner_rate = disk_params.outer_rate;  // analytic flat rate
+  auto disk = device::DiskDrive::Create(disk_params);
+  auto mems = device::MemsDevice::Create(device::MemsG3());
+  if (!disk.ok() || !mems.ok()) {
+    std::fprintf(stderr, "device setup failed\n");
+    return 1;
+  }
+  std::printf("FutureDisk: %.0f MB/s, avg access %.2f ms\n",
+              disk.value().MaxTransferRate() / kMBps,
+              ToMs(disk.value().AverageAccessLatency()));
+  std::printf("G3 MEMS:    %.0f MB/s, max access %.2f ms\n\n",
+              mems.value().MaxTransferRate() / kMBps,
+              ToMs(mems.value().MaxAccessLatency()));
+
+  // --- 2. Analytics: 100 DVD-quality streams ----------------------------
+  const std::int64_t n = 100;
+  const BytesPerSecond bit_rate = 1 * kMBps;
+
+  auto direct_dram = model::TotalBufferSize(
+      n, bit_rate, model::DiskProfile(disk.value(), n));
+  if (!direct_dram.ok()) {
+    std::fprintf(stderr, "Theorem 1: %s\n",
+                 direct_dram.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Theorem 1 (disk -> DRAM):        %7.1f MB of DRAM\n",
+              ToMB(direct_dram.value()));
+
+  model::MemsBufferParams buffer;
+  buffer.k = 2;
+  buffer.disk = model::DiskProfile(disk.value(), n);
+  buffer.mems = model::MemsProfileMaxLatency(mems.value());
+  auto buffered = model::SolveMemsBuffer(n, bit_rate, buffer);
+  if (!buffered.ok()) {
+    std::fprintf(stderr, "Theorem 2: %s\n",
+                 buffered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Theorem 2 (disk -> MEMS -> DRAM):%7.1f MB of DRAM "
+              "(%.0fx less, plus 2 x $10 MEMS)\n\n",
+              ToMB(buffered.value().dram_total),
+              direct_dram.value() / buffered.value().dram_total);
+
+  // --- 3. Validation: run both schedules --------------------------------
+  for (auto mode :
+       {server::ServerMode::kDirect, server::ServerMode::kMemsBuffer}) {
+    server::MediaServerConfig config;
+    config.mode = mode;
+    config.disk = disk_params;
+    config.k = 2;
+    config.num_streams = n;
+    config.bit_rate = bit_rate;
+    config.sim_duration = 30;
+    auto result = server::RunMediaServer(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", ServerModeName(mode),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s simulated 30 s: %lld IOs, %lld underflows, "
+                "%lld overruns, disk util %.0f%%\n",
+                ServerModeName(mode),
+                static_cast<long long>(result.value().ios_completed),
+                static_cast<long long>(result.value().underflow_events),
+                static_cast<long long>(result.value().cycle_overruns),
+                100 * result.value().disk_utilization);
+  }
+  std::printf("\nBoth schedules are jitter-free; the MEMS buffer delivers "
+              "the same streams with a fraction of the DRAM.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// A day in the life of a MEMS-cached VoD server: build a catalog, sample
+// a request trace under a skewed popularity, admit what fits, select the
+// cache residents offline, and run the admitted load through the
+// discrete-event simulator.
+//
+//   $ ./streaming_simulation [minutes_simulated]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "device/device_catalog.h"
+#include "model/mems_cache.h"
+#include "model/planner.h"
+#include "model/profiles.h"
+#include "server/media_server.h"
+#include "workload/arrival_sim.h"
+#include "workload/catalog.h"
+#include "workload/popularity.h"
+#include "workload/request_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace memstream;
+
+  const Seconds horizon = (argc > 1 ? std::atof(argv[1]) : 1.0) * 60.0;
+
+  // --- Catalog: 1000 DivX titles, ~90 minutes each ----------------------
+  auto catalog = workload::Catalog::Uniform(1000, 100 * kKBps, 5400);
+  if (!catalog.ok()) return 1;
+  std::printf("Catalog: %lld titles, %.0f GB total\n",
+              static_cast<long long>(catalog.value().size()),
+              ToGB(catalog.value().TotalSize()));
+
+  // --- Popularity and offline cache selection ---------------------------
+  const model::Popularity popularity{0.05, 0.95};
+  const Bytes cache_capacity = 2 * 10 * kGB;  // striped k=2 bank
+  const auto residents =
+      catalog.value().SelectCacheResidents(cache_capacity);
+  const double p = model::CachedFraction(model::CachePolicy::kStriped, 2,
+                                         10 * kGB,
+                                         catalog.value().TotalSize());
+  auto hit_rate = model::HitRate(popularity, p);
+  if (!hit_rate.ok()) return 1;
+  std::printf("Cache: %zu titles resident (p = %.1f%%), Eq. 11 hit rate "
+              "h = %.3f\n",
+              residents.size(), 100 * p, hit_rate.value());
+
+  // --- Sample a request trace and measure the empirical hit rate --------
+  auto sampler = workload::TwoClassSampler::Create(popularity,
+                                                   catalog.value().size());
+  if (!sampler.ok()) return 1;
+  Rng rng(2026);
+  auto requests = workload::GenerateRequests(
+      catalog.value(),
+      [&](Rng& r) { return sampler.value().Sample(r); },
+      /*arrival_rate=*/2.0, horizon, rng);
+  if (!requests.ok()) return 1;
+  const auto stats =
+      workload::MeasureHitRate(requests.value(), residents);
+  std::printf("Trace: %lld requests over %.0f min, empirical hit rate "
+              "%.3f\n\n",
+              static_cast<long long>(stats.total), horizon / 60.0,
+              stats.hit_rate);
+
+  // --- Session-level view: can the planned capacity carry the trace? ----
+  {
+    model::CacheSystemConfig plan;
+    plan.total_budget = 100;
+    plan.k = 2;
+    plan.policy = model::CachePolicy::kStriped;
+    plan.popularity = popularity;
+    plan.content_size = catalog.value().TotalSize();
+    plan.bit_rate = 100 * kKBps;
+    auto disk_dev = device::DiskDrive::Create(device::FutureDisk2007());
+    if (!disk_dev.ok()) return 1;
+    plan.disk_latency = model::DiskLatencyFn(disk_dev.value());
+    auto mems_dev = device::MemsDevice::Create(device::MemsG3());
+    if (!mems_dev.ok()) return 1;
+    plan.mems = model::MemsProfileMaxLatency(mems_dev.value());
+    auto capacity = model::MaxCacheSystemThroughput(plan);
+    if (capacity.ok() && capacity.value().total_streams > 0) {
+      // A long synthetic day at an offered load near the planned
+      // capacity, so the blocking behaviour is visible.
+      const double arrival_rate =
+          static_cast<double>(capacity.value().total_streams) / 5400.0;
+      const Seconds day = 12 * 3600.0;
+      Rng day_rng(7);
+      auto day_trace = workload::GenerateRequests(
+          catalog.value(),
+          [&](Rng& r) { return sampler.value().Sample(r); }, arrival_rate,
+          day, day_rng);
+      if (day_trace.ok()) {
+        auto study = workload::StudyAdmission(
+            day_trace.value(), capacity.value().total_streams, day);
+        if (study.ok()) {
+          const double offered_erlangs = arrival_rate * 5400.0;
+          std::printf(
+              "Load study (12 h at ~capacity): planner capacity %lld "
+              "streams ($100 budget), offered %.0f erlangs\n"
+              "  admitted %lld / rejected %lld (%.1f%%; Erlang-B "
+              "predicts %.1f%%), mean occupancy %.0f (util %.0f%%)\n\n",
+              static_cast<long long>(capacity.value().total_streams),
+              offered_erlangs,
+              static_cast<long long>(study.value().admitted),
+              static_cast<long long>(study.value().rejected),
+              100 * study.value().rejection_rate,
+              100 * workload::ErlangB(offered_erlangs,
+                                      capacity.value().total_streams),
+              study.value().mean_occupancy,
+              100 * study.value().utilization);
+        }
+      }
+    }
+  }
+
+  // --- Simulate the concurrent load at the peak -------------------------
+  // Steady-state concurrency ~ arrival rate x duration, but simulate a
+  // modest concurrent slice so the run stays fast.
+  server::MediaServerConfig config;
+  config.mode = server::ServerMode::kMemsCache;
+  config.disk = device::FutureDisk2007();
+  config.disk.inner_rate = config.disk.outer_rate;
+  config.k = 2;
+  config.cache_policy = model::CachePolicy::kStriped;
+  config.cached_fraction_of_streams = hit_rate.value();
+  config.num_streams = 120;
+  config.bit_rate = 100 * kKBps;
+  config.sim_duration = horizon;
+  auto result = server::RunMediaServer(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Simulated %lld concurrent streams for %.0f min:\n",
+              static_cast<long long>(config.num_streams), horizon / 60.0);
+  std::printf("  IOs completed:   %lld\n",
+              static_cast<long long>(result.value().ios_completed));
+  std::printf("  underflows:      %lld (%.3f s dry)\n",
+              static_cast<long long>(result.value().underflow_events),
+              result.value().underflow_time);
+  std::printf("  cycle overruns:  %lld\n",
+              static_cast<long long>(result.value().cycle_overruns));
+  std::printf("  disk / MEMS util: %.0f%% / %.0f%%\n",
+              100 * result.value().disk_utilization,
+              100 * result.value().mems_utilization);
+  std::printf("  DRAM: analytic %.1f MB, simulated peak %.1f MB\n",
+              ToMB(result.value().analytic_dram_total),
+              ToMB(result.value().sim_peak_dram));
+  return result.value().underflow_events == 0 ? 0 : 2;
+}

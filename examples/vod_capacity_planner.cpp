@@ -1,0 +1,138 @@
+// Video-on-demand capacity planner: given a buffering/caching budget and
+// a workload description, compare every server architecture the paper
+// proposes (DRAM-only, MEMS cache striped/replicated, hybrid
+// buffer+cache) and recommend the best.
+//
+//   $ ./vod_capacity_planner [budget_dollars] [bit_rate_kbps] [x:y]
+//   e.g. ./vod_capacity_planner 150 100 5:95
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "device/device_catalog.h"
+#include "model/hybrid.h"
+#include "model/planner.h"
+
+namespace {
+
+memstream::model::Popularity ParsePopularity(const std::string& text) {
+  memstream::model::Popularity pop{0.1, 0.9};
+  const auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    pop.x = std::atof(text.substr(0, colon).c_str()) / 100.0;
+    pop.y = std::atof(text.substr(colon + 1).c_str()) / 100.0;
+  }
+  return pop;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace memstream;
+
+  const Dollars budget = argc > 1 ? std::atof(argv[1]) : 100.0;
+  const BytesPerSecond bit_rate =
+      (argc > 2 ? std::atof(argv[2]) : 100.0) * kKBps;
+  const model::Popularity popularity =
+      ParsePopularity(argc > 3 ? argv[3] : "10:90");
+  if (!model::IsValidPopularity(popularity)) {
+    std::fprintf(stderr, "invalid popularity (need 0 < X <= Y <= 100)\n");
+    return 1;
+  }
+
+  auto disk = device::DiskDrive::Create(device::FutureDisk2007());
+  auto mems = device::MemsDevice::Create(device::MemsG3());
+  if (!disk.ok() || !mems.ok()) return 1;
+
+  model::HybridConfig config;
+  config.base.total_budget = budget;
+  config.base.dram_per_byte = 20.0 / kGB;
+  config.base.mems_device_cost = 10;
+  config.base.policy = model::CachePolicy::kStriped;
+  config.base.popularity = popularity;
+  config.base.mems_capacity = 10 * kGB;
+  config.base.content_size = 1000 * kGB;
+  config.base.bit_rate = bit_rate;
+  config.base.disk_rate = 300 * kMBps;
+  config.base.disk_latency = model::DiskLatencyFn(disk.value());
+  config.base.mems = model::MemsProfileMaxLatency(mems.value());
+  config.max_devices =
+      static_cast<std::int64_t>(budget / config.base.mems_device_cost);
+
+  std::printf("VoD capacity planner\n");
+  std::printf("  budget $%.0f, bit-rate %.0f KB/s, popularity %d:%d, "
+              "catalog 1 TB on a 2007 FutureDisk\n\n",
+              budget, bit_rate / kKBps,
+              static_cast<int>(popularity.x * 100),
+              static_cast<int>(popularity.y * 100));
+
+  TablePrinter table({"Architecture", "Streams", "Hit rate", "DRAM [GB]",
+                      "MEMS devices"});
+  auto add = [&](const std::string& name,
+                 const Result<model::CacheSystemThroughput>& result,
+                 std::int64_t devices) {
+    if (!result.ok()) {
+      table.AddRow({name, "-", "-", "-", TablePrinter::Cell(devices)});
+      return;
+    }
+    table.AddRow({name, TablePrinter::Cell(result.value().total_streams),
+                  TablePrinter::Cell(result.value().hit_rate, 3),
+                  TablePrinter::Cell(ToGB(result.value().dram_bytes), 2),
+                  TablePrinter::Cell(devices)});
+  };
+
+  add("DRAM only", model::EvaluateHybridSplit(config, 0, 0), 0);
+
+  // Best pure cache under each policy.
+  for (auto policy :
+       {model::CachePolicy::kStriped, model::CachePolicy::kReplicated}) {
+    config.base.policy = policy;
+    std::int64_t best_k = 0, best_streams = -1;
+    for (std::int64_t k = 1; k <= config.max_devices; ++k) {
+      auto r = model::EvaluateHybridSplit(config, 0, k);
+      if (r.ok() && r.value().total_streams > best_streams) {
+        best_streams = r.value().total_streams;
+        best_k = k;
+      }
+    }
+    add(std::string("MEMS cache (") + model::CachePolicyName(policy) +
+            ", best k)",
+        model::EvaluateHybridSplit(config, 0, best_k), best_k);
+  }
+
+  // Best pure buffer.
+  config.base.policy = model::CachePolicy::kStriped;
+  std::int64_t best_kb = 0, best_streams = -1;
+  for (std::int64_t k = 1; k <= config.max_devices; ++k) {
+    auto r = model::EvaluateHybridSplit(config, k, 0);
+    if (r.ok() && r.value().total_streams > best_streams) {
+      best_streams = r.value().total_streams;
+      best_kb = k;
+    }
+  }
+  add("MEMS buffer (best k)", model::EvaluateHybridSplit(config, best_kb, 0),
+      best_kb);
+
+  // Hybrid plan.
+  auto plan = model::PlanHybrid(config);
+  if (plan.ok()) {
+    add("Hybrid (buffer " + std::to_string(plan.value().k_buffer) +
+            " + cache " + std::to_string(plan.value().k_cache) + ")",
+        Result<model::CacheSystemThroughput>(plan.value().throughput),
+        plan.value().k_buffer + plan.value().k_cache);
+  }
+
+  table.Print(std::cout);
+  if (plan.ok()) {
+    std::printf("\nRecommendation: %lld buffering + %lld caching devices "
+                "-> %lld concurrent streams.\n",
+                static_cast<long long>(plan.value().k_buffer),
+                static_cast<long long>(plan.value().k_cache),
+                static_cast<long long>(
+                    plan.value().throughput.total_streams));
+  }
+  return 0;
+}

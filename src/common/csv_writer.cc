@@ -1,0 +1,60 @@
+#include "common/csv_writer.h"
+
+#include <cstdio>
+
+namespace memstream {
+
+std::string CsvEscape(const std::string& cell) {
+  bool needs_quotes = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out_(path) {
+  if (out_.is_open()) WriteRow(headers);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << CsvEscape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  WriteRow(cells);
+}
+
+void CsvWriter::AddRow(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    text.emplace_back(buf);
+  }
+  WriteRow(text);
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { Close(); }
+
+}  // namespace memstream

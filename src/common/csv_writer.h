@@ -1,0 +1,49 @@
+// CSV output for experiment series, so bench results can be re-plotted.
+// Each bench binary writes one CSV per figure panel next to its stdout
+// table. Quoting follows RFC 4180 (quote cells containing , " or \n).
+
+#ifndef MEMSTREAM_COMMON_CSV_WRITER_H_
+#define MEMSTREAM_COMMON_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace memstream {
+
+/// Writes rows to a CSV file. Construction opens the file; Close() (or the
+/// destructor) flushes it.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Returns an error Status via ok() if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  /// True if the file opened successfully.
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  /// Appends one data row; cells are quoted as needed.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  void AddRow(const std::vector<double>& cells);
+
+  /// Flushes and closes the file.
+  void Close();
+
+  ~CsvWriter();
+
+ private:
+  void WriteRow(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV cell per RFC 4180.
+std::string CsvEscape(const std::string& cell);
+
+}  // namespace memstream
+
+#endif  // MEMSTREAM_COMMON_CSV_WRITER_H_

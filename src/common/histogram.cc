@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace memstream {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(lo < hi);
+  assert(buckets >= 1);
+}
+
+void Histogram::Add(double x) {
+  stats_.Add(x);
+  ++total_;
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+}
+
+double Histogram::BucketLow(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::Quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = acc + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] ? (target - acc) / static_cast<double>(counts_[i]) : 0.0;
+      return BucketLow(i) + frac * bucket_width_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(int width) const {
+  std::ostringstream out;
+  std::int64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * width);
+    out << "[" << BucketLow(i) << ", " << BucketLow(i) + bucket_width_
+        << ") " << std::string(static_cast<std::size_t>(bar), '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+void TimeWeightedStats::Update(double now, double value) {
+  if (started_) {
+    assert(now >= last_time_);
+    const double dt = now - last_time_;
+    weighted_sum_ += last_value_ * dt;
+    total_time_ += dt;
+  }
+  started_ = true;
+  last_time_ = now;
+  last_value_ = value;
+  max_value_ = std::max(max_value_, value);
+}
+
+double TimeWeightedStats::TimeAverage() const {
+  if (total_time_ <= 0.0) return last_value_;
+  return weighted_sum_ / total_time_;
+}
+
+}  // namespace memstream

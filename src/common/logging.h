@@ -1,0 +1,47 @@
+// Minimal leveled logger. The library itself logs nothing at Info by
+// default; the simulator and benches use it for progress and diagnostics.
+
+#ifndef MEMSTREAM_COMMON_LOGGING_H_
+#define MEMSTREAM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace memstream {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits a message to stderr if `level` passes the global threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector used by the MEMSTREAM_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace memstream
+
+/// Usage: MEMSTREAM_LOG(kInfo) << "admitted " << n << " streams";
+#define MEMSTREAM_LOG(level) \
+  ::memstream::internal::LogLine(::memstream::LogLevel::level)
+
+#endif  // MEMSTREAM_COMMON_LOGGING_H_

@@ -1,0 +1,136 @@
+// Status and Result<T>: exception-free error propagation for the public API.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a Result<T> when they also produce a value); callers must check
+// ok() before using the value.
+
+#ifndef MEMSTREAM_COMMON_STATUS_H_
+#define MEMSTREAM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace memstream {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed a parameter outside the valid domain
+  kInfeasible,        ///< no configuration satisfies the real-time constraints
+  kOutOfRange,        ///< index/address outside device or model bounds
+  kResourceExhausted, ///< buffer pool, bandwidth, or capacity exhausted
+  kFailedPrecondition,///< object not in the required state for the call
+  kNotFound,          ///< lookup missed (catalog title, cached stream, ...)
+  kAlreadyExists,     ///< duplicate insert (stream id, event id, ...)
+  kInternal,          ///< invariant violation; indicates a library bug
+};
+
+/// Human-readable name of a StatusCode (e.g. "Infeasible").
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error result of an operation, with an optional message.
+///
+/// Cheap to copy in the OK case (no allocation). Construct errors through
+/// the named factories: `Status::InvalidArgument("N must be positive")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or the Status explaining why it could not be produced.
+///
+/// Accessing value() on an error Result is a programming error (asserts in
+/// debug builds, undefined in release); always check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error status: `return Status::Infeasible(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace memstream
+
+/// Propagates an error Status from a callee to the caller.
+#define MEMSTREAM_RETURN_IF_ERROR(expr)          \
+  do {                                           \
+    ::memstream::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // MEMSTREAM_COMMON_STATUS_H_

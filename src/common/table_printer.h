@@ -1,0 +1,45 @@
+// Aligned ASCII tables for the bench harnesses: every figure/table
+// regenerator prints its series through this, so output stays uniform.
+
+#ifndef MEMSTREAM_COMMON_TABLE_PRINTER_H_
+#define MEMSTREAM_COMMON_TABLE_PRINTER_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memstream {
+
+/// Collects rows of string cells and renders them with per-column
+/// alignment. Numeric-looking cells are right-aligned, text left-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are
+  /// an error (asserted).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision and appends row-building
+  /// helpers; see Cell() overloads.
+  static std::string Cell(double v, int precision = 3);
+  static std::string Cell(std::int64_t v);
+  static std::string Cell(const std::string& v) { return v; }
+
+  /// Renders the full table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Writes ToString() to the stream.
+  void Print(std::ostream& os) const;
+
+  std::size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memstream
+
+#endif  // MEMSTREAM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,48 @@
+// Units and literals used throughout the library.
+//
+// Convention: sizes are in bytes (double, because the analytical model
+// works with fractional per-stream buffer sizes), times in seconds, and
+// rates in bytes/second. The helpers below keep call sites readable
+// ("10 * MiBps" rather than 1.0e7) and make unit mistakes greppable.
+//
+// The paper quotes device rates in decimal megabytes (MB = 1e6 B); we
+// follow that convention for all device parameters, matching Tables 1 & 3.
+
+#ifndef MEMSTREAM_COMMON_UNITS_H_
+#define MEMSTREAM_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace memstream {
+
+using Bytes = double;        ///< size in bytes (fractional allowed)
+using Seconds = double;      ///< duration in seconds
+using BytesPerSecond = double;  ///< transfer rate
+using Dollars = double;      ///< cost
+using DollarsPerByte = double;  ///< unit cost
+
+// Decimal size units (storage-industry convention, as in the paper).
+inline constexpr Bytes kKB = 1e3;
+inline constexpr Bytes kMB = 1e6;
+inline constexpr Bytes kGB = 1e9;
+inline constexpr Bytes kTB = 1e12;
+
+// Time units.
+inline constexpr Seconds kMillisecond = 1e-3;
+inline constexpr Seconds kMicrosecond = 1e-6;
+
+// Rate units.
+inline constexpr BytesPerSecond kKBps = 1e3;
+inline constexpr BytesPerSecond kMBps = 1e6;
+inline constexpr BytesPerSecond kGBps = 1e9;
+
+/// Converts a byte count to decimal gigabytes (for reporting).
+inline constexpr double ToGB(Bytes b) { return b / kGB; }
+/// Converts a byte count to decimal megabytes (for reporting).
+inline constexpr double ToMB(Bytes b) { return b / kMB; }
+/// Converts seconds to milliseconds (for reporting).
+inline constexpr double ToMs(Seconds s) { return s / kMillisecond; }
+
+}  // namespace memstream
+
+#endif  // MEMSTREAM_COMMON_UNITS_H_

@@ -1,0 +1,114 @@
+#include "device/bank.h"
+
+#include <algorithm>
+
+namespace memstream::device {
+
+const char* BankModeName(BankMode mode) {
+  switch (mode) {
+    case BankMode::kRoundRobin:
+      return "round-robin";
+    case BankMode::kStriped:
+      return "striped";
+    case BankMode::kReplicated:
+      return "replicated";
+  }
+  return "?";
+}
+
+Result<DeviceBank> DeviceBank::Create(
+    std::vector<std::unique_ptr<BlockDevice>> devices, BankMode mode) {
+  if (devices.empty()) {
+    return Status::InvalidArgument("bank needs at least one device");
+  }
+  for (const auto& d : devices) {
+    if (d == nullptr) return Status::InvalidArgument("null device in bank");
+    if (d->Capacity() != devices[0]->Capacity() ||
+        d->MaxTransferRate() != devices[0]->MaxTransferRate()) {
+      return Status::InvalidArgument("bank devices must be identical");
+    }
+  }
+  return DeviceBank(std::move(devices), mode);
+}
+
+BytesPerSecond DeviceBank::AggregateTransferRate() const {
+  return static_cast<double>(size()) * devices_[0]->MaxTransferRate();
+}
+
+Seconds DeviceBank::EffectiveAverageLatency() const {
+  const Seconds single = devices_[0]->AverageAccessLatency();
+  return mode_ == BankMode::kStriped ? single
+                                     : single / static_cast<double>(size());
+}
+
+Seconds DeviceBank::EffectiveMaxLatency() const {
+  const Seconds single = devices_[0]->MaxAccessLatency();
+  return mode_ == BankMode::kStriped ? single
+                                     : single / static_cast<double>(size());
+}
+
+Bytes DeviceBank::EffectiveCapacity() const {
+  const Bytes single = devices_[0]->Capacity();
+  return mode_ == BankMode::kReplicated
+             ? single
+             : static_cast<double>(size()) * single;
+}
+
+Result<std::size_t> DeviceBank::NextRoundRobinDevice() {
+  if (mode_ != BankMode::kRoundRobin) {
+    return Status::FailedPrecondition(
+        "round-robin routing only valid in kRoundRobin mode");
+  }
+  const std::size_t idx = rr_cursor_;
+  rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
+  return idx;
+}
+
+Result<Seconds> DeviceBank::Service(const IoSpan& io, Rng* rng) {
+  if (io.offset < 0 ||
+      static_cast<Bytes>(io.offset) + io.bytes > EffectiveCapacity()) {
+    return Status::OutOfRange("IO beyond bank capacity");
+  }
+  const auto k = static_cast<double>(size());
+  switch (mode_) {
+    case BankMode::kRoundRobin: {
+      // Whole IO to the next device; map the bank offset into the device
+      // by modulo (streams are placed per-device by the buffer manager).
+      const std::size_t idx = rr_cursor_;
+      rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
+      IoSpan local = io;
+      local.offset = io.offset % static_cast<std::int64_t>(
+                                     devices_[idx]->Capacity());
+      return devices_[idx]->Service(local, rng);
+    }
+    case BankMode::kStriped: {
+      // Lock-step: every device transfers bytes/k at offset/k. All devices
+      // move identically, so the elapsed time is any device's time; we
+      // still advance every device's position.
+      IoSpan local;
+      local.offset = io.offset / static_cast<std::int64_t>(size());
+      local.bytes = io.bytes / k;
+      Seconds elapsed = 0;
+      for (auto& d : devices_) {
+        auto t = d->Service(local, rng);
+        MEMSTREAM_RETURN_IF_ERROR(t.status());
+        elapsed = std::max(elapsed, t.value());
+      }
+      return elapsed;
+    }
+    case BankMode::kReplicated: {
+      // Every device holds the full content; rotate for load balance.
+      const std::size_t idx = rr_cursor_;
+      rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
+      return devices_[idx]->Service(io, rng);
+    }
+  }
+  return Status::Internal("unreachable bank mode");
+}
+
+void DeviceBank::Reset() {
+  for (auto& d : devices_) d->Reset();
+  rr_cursor_ = 0;
+}
+
+}  // namespace memstream::device

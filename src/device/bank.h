@@ -1,0 +1,92 @@
+// A bank of k identical MEMS devices, managed in one of the three modes
+// the paper analyzes:
+//
+//  - kRoundRobin (buffer configuration, §3.1.2): each stream is buffered
+//    whole on one device; disk IOs are routed round-robin. Corollary 2:
+//    the bank behaves as one device with k x throughput AND k x lower
+//    average latency.
+//  - kStriped (cache, §3.2.1): every stream is bit/byte-striped across all
+//    devices, accessed lock-step. Corollary 3: k x throughput, unchanged
+//    latency, k x capacity.
+//  - kReplicated (cache, §3.2.2): all devices hold identical content; each
+//    services 1/k of the streams. Corollary 4: k x throughput, k x lower
+//    latency, but capacity of a single device.
+
+#ifndef MEMSTREAM_DEVICE_BANK_H_
+#define MEMSTREAM_DEVICE_BANK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+
+namespace memstream::device {
+
+/// Data-management mode for a device bank.
+enum class BankMode {
+  kRoundRobin,  ///< buffer: whole streams per device, round-robin routing
+  kStriped,     ///< cache: lock-step striping across all devices
+  kReplicated,  ///< cache: full replication on every device
+};
+
+const char* BankModeName(BankMode mode);
+
+/// Owns k identical devices and exposes the aggregate characteristics and
+/// routing operations of the chosen mode.
+class DeviceBank {
+ public:
+  /// Takes ownership of the devices. Requires at least one device; all
+  /// devices must have identical capacity and transfer rate (the paper's
+  /// analysis assumes a homogeneous bank).
+  static Result<DeviceBank> Create(
+      std::vector<std::unique_ptr<BlockDevice>> devices, BankMode mode);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(devices_.size()); }
+  BankMode mode() const { return mode_; }
+  BlockDevice& device(std::size_t i) { return *devices_[i]; }
+  const BlockDevice& device(std::size_t i) const { return *devices_[i]; }
+
+  /// k x single-device rate (all three modes aggregate bandwidth).
+  BytesPerSecond AggregateTransferRate() const;
+
+  /// Effective average access latency per Corollaries 2-4: L/k for
+  /// round-robin and replicated banks, L for striped banks.
+  Seconds EffectiveAverageLatency() const;
+
+  /// Same reduction applied to the worst-case latency.
+  Seconds EffectiveMaxLatency() const;
+
+  /// Usable capacity: k x device capacity except under replication.
+  Bytes EffectiveCapacity() const;
+
+  /// Round-robin route selector: returns the device index for the next IO
+  /// and advances the cursor. Only valid in kRoundRobin mode.
+  Result<std::size_t> NextRoundRobinDevice();
+
+  /// Services an IO according to the bank mode and returns the elapsed
+  /// device time:
+  ///  - round-robin: the IO goes wholly to the next device in rotation;
+  ///  - striped: the IO is split into k sub-IOs at the same relative
+  ///    offset on every device, serviced lock-step (time = max over
+  ///    devices = the common device time);
+  ///  - replicated: the IO is serviced by the least-recently-used device.
+  /// Offsets are interpreted against EffectiveCapacity().
+  Result<Seconds> Service(const IoSpan& io, Rng* rng);
+
+  /// Resets every device and the routing cursors.
+  void Reset();
+
+ private:
+  DeviceBank(std::vector<std::unique_ptr<BlockDevice>> devices,
+             BankMode mode)
+      : devices_(std::move(devices)), mode_(mode) {}
+
+  std::vector<std::unique_ptr<BlockDevice>> devices_;
+  BankMode mode_;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace memstream::device
+
+#endif  // MEMSTREAM_DEVICE_BANK_H_

@@ -1,0 +1,16 @@
+#include "device/device.h"
+
+namespace memstream::device {
+
+Result<Bytes> IoSizeForThroughput(BytesPerSecond target, Seconds latency,
+                                  BytesPerSecond rate) {
+  if (target <= 0) return Status::InvalidArgument("target must be positive");
+  if (target >= rate) {
+    return Status::Infeasible(
+        "target throughput not below the media transfer rate");
+  }
+  // Solve s / (latency + s/rate) = target for s.
+  return target * latency * rate / (rate - target);
+}
+
+}  // namespace memstream::device

@@ -1,0 +1,78 @@
+// Abstract block-device interface shared by the disk, MEMS, and DRAM
+// models, plus the effective-throughput helper used throughout the paper
+// (Fig. 2: throughput as a function of average IO size).
+
+#ifndef MEMSTREAM_DEVICE_DEVICE_H_
+#define MEMSTREAM_DEVICE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace memstream::device {
+
+/// A contiguous IO against a device, in logical block coordinates.
+/// `lbn` addresses a logical byte offset (the models are byte-addressed;
+/// sector granularity is irrelevant at the paper's modeling level).
+struct IoSpan {
+  std::int64_t offset = 0;  ///< starting byte offset on the device
+  Bytes bytes = 0;          ///< transfer length
+};
+
+/// Stateful device model: tracks the current head/sled position so that
+/// consecutive Service() calls pay realistic positioning costs.
+///
+/// Two uses:
+///  - the analytical layer reads the scalar characteristics
+///    (MaxTransferRate, Average/MaxAccessLatency);
+///  - the discrete-event simulator calls Service() per IO.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Total device capacity in bytes.
+  virtual Bytes Capacity() const = 0;
+
+  /// Peak media transfer rate (outermost zone for disks).
+  virtual BytesPerSecond MaxTransferRate() const = 0;
+
+  /// Worst-case positioning time (full-stroke seek + max rotational delay
+  /// or sled settle, as applicable).
+  virtual Seconds MaxAccessLatency() const = 0;
+
+  /// Expected positioning time for a random access from a random position.
+  virtual Seconds AverageAccessLatency() const = 0;
+
+  /// Simulates servicing `io` from the current position: returns the total
+  /// service time (positioning + transfer) and leaves the head at the end
+  /// of the transfer. `rng` supplies rotational phase (may be null, in
+  /// which case expected values are used). Returns OutOfRange if the IO
+  /// does not fit on the device.
+  virtual Result<Seconds> Service(const IoSpan& io, Rng* rng) = 0;
+
+  /// Returns the head/sled to offset zero (used between experiments).
+  virtual void Reset() = 0;
+};
+
+/// Sustained throughput of a device accessed with IOs of `io_size`, paying
+/// `latency` of positioning per IO:  io_size / (latency + io_size/rate).
+/// This is the quantity plotted in Fig. 2.
+inline BytesPerSecond EffectiveThroughput(Bytes io_size, Seconds latency,
+                                          BytesPerSecond rate) {
+  if (io_size <= 0) return 0;
+  return io_size / (latency + io_size / rate);
+}
+
+/// Inverse of EffectiveThroughput: IO size needed to sustain `target`
+/// throughput. Returns Infeasible if target >= rate.
+Result<Bytes> IoSizeForThroughput(BytesPerSecond target, Seconds latency,
+                                  BytesPerSecond rate);
+
+}  // namespace memstream::device
+
+#endif  // MEMSTREAM_DEVICE_DEVICE_H_

@@ -1,0 +1,74 @@
+#include "device/device_cache.h"
+
+namespace memstream::device {
+
+Result<CachedDevice> CachedDevice::Create(
+    BlockDevice* backing, const DeviceCacheParameters& params) {
+  if (backing == nullptr) {
+    return Status::InvalidArgument("backing device is required");
+  }
+  if (params.segment_bytes <= 0) {
+    return Status::InvalidArgument("segment_bytes must be > 0");
+  }
+  if (params.cache_bytes < params.segment_bytes) {
+    return Status::InvalidArgument(
+        "cache_bytes must hold at least one segment");
+  }
+  if (params.cache_rate <= 0) {
+    return Status::InvalidArgument("cache_rate must be > 0");
+  }
+  return CachedDevice(backing, params);
+}
+
+void CachedDevice::Touch(std::int64_t segment) {
+  auto it = index_.find(segment);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+  } else if (lru_.size() >= max_segments_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(segment);
+  index_[segment] = lru_.begin();
+}
+
+Result<Seconds> CachedDevice::Service(const IoSpan& io, Rng* rng) {
+  if (io.bytes < 0) return Status::InvalidArgument("negative IO size");
+  if (io.offset < 0 ||
+      static_cast<Bytes>(io.offset) + io.bytes > backing_->Capacity()) {
+    return Status::OutOfRange("IO beyond device capacity");
+  }
+  const std::int64_t first = SegmentOf(static_cast<Bytes>(io.offset));
+  const std::int64_t last = SegmentOf(
+      static_cast<Bytes>(io.offset) + (io.bytes > 0 ? io.bytes - 1 : 0));
+
+  bool hit = true;
+  for (std::int64_t s = first; s <= last; ++s) {
+    if (!Resident(s)) {
+      hit = false;
+      break;
+    }
+  }
+
+  if (hit) {
+    ++stats_.hits;
+    for (std::int64_t s = first; s <= last; ++s) Touch(s);
+    return io.bytes / params_.cache_rate;
+  }
+
+  ++stats_.misses;
+  auto t = backing_->Service(io, rng);
+  MEMSTREAM_RETURN_IF_ERROR(t.status());
+  for (std::int64_t s = first; s <= last; ++s) Touch(s);
+  return t.value();
+}
+
+void CachedDevice::Reset() {
+  backing_->Reset();
+  lru_.clear();
+  index_.clear();
+  stats_ = DeviceCacheStats{};
+}
+
+}  // namespace memstream::device

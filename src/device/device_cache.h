@@ -1,0 +1,106 @@
+// On-device segment cache. §3 of the paper: "Similar to disk caches
+// found on current-day disk drives, we assume that MEMS storage devices
+// would also include on-device caches." This wrapper adds an LRU segment
+// cache in front of any BlockDevice: reads that hit a cached segment are
+// serviced at the cache transfer rate with no positioning cost; misses
+// go to the device and populate the cache.
+//
+// Streaming workloads have no temporal locality (§4.2), so the *server*
+// never relies on this — but best-effort traffic sharing the device does
+// (§3.1 "spare storage ... as a cache for read data with temporal or
+// spatial locality"), and the wrapper lets experiments quantify it.
+
+#ifndef MEMSTREAM_DEVICE_DEVICE_CACHE_H_
+#define MEMSTREAM_DEVICE_DEVICE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "device/device.h"
+
+namespace memstream::device {
+
+/// Configuration of the on-device cache.
+struct DeviceCacheParameters {
+  Bytes cache_bytes = 16 * kMB;      ///< total cache size
+  Bytes segment_bytes = 512 * kKB;   ///< cache line (aligned segments)
+  BytesPerSecond cache_rate = 2 * kGBps;  ///< hit transfer rate
+};
+
+/// Cache hit/miss accounting.
+struct DeviceCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+
+  double HitRate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// LRU segment cache over a borrowed backing device. An IO counts as a
+/// hit only if every segment it touches is resident (partial hits are
+/// charged as misses — conservative and simple).
+class CachedDevice final : public BlockDevice {
+ public:
+  /// Wraps `backing` (not owned; must outlive the wrapper). Requires
+  /// segment_bytes > 0 and cache_bytes >= segment_bytes.
+  static Result<CachedDevice> Create(BlockDevice* backing,
+                                     const DeviceCacheParameters& params);
+
+  std::string name() const override { return backing_->name() + "+cache"; }
+  Bytes Capacity() const override { return backing_->Capacity(); }
+  BytesPerSecond MaxTransferRate() const override {
+    return backing_->MaxTransferRate();
+  }
+  Seconds MaxAccessLatency() const override {
+    return backing_->MaxAccessLatency();
+  }
+  Seconds AverageAccessLatency() const override {
+    return backing_->AverageAccessLatency();
+  }
+
+  /// Hit: io.bytes / cache_rate. Miss: backing service time, then the
+  /// touched segments become resident (evicting LRU segments).
+  Result<Seconds> Service(const IoSpan& io, Rng* rng) override;
+
+  void Reset() override;
+
+  const DeviceCacheStats& stats() const { return stats_; }
+  std::int64_t resident_segments() const {
+    return static_cast<std::int64_t>(lru_.size());
+  }
+
+ private:
+  CachedDevice(BlockDevice* backing, const DeviceCacheParameters& params)
+      : backing_(backing),
+        params_(params),
+        max_segments_(static_cast<std::size_t>(params.cache_bytes /
+                                               params.segment_bytes)) {}
+
+  std::int64_t SegmentOf(Bytes offset) const {
+    return static_cast<std::int64_t>(offset / params_.segment_bytes);
+  }
+
+  void Touch(std::int64_t segment);
+  bool Resident(std::int64_t segment) const {
+    return index_.count(segment) > 0;
+  }
+
+  BlockDevice* backing_;
+  DeviceCacheParameters params_;
+  std::size_t max_segments_;
+  // LRU list front = most recent; map segment -> list node.
+  std::list<std::int64_t> lru_;
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator>
+      index_;
+  DeviceCacheStats stats_;
+};
+
+}  // namespace memstream::device
+
+#endif  // MEMSTREAM_DEVICE_DEVICE_CACHE_H_

@@ -1,0 +1,78 @@
+#include "device/disk.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace memstream::device {
+
+Result<DiskDrive> DiskDrive::Create(const DiskParameters& params) {
+  if (params.rpm <= 0) return Status::InvalidArgument("rpm must be > 0");
+  auto seek = SeekModel::Calibrate(params.track_to_track_seek,
+                                   params.average_seek,
+                                   params.full_stroke_seek,
+                                   params.num_cylinders);
+  MEMSTREAM_RETURN_IF_ERROR(seek.status());
+  auto geometry =
+      DiskGeometry::Create(params.capacity, params.num_cylinders,
+                           params.num_zones, params.outer_rate,
+                           params.inner_rate);
+  MEMSTREAM_RETURN_IF_ERROR(geometry.status());
+  return DiskDrive(params, seek.value(), std::move(geometry).value());
+}
+
+Seconds DiskDrive::MaxAccessLatency() const {
+  return seek_model_.FullStrokeTime() + RotationPeriod();
+}
+
+Seconds DiskDrive::AverageAccessLatency() const {
+  return seek_model_.AverageSeekTime() + 0.5 * RotationPeriod();
+}
+
+Result<Seconds> DiskDrive::Service(const IoSpan& io, Rng* rng) {
+  if (io.bytes < 0) return Status::InvalidArgument("negative IO size");
+  if (io.offset < 0 ||
+      static_cast<Bytes>(io.offset) + io.bytes > params_.capacity) {
+    return Status::OutOfRange("IO beyond disk capacity");
+  }
+  auto cylinder = geometry_.CylinderAt(static_cast<Bytes>(io.offset));
+  MEMSTREAM_RETURN_IF_ERROR(cylinder.status());
+
+  const Seconds seek =
+      seek_model_.SeekTime(std::llabs(cylinder.value() - current_cylinder_));
+  const Seconds rotation = rng == nullptr
+                               ? 0.5 * RotationPeriod()
+                               : rng->NextDouble() * RotationPeriod();
+  // Transfer at the rate of the starting zone; IOs that straddle a zone
+  // boundary are charged the starting zone's rate (the error is bounded by
+  // one zone step and irrelevant at the paper's modeling granularity).
+  auto rate = geometry_.RateAt(static_cast<Bytes>(io.offset));
+  MEMSTREAM_RETURN_IF_ERROR(rate.status());
+  const Seconds transfer = io.bytes / rate.value();
+
+  const Bytes end = static_cast<Bytes>(io.offset) + io.bytes;
+  auto end_cylinder = geometry_.CylinderAt(
+      end >= params_.capacity ? params_.capacity - 1 : end);
+  MEMSTREAM_RETURN_IF_ERROR(end_cylinder.status());
+  current_cylinder_ = end_cylinder.value();
+
+  return seek + rotation + transfer;
+}
+
+Result<Seconds> DiskDrive::SchedulerDeterminedLatency(std::int64_t n) const {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  // n uniform points split the cylinder span into n+1 gaps of expected
+  // width C/(n+1); a C-LOOK sweep pays one gap seek per request plus one
+  // full sweep-back per cycle, amortized over the n requests (without
+  // the amortized term the estimate is optimistic and simulated cycles
+  // overrun their analytic length).
+  const auto gap = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(params_.num_cylinders) /
+                   static_cast<double>(n + 1)));
+  const Seconds gap_seek =
+      seek_model_.SeekTime(std::max<std::int64_t>(gap, 1));
+  const Seconds wrap =
+      (seek_model_.FullStrokeTime() - gap_seek) / static_cast<double>(n);
+  return gap_seek + wrap + 0.5 * RotationPeriod();
+}
+
+}  // namespace memstream::device

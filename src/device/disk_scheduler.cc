@@ -1,0 +1,118 @@
+#include "device/disk_scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace memstream::device {
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFcfs:
+      return "FCFS";
+    case SchedulerPolicy::kSstf:
+      return "SSTF";
+    case SchedulerPolicy::kScan:
+      return "SCAN";
+    case SchedulerPolicy::kCLook:
+      return "C-LOOK";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::size_t> SortedByOffset(const std::vector<IoSpan>& batch) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return batch[a].offset < batch[b].offset;
+                   });
+  return order;
+}
+
+std::vector<std::size_t> SstfOrder(std::int64_t head,
+                                   const std::vector<IoSpan>& batch) {
+  std::vector<std::size_t> remaining(batch.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<std::size_t> order;
+  order.reserve(batch.size());
+  std::int64_t pos = head;
+  while (!remaining.empty()) {
+    auto best = remaining.begin();
+    std::int64_t best_dist = std::llabs(batch[*best].offset - pos);
+    for (auto it = std::next(remaining.begin()); it != remaining.end();
+         ++it) {
+      const std::int64_t dist = std::llabs(batch[*it].offset - pos);
+      if (dist < best_dist) {
+        best = it;
+        best_dist = dist;
+      }
+    }
+    pos = batch[*best].offset;
+    order.push_back(*best);
+    remaining.erase(best);
+  }
+  return order;
+}
+
+std::vector<std::size_t> ScanOrder(std::int64_t head,
+                                   const std::vector<IoSpan>& batch,
+                                   bool circular) {
+  const auto sorted = SortedByOffset(batch);
+  // Split into requests at/above the head (serviced on the upward sweep)
+  // and below it.
+  std::vector<std::size_t> up, down;
+  for (std::size_t idx : sorted) {
+    if (batch[idx].offset >= head) {
+      up.push_back(idx);
+    } else {
+      down.push_back(idx);
+    }
+  }
+  std::vector<std::size_t> order = up;
+  if (circular) {
+    // C-LOOK: jump back to the lowest pending offset, sweep up again.
+    order.insert(order.end(), down.begin(), down.end());
+  } else {
+    // SCAN: reverse direction and sweep down.
+    order.insert(order.end(), down.rbegin(), down.rend());
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> ScheduleOrder(SchedulerPolicy policy,
+                                       std::int64_t head_offset,
+                                       const std::vector<IoSpan>& batch) {
+  switch (policy) {
+    case SchedulerPolicy::kFcfs: {
+      std::vector<std::size_t> order(batch.size());
+      std::iota(order.begin(), order.end(), 0);
+      return order;
+    }
+    case SchedulerPolicy::kSstf:
+      return SstfOrder(head_offset, batch);
+    case SchedulerPolicy::kScan:
+      return ScanOrder(head_offset, batch, /*circular=*/false);
+    case SchedulerPolicy::kCLook:
+      return ScanOrder(head_offset, batch, /*circular=*/true);
+  }
+  return {};
+}
+
+Result<Seconds> ServiceBatch(BlockDevice& device, SchedulerPolicy policy,
+                             std::int64_t head_offset,
+                             const std::vector<IoSpan>& batch, Rng* rng) {
+  Seconds total = 0;
+  for (std::size_t idx : ScheduleOrder(policy, head_offset, batch)) {
+    auto t = device.Service(batch[idx], rng);
+    MEMSTREAM_RETURN_IF_ERROR(t.status());
+    total += t.value();
+  }
+  return total;
+}
+
+}  // namespace memstream::device

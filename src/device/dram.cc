@@ -1,0 +1,27 @@
+#include "device/dram.h"
+
+namespace memstream::device {
+
+Result<Dram> Dram::Create(const DramParameters& params) {
+  if (params.transfer_rate <= 0) {
+    return Status::InvalidArgument("transfer_rate must be > 0");
+  }
+  if (params.capacity <= 0) {
+    return Status::InvalidArgument("capacity must be > 0");
+  }
+  if (params.access_latency < 0) {
+    return Status::InvalidArgument("access_latency must be >= 0");
+  }
+  return Dram(params);
+}
+
+Result<Seconds> Dram::Service(const IoSpan& io, Rng* /*rng*/) {
+  if (io.bytes < 0) return Status::InvalidArgument("negative IO size");
+  if (io.offset < 0 ||
+      static_cast<Bytes>(io.offset) + io.bytes > params_.capacity) {
+    return Status::OutOfRange("IO beyond DRAM capacity");
+  }
+  return params_.access_latency + io.bytes / params_.transfer_rate;
+}
+
+}  // namespace memstream::device

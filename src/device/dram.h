@@ -1,0 +1,53 @@
+// DRAM model. In the paper DRAM only matters as the destination of
+// MEMS/disk transfers and as the dominant buffering cost; the model is a
+// constant access latency plus a constant transfer rate.
+
+#ifndef MEMSTREAM_DEVICE_DRAM_H_
+#define MEMSTREAM_DEVICE_DRAM_H_
+
+#include <string>
+
+#include "device/device.h"
+
+namespace memstream::device {
+
+/// Datasheet-level description of a DRAM subsystem.
+struct DramParameters {
+  std::string name = "DRAM";
+  BytesPerSecond transfer_rate = 10 * kGBps;
+  Seconds access_latency = 0.03 * kMillisecond;  // Table 1, 2007 row
+  Bytes capacity = 5 * kGB;
+  DollarsPerByte cost_per_byte = 20.0 / kGB;  // $20/GB (2007)
+};
+
+/// Trivial BlockDevice implementation for DRAM.
+class Dram final : public BlockDevice {
+ public:
+  static Result<Dram> Create(const DramParameters& params);
+
+  std::string name() const override { return params_.name; }
+  Bytes Capacity() const override { return params_.capacity; }
+  BytesPerSecond MaxTransferRate() const override {
+    return params_.transfer_rate;
+  }
+  Seconds MaxAccessLatency() const override { return params_.access_latency; }
+  Seconds AverageAccessLatency() const override {
+    return params_.access_latency;
+  }
+
+  /// access_latency + bytes/rate; position-independent.
+  Result<Seconds> Service(const IoSpan& io, Rng* rng) override;
+
+  void Reset() override {}
+
+  const DramParameters& parameters() const { return params_; }
+
+ private:
+  explicit Dram(DramParameters params) : params_(std::move(params)) {}
+
+  DramParameters params_;
+};
+
+}  // namespace memstream::device
+
+#endif  // MEMSTREAM_DEVICE_DRAM_H_

@@ -1,0 +1,69 @@
+#include "device/mems_scheduler.h"
+
+#include <limits>
+#include <numeric>
+
+namespace memstream::device {
+
+const char* MemsSchedulerPolicyName(MemsSchedulerPolicy policy) {
+  switch (policy) {
+    case MemsSchedulerPolicy::kFcfs:
+      return "FCFS";
+    case MemsSchedulerPolicy::kSptf:
+      return "SPTF";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> MemsScheduleOrder(MemsSchedulerPolicy policy,
+                                           const MemsDevice& device,
+                                           const std::vector<IoSpan>& batch) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == MemsSchedulerPolicy::kFcfs) return order;
+
+  // SPTF: greedily chase the cheapest positioning from the simulated
+  // sled position, advancing it past each chosen transfer.
+  std::vector<std::size_t> remaining = order;
+  order.clear();
+  MemsDevice::SledPosition pos{device.current_region(), device.current_y()};
+  while (!remaining.empty()) {
+    std::size_t best_slot = 0;
+    Seconds best_time = std::numeric_limits<Seconds>::infinity();
+    for (std::size_t slot = 0; slot < remaining.size(); ++slot) {
+      auto start = device.Locate(
+          static_cast<Bytes>(batch[remaining[slot]].offset));
+      // Invalid offsets sort last (infinite cost) and fail in Service.
+      const Seconds t =
+          start.ok() ? device.SeekTime(pos.region, pos.y,
+                                       start.value().region,
+                                       start.value().y)
+                     : std::numeric_limits<Seconds>::infinity();
+      if (t < best_time) {
+        best_time = t;
+        best_slot = slot;
+      }
+    }
+    const std::size_t chosen = remaining[best_slot];
+    order.push_back(chosen);
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best_slot));
+    auto end = device.EndOf(batch[chosen]);
+    if (end.ok()) pos = end.value();
+  }
+  return order;
+}
+
+Result<Seconds> MemsServiceBatch(MemsDevice& device,
+                                 MemsSchedulerPolicy policy,
+                                 const std::vector<IoSpan>& batch) {
+  Seconds total = 0;
+  for (std::size_t idx : MemsScheduleOrder(policy, device, batch)) {
+    auto t = device.Service(batch[idx], nullptr);
+    MEMSTREAM_RETURN_IF_ERROR(t.status());
+    total += t.value();
+  }
+  return total;
+}
+
+}  // namespace memstream::device

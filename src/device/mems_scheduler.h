@@ -1,0 +1,41 @@
+// MEMS-aware request scheduling. Classical disk schedulers order by
+// one-dimensional seek distance; a MEMS sled positions in X and Y
+// independently, so the right greedy metric is the device's actual
+// positioning time (shortest-positioning-time-first, SPTF — Griffin et
+// al. studied this for MEMS stores). The paper's related-work section
+// points at exactly this gap; the server uses SPTF for MEMS batches the
+// way it uses the elevator for disk batches.
+
+#ifndef MEMSTREAM_DEVICE_MEMS_SCHEDULER_H_
+#define MEMSTREAM_DEVICE_MEMS_SCHEDULER_H_
+
+#include <vector>
+
+#include "device/mems_device.h"
+
+namespace memstream::device {
+
+/// MEMS batch-ordering policy.
+enum class MemsSchedulerPolicy {
+  kFcfs,  ///< arrival order
+  kSptf,  ///< greedy shortest-positioning-time-first (kinematic model)
+};
+
+const char* MemsSchedulerPolicyName(MemsSchedulerPolicy policy);
+
+/// Returns the service order (indices into `batch`) under `policy`,
+/// starting from the device's current sled position. The device is not
+/// modified; offsets outside the device are ordered last in arrival
+/// order (Service will reject them).
+std::vector<std::size_t> MemsScheduleOrder(MemsSchedulerPolicy policy,
+                                           const MemsDevice& device,
+                                           const std::vector<IoSpan>& batch);
+
+/// Services the whole batch in scheduled order; returns total busy time.
+Result<Seconds> MemsServiceBatch(MemsDevice& device,
+                                 MemsSchedulerPolicy policy,
+                                 const std::vector<IoSpan>& batch);
+
+}  // namespace memstream::device
+
+#endif  // MEMSTREAM_DEVICE_MEMS_SCHEDULER_H_

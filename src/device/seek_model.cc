@@ -1,0 +1,50 @@
+#include "device/seek_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace memstream::device {
+
+Result<SeekModel> SeekModel::Calibrate(Seconds track_to_track,
+                                       Seconds average, Seconds full_stroke,
+                                       std::int64_t num_cylinders) {
+  if (num_cylinders < 2) {
+    return Status::InvalidArgument("need at least 2 cylinders");
+  }
+  if (!(track_to_track > 0 && track_to_track < average &&
+        average < full_stroke)) {
+    return Status::InvalidArgument(
+        "require 0 < track_to_track < average < full_stroke");
+  }
+  // t(u) = t0 + A sqrt(u) + B u on u = d/C in (0,1]. With t0 fixed at the
+  // track-to-track time (u ~ 1/C ~ 0), solve
+  //   A * 8/15 + B * 1/3 = average - t0
+  //   A         + B      = full_stroke - t0
+  const Seconds t0 = track_to_track;
+  const double rhs_avg = average - t0;
+  const double rhs_full = full_stroke - t0;
+  // Subtract 1/3 * (second eq) from the first: A * (8/15 - 1/3) = ...
+  const double a = (rhs_avg - rhs_full / 3.0) / (8.0 / 15.0 - 1.0 / 3.0);
+  const double b = rhs_full - a;
+  if (a < 0 || b < 0) {
+    return Status::InvalidArgument(
+        "seek figures not realizable by a concave sqrt+linear curve");
+  }
+  return SeekModel(t0, a, b, num_cylinders);
+}
+
+Seconds SeekModel::SeekTime(std::int64_t cylinders) const {
+  if (cylinders <= 0) return 0.0;
+  cylinders = std::min(cylinders, num_cylinders_);
+  const double u =
+      static_cast<double>(cylinders) / static_cast<double>(num_cylinders_);
+  return t0_ + a_ * std::sqrt(u) + b_ * u;
+}
+
+Seconds SeekModel::AverageSeekTime() const {
+  return t0_ + a_ * (8.0 / 15.0) + b_ / 3.0;
+}
+
+Seconds SeekModel::FullStrokeTime() const { return t0_ + a_ + b_; }
+
+}  // namespace memstream::device

@@ -1,0 +1,59 @@
+// Disk seek-time curve.
+//
+// The curve has the classical concave-then-linear shape
+//     t(d) = t0 + A * sqrt(d/C) + B * (d/C),   d in cylinders, C = total
+// with t(0) = 0. Calibrate() fits A and B from three published numbers —
+// track-to-track seek, average seek, and full-stroke seek — using the fact
+// that for two independent uniform cylinder positions the normalized seek
+// distance u = d/C has density 2(1-u), hence E[sqrt(u)] = 8/15 and
+// E[u] = 1/3.
+
+#ifndef MEMSTREAM_DEVICE_SEEK_MODEL_H_
+#define MEMSTREAM_DEVICE_SEEK_MODEL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace memstream::device {
+
+/// Calibrated seek curve over cylinder distances [0, num_cylinders].
+class SeekModel {
+ public:
+  /// Fits the curve to the three published seek figures.
+  ///
+  /// Requires 0 < track_to_track < average < full_stroke and a fit with
+  /// non-negative sqrt and linear coefficients (otherwise the three points
+  /// are not realizable by a concave curve and InvalidArgument is
+  /// returned).
+  static Result<SeekModel> Calibrate(Seconds track_to_track, Seconds average,
+                                     Seconds full_stroke,
+                                     std::int64_t num_cylinders);
+
+  /// Seek time for a distance of `cylinders` (0 yields 0; values are
+  /// clamped to the full stroke).
+  Seconds SeekTime(std::int64_t cylinders) const;
+
+  /// Expected seek time for a random pair of cylinder positions; equals
+  /// the calibration's `average` by construction.
+  Seconds AverageSeekTime() const;
+
+  /// t(num_cylinders).
+  Seconds FullStrokeTime() const;
+
+  std::int64_t num_cylinders() const { return num_cylinders_; }
+
+ private:
+  SeekModel(Seconds t0, double a, double b, std::int64_t num_cylinders)
+      : t0_(t0), a_(a), b_(b), num_cylinders_(num_cylinders) {}
+
+  Seconds t0_;  ///< single-track seek intercept (includes head settle)
+  double a_;    ///< sqrt-term coefficient [s]
+  double b_;    ///< linear-term coefficient [s]
+  std::int64_t num_cylinders_;
+};
+
+}  // namespace memstream::device
+
+#endif  // MEMSTREAM_DEVICE_SEEK_MODEL_H_

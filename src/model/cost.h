@@ -1,0 +1,54 @@
+// Buffering-cost model (§4, Eqs. 1, 2, and 9).
+//
+// Two MEMS pricing modes appear in the paper's evaluation:
+//  - per-device (Eq. 2): k devices cost k * Cmems * Size_mems even when
+//    partially used — the §5.1.3 case study and the cache experiments;
+//  - per-byte: only the bytes actually used for buffering are charged —
+//    the relaxation used by the Fig. 8 experiment.
+
+#ifndef MEMSTREAM_MODEL_COST_H_
+#define MEMSTREAM_MODEL_COST_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/mems_buffer.h"
+#include "model/profiles.h"
+
+namespace memstream::model {
+
+/// Unit prices for the buffering media.
+struct CostInputs {
+  DollarsPerByte dram_per_byte = 20.0 / kGB;   ///< C_dram
+  DollarsPerByte mems_per_byte = 1.0 / kGB;    ///< C_mems
+  Bytes mems_capacity = 10 * kGB;              ///< Size_mems per device
+};
+
+/// Eq. 1: DRAM-only buffering cost, N * C_dram * S_disk-dram.
+Dollars CostWithoutMems(std::int64_t n, Bytes s_disk_dram,
+                        const CostInputs& prices);
+
+/// Eq. 2: k MEMS devices (charged whole) + the reduced DRAM buffer,
+/// k * C_mems * Size_mems + N * C_dram * S_mems-dram.
+Dollars CostWithMemsBufferPerDevice(std::int64_t n, std::int64_t k,
+                                    Bytes s_mems_dram,
+                                    const CostInputs& prices);
+
+/// Per-byte variant (Fig. 8): C_mems * mems_bytes_used +
+/// N * C_dram * S_mems-dram.
+Dollars CostWithMemsBufferPerByte(std::int64_t n, Bytes mems_bytes_used,
+                                  Bytes s_mems_dram,
+                                  const CostInputs& prices);
+
+/// Eq. 9: cache configuration — k devices (charged whole), h*N streams
+/// buffered for MEMS service and (1-h)*N for disk service.
+Dollars CostWithMemsCache(std::int64_t n, std::int64_t k, double hit_rate,
+                          Bytes s_mems_dram, Bytes s_disk_dram,
+                          const CostInputs& prices);
+
+/// 100 * (before - after) / before; 0 when before == 0.
+double PercentReduction(Dollars before, Dollars after);
+
+}  // namespace memstream::model
+
+#endif  // MEMSTREAM_MODEL_COST_H_

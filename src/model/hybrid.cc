@@ -1,0 +1,127 @@
+#include "model/hybrid.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace memstream::model {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Result<CacheSystemThroughput> EvaluateHybridSplit(const HybridConfig& config,
+                                                  std::int64_t k_buffer,
+                                                  std::int64_t k_cache) {
+  const CacheSystemConfig& base = config.base;
+  if (!base.disk_latency) {
+    return Status::InvalidArgument("disk_latency function is required");
+  }
+  if (k_buffer < 0 || k_cache < 0) {
+    return Status::InvalidArgument("split counts must be >= 0");
+  }
+  const Dollars devices_cost =
+      static_cast<double>(k_buffer + k_cache) * base.mems_device_cost;
+  if (devices_cost > base.total_budget) {
+    return Status::Infeasible("budget cannot buy the split's devices");
+  }
+
+  CacheSystemThroughput out;
+  out.dram_bytes = (base.total_budget - devices_cost) / base.dram_per_byte;
+  if (k_cache > 0) {
+    out.cached_fraction = CachedFraction(base.policy, k_cache,
+                                         base.mems_capacity,
+                                         base.content_size);
+    auto h = HitRate(base.popularity, out.cached_fraction);
+    MEMSTREAM_RETURN_IF_ERROR(h.status());
+    out.hit_rate = h.value();
+  }
+
+  const double b = base.bit_rate;
+  const double h = out.hit_rate;
+
+  auto dram_needed = [&](std::int64_t total) -> Bytes {
+    const auto n_cache = static_cast<std::int64_t>(
+        std::llround(h * static_cast<double>(total)));
+    const std::int64_t n_disk = total - n_cache;
+    Bytes used = 0;
+    if (n_disk > 0) {
+      DeviceProfile disk;
+      disk.rate = base.disk_rate;
+      disk.latency = base.disk_latency(n_disk);
+      auto direct = TotalBufferSize(n_disk, b, disk);
+      if (!direct.ok()) return kInf;
+      Bytes disk_side = direct.value();
+      if (k_buffer > 0 && n_disk >= 2) {
+        MemsBufferParams buffer;
+        buffer.k = k_buffer;
+        buffer.disk = disk;
+        buffer.mems = base.mems;
+        buffer.mems_capacity_override = config.mems_buffer_capacity;
+        auto sized = SolveMemsBuffer(n_disk, b, buffer);
+        // An infeasible buffer (e.g. too many streams for the bank's 2x
+        // bandwidth requirement) just means the split streams directly.
+        if (sized.ok()) {
+          disk_side = std::min(disk_side, sized.value().dram_total);
+        }
+      }
+      used += disk_side;
+    }
+    if (n_cache > 0) {
+      auto cache_side =
+          CacheTotalBuffer(n_cache, b, k_cache, base.mems, base.policy);
+      if (!cache_side.ok()) return kInf;
+      used += cache_side.value();
+    }
+    return used;
+  };
+
+  const std::int64_t disk_cap = MaxStreamsBandwidthBound(base.disk_rate, b);
+  const std::int64_t cache_cap =
+      k_cache > 0 ? MaxCacheStreamsBandwidthBound(b, k_cache,
+                                                  base.mems.rate,
+                                                  base.policy)
+                  : 0;
+  auto feasible = [&](std::int64_t total) {
+    return dram_needed(total) <= out.dram_bytes;
+  };
+  auto best = LargestTrue(feasible, 1, disk_cap + cache_cap + 2);
+  if (!best.ok()) return out;
+
+  out.total_streams = best.value();
+  out.cache_streams = static_cast<std::int64_t>(
+      std::llround(h * static_cast<double>(out.total_streams)));
+  out.disk_streams = out.total_streams - out.cache_streams;
+  out.dram_used = dram_needed(out.total_streams);
+  return out;
+}
+
+Result<HybridPlan> PlanHybrid(const HybridConfig& config) {
+  if (config.max_devices < 0) {
+    return Status::InvalidArgument("max_devices must be >= 0");
+  }
+  HybridPlan best;
+  std::int64_t best_streams = -1;
+  for (std::int64_t kb = 0; kb <= config.max_devices; ++kb) {
+    for (std::int64_t kc = 0; kb + kc <= config.max_devices; ++kc) {
+      auto result = EvaluateHybridSplit(config, kb, kc);
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kInfeasible) continue;
+        return result.status();
+      }
+      if (result.value().total_streams > best_streams) {
+        best_streams = result.value().total_streams;
+        best = HybridPlan{kb, kc, result.value()};
+      }
+    }
+  }
+  if (best_streams < 0) {
+    return Status::Infeasible("no split fits the budget");
+  }
+  return best;
+}
+
+}  // namespace memstream::model

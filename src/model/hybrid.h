@@ -1,0 +1,49 @@
+// Hybrid MEMS configuration (paper §7, future work): the MEMS bank is
+// split between buffering and caching — k_cache devices hold popular
+// content, k_buffer devices speed-match the disk traffic for the misses.
+// When the popularity skew is too mild for caching to pay off, the
+// planner naturally shifts devices to buffering (and vice versa).
+
+#ifndef MEMSTREAM_MODEL_HYBRID_H_
+#define MEMSTREAM_MODEL_HYBRID_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/planner.h"
+
+namespace memstream::model {
+
+/// Inputs for the hybrid planner: a CacheSystemConfig (whose `k` is
+/// ignored) plus the maximum number of MEMS devices to consider.
+struct HybridConfig {
+  CacheSystemConfig base;      ///< budget, prices, devices, workload
+  std::int64_t max_devices = 8;
+  /// Disk profile for the Theorem 2 buffer sizing (rate + elevator
+  /// latency are taken from base.disk_rate / base.disk_latency).
+  Bytes mems_buffer_capacity = 10 * kGB;  ///< per buffering device
+};
+
+/// A chosen split and its predicted throughput.
+struct HybridPlan {
+  std::int64_t k_buffer = 0;
+  std::int64_t k_cache = 0;
+  CacheSystemThroughput throughput;  ///< at the chosen split
+};
+
+/// Evaluates the throughput of one explicit split (k_buffer buffering
+/// devices, k_cache caching devices). Disk-side streams use Theorem 2
+/// sizing when k_buffer > 0 (falling back to Theorem 1 if the buffer is
+/// infeasible for that stream count), cache-side streams use
+/// Theorems 3/4.
+Result<CacheSystemThroughput> EvaluateHybridSplit(
+    const HybridConfig& config, std::int64_t k_buffer,
+    std::int64_t k_cache);
+
+/// Exhaustively searches all splits with k_buffer + k_cache <=
+/// max_devices that fit the budget and returns the best.
+Result<HybridPlan> PlanHybrid(const HybridConfig& config);
+
+}  // namespace memstream::model
+
+#endif  // MEMSTREAM_MODEL_HYBRID_H_

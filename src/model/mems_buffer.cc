@@ -1,0 +1,181 @@
+#include "model/mems_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace memstream::model {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* BufferPlacementName(BufferPlacement placement) {
+  switch (placement) {
+    case BufferPlacement::kRoundRobinStreams:
+      return "round-robin";
+    case BufferPlacement::kStripedIos:
+      return "striped";
+  }
+  return "?";
+}
+
+bool MemsBankCanBuffer(std::int64_t n, BytesPerSecond bit_rate,
+                       std::int64_t k, BytesPerSecond mems_rate) {
+  if (n < 1 || k < 1) return false;
+  return static_cast<double>(k) * mems_rate >
+         2.0 * static_cast<double>(n + k - 1) * bit_rate;
+}
+
+Result<std::int64_t> MinBufferDevices(std::int64_t n,
+                                      BytesPerSecond bit_rate,
+                                      BytesPerSecond mems_rate,
+                                      std::int64_t max_k) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  for (std::int64_t k = 1; k <= max_k; ++k) {
+    if (MemsBankCanBuffer(n, bit_rate, k, mems_rate)) return k;
+  }
+  return Status::Infeasible("no bank size up to max_k can buffer n streams");
+}
+
+std::int64_t DevicesForFullDiskUtilization(BytesPerSecond disk_rate,
+                                           BytesPerSecond mems_rate) {
+  if (disk_rate <= 0 || mems_rate <= 0) return 0;
+  return static_cast<std::int64_t>(std::ceil(2.0 * disk_rate / mems_rate));
+}
+
+Result<TdiskRange> FeasibleTdiskRange(std::int64_t n,
+                                      BytesPerSecond bit_rate,
+                                      const MemsBufferParams& params) {
+  if (n < 2) {
+    // Eq. 8 needs an integer M with 1 <= M < N; a single stream has no
+    // valid nested MEMS cycle (and needs no speed-matching buffer).
+    return Status::InvalidArgument("Theorem 2 requires n >= 2");
+  }
+  if (bit_rate <= 0) return Status::InvalidArgument("bit_rate must be > 0");
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (params.disk.rate <= 0 || params.mems.rate <= 0) {
+    return Status::InvalidArgument("device rates must be > 0");
+  }
+
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(params.k);
+  const double b = bit_rate;
+
+  if (params.disk.rate <= nn * b) {
+    return Status::Infeasible("disk rate <= N * bit_rate (condition 6)");
+  }
+  const bool striped = params.placement == BufferPlacement::kStripedIos;
+  if (striped) {
+    if (kk * params.mems.rate <= 2.0 * nn * b) {
+      return Status::Infeasible(
+          "k * R_mems <= 2 * N * bit_rate (striped-placement domain)");
+    }
+  } else if (!MemsBankCanBuffer(n, bit_rate, params.k,
+                                params.mems.rate)) {
+    return Status::Infeasible(
+        "k * R_mems <= 2 * (N + k - 1) * bit_rate (Eq. 5 domain)");
+  }
+
+  TdiskRange range;
+  // Round-robin (Theorem 2): each device handles ~(N+M)/k IOs per cycle.
+  // Striped IOs: every device participates in every IO, so all N+M
+  // positioning delays land on each device — the denominator loses its
+  // factor k (equivalently C grows ~k-fold).
+  range.c = striped
+                ? nn * params.mems.latency * kk * params.mems.rate /
+                      (kk * params.mems.rate - 2.0 * nn * b)
+                : nn * params.mems.latency * params.mems.rate /
+                      (kk * params.mems.rate -
+                       2.0 * (nn + kk - 1.0) * b);
+
+  // Condition (6): the disk cycle must be long enough for N disk IOs.
+  const Seconds t_lower_rt = nn * params.disk.latency * params.disk.rate /
+                             (params.disk.rate - nn * b);
+  // Condition (8): an integer M < N must exist, i.e. the fixed-point
+  // T_mems = C*T/(T-C) must not exceed (N-1)/N * T.
+  const Seconds t_lower_m = range.c * (2.0 * nn - 1.0) / (nn - 1.0);
+  range.lower = std::max(t_lower_rt, t_lower_m);
+
+  // Condition (7): the buffered data (written once, drained once -> two
+  // cycles' worth resident) must fit in the bank.
+  const Bytes capacity = params.mems_capacity_override > 0
+                             ? params.mems_capacity_override
+                             : params.mems.capacity;
+  range.upper = capacity == kInf ? kInf : kk * capacity / (2.0 * nn * b);
+
+  if (range.upper < range.lower) {
+    return Status::Infeasible(
+        "MEMS storage bound (7) conflicts with the real-time bound (6)");
+  }
+  return range;
+}
+
+Result<MemsBufferSizing> SolveMemsBuffer(std::int64_t n,
+                                         BytesPerSecond bit_rate,
+                                         const MemsBufferParams& params,
+                                         std::optional<Seconds> t_disk) {
+  auto range_result = FeasibleTdiskRange(n, bit_rate, params);
+  MEMSTREAM_RETURN_IF_ERROR(range_result.status());
+  const TdiskRange& range = range_result.value();
+
+  Seconds t = 0;
+  if (t_disk.has_value()) {
+    t = *t_disk;
+    if (t < range.lower) {
+      return Status::Infeasible(
+          "requested T_disk below the real-time/cycle-nesting bound");
+    }
+    if (t > range.upper) {
+      return Status::Infeasible(
+          "requested T_disk exceeds the MEMS storage bound (condition 7)");
+    }
+  } else {
+    t = range.upper;  // the theorem's "largest value" choice
+  }
+
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(params.k);
+  const double b = bit_rate;
+  // Striped placement is perfectly balanced, so no ceil(N/k) correction.
+  const double imbalance =
+      params.placement == BufferPlacement::kStripedIos
+          ? 1.0
+          : 1.0 + (2.0 * kk - 2.0) / nn;
+
+  MemsBufferSizing out;
+  out.c = range.c;
+  out.t_disk = t;
+  if (t == kInf) {
+    // Supremum sizing: T_mems -> C, the disk-side share of the MEMS
+    // schedule vanishes (M/N -> 0).
+    out.t_mems = out.c;
+    out.m = 0;
+    out.t_mems_snapped = out.c;
+    out.s_disk_mems = kInf;
+    out.mems_used = kInf;
+    out.s_mems_dram = b * out.c * imbalance;
+    out.s_mems_dram_schedulable = out.s_mems_dram;
+  } else {
+    out.t_mems = out.c * t / (t - out.c);
+    // Snap the cycle ratio up to the next integer M (Eq. 8); the snapped
+    // cycle is longer, which only loosens the real-time requirement on
+    // the disk side while the schedulable DRAM sizing accounts for it.
+    out.m = static_cast<std::int64_t>(std::ceil(nn * out.t_mems / t - 1e-9));
+    if (out.m >= n) {
+      return Status::Internal("cycle snapping produced M >= N");
+    }
+    out.m = std::max<std::int64_t>(out.m, 1);
+    out.t_mems_snapped = static_cast<double>(out.m) * t / nn;
+    out.s_disk_mems = b * t;
+    out.mems_used = 2.0 * nn * t * b;
+    out.s_mems_dram = b * out.c * imbalance * t / (t - out.c);
+    out.s_mems_dram_schedulable = b * out.t_mems_snapped * imbalance;
+  }
+  out.dram_total = nn * out.s_mems_dram;
+  return out;
+}
+
+}  // namespace memstream::model

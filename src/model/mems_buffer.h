@@ -1,0 +1,126 @@
+// Theorem 2: DRAM buffer sizing when a bank of k MEMS devices buffers all
+// disk traffic (disk -> MEMS -> DRAM, §3.1 / §4.1).
+//
+// The MEMS bank carries the disk traffic twice (written once, read once),
+// so with per-device rate Rm the bank must satisfy
+//     k * Rm > 2 * (N + k - 1) * B̄                                  (*)
+// where the k-1 slack covers round-robin imbalance (one device may carry
+// ceil(N/k) streams). The minimum MEMS IO cycle is then
+//     C = N * L̄m * Rm / (k * Rm - 2 * (N + k - 1) * B̄)              (Eq. 5)
+// and for a chosen disk cycle T_disk the actual MEMS cycle is the fixed
+// point  T_mems = C * T_disk / (T_disk - C),  giving the per-stream DRAM
+// buffer
+//     S_mems-dram = B̄ * C * (1 + (2k-2)/N) * T_disk / (T_disk - C).  (Eq. 5)
+//
+// T_disk must be the largest value satisfying
+//   (6) T_disk >= N * L̄d * Rd / (Rd - N * B̄)       (disk real-time bound)
+//   (7) 2 * N * T_disk * B̄ <= k * Size_mems         (MEMS storage bound)
+//   (8) T_mems / T_disk = M / N, integer M < N       (cycle nesting)
+// Constraint (8) additionally forces T_disk >= C * (2N-1)/(N-1) so that
+// an integer M exists; Solve() reports which constraint failed.
+
+#ifndef MEMSTREAM_MODEL_MEMS_BUFFER_H_
+#define MEMSTREAM_MODEL_MEMS_BUFFER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+#include "model/profiles.h"
+
+namespace memstream::model {
+
+/// How stream data is placed across the buffer bank (§3.1.2). The paper
+/// argues for — and Theorem 2 assumes — routing each disk IO whole to
+/// one device (kRoundRobinStreams). The rejected alternative, splitting
+/// every disk IO k ways (kStripedIos), keeps perfect balance but makes
+/// every device pay the positioning cost of every IO: its minimum cycle
+/// is  C_striped = N * L̄m * (k*Rm) / (k*Rm - 2*N*B̄) — roughly k times
+/// Theorem 2's C — so the DRAM requirement balloons accordingly. Both
+/// are implemented so the design choice is checkable.
+enum class BufferPlacement {
+  kRoundRobinStreams,  ///< whole IOs, streams split across devices
+  kStripedIos,         ///< every IO striped across all k devices
+};
+
+const char* BufferPlacementName(BufferPlacement placement);
+
+/// Inputs of the Theorem 2 solver.
+struct MemsBufferParams {
+  std::int64_t k = 2;          ///< number of MEMS devices in the bank
+  DeviceProfile disk;          ///< R_disk and the elevator latency L̄_disk
+  DeviceProfile mems;          ///< R_mems per device and the max latency
+  /// Per-device MEMS capacity available for buffering; defaults to
+  /// mems.capacity when zero. Set to infinity for the paper's
+  /// "unlimited buffering" experiments (Figs. 6 and 8).
+  Bytes mems_capacity_override = 0;
+  BufferPlacement placement = BufferPlacement::kRoundRobinStreams;
+};
+
+/// Outputs of the Theorem 2 solver.
+struct MemsBufferSizing {
+  Seconds c = 0;             ///< Eq. 5's C: the minimum MEMS IO cycle
+  Seconds t_disk = 0;        ///< chosen disk IO cycle T_disk
+  Seconds t_mems = 0;        ///< resulting MEMS IO cycle (before snapping)
+  std::int64_t m = 0;        ///< Eq. 8's M (disk IOs per MEMS cycle), from
+                             ///< snapping T_mems/T_disk up to M/N
+  Seconds t_mems_snapped = 0;  ///< M/N * T_disk, the schedulable cycle
+  Bytes s_disk_mems = 0;     ///< per-stream disk-side IO size, B̄ * T_disk
+  Bytes s_mems_dram = 0;     ///< Eq. 5: per-stream DRAM buffer
+  /// Per-stream DRAM buffer sized from the *snapped* cycle
+  /// (B̄ * t_mems_snapped * (N+2k-2)/N >= s_mems_dram): what the
+  /// executable schedule actually needs; the simulator uses this.
+  Bytes s_mems_dram_schedulable = 0;
+  Bytes dram_total = 0;      ///< N * s_mems_dram (Fig. 6b's quantity)
+  Bytes mems_used = 0;       ///< 2 * N * T_disk * B̄ of MEMS storage
+};
+
+/// The feasibility window for the disk cycle T_disk, combining
+/// conditions (6)-(8): any T_disk in [lower, upper] is schedulable.
+/// `upper` is infinite when the MEMS capacity is unbounded.
+struct TdiskRange {
+  Seconds c = 0;      ///< Eq. 5's C
+  Seconds lower = 0;  ///< max of the real-time (6) and nesting (8) bounds
+  Seconds upper = 0;  ///< storage bound (7)
+};
+
+/// Computes the window, or Infeasible when it is empty (with a message
+/// naming the violated condition).
+Result<TdiskRange> FeasibleTdiskRange(std::int64_t n,
+                                      BytesPerSecond bit_rate,
+                                      const MemsBufferParams& params);
+
+/// Solves Theorem 2 for n streams of the given bit-rate.
+///
+/// When `t_disk` is not provided, picks the largest T_disk allowed by the
+/// storage bound (7) — buffer cost under per-device MEMS pricing only
+/// falls with T_disk. With an unbounded MEMS capacity the supremum sizing
+/// (T_disk -> infinity, S -> B̄ * C * (N+2k-2)/N) is returned with
+/// t_disk = infinity. Pass an explicit finite `t_disk` (e.g. from
+/// OptimalTdiskPerByte in planner.h) for per-byte pricing.
+Result<MemsBufferSizing> SolveMemsBuffer(
+    std::int64_t n, BytesPerSecond bit_rate, const MemsBufferParams& params,
+    std::optional<Seconds> t_disk = std::nullopt);
+
+/// The feasibility condition (*) above: bank bandwidth covers twice the
+/// stream load, with round-robin imbalance slack.
+bool MemsBankCanBuffer(std::int64_t n, BytesPerSecond bit_rate,
+                       std::int64_t k, BytesPerSecond mems_rate);
+
+/// Smallest k satisfying (*) for n streams; returns Infeasible if no k up
+/// to `max_k` works (each added device also adds 2*B̄ of imbalance load,
+/// so large n may admit no k).
+Result<std::int64_t> MinBufferDevices(std::int64_t n,
+                                      BytesPerSecond bit_rate,
+                                      BytesPerSecond mems_rate,
+                                      std::int64_t max_k = 1024);
+
+/// The paper's §5.1 sizing rule for saturating the disk: enough devices
+/// that the bank sustains twice the disk streaming bandwidth
+/// (ceil(2 * disk_rate / mems_rate); two G3 devices for the FutureDisk).
+std::int64_t DevicesForFullDiskUtilization(BytesPerSecond disk_rate,
+                                           BytesPerSecond mems_rate);
+
+}  // namespace memstream::model
+
+#endif  // MEMSTREAM_MODEL_MEMS_BUFFER_H_

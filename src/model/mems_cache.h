@@ -1,0 +1,82 @@
+// MEMS multimedia cache model (§3.2 / §4.2): popular streams are stored
+// in their entirety on a bank of k MEMS devices and serviced with
+// time-cycle scheduling, under one of two load-balanced management
+// policies:
+//
+//  - striped (Theorem 3 / Eq. 12): lock-step bit/byte striping; k x
+//    throughput, single-device latency, capacity k * Size_mems;
+//  - replicated (Theorem 4 / Eq. 13): identical content everywhere; k x
+//    throughput AND k x effective latency (each device seeks for only
+//    ceil(n/k) streams), capacity Size_mems.
+//
+// Eq. 11 gives the hit rate for an X:Y two-class popularity when a
+// fraction p of the content (most popular first) is cached.
+
+#ifndef MEMSTREAM_MODEL_MEMS_CACHE_H_
+#define MEMSTREAM_MODEL_MEMS_CACHE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/profiles.h"
+
+namespace memstream::model {
+
+/// Cache data-management policy across the MEMS bank.
+enum class CachePolicy {
+  kStriped,     ///< Theorem 3: lock-step striping
+  kReplicated,  ///< Theorem 4: full replication
+};
+
+const char* CachePolicyName(CachePolicy policy);
+
+/// An X:Y two-class popularity: fraction `x` of the titles receives
+/// fraction `y` of the accesses, uniformly within each class. The paper's
+/// "1:99" is {0.01, 0.99}; "50:50" is the uniform distribution.
+struct Popularity {
+  double x = 0.1;  ///< popular fraction of titles, in (0, 1]
+  double y = 0.9;  ///< fraction of accesses they receive, in [x, 1]
+};
+
+/// True when the two fractions form a valid, skew-ordered distribution
+/// (0 < x <= 1, x <= y <= 1; y >= x keeps "popular" meaningful).
+bool IsValidPopularity(const Popularity& pop);
+
+/// Eq. 11: cache hit rate when the fraction `p` (in [0, 1]) of titles,
+/// most popular first, is cached.
+Result<double> HitRate(const Popularity& pop, double p);
+
+/// Fraction of the content a k-device bank can cache under `policy`:
+/// striping aggregates capacity (k * Size_mems / content), replication
+/// does not (Size_mems / content). Clamped to 1.
+double CachedFraction(CachePolicy policy, std::int64_t k,
+                      Bytes mems_capacity_per_device, Bytes content_size);
+
+/// True when the bank has the bandwidth for n cache-serviced streams:
+/// striped needs k*Rm > n*B̄; replicated needs k*Rm > (n+k-1)*B̄ (the
+/// ceil(n/k) imbalance).
+bool CacheCanSustain(std::int64_t n, BytesPerSecond bit_rate,
+                     std::int64_t k, BytesPerSecond mems_rate,
+                     CachePolicy policy);
+
+/// Largest n with CacheCanSustain true.
+std::int64_t MaxCacheStreamsBandwidthBound(BytesPerSecond bit_rate,
+                                           std::int64_t k,
+                                           BytesPerSecond mems_rate,
+                                           CachePolicy policy);
+
+/// Theorems 3 and 4: minimum per-stream DRAM buffer for n streams served
+/// from the cache. `mems` describes a single device (rate Rm, latency
+/// L̄m); the policy determines how the bank aggregates.
+Result<Bytes> CachePerStreamBuffer(std::int64_t n, BytesPerSecond bit_rate,
+                                   std::int64_t k, const DeviceProfile& mems,
+                                   CachePolicy policy);
+
+/// n * CachePerStreamBuffer.
+Result<Bytes> CacheTotalBuffer(std::int64_t n, BytesPerSecond bit_rate,
+                               std::int64_t k, const DeviceProfile& mems,
+                               CachePolicy policy);
+
+}  // namespace memstream::model
+
+#endif  // MEMSTREAM_MODEL_MEMS_CACHE_H_

@@ -1,0 +1,155 @@
+#include "model/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace memstream::model {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Result<TdiskOptimum> OptimalTdiskPerByte(std::int64_t n,
+                                         BytesPerSecond bit_rate,
+                                         const MemsBufferParams& params,
+                                         const CostInputs& prices) {
+  auto range_result = FeasibleTdiskRange(n, bit_rate, params);
+  MEMSTREAM_RETURN_IF_ERROR(range_result.status());
+  const TdiskRange& range = range_result.value();
+
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(params.k);
+  const double b = bit_rate;
+  const double imbalance = 1.0 + (2.0 * kk - 2.0) / nn;
+
+  // cost(T) = alpha*T + beta*T/(T-C); minimum at T* = C + sqrt(beta*C/alpha).
+  const double alpha = prices.mems_per_byte * 2.0 * nn * b;
+  const double beta = prices.dram_per_byte * nn * b * range.c * imbalance;
+  Seconds t_star = alpha > 0 ? range.c + std::sqrt(beta * range.c / alpha)
+                             : range.upper;
+  t_star = std::clamp(t_star, range.lower,
+                      range.upper == kInf ? t_star : range.upper);
+  if (t_star == kInf) {
+    return Status::Infeasible(
+        "per-byte optimum unbounded (free MEMS storage?)");
+  }
+
+  auto sizing = SolveMemsBuffer(n, bit_rate, params, t_star);
+  MEMSTREAM_RETURN_IF_ERROR(sizing.status());
+
+  TdiskOptimum out;
+  out.t_disk = t_star;
+  out.sizing = sizing.value();
+  out.total_cost = CostWithMemsBufferPerByte(
+      n, out.sizing.mems_used, out.sizing.s_mems_dram, prices);
+  return out;
+}
+
+Result<CacheSystemThroughput> MaxCacheSystemThroughput(
+    const CacheSystemConfig& config) {
+  if (!config.disk_latency) {
+    return Status::InvalidArgument("disk_latency function is required");
+  }
+  if (config.k < 0) return Status::InvalidArgument("k must be >= 0");
+  if (config.bit_rate <= 0) {
+    return Status::InvalidArgument("bit_rate must be > 0");
+  }
+  const Dollars cache_cost =
+      static_cast<double>(config.k) * config.mems_device_cost;
+  if (cache_cost > config.total_budget) {
+    return Status::Infeasible("budget cannot buy k cache devices");
+  }
+
+  CacheSystemThroughput out;
+  out.dram_bytes =
+      (config.total_budget - cache_cost) / config.dram_per_byte;
+  if (config.k > 0) {
+    out.cached_fraction =
+        CachedFraction(config.policy, config.k, config.mems_capacity,
+                       config.content_size);
+    auto h = HitRate(config.popularity, out.cached_fraction);
+    MEMSTREAM_RETURN_IF_ERROR(h.status());
+    out.hit_rate = h.value();
+  }
+
+  const double b = config.bit_rate;
+  const double h = out.hit_rate;
+
+  // The DRAM actually needed for a total of `total` streams, split h:1-h
+  // between the cache and the disk; infinity when either side is over
+  // its bandwidth bound.
+  auto dram_needed = [&](std::int64_t total) -> Bytes {
+    const auto n_cache =
+        static_cast<std::int64_t>(std::llround(h * static_cast<double>(total)));
+    const std::int64_t n_disk = total - n_cache;
+    Bytes used = 0;
+    if (n_disk > 0) {
+      DeviceProfile disk;
+      disk.rate = config.disk_rate;
+      disk.latency = config.disk_latency(n_disk);
+      auto total_disk = TotalBufferSize(n_disk, b, disk);
+      if (!total_disk.ok()) return kInf;
+      used += total_disk.value();
+    }
+    if (n_cache > 0) {
+      auto total_cache = CacheTotalBuffer(n_cache, b, config.k, config.mems,
+                                          config.policy);
+      if (!total_cache.ok()) return kInf;
+      used += total_cache.value();
+    }
+    return used;
+  };
+
+  const std::int64_t disk_cap =
+      MaxStreamsBandwidthBound(config.disk_rate, b);
+  const std::int64_t cache_cap =
+      config.k > 0 ? MaxCacheStreamsBandwidthBound(b, config.k,
+                                                   config.mems.rate,
+                                                   config.policy)
+                   : 0;
+  const std::int64_t hi = disk_cap + cache_cap + 2;
+
+  auto feasible = [&](std::int64_t total) {
+    return dram_needed(total) <= out.dram_bytes;
+  };
+  auto best = LargestTrue(feasible, 1, hi);
+  if (!best.ok()) return out;  // zero streams is a valid answer
+
+  out.total_streams = best.value();
+  out.cache_streams = static_cast<std::int64_t>(
+      std::llround(h * static_cast<double>(out.total_streams)));
+  out.disk_streams = out.total_streams - out.cache_streams;
+  out.dram_used = dram_needed(out.total_streams);
+  return out;
+}
+
+Result<std::int64_t> BestCacheBankSize(const CacheSystemConfig& config,
+                                       std::int64_t max_k) {
+  if (max_k < 0) return Status::InvalidArgument("max_k must be >= 0");
+  std::int64_t best_k = 0;
+  std::int64_t best_streams = -1;
+  for (std::int64_t k = 0; k <= max_k; ++k) {
+    CacheSystemConfig candidate = config;
+    candidate.k = k;
+    auto result = MaxCacheSystemThroughput(candidate);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kInfeasible) continue;
+      return result.status();
+    }
+    if (result.value().total_streams > best_streams) {
+      best_streams = result.value().total_streams;
+      best_k = k;
+    }
+  }
+  if (best_streams < 0) {
+    return Status::Infeasible("no bank size fits the budget");
+  }
+  return best_k;
+}
+
+}  // namespace memstream::model

@@ -1,0 +1,89 @@
+// Capacity planning on top of the analytical model:
+//
+//  - OptimalTdiskPerByte: the disk IO-cycle length minimizing total
+//    buffering cost under per-byte MEMS pricing (Fig. 8's configuration;
+//    closed form, see below);
+//  - MaxCacheSystemThroughput: the server throughput at a fixed total
+//    budget split between a k-device MEMS cache and DRAM (Figs. 9, 10);
+//  - BestCacheBankSize: the k maximizing that throughput (Fig. 10's
+//    per-distribution optimum).
+//
+// Closed form for the per-byte optimum: total cost as a function of the
+// disk cycle T is  cost(T) = alpha * T + beta * T / (T - C)  with
+// alpha = C_mems * 2 N B̄ (MEMS bytes grow with T) and
+// beta = C_dram * N * B̄ * C * (N + 2k - 2)/N (DRAM shrinks toward its
+// floor), which is strictly convex on (C, inf) with minimum at
+// T* = C + sqrt(beta * C / alpha).
+
+#ifndef MEMSTREAM_MODEL_PLANNER_H_
+#define MEMSTREAM_MODEL_PLANNER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/cost.h"
+#include "model/mems_buffer.h"
+#include "model/mems_cache.h"
+#include "model/profiles.h"
+#include "model/timecycle.h"
+
+namespace memstream::model {
+
+/// Result of the per-byte T_disk optimization.
+struct TdiskOptimum {
+  Seconds t_disk = 0;       ///< cost-minimizing disk cycle
+  Dollars total_cost = 0;   ///< cost at the optimum (per-byte pricing)
+  MemsBufferSizing sizing;  ///< full Theorem 2 sizing at the optimum
+};
+
+/// Minimizes CostWithMemsBufferPerByte over T_disk, honoring Theorem 2's
+/// feasibility window. Returns Infeasible when no T_disk works.
+Result<TdiskOptimum> OptimalTdiskPerByte(std::int64_t n,
+                                         BytesPerSecond bit_rate,
+                                         const MemsBufferParams& params,
+                                         const CostInputs& prices);
+
+/// A fixed-budget server with an optional k-device MEMS cache: the budget
+/// buys the cache devices first, DRAM with the remainder (§5.2: each
+/// cache device displaces 500 MB of DRAM at 2007 prices).
+struct CacheSystemConfig {
+  Dollars total_budget = 100;               ///< buffering + caching budget
+  DollarsPerByte dram_per_byte = 20.0 / kGB;
+  Dollars mems_device_cost = 10;
+  std::int64_t k = 1;                       ///< cache devices (0 = no cache)
+  CachePolicy policy = CachePolicy::kStriped;
+  Popularity popularity{0.1, 0.9};
+  Bytes mems_capacity = 10 * kGB;           ///< per device
+  Bytes content_size = 1000 * kGB;          ///< total catalog size on disk
+  BytesPerSecond bit_rate = 100 * kKBps;
+  BytesPerSecond disk_rate = 300 * kMBps;
+  LatencyFn disk_latency;                   ///< L̄_disk as a function of n
+  DeviceProfile mems;                       ///< single cache device (Rm, L̄m)
+};
+
+/// Throughput report for a CacheSystemConfig.
+struct CacheSystemThroughput {
+  std::int64_t total_streams = 0;
+  std::int64_t cache_streams = 0;  ///< h * N, served from the MEMS bank
+  std::int64_t disk_streams = 0;   ///< (1-h) * N, served from the disk
+  double hit_rate = 0;             ///< Eq. 11's h
+  double cached_fraction = 0;      ///< Eq. 11's p
+  Bytes dram_bytes = 0;            ///< DRAM purchasable after the cache
+  Bytes dram_used = 0;             ///< DRAM actually needed at the optimum
+};
+
+/// Largest stream count the configuration sustains: disk and bank
+/// bandwidth bounds plus the DRAM bound with Theorem 1 (disk side,
+/// Eq. 10) and Theorems 3/4 (cache side) sizing. Requires a disk_latency
+/// function. k = 0 degenerates to the no-cache baseline.
+Result<CacheSystemThroughput> MaxCacheSystemThroughput(
+    const CacheSystemConfig& config);
+
+/// Sweeps k in [0, max_k] and returns the throughput-maximizing k
+/// (ties break toward fewer devices).
+Result<std::int64_t> BestCacheBankSize(const CacheSystemConfig& config,
+                                       std::int64_t max_k);
+
+}  // namespace memstream::model
+
+#endif  // MEMSTREAM_MODEL_PLANNER_H_

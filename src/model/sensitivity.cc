@@ -1,0 +1,100 @@
+#include "model/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "model/cost.h"
+
+namespace memstream::model {
+
+Result<SensitivityOutcome> EvaluateSensitivity(
+    const SensitivityInputs& inputs, double cost_factor,
+    double bandwidth_factor) {
+  if (!inputs.disk_latency) {
+    return Status::InvalidArgument("disk_latency function is required");
+  }
+  if (cost_factor <= 0 || bandwidth_factor <= 0) {
+    return Status::InvalidArgument("factors must be > 0");
+  }
+
+  SensitivityOutcome out;
+  // Throughput target: what the MEMS-less box supports.
+  out.n = MaxStreamsWithBuffer(inputs.dram_cap, inputs.bit_rate,
+                               inputs.disk_rate, inputs.disk_latency);
+  if (out.n < 2) return Status::Infeasible("fewer than two streams fit");
+
+  DeviceProfile disk;
+  disk.rate = inputs.disk_rate;
+  disk.latency = inputs.disk_latency(out.n);
+  auto without = TotalBufferSize(out.n, inputs.bit_rate, disk);
+  MEMSTREAM_RETURN_IF_ERROR(without.status());
+  out.cost_without = without.value() * inputs.dram_per_byte;
+
+  // Bank: start from the smallest k that sustains twice the disk
+  // bandwidth (§3.1) and the doubled stream load, then keep adding
+  // devices while that lowers the total cost — a small-capacity bank can
+  // be storage-bound (condition 7), leaving T_disk too short and the
+  // DRAM bill high.
+  const BytesPerSecond mems_rate = bandwidth_factor * inputs.disk_rate;
+  std::int64_t k_min = std::max<std::int64_t>(
+      DevicesForFullDiskUtilization(inputs.disk_rate, mems_rate), 1);
+  while (k_min <= 4096 &&
+         !MemsBankCanBuffer(out.n, inputs.bit_rate, k_min, mems_rate)) {
+    ++k_min;
+  }
+  if (k_min > 4096) {
+    return Status::Infeasible("no bank size sustains the stream load");
+  }
+
+  const DollarsPerByte mems_per_byte = inputs.dram_per_byte / cost_factor;
+  bool found = false;
+  for (std::int64_t k = k_min; k <= k_min + 16; ++k) {
+    MemsBufferParams params;
+    params.k = k;
+    params.disk = disk;
+    params.mems.rate = mems_rate;
+    params.mems.latency = inputs.mems_latency;
+    params.mems.capacity = inputs.mems_capacity;
+    auto sized = SolveMemsBuffer(out.n, inputs.bit_rate, params);
+    if (!sized.ok()) continue;
+    if (sized.value().dram_total > inputs.dram_cap) continue;
+    const Dollars cost =
+        static_cast<double>(k) * mems_per_byte * inputs.mems_capacity +
+        sized.value().dram_total * inputs.dram_per_byte;
+    if (!found || cost < out.cost_with) {
+      out.cost_with = cost;
+      out.k = k;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::Infeasible(
+        "no bank size fits the DRAM ceiling and the storage bound");
+  }
+  out.percent_reduction = PercentReduction(out.cost_without, out.cost_with);
+  out.mems_wins = out.cost_with < out.cost_without;
+  return out;
+}
+
+Result<double> BreakEvenCostFactor(const SensitivityInputs& inputs,
+                                   double bandwidth_factor,
+                                   double max_factor) {
+  // cost_with is strictly decreasing in the cost factor (only the device
+  // term depends on it), so the win condition is monotone: bisect.
+  auto margin = [&](double factor) -> double {
+    auto outcome = EvaluateSensitivity(inputs, factor, bandwidth_factor);
+    if (!outcome.ok()) return -1.0;  // infeasible counts as "not winning"
+    return outcome.value().cost_without - outcome.value().cost_with;
+  };
+  const double at_min = margin(1.0);
+  const double at_max = margin(max_factor);
+  if (at_min > 0) return 1.0;  // wins even at cost parity
+  if (at_max <= 0) {
+    return Status::NotFound(
+        "MEMS never breaks even below max_factor at this bandwidth");
+  }
+  return Bisect(margin, 1.0, max_factor, {1e-6, 200});
+}
+
+}  // namespace memstream::model

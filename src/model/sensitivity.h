@@ -1,0 +1,63 @@
+// Sensitivity analysis of the MEMS-buffer conclusion (paper §5.1.3,
+// footnote 2): "Our conclusion (that MEMS buffering is effective for low
+// and medium bit-rate traffic) holds true as long as the MEMS device is
+// an order of magnitude cheaper than DRAM and provides streaming
+// bandwidths comparable to or greater than those of disk-drives."
+//
+// This module makes that claim checkable: it sweeps the two prediction
+// risks — the DRAM/MEMS unit-cost ratio and the MEMS/disk bandwidth
+// ratio — re-derives the whole Fig.-7-style cost comparison at each
+// point, and finds the break-even cost ratio.
+
+#ifndef MEMSTREAM_MODEL_SENSITIVITY_H_
+#define MEMSTREAM_MODEL_SENSITIVITY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/mems_buffer.h"
+#include "model/profiles.h"
+#include "model/timecycle.h"
+
+namespace memstream::model {
+
+/// The fixed system around the sweep (the §5.1.3 off-the-shelf box).
+struct SensitivityInputs {
+  BytesPerSecond bit_rate = 100 * kKBps;
+  Bytes dram_cap = 5 * kGB;            ///< DRAM ceiling of the box
+  BytesPerSecond disk_rate = 300 * kMBps;
+  LatencyFn disk_latency;              ///< required
+  Seconds mems_latency = 0.86 * kMillisecond;  ///< max device latency
+  Bytes mems_capacity = 10 * kGB;      ///< per device
+  DollarsPerByte dram_per_byte = 20.0 / kGB;
+};
+
+/// One evaluated point of the sweep.
+struct SensitivityOutcome {
+  std::int64_t n = 0;        ///< throughput target (no-MEMS maximum)
+  std::int64_t k = 0;        ///< buffer devices used at this bandwidth
+  Dollars cost_without = 0;  ///< DRAM-only buffering cost for n streams
+  Dollars cost_with = 0;     ///< k devices + reduced DRAM
+  double percent_reduction = 0;
+  bool mems_wins = false;    ///< cost_with < cost_without
+};
+
+/// Evaluates the cost comparison with
+///   C_mems = dram_per_byte / cost_factor     (cost_factor = Cdram/Cmems)
+///   R_mems = bandwidth_factor * disk_rate.
+/// The bank size k is the smallest that sustains twice the disk
+/// bandwidth and the stream load. Returns Infeasible when no bank works.
+Result<SensitivityOutcome> EvaluateSensitivity(
+    const SensitivityInputs& inputs, double cost_factor,
+    double bandwidth_factor);
+
+/// Smallest Cdram/Cmems ratio at which the MEMS buffer breaks even
+/// (cost_with == cost_without), at the given bandwidth factor. Searched
+/// over [1, max_factor]; NotFound if MEMS never/always wins there.
+Result<double> BreakEvenCostFactor(const SensitivityInputs& inputs,
+                                   double bandwidth_factor,
+                                   double max_factor = 1000.0);
+
+}  // namespace memstream::model
+
+#endif  // MEMSTREAM_MODEL_SENSITIVITY_H_

@@ -1,0 +1,97 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace memstream::server {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Result<AdmissionController> AdmissionController::Create(
+    AdmissionConfig config) {
+  if (!config.disk_latency) {
+    return Status::InvalidArgument("disk_latency function is required");
+  }
+  if (config.dram_budget <= 0) {
+    return Status::InvalidArgument("dram_budget must be > 0");
+  }
+  if (config.buffer_k < 0) {
+    return Status::InvalidArgument("buffer_k must be >= 0");
+  }
+  if (config.buffer_k > 0 && config.mems.rate <= 0) {
+    return Status::InvalidArgument("mems profile required when buffer_k > 0");
+  }
+  return AdmissionController(std::move(config));
+}
+
+Bytes AdmissionController::DramFor(std::int64_t n, BytesPerSecond avg,
+                                   std::string* reason) const {
+  if (n == 0) return 0;
+  model::DeviceProfile disk;
+  disk.rate = config_.disk_rate;
+  disk.latency = config_.disk_latency(n);
+
+  if (config_.buffer_k > 0 && n >= 2) {
+    model::MemsBufferParams params;
+    params.k = config_.buffer_k;
+    params.disk = disk;
+    params.mems = config_.mems;
+    auto sized = model::SolveMemsBuffer(n, avg, params);
+    if (sized.ok()) return sized.value().dram_total;
+    if (reason != nullptr) *reason = sized.status().ToString();
+    return kInf;
+  }
+
+  auto total = model::TotalBufferSize(n, avg, disk);
+  if (total.ok()) return total.value();
+  if (reason != nullptr) *reason = total.status().ToString();
+  return kInf;
+}
+
+AdmissionDecision AdmissionController::TryAdmit(BytesPerSecond bit_rate) {
+  AdmissionDecision decision;
+  decision.streams_after = admitted_count() + 1;
+  if (bit_rate <= 0) {
+    decision.reason = "bit_rate must be > 0";
+    return decision;
+  }
+  const BytesPerSecond avg =
+      (total_rate_ + bit_rate) / static_cast<double>(decision.streams_after);
+  std::string reason;
+  const Bytes needed = DramFor(decision.streams_after, avg, &reason);
+  decision.dram_required = needed;
+  if (needed > config_.dram_budget) {
+    decision.reason = needed == kInf
+                          ? reason
+                          : "DRAM budget exceeded";
+    decision.streams_after = admitted_count();
+    return decision;
+  }
+  admitted_.push_back(bit_rate);
+  total_rate_ += bit_rate;
+  decision.admitted = true;
+  return decision;
+}
+
+Status AdmissionController::Release(BytesPerSecond bit_rate) {
+  auto it = std::find(admitted_.begin(), admitted_.end(), bit_rate);
+  if (it == admitted_.end()) {
+    return Status::NotFound("no admitted stream with that bit_rate");
+  }
+  admitted_.erase(it);
+  total_rate_ = std::max(0.0, total_rate_ - bit_rate);
+  return Status::OK();
+}
+
+Bytes AdmissionController::CurrentDramRequirement() const {
+  if (admitted_.empty()) return 0;
+  const auto n = static_cast<std::int64_t>(admitted_.size());
+  return DramFor(n, total_rate_ / static_cast<double>(n), nullptr);
+}
+
+}  // namespace memstream::server

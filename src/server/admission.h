@@ -1,0 +1,75 @@
+// Model-driven admission control: a new stream is admitted only if the
+// analytical sizing (Theorem 1 directly from disk, or Theorem 2 through
+// the MEMS buffer) still fits the DRAM budget and the bandwidth bounds
+// with the stream added. The controller tracks admitted bit-rates and
+// evaluates the model at their average, matching the paper's B̄.
+
+#ifndef MEMSTREAM_SERVER_ADMISSION_H_
+#define MEMSTREAM_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/mems_buffer.h"
+#include "model/profiles.h"
+#include "model/timecycle.h"
+
+namespace memstream::server {
+
+/// Static description of the server the controller guards.
+struct AdmissionConfig {
+  Bytes dram_budget = 1 * kGB;
+  BytesPerSecond disk_rate = 300 * kMBps;
+  model::LatencyFn disk_latency;  ///< L̄_disk(n), required
+  /// MEMS buffer in front of the disk; 0 disables it (direct streaming).
+  std::int64_t buffer_k = 0;
+  model::DeviceProfile mems;      ///< used when buffer_k > 0
+};
+
+/// Outcome of an admission test.
+struct AdmissionDecision {
+  bool admitted = false;
+  std::int64_t streams_after = 0;
+  Bytes dram_required = 0;   ///< total DRAM at the post-admission load
+  std::string reason;        ///< why a rejection happened
+};
+
+/// Tracks the admitted set and enforces the model's feasibility bounds.
+class AdmissionController {
+ public:
+  /// Requires a disk_latency function.
+  static Result<AdmissionController> Create(AdmissionConfig config);
+
+  /// Tests a stream of `bit_rate`; admits and records it when feasible.
+  AdmissionDecision TryAdmit(BytesPerSecond bit_rate);
+
+  /// Removes one previously admitted stream of `bit_rate`.
+  Status Release(BytesPerSecond bit_rate);
+
+  std::int64_t admitted_count() const {
+    return static_cast<std::int64_t>(admitted_.size());
+  }
+  BytesPerSecond total_bit_rate() const { return total_rate_; }
+
+  /// DRAM the current admitted set needs (0 when empty).
+  Bytes CurrentDramRequirement() const;
+
+ private:
+  explicit AdmissionController(AdmissionConfig config)
+      : config_(std::move(config)) {}
+
+  /// Total DRAM needed for n streams at average rate `avg`; infinity
+  /// when infeasible.
+  Bytes DramFor(std::int64_t n, BytesPerSecond avg,
+                std::string* reason) const;
+
+  AdmissionConfig config_;
+  std::vector<BytesPerSecond> admitted_;
+  BytesPerSecond total_rate_ = 0;
+};
+
+}  // namespace memstream::server
+
+#endif  // MEMSTREAM_SERVER_ADMISSION_H_

@@ -1,0 +1,26 @@
+#include "server/buffer_pool.h"
+
+#include <algorithm>
+
+namespace memstream::server {
+
+Status BufferPool::Reserve(Bytes bytes) {
+  if (bytes < 0) return Status::InvalidArgument("negative reservation");
+  if (used_ + bytes > capacity_ * (1.0 + 1e-9)) {
+    return Status::ResourceExhausted("buffer pool exhausted");
+  }
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  return Status::OK();
+}
+
+Status BufferPool::Release(Bytes bytes) {
+  if (bytes < 0) return Status::InvalidArgument("negative release");
+  if (bytes > used_ + 1e-6) {
+    return Status::InvalidArgument("releasing more than reserved");
+  }
+  used_ = std::max(0.0, used_ - bytes);
+  return Status::OK();
+}
+
+}  // namespace memstream::server

@@ -1,0 +1,40 @@
+// DRAM buffer-pool accounting: reservation-based, with peak tracking so
+// simulations can report the DRAM actually needed and compare it with the
+// analytical sizing.
+
+#ifndef MEMSTREAM_SERVER_BUFFER_POOL_H_
+#define MEMSTREAM_SERVER_BUFFER_POOL_H_
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace memstream::server {
+
+/// Byte-granular buffer accounting (no actual memory is held; the
+/// simulator only needs the bookkeeping).
+class BufferPool {
+ public:
+  /// A pool of `capacity` bytes. Requires capacity >= 0.
+  explicit BufferPool(Bytes capacity) : capacity_(capacity) {}
+
+  /// Reserves `bytes`; ResourceExhausted if it would exceed capacity.
+  Status Reserve(Bytes bytes);
+
+  /// Releases `bytes`; InvalidArgument on over-release (indicates an
+  /// accounting bug in the caller).
+  Status Release(Bytes bytes);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes available() const { return capacity_ - used_; }
+  Bytes peak_used() const { return peak_used_; }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes peak_used_ = 0;
+};
+
+}  // namespace memstream::server
+
+#endif  // MEMSTREAM_SERVER_BUFFER_POOL_H_

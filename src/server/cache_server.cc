@@ -1,0 +1,254 @@
+#include "server/cache_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace memstream::server {
+
+Result<CacheStreamingServer> CacheStreamingServer::Create(
+    device::DiskDrive* disk, std::vector<device::MemsDevice> bank,
+    std::vector<CacheStreamSpec> streams, const CacheServerConfig& config,
+    sim::TraceLog* trace) {
+  if (bank.empty()) return Status::InvalidArgument("bank must not be empty");
+  if (streams.empty()) return Status::InvalidArgument("no streams");
+  if (config.disk_cycle <= 0 || config.mems_cycle <= 0) {
+    return Status::InvalidArgument("cycle lengths must be > 0");
+  }
+  const Bytes bank_content =
+      config.policy == model::CachePolicy::kStriped
+          ? bank[0].Capacity() * static_cast<double>(bank.size())
+          : bank[0].Capacity();
+  bool any_disk = false;
+  for (const auto& s : streams) {
+    if (s.bit_rate <= 0) {
+      return Status::InvalidArgument("stream bit_rate must be > 0");
+    }
+    if (s.extent <= 0) return Status::InvalidArgument("empty extent");
+    if (s.cached) {
+      if (s.offset + s.extent > bank_content) {
+        return Status::OutOfRange("cached stream beyond bank capacity");
+      }
+      if (s.bit_rate * config.mems_cycle > s.extent) {
+        return Status::InvalidArgument("extent smaller than one cache IO");
+      }
+    } else {
+      any_disk = true;
+      if (disk == nullptr) {
+        return Status::InvalidArgument("uncached streams but no disk");
+      }
+      if (s.offset + s.extent > disk->Capacity()) {
+        return Status::OutOfRange("stream extent beyond disk capacity");
+      }
+      if (s.bit_rate * config.disk_cycle > s.extent) {
+        return Status::InvalidArgument("extent smaller than one disk IO");
+      }
+    }
+  }
+  (void)any_disk;
+  return CacheStreamingServer(disk, std::move(bank), std::move(streams),
+                              config, trace);
+}
+
+CacheStreamingServer::CacheStreamingServer(
+    device::DiskDrive* disk, std::vector<device::MemsDevice> bank,
+    std::vector<CacheStreamSpec> streams, const CacheServerConfig& config,
+    sim::TraceLog* trace)
+    : disk_(disk),
+      bank_(std::move(bank)),
+      streams_(std::move(streams)),
+      config_(config),
+      trace_(trace),
+      rng_(config.seed) {
+  play_cursor_.assign(streams_.size(), 0);
+  device_busy_.assign(bank_.size(), 0);
+  sessions_.reserve(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    sessions_.emplace_back(streams_[i].id, streams_[i].bit_rate);
+    if (streams_[i].cached) {
+      cache_streams_.push_back(i);
+    } else {
+      disk_streams_.push_back(i);
+    }
+  }
+}
+
+void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
+                                           Seconds done, Seconds boundary) {
+  auto* session = &sessions_[stream];
+  sim_.ScheduleAt(done, [this, session, bytes, done, boundary]() {
+    session->Deposit(done, bytes);
+    if (trace_ != nullptr) {
+      trace_->Append({done, sim::TraceKind::kIoCompleted, "deposit",
+                      session->id(), bytes, ""});
+    }
+    if (!session->playing()) {
+      const Seconds start = std::max(done, boundary);
+      sim_.ScheduleAt(start, [session, start]() {
+        if (!session->playing()) session->StartPlayback(start);
+      });
+    }
+  });
+}
+
+void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
+  const Seconds t0 = sim_.Now();
+  if (t0 >= deadline || disk_streams_.empty()) return;
+
+  std::vector<device::IoSpan> batch;
+  batch.reserve(disk_streams_.size());
+  for (std::size_t i : disk_streams_) {
+    const auto& s = streams_[i];
+    const Bytes io_bytes = s.bit_rate * config_.disk_cycle;
+    Bytes cursor = play_cursor_[i];
+    if (cursor + io_bytes > s.extent) cursor = 0;
+    play_cursor_[i] = cursor + io_bytes;
+    batch.push_back(device::IoSpan{
+        static_cast<std::int64_t>(s.offset + cursor), io_bytes});
+  }
+
+  const auto order =
+      device::ScheduleOrder(config_.disk_policy, last_head_offset_, batch);
+  Seconds busy = 0;
+  for (std::size_t pos : order) {
+    auto st = disk_->Service(batch[pos],
+                             config_.deterministic ? nullptr : &rng_);
+    if (!st.ok()) continue;  // unreachable: validated in Create
+    busy += st.value();
+    last_head_offset_ = batch[pos].offset;
+    ++report_.ios_completed;
+    ScheduleDeposit(disk_streams_[pos], batch[pos].bytes, t0 + busy,
+                    t0 + config_.disk_cycle);
+  }
+
+  report_.disk_busy += busy;
+  if (busy > config_.disk_cycle * (1.0 + 1e-9)) ++report_.disk_overruns;
+  ++report_.disk_cycles;
+
+  const Seconds next = t0 + std::max(config_.disk_cycle, busy);
+  if (next < deadline) {
+    sim_.ScheduleAt(next, [this, deadline]() { RunDiskCycle(deadline); });
+  }
+}
+
+void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
+  const Seconds t0 = sim_.Now();
+  if (t0 >= deadline || cache_streams_.empty()) return;
+
+  const auto k = static_cast<double>(bank_.size());
+  Seconds busy = 0;
+  for (std::size_t i : cache_streams_) {
+    const auto& s = streams_[i];
+    const Bytes io_bytes = s.bit_rate * config_.mems_cycle;
+    Bytes cursor = play_cursor_[i];
+    if (cursor + io_bytes > s.extent) cursor = 0;
+    play_cursor_[i] = cursor + io_bytes;
+
+    // Lock-step: every device transfers io_bytes/k at the same relative
+    // location; the elapsed time is the common per-device time.
+    const device::IoSpan local{
+        static_cast<std::int64_t>((s.offset + cursor) / k), io_bytes / k};
+    Seconds op_time = 0;
+    for (auto& dev : bank_) {
+      auto st = dev.Service(local, nullptr);
+      if (!st.ok()) continue;  // unreachable: validated in Create
+      op_time = std::max(op_time, st.value());
+    }
+    busy += op_time;
+    ++report_.ios_completed;
+    ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle);
+  }
+
+  for (auto& b : device_busy_) b += busy;  // all devices move together
+  report_.mems_busy += busy * k;
+  if (busy > config_.mems_cycle * (1.0 + 1e-9)) ++report_.mems_overruns;
+  ++report_.mems_cycles;
+
+  const Seconds next = t0 + std::max(config_.mems_cycle, busy);
+  if (next < deadline) {
+    sim_.ScheduleAt(next, [this, deadline]() { RunStripedCycle(deadline); });
+  }
+}
+
+void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
+                                              Seconds deadline) {
+  const Seconds t0 = sim_.Now();
+  if (t0 >= deadline) return;
+
+  // Device `dev` services every (dev + j*k)-th cached stream.
+  Seconds busy = 0;
+  bool any = false;
+  for (std::size_t j = dev; j < cache_streams_.size(); j += bank_.size()) {
+    any = true;
+    const std::size_t i = cache_streams_[j];
+    const auto& s = streams_[i];
+    const Bytes io_bytes = s.bit_rate * config_.mems_cycle;
+    Bytes cursor = play_cursor_[i];
+    if (cursor + io_bytes > s.extent) cursor = 0;
+    play_cursor_[i] = cursor + io_bytes;
+
+    auto st = bank_[dev].Service(
+        device::IoSpan{static_cast<std::int64_t>(s.offset + cursor),
+                       io_bytes},
+        nullptr);
+    if (!st.ok()) continue;  // unreachable: validated in Create
+    busy += st.value();
+    ++report_.ios_completed;
+    ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle);
+  }
+  if (!any) return;
+
+  device_busy_[dev] += busy;
+  report_.mems_busy += busy;
+  if (busy > config_.mems_cycle * (1.0 + 1e-9)) ++report_.mems_overruns;
+  ++report_.mems_cycles;
+
+  const Seconds next = t0 + std::max(config_.mems_cycle, busy);
+  if (next < deadline) {
+    sim_.ScheduleAt(next, [this, dev, deadline]() {
+      RunReplicatedCycle(dev, deadline);
+    });
+  }
+}
+
+Status CacheStreamingServer::Run(Seconds duration) {
+  if (ran_) return Status::FailedPrecondition("Run() may be called once");
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  ran_ = true;
+
+  if (!disk_streams_.empty()) {
+    MEMSTREAM_RETURN_IF_ERROR(
+        sim_.Schedule(0, [this, duration]() { RunDiskCycle(duration); }));
+  }
+  if (!cache_streams_.empty()) {
+    if (config_.policy == model::CachePolicy::kStriped) {
+      MEMSTREAM_RETURN_IF_ERROR(sim_.Schedule(
+          0, [this, duration]() { RunStripedCycle(duration); }));
+    } else {
+      for (std::size_t d = 0; d < bank_.size(); ++d) {
+        MEMSTREAM_RETURN_IF_ERROR(sim_.Schedule(
+            0, [this, d, duration]() { RunReplicatedCycle(d, duration); }));
+      }
+    }
+  }
+  auto processed = sim_.Run(duration);
+  MEMSTREAM_RETURN_IF_ERROR(processed.status());
+
+  report_.horizon = duration;
+  report_.disk_utilization =
+      duration > 0 ? std::min(report_.disk_busy, duration) / duration : 0;
+  Seconds busy_sum = 0;
+  for (Seconds b : device_busy_) busy_sum += b;
+  report_.mems_utilization =
+      duration > 0
+          ? busy_sum / (duration * static_cast<double>(bank_.size()))
+          : 0;
+  for (auto& session : sessions_) {
+    session.LevelAt(duration);
+    report_.underflow_events += session.underflow_events();
+    report_.underflow_time += session.underflow_time();
+    report_.peak_dram_demand += session.peak_level();
+  }
+  return Status::OK();
+}
+
+}  // namespace memstream::server

@@ -1,0 +1,114 @@
+// Streaming server with a MEMS cache (§3.2): cached streams are serviced
+// from the MEMS bank, the rest from the disk, each side under its own
+// time cycle. The bank is managed striped (lock-step, Theorem 3) or
+// replicated (independent devices, Theorem 4).
+
+#ifndef MEMSTREAM_SERVER_CACHE_SERVER_H_
+#define MEMSTREAM_SERVER_CACHE_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "device/disk.h"
+#include "device/disk_scheduler.h"
+#include "device/mems_device.h"
+#include "model/mems_cache.h"
+#include "server/stream_session.h"
+#include "server/timecycle_server.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace memstream::server {
+
+/// A stream serviced by the cache server. `cached` selects the side;
+/// `offset`/`extent` address the disk for uncached streams and the bank's
+/// logical cached-content space for cached ones.
+struct CacheStreamSpec {
+  std::int64_t id = 0;
+  BytesPerSecond bit_rate = 0;
+  bool cached = false;
+  Bytes offset = 0;
+  Bytes extent = 0;
+};
+
+/// Knobs of the cache server. Obtain the cycles from model::IoCycleLength
+/// (disk side, Theorem 1 with the n_disk streams) and from Theorems 3/4's
+/// sizing (cache side: cycle = S_mems-dram / B̄).
+struct CacheServerConfig {
+  Seconds disk_cycle = 1.0;
+  Seconds mems_cycle = 0.5;
+  model::CachePolicy policy = model::CachePolicy::kStriped;
+  device::SchedulerPolicy disk_policy = device::SchedulerPolicy::kCLook;
+  bool deterministic = true;
+  std::uint64_t seed = 42;
+};
+
+/// Post-run statistics, split by side.
+struct CacheServerReport {
+  std::int64_t disk_cycles = 0;
+  std::int64_t disk_overruns = 0;
+  Seconds disk_busy = 0;
+  std::int64_t mems_cycles = 0;
+  std::int64_t mems_overruns = 0;
+  Seconds mems_busy = 0;  ///< summed across devices
+  std::int64_t ios_completed = 0;
+  std::int64_t underflow_events = 0;
+  Seconds underflow_time = 0;
+  Bytes peak_dram_demand = 0;
+  Seconds horizon = 0;
+  double disk_utilization = 0;
+  double mems_utilization = 0;  ///< mean across devices
+};
+
+/// The cache server. Owns the MEMS bank; the disk is borrowed (and may be
+/// null when every stream is cached).
+class CacheStreamingServer {
+ public:
+  static Result<CacheStreamingServer> Create(
+      device::DiskDrive* disk, std::vector<device::MemsDevice> bank,
+      std::vector<CacheStreamSpec> streams, const CacheServerConfig& config,
+      sim::TraceLog* trace = nullptr);
+
+  /// Simulates `duration` seconds. May be called once.
+  Status Run(Seconds duration);
+
+  const CacheServerReport& report() const { return report_; }
+  const StreamSession& session(std::size_t i) const { return sessions_[i]; }
+  std::size_t num_streams() const { return sessions_.size(); }
+
+ private:
+  CacheStreamingServer(device::DiskDrive* disk,
+                       std::vector<device::MemsDevice> bank,
+                       std::vector<CacheStreamSpec> streams,
+                       const CacheServerConfig& config,
+                       sim::TraceLog* trace);
+
+  void RunDiskCycle(Seconds deadline);
+  void RunStripedCycle(Seconds deadline);
+  void RunReplicatedCycle(std::size_t dev, Seconds deadline);
+
+  void ScheduleDeposit(std::size_t stream, Bytes bytes, Seconds done,
+                       Seconds boundary);
+
+  device::DiskDrive* disk_;
+  std::vector<device::MemsDevice> bank_;
+  std::vector<CacheStreamSpec> streams_;
+  CacheServerConfig config_;
+  sim::TraceLog* trace_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::vector<StreamSession> sessions_;
+  std::vector<std::size_t> disk_streams_;   ///< indices into streams_
+  std::vector<std::size_t> cache_streams_;  ///< indices into streams_
+  std::vector<Bytes> play_cursor_;
+  std::vector<Seconds> device_busy_;  ///< per MEMS device
+  std::int64_t last_head_offset_ = 0;
+  CacheServerReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace memstream::server
+
+#endif  // MEMSTREAM_SERVER_CACHE_SERVER_H_

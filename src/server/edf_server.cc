@@ -1,0 +1,167 @@
+#include "server/edf_server.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace memstream::server {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Result<EdfStreamingServer> EdfStreamingServer::Create(
+    device::DiskDrive* disk, std::vector<StreamSpec> streams,
+    const EdfServerConfig& config, sim::TraceLog* trace) {
+  if (disk == nullptr) return Status::InvalidArgument("disk is required");
+  if (streams.empty()) return Status::InvalidArgument("no streams");
+  if (config.io_playback <= 0) {
+    return Status::InvalidArgument("io_playback must be > 0");
+  }
+  for (const auto& s : streams) {
+    if (s.direction != StreamDirection::kRead) {
+      return Status::InvalidArgument("EDF server services read streams");
+    }
+    if (s.bit_rate <= 0) {
+      return Status::InvalidArgument("stream bit_rate must be > 0");
+    }
+    if (s.extent <= 0 || s.disk_offset + s.extent > disk->Capacity()) {
+      return Status::OutOfRange("stream extent beyond disk capacity");
+    }
+    if (s.bit_rate * config.io_playback > s.extent) {
+      return Status::InvalidArgument("extent smaller than one IO");
+    }
+  }
+  return EdfStreamingServer(disk, std::move(streams), config, trace);
+}
+
+EdfStreamingServer::EdfStreamingServer(device::DiskDrive* disk,
+                                       std::vector<StreamSpec> streams,
+                                       const EdfServerConfig& config,
+                                       sim::TraceLog* trace)
+    : disk_(disk),
+      streams_(std::move(streams)),
+      config_(config),
+      trace_(trace),
+      rng_(config.seed) {
+  play_cursor_.assign(streams_.size(), 0);
+  sessions_.reserve(streams_.size());
+  for (const auto& s : streams_) sessions_.emplace_back(s.id, s.bit_rate);
+}
+
+Seconds EdfStreamingServer::DeadlineOf(std::size_t i) {
+  StreamSession& session = sessions_[i];
+  if (!session.playing()) {
+    // Bootstrap: unstarted streams are the most urgent, oldest first.
+    return -1.0 - 1.0 / (1.0 + static_cast<double>(i));
+  }
+  return sim_.Now() + session.LevelAt(sim_.Now()) / session.bit_rate();
+}
+
+void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
+  const Seconds now = sim_.Now();
+  if (now >= deadline_time) return;
+  if (busy_) return;  // an IO is in flight; its completion re-enters
+
+  // Pick the eligible stream (buffer has room for one more IO) with the
+  // earliest deadline; remember the earliest time an ineligible stream
+  // frees room, in case everyone is full.
+  std::size_t chosen = streams_.size();
+  Seconds best_deadline = kInf;
+  Seconds next_eligible = kInf;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const Bytes io = streams_[i].bit_rate * config_.io_playback;
+    const Bytes cap = 2 * io;
+    const Bytes level = sessions_[i].LevelAt(now);
+    if (level + io <= cap * (1 + 1e-9)) {
+      const Seconds deadline = DeadlineOf(i);
+      if (deadline < best_deadline) {
+        best_deadline = deadline;
+        chosen = i;
+      }
+    } else if (sessions_[i].playing()) {
+      next_eligible = std::min(
+          next_eligible, now + (level + io - cap) / streams_[i].bit_rate);
+    }
+  }
+
+  if (chosen == streams_.size()) {
+    // Every buffer is full: idle until one drains enough. Streams that
+    // have not started playing yet re-enter the loop from their
+    // playback-start event instead.
+    if (next_eligible == kInf) return;
+    const Seconds wake = std::min(next_eligible, deadline_time);
+    report_.idle_time += wake - now;
+    sim_.ScheduleAt(wake,
+                    [this, deadline_time]() { ServiceNext(deadline_time); });
+    return;
+  }
+
+  const auto& s = streams_[chosen];
+  const Bytes io_bytes = s.bit_rate * config_.io_playback;
+  Bytes cursor = play_cursor_[chosen];
+  if (cursor + io_bytes > s.extent) cursor = 0;
+  play_cursor_[chosen] = cursor + io_bytes;
+
+  auto service = disk_->Service(
+      device::IoSpan{static_cast<std::int64_t>(s.disk_offset + cursor),
+                     io_bytes},
+      config_.deterministic ? nullptr : &rng_);
+  if (!service.ok()) return;  // unreachable: validated in Create
+  busy_ = true;
+  const Seconds done = now + service.value();
+  report_.total_busy += service.value();
+  ++report_.ios_completed;
+  if (sessions_[chosen].playing() && done > best_deadline) {
+    ++report_.deadline_misses;
+  }
+
+  auto* session = &sessions_[chosen];
+  const Seconds playback_delay = config_.io_playback;
+  sim_.ScheduleAt(done, [this, session, io_bytes, done, playback_delay,
+                         deadline_time]() {
+    session->Deposit(done, io_bytes);
+    if (trace_ != nullptr) {
+      trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
+                      session->id(), io_bytes, "edf"});
+    }
+    if (!session->playing()) {
+      // Double-buffered start, mirroring the time-cycle server. The
+      // start event also re-enters the service loop: a full pipeline
+      // may have gone idle waiting for consumption to begin.
+      const Seconds start = done + playback_delay;
+      sim_.ScheduleAt(start, [this, session, start, deadline_time]() {
+        if (!session->playing()) session->StartPlayback(start);
+        ServiceNext(deadline_time);
+      });
+    }
+    busy_ = false;
+    ServiceNext(deadline_time);
+  });
+}
+
+Status EdfStreamingServer::Run(Seconds duration) {
+  if (ran_) return Status::FailedPrecondition("Run() may be called once");
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  ran_ = true;
+
+  MEMSTREAM_RETURN_IF_ERROR(
+      sim_.Schedule(0, [this, duration]() { ServiceNext(duration); }));
+  auto processed = sim_.Run(duration);
+  MEMSTREAM_RETURN_IF_ERROR(processed.status());
+
+  report_.horizon = duration;
+  report_.device_utilization =
+      duration > 0 ? std::min(report_.total_busy, duration) / duration : 0;
+  for (auto& session : sessions_) {
+    session.LevelAt(duration);
+    report_.underflow_events += session.underflow_events();
+    report_.underflow_time += session.underflow_time();
+    report_.peak_buffer_demand += session.peak_level();
+  }
+  return Status::OK();
+}
+
+}  // namespace memstream::server

@@ -1,0 +1,48 @@
+// Multi-disk farm execution: runs one independent time-cycle server per
+// disk (streams are partitioned, so disks do not interact) and
+// aggregates the reports — the executable counterpart of
+// model::PlanScaleOut.
+
+#ifndef MEMSTREAM_SERVER_FARM_H_
+#define MEMSTREAM_SERVER_FARM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "device/disk.h"
+#include "server/timecycle_server.h"
+
+namespace memstream::server {
+
+/// Farm description for the simulator.
+struct FarmConfig {
+  std::int64_t num_disks = 4;
+  device::DiskParameters disk;   ///< every disk is identical
+  std::int64_t streams_per_disk = 10;
+  BytesPerSecond bit_rate = 1 * kMBps;
+  Seconds cycle = 1.0;           ///< from model::IoCycleLength at
+                                 ///< streams_per_disk
+  Seconds duration = 30;
+  bool deterministic = true;
+  std::uint64_t seed = 42;
+};
+
+/// Aggregated farm statistics.
+struct FarmReport {
+  std::int64_t disks = 0;
+  std::int64_t total_streams = 0;
+  std::int64_t ios_completed = 0;
+  std::int64_t cycle_overruns = 0;
+  std::int64_t underflow_events = 0;
+  Seconds underflow_time = 0;
+  Bytes peak_dram_demand = 0;     ///< summed across disks
+  double mean_disk_utilization = 0;
+};
+
+/// Builds the disks, spreads streams over each, runs every per-disk
+/// server for `duration`, and aggregates.
+Result<FarmReport> RunFarm(const FarmConfig& config);
+
+}  // namespace memstream::server
+
+#endif  // MEMSTREAM_SERVER_FARM_H_

@@ -1,0 +1,277 @@
+#include "server/media_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/profiles.h"
+#include "model/timecycle.h"
+
+namespace memstream::server {
+
+const char* ServerModeName(ServerMode mode) {
+  switch (mode) {
+    case ServerMode::kDirect:
+      return "direct";
+    case ServerMode::kMemsBuffer:
+      return "mems-buffer";
+    case ServerMode::kMemsCache:
+      return "mems-cache";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Spreads n sequential extents evenly across the device span so the
+/// elevator has realistic work to do.
+std::vector<StreamSpec> PlaceStreams(std::int64_t n,
+                                     BytesPerSecond bit_rate,
+                                     Bytes device_capacity, Bytes min_extent) {
+  std::vector<StreamSpec> streams;
+  streams.reserve(static_cast<std::size_t>(n));
+  const Bytes span = device_capacity * 0.9;
+  const Bytes stride = span / static_cast<double>(n);
+  const Bytes extent = std::max(min_extent, stride * 0.9);
+  for (std::int64_t i = 0; i < n; ++i) {
+    StreamSpec s;
+    s.id = i;
+    s.bit_rate = bit_rate;
+    s.disk_offset = std::min(stride * static_cast<double>(i),
+                             device_capacity - extent);
+    s.extent = extent;
+    streams.push_back(s);
+  }
+  return streams;
+}
+
+Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
+  auto disk = device::DiskDrive::Create(config.disk);
+  MEMSTREAM_RETURN_IF_ERROR(disk.status());
+
+  model::DeviceProfile profile =
+      model::DiskProfileConservative(disk.value(), config.num_streams);
+  auto cycle =
+      model::IoCycleLength(config.num_streams, config.bit_rate, profile);
+  MEMSTREAM_RETURN_IF_ERROR(cycle.status());
+  auto dram = model::TotalBufferSize(config.num_streams, config.bit_rate,
+                                     profile);
+  MEMSTREAM_RETURN_IF_ERROR(dram.status());
+
+  DirectServerConfig server_config;
+  server_config.cycle = cycle.value();
+  server_config.deterministic = config.deterministic;
+  server_config.seed = config.seed;
+  const Bytes io = config.bit_rate * cycle.value();
+  auto server = DirectStreamingServer::Create(
+      &disk.value(),
+      PlaceStreams(config.num_streams, config.bit_rate,
+                   disk.value().Capacity(), 2 * io),
+      server_config);
+  MEMSTREAM_RETURN_IF_ERROR(server.status());
+  MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
+
+  const ServerReport& report = server.value().report();
+  MediaServerResult out;
+  out.analytic_dram_total = dram.value();
+  out.disk_cycle = cycle.value();
+  out.underflow_events = report.underflow_events;
+  out.underflow_time = report.underflow_time;
+  out.cycle_overruns = report.cycle_overruns;
+  out.sim_peak_dram = report.peak_buffer_demand;
+  out.disk_utilization = report.device_utilization;
+  out.ios_completed = report.ios_completed;
+  return out;
+}
+
+Result<MediaServerResult> RunBuffer(const MediaServerConfig& config) {
+  auto disk = device::DiskDrive::Create(config.disk);
+  MEMSTREAM_RETURN_IF_ERROR(disk.status());
+  auto mems_proto = device::MemsDevice::Create(config.mems);
+  MEMSTREAM_RETURN_IF_ERROR(mems_proto.status());
+
+  model::MemsBufferParams params;
+  params.k = config.k;
+  params.disk = model::DiskProfileConservative(disk.value(), config.num_streams);
+  params.mems = model::MemsProfileMaxLatency(mems_proto.value());
+
+  auto range = model::FeasibleTdiskRange(config.num_streams,
+                                         config.bit_rate, params);
+  MEMSTREAM_RETURN_IF_ERROR(range.status());
+  Seconds t_disk = config.t_disk_override > 0
+                       ? config.t_disk_override
+                       : std::min(range.value().lower * 1.5,
+                                  range.value().upper);
+  auto sizing = model::SolveMemsBuffer(config.num_streams, config.bit_rate,
+                                       params, t_disk);
+  MEMSTREAM_RETURN_IF_ERROR(sizing.status());
+
+  std::vector<device::MemsDevice> bank;
+  for (std::int64_t i = 0; i < config.k; ++i) {
+    device::MemsParameters p = config.mems;
+    p.name += "#" + std::to_string(i);
+    auto dev = device::MemsDevice::Create(p);
+    MEMSTREAM_RETURN_IF_ERROR(dev.status());
+    bank.push_back(std::move(dev).value());
+  }
+
+  MemsPipelineConfig server_config;
+  server_config.t_disk = sizing.value().t_disk;
+  server_config.t_mems = sizing.value().t_mems_snapped;
+  server_config.deterministic = config.deterministic;
+  server_config.seed = config.seed;
+  const Bytes io = config.bit_rate * server_config.t_disk;
+  auto server = MemsPipelineServer::Create(
+      &disk.value(), std::move(bank),
+      PlaceStreams(config.num_streams, config.bit_rate,
+                   disk.value().Capacity(), 2 * io),
+      server_config);
+  MEMSTREAM_RETURN_IF_ERROR(server.status());
+  MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
+
+  const MemsPipelineReport& report = server.value().report();
+  MediaServerResult out;
+  out.analytic_dram_total =
+      static_cast<double>(config.num_streams) *
+      sizing.value().s_mems_dram_schedulable;
+  out.disk_cycle = sizing.value().t_disk;
+  out.mems_cycle = sizing.value().t_mems_snapped;
+  out.underflow_events = report.underflow_events;
+  out.underflow_time = report.underflow_time;
+  out.cycle_overruns = report.disk_overruns + report.mems_overruns;
+  out.sim_peak_dram = report.peak_dram_demand;
+  out.disk_utilization = report.disk_utilization;
+  out.mems_utilization = report.mems_utilization;
+  out.ios_completed = report.ios_completed;
+  return out;
+}
+
+Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
+  auto disk = device::DiskDrive::Create(config.disk);
+  MEMSTREAM_RETURN_IF_ERROR(disk.status());
+  auto mems_proto = device::MemsDevice::Create(config.mems);
+  MEMSTREAM_RETURN_IF_ERROR(mems_proto.status());
+
+  const auto n_cache = static_cast<std::int64_t>(
+      std::llround(config.cached_fraction_of_streams *
+                   static_cast<double>(config.num_streams)));
+  const std::int64_t n_disk = config.num_streams - n_cache;
+  if (n_cache < 0 || n_disk < 0) {
+    return Status::InvalidArgument("cached_fraction_of_streams out of range");
+  }
+
+  model::DeviceProfile mems_profile =
+      model::MemsProfileMaxLatency(mems_proto.value());
+
+  MediaServerResult out;
+  Seconds disk_cycle = 0;
+  if (n_disk > 0) {
+    model::DeviceProfile disk_profile =
+        model::DiskProfileConservative(disk.value(), n_disk);
+    auto cycle = model::IoCycleLength(n_disk, config.bit_rate, disk_profile);
+    MEMSTREAM_RETURN_IF_ERROR(cycle.status());
+    disk_cycle = cycle.value();
+    auto dram =
+        model::TotalBufferSize(n_disk, config.bit_rate, disk_profile);
+    MEMSTREAM_RETURN_IF_ERROR(dram.status());
+    out.analytic_dram_total += dram.value();
+  }
+  Seconds mems_cycle = 0;
+  if (n_cache > 0) {
+    auto s = model::CachePerStreamBuffer(n_cache, config.bit_rate, config.k,
+                                         mems_profile, config.cache_policy);
+    MEMSTREAM_RETURN_IF_ERROR(s.status());
+    mems_cycle = s.value() / config.bit_rate;
+    out.analytic_dram_total += static_cast<double>(n_cache) * s.value();
+  }
+
+  std::vector<device::MemsDevice> bank;
+  for (std::int64_t i = 0; i < config.k; ++i) {
+    device::MemsParameters p = config.mems;
+    p.name += "#" + std::to_string(i);
+    auto dev = device::MemsDevice::Create(p);
+    MEMSTREAM_RETURN_IF_ERROR(dev.status());
+    bank.push_back(std::move(dev).value());
+  }
+  const Bytes bank_content =
+      config.cache_policy == model::CachePolicy::kStriped
+          ? mems_profile.capacity * static_cast<double>(config.k)
+          : mems_profile.capacity;
+
+  std::vector<CacheStreamSpec> streams;
+  streams.reserve(static_cast<std::size_t>(config.num_streams));
+  if (n_disk > 0) {
+    const Bytes io = config.bit_rate * disk_cycle;
+    for (auto& s : PlaceStreams(n_disk, config.bit_rate,
+                                disk.value().Capacity(), 2 * io)) {
+      CacheStreamSpec spec;
+      spec.id = s.id;
+      spec.bit_rate = s.bit_rate;
+      spec.cached = false;
+      spec.offset = s.disk_offset;
+      spec.extent = s.extent;
+      streams.push_back(spec);
+    }
+  }
+  if (n_cache > 0) {
+    const Bytes io = config.bit_rate * mems_cycle;
+    for (auto& s :
+         PlaceStreams(n_cache, config.bit_rate, bank_content, 2 * io)) {
+      CacheStreamSpec spec;
+      spec.id = n_disk + s.id;
+      spec.bit_rate = s.bit_rate;
+      spec.cached = true;
+      spec.offset = s.disk_offset;
+      spec.extent = s.extent;
+      streams.push_back(spec);
+    }
+  }
+
+  CacheServerConfig server_config;
+  server_config.disk_cycle = disk_cycle > 0 ? disk_cycle : 1.0;
+  server_config.mems_cycle = mems_cycle > 0 ? mems_cycle : 1.0;
+  server_config.policy = config.cache_policy;
+  server_config.deterministic = config.deterministic;
+  server_config.seed = config.seed;
+  auto server = CacheStreamingServer::Create(
+      &disk.value(), std::move(bank), std::move(streams), server_config);
+  MEMSTREAM_RETURN_IF_ERROR(server.status());
+  MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
+
+  const CacheServerReport& report = server.value().report();
+  out.disk_cycle = disk_cycle;
+  out.mems_cycle = mems_cycle;
+  out.underflow_events = report.underflow_events;
+  out.underflow_time = report.underflow_time;
+  out.cycle_overruns = report.disk_overruns + report.mems_overruns;
+  out.sim_peak_dram = report.peak_dram_demand;
+  out.disk_utilization = report.disk_utilization;
+  out.mems_utilization = report.mems_utilization;
+  out.ios_completed = report.ios_completed;
+  return out;
+}
+
+}  // namespace
+
+Result<MediaServerResult> RunMediaServer(const MediaServerConfig& config) {
+  if (config.num_streams < 1) {
+    return Status::InvalidArgument("num_streams must be >= 1");
+  }
+  if (config.bit_rate <= 0) {
+    return Status::InvalidArgument("bit_rate must be > 0");
+  }
+  if (config.k < 1 && config.mode != ServerMode::kDirect) {
+    return Status::InvalidArgument("k must be >= 1 for MEMS modes");
+  }
+  switch (config.mode) {
+    case ServerMode::kDirect:
+      return RunDirect(config);
+    case ServerMode::kMemsBuffer:
+      return RunBuffer(config);
+    case ServerMode::kMemsCache:
+      return RunCache(config);
+  }
+  return Status::InvalidArgument("unknown mode");
+}
+
+}  // namespace memstream::server

@@ -1,0 +1,73 @@
+// MediaServer: the one-call facade over the whole library. Given a mode
+// (direct / MEMS buffer / MEMS cache), device presets, and a stream
+// population, it sizes the system with the analytical model, builds the
+// corresponding simulated server, runs it, and reports both the analytic
+// and the observed quantities side by side.
+
+#ifndef MEMSTREAM_SERVER_MEDIA_SERVER_H_
+#define MEMSTREAM_SERVER_MEDIA_SERVER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "device/device_catalog.h"
+#include "model/mems_buffer.h"
+#include "model/mems_cache.h"
+#include "server/cache_server.h"
+#include "server/mems_pipeline_server.h"
+#include "server/timecycle_server.h"
+
+namespace memstream::server {
+
+/// Storage-hierarchy configuration of the server.
+enum class ServerMode {
+  kDirect,      ///< disk -> DRAM (the paper's baseline)
+  kMemsBuffer,  ///< disk -> MEMS bank -> DRAM (§3.1)
+  kMemsCache,   ///< popular streams from the MEMS bank, rest from disk
+};
+
+const char* ServerModeName(ServerMode mode);
+
+/// Declarative description of a homogeneous-workload server run.
+struct MediaServerConfig {
+  ServerMode mode = ServerMode::kDirect;
+  device::DiskParameters disk = device::FutureDisk2007();
+  device::MemsParameters mems = device::MemsG3();
+  std::int64_t k = 2;  ///< MEMS devices (buffer or cache size)
+  model::CachePolicy cache_policy = model::CachePolicy::kStriped;
+  /// Fraction of streams serviced from the cache in kMemsCache mode
+  /// (e.g. the Eq. 11 hit rate).
+  double cached_fraction_of_streams = 0.5;
+  std::int64_t num_streams = 10;
+  BytesPerSecond bit_rate = 1 * kMBps;
+  Seconds sim_duration = 60;
+  /// Disk IO cycle override for kMemsBuffer (0 = auto: 1.5x the minimum
+  /// feasible T_disk, keeping simulated cycles short).
+  Seconds t_disk_override = 0;
+  bool deterministic = true;
+  std::uint64_t seed = 42;
+};
+
+/// Analytic sizing and simulated outcome of one run.
+struct MediaServerResult {
+  // Analytic (model) side.
+  Bytes analytic_dram_total = 0;   ///< Theorem 1/2/3/4 total DRAM
+  Seconds disk_cycle = 0;
+  Seconds mems_cycle = 0;          ///< 0 in kDirect mode
+  // Simulated side.
+  std::int64_t underflow_events = 0;
+  Seconds underflow_time = 0;
+  std::int64_t cycle_overruns = 0;  ///< disk + MEMS
+  Bytes sim_peak_dram = 0;
+  double disk_utilization = 0;
+  double mems_utilization = 0;      ///< 0 in kDirect mode
+  std::int64_t ios_completed = 0;
+};
+
+/// Sizes, builds, simulates, reports. Returns the first infeasibility the
+/// model detects (e.g. too many streams for the disk).
+Result<MediaServerResult> RunMediaServer(const MediaServerConfig& config);
+
+}  // namespace memstream::server
+
+#endif  // MEMSTREAM_SERVER_MEDIA_SERVER_H_

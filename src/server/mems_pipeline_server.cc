@@ -1,0 +1,442 @@
+#include "server/mems_pipeline_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace memstream::server {
+
+Result<MemsPipelineServer> MemsPipelineServer::Create(
+    device::DiskDrive* disk, std::vector<device::MemsDevice> bank,
+    std::vector<StreamSpec> streams, const MemsPipelineConfig& config,
+    sim::TraceLog* trace) {
+  if (disk == nullptr) return Status::InvalidArgument("disk is required");
+  if (bank.empty()) return Status::InvalidArgument("bank must not be empty");
+  if (streams.empty()) return Status::InvalidArgument("no streams");
+  if (config.t_disk <= 0 || config.t_mems <= 0) {
+    return Status::InvalidArgument("cycle lengths must be > 0");
+  }
+  if (config.t_mems > config.t_disk) {
+    return Status::InvalidArgument("t_mems must not exceed t_disk (Eq. 8)");
+  }
+  const std::size_t k = bank.size();
+  const bool striped =
+      config.placement == model::BufferPlacement::kStripedIos;
+  // Streams per device under round-robin assignment (striping puts a
+  // 1/k share of every stream on every device).
+  std::vector<std::size_t> assigned(k, striped ? streams.size() : 0);
+  if (!striped) {
+    for (std::size_t i = 0; i < streams.size(); ++i) ++assigned[i % k];
+  }
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const auto& s = streams[i];
+    if (s.bit_rate <= 0) {
+      return Status::InvalidArgument("stream bit_rate must be > 0");
+    }
+    if (s.extent <= 0 || s.disk_offset + s.extent > disk->Capacity()) {
+      return Status::OutOfRange("stream extent beyond disk capacity");
+    }
+    if (s.bit_rate * config.t_disk > s.extent) {
+      return Status::InvalidArgument("extent smaller than one disk IO");
+    }
+    // Executable analogue of condition (7): the stream's slot must hold
+    // two disk IOs (one draining, one arriving) plus one DRAM IO.
+    const std::size_t home = striped ? 0 : i % k;
+    const Bytes slot =
+        bank[home].Capacity() / static_cast<double>(assigned[home]);
+    const Bytes need = s.bit_rate *
+                       (2.0 * config.t_disk + config.t_mems) /
+                       (striped ? static_cast<double>(k) : 1.0);
+    if (need > slot) {
+      return Status::Infeasible(
+          "MEMS capacity insufficient for the chosen T_disk (condition 7)");
+    }
+  }
+  return MemsPipelineServer(disk, std::move(bank), std::move(streams),
+                            config, trace);
+}
+
+MemsPipelineServer::MemsPipelineServer(device::DiskDrive* disk,
+                                       std::vector<device::MemsDevice> bank,
+                                       std::vector<StreamSpec> streams,
+                                       const MemsPipelineConfig& config,
+                                       sim::TraceLog* trace)
+    : disk_(disk),
+      bank_(std::move(bank)),
+      streams_(std::move(streams)),
+      config_(config),
+      trace_(trace),
+      rng_(config.seed) {
+  const std::size_t k = bank_.size();
+  pending_.resize(k);
+  occupancy_.assign(k, 0);
+  device_busy_.assign(k, 0);
+  play_cursor_.assign(streams_.size(), 0);
+  sessions_.reserve(streams_.size());
+  state_.resize(streams_.size());
+
+  const bool striped =
+      config_.placement == model::BufferPlacement::kStripedIos;
+  std::vector<std::size_t> assigned(k, striped ? streams_.size() : 0);
+  if (!striped) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) ++assigned[i % k];
+  }
+  std::vector<std::size_t> slot_index(k, 0);
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    sessions_.emplace_back(streams_[i].id, streams_[i].bit_rate);
+    StreamState& st = state_[i];
+    // Striping: the same 1/k-sized slot exists on every device; device 0
+    // stands in for the lock-step group (all writes/reads route through
+    // the shared pending queue and the single striped cycle).
+    st.device = striped ? 0 : i % k;
+    st.slot_size = bank_[st.device].Capacity() /
+                   static_cast<double>(assigned[st.device]);
+    st.slot_base =
+        st.slot_size * static_cast<double>(slot_index[st.device]++);
+  }
+}
+
+void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
+  const Seconds t0 = sim_.Now();
+  if (t0 >= deadline) return;
+
+  std::vector<device::IoSpan> batch;
+  batch.reserve(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& s = streams_[i];
+    const Bytes io_bytes = s.bit_rate * config_.t_disk;
+    Bytes cursor = play_cursor_[i];
+    if (cursor + io_bytes > s.extent) cursor = 0;
+    play_cursor_[i] = cursor + io_bytes;
+    batch.push_back(device::IoSpan{
+        static_cast<std::int64_t>(s.disk_offset + cursor), io_bytes});
+  }
+
+  if (trace_ != nullptr) {
+    trace_->Append({t0, sim::TraceKind::kCycleStart, disk_->name(), -1, 0,
+                    "disk cycle " + std::to_string(report_.disk_cycles)});
+  }
+
+  const auto order =
+      device::ScheduleOrder(config_.disk_policy, last_head_offset_, batch);
+  Seconds busy = 0;
+  for (std::size_t idx : order) {
+    auto st = disk_->Service(batch[idx],
+                             config_.deterministic ? nullptr : &rng_);
+    if (!st.ok()) continue;  // unreachable: validated in Create
+    busy += st.value();
+    last_head_offset_ = batch[idx].offset;
+    const Seconds done = t0 + busy;
+    const Bytes bytes = batch[idx].bytes;
+    sim_.ScheduleAt(done, [this, idx, bytes, done]() {
+      pending_[state_[idx].device].push_back(PendingWrite{idx, bytes});
+      if (trace_ != nullptr) {
+        trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
+                        sessions_[idx].id(), bytes, "-> mems pending"});
+      }
+    });
+  }
+
+  report_.disk_busy += busy;
+  if (busy > config_.t_disk * (1.0 + 1e-9)) ++report_.disk_overruns;
+  ++report_.disk_cycles;
+  report_.ios_completed += static_cast<std::int64_t>(order.size());
+
+  const Seconds next = t0 + std::max(config_.t_disk, busy);
+  if (next < deadline) {
+    sim_.ScheduleAt(next, [this, deadline]() { RunDiskCycle(deadline); });
+  }
+}
+
+void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
+  const Seconds t0 = sim_.Now();
+  if (t0 >= deadline) return;
+
+  device::MemsDevice& device = bank_[dev];
+  if (trace_ != nullptr) {
+    trace_->Append({t0, sim::TraceKind::kCycleStart, device.name(), -1, 0,
+                    "mems" + std::to_string(dev) + " cycle"});
+  }
+
+  struct Op {
+    std::size_t stream;
+    Bytes bytes;
+    Bytes offset;  ///< device-local
+    bool is_write;
+  };
+  std::vector<Op> ops;
+
+  // Drain the disk writes that arrived before this cycle, capped at the
+  // steady-state share per cycle (M/k writes, Eq. 8) plus one: without
+  // the cap the first MEMS cycle after a disk cycle would absorb the
+  // whole burst of N/k writes and overrun.
+  std::size_t assigned = 0;
+  for (std::size_t i = dev; i < streams_.size(); i += bank_.size()) {
+    ++assigned;
+  }
+  const auto write_cap = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(assigned) * config_.t_mems /
+                config_.t_disk)) + 1;
+  std::deque<PendingWrite> writes;
+  for (std::size_t i = 0; i < write_cap && !pending_[dev].empty(); ++i) {
+    writes.push_back(pending_[dev].front());
+    pending_[dev].pop_front();
+  }
+  for (const auto& w : writes) {
+    StreamState& st = state_[w.stream];
+    Bytes cursor = st.write_cursor;
+    if (cursor + w.bytes > st.slot_size) cursor = 0;  // wrap within slot
+    ops.push_back(Op{w.stream, w.bytes, st.slot_base + cursor, true});
+    st.write_cursor = cursor + w.bytes;
+  }
+
+  // One DRAM transfer per assigned stream whose data is resident
+  // (snapshot semantics: bytes written this cycle are readable next
+  // cycle, matching the analytical model). When a write was drained a
+  // cycle late, the stream reads whatever is resident rather than
+  // skipping — partial reads keep the playout fed through drain jitter.
+  for (std::size_t i = dev; i < streams_.size(); i += bank_.size()) {
+    StreamState& st = state_[i];
+    const Bytes read_bytes = streams_[i].bit_rate * config_.t_mems;
+    if (!st.first_write_done) continue;  // stream not started yet
+    if (st.resident <= 0) {
+      ++report_.starved_reads;
+      st.read_deficit += read_bytes;
+      continue;
+    }
+    // Catch-up: repay any shortfall from earlier partial/skipped reads.
+    const Bytes wanted = read_bytes + st.read_deficit;
+    const Bytes amount = std::min(wanted, st.resident);
+    st.read_deficit = std::max(0.0, wanted - amount);
+    Bytes cursor = st.read_cursor;
+    if (cursor + amount > st.slot_size) cursor = 0;
+    ops.push_back(Op{i, amount, st.slot_base + cursor, false});
+    st.read_cursor = cursor + amount;
+    st.resident -= amount;  // claimed by this cycle's schedule
+  }
+
+  Seconds busy = 0;
+  for (const auto& op : ops) {
+    auto st = device.Service(
+        device::IoSpan{static_cast<std::int64_t>(op.offset), op.bytes},
+        nullptr);
+    if (!st.ok()) continue;  // unreachable: slots sized in Create
+    busy += st.value();
+    const Seconds done = t0 + busy;
+    ++report_.ios_completed;
+    if (op.is_write) {
+      const std::size_t stream = op.stream;
+      const Bytes bytes = op.bytes;
+      sim_.ScheduleAt(done, [this, dev, stream, bytes, done]() {
+        StreamState& s = state_[stream];
+        s.resident += bytes;
+        s.first_write_done = true;
+        occupancy_[dev] += bytes;
+        report_.peak_mems_occupancy =
+            std::max(report_.peak_mems_occupancy, occupancy_[dev]);
+        if (trace_ != nullptr) {
+          trace_->Append({done, sim::TraceKind::kIoCompleted,
+                          bank_[dev].name(), sessions_[stream].id(), bytes,
+                          "disk->MEMS write"});
+          if (occupancy_[dev] > bank_[dev].Capacity()) {
+            trace_->Append({done, sim::TraceKind::kOverflow,
+                            bank_[dev].name(), sessions_[stream].id(),
+                            occupancy_[dev],
+                            "mems occupancy over capacity"});
+          }
+        }
+      });
+    } else {
+      const std::size_t stream = op.stream;
+      const Bytes bytes = op.bytes;
+      const Seconds boundary = t0 + config_.t_mems;
+      sim_.ScheduleAt(done, [this, dev, stream, bytes, done, boundary]() {
+        occupancy_[dev] = std::max(0.0, occupancy_[dev] - bytes);
+        auto* session = &sessions_[stream];
+        session->Deposit(done, bytes);
+        if (trace_ != nullptr) {
+          trace_->Append({done, sim::TraceKind::kIoCompleted,
+                          bank_[dev].name(), session->id(), bytes,
+                          "MEMS->DRAM read"});
+        }
+        if (!session->playing()) {
+          const Seconds start = std::max(done, boundary);
+          sim_.ScheduleAt(start, [session, start]() {
+            if (!session->playing()) session->StartPlayback(start);
+          });
+        }
+      });
+    }
+  }
+
+  device_busy_[dev] += busy;
+  report_.mems_busy += busy;
+  if (busy > config_.t_mems * (1.0 + 1e-9)) ++report_.mems_overruns;
+  ++report_.mems_cycles;
+
+  const Seconds next = t0 + std::max(config_.t_mems, busy);
+  if (next < deadline) {
+    sim_.ScheduleAt(next,
+                    [this, dev, deadline]() { RunMemsCycle(dev, deadline); });
+  }
+}
+
+void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
+  const Seconds t0 = sim_.Now();
+  if (t0 >= deadline) return;
+
+  const auto k = static_cast<double>(bank_.size());
+  if (trace_ != nullptr) {
+    trace_->Append({t0, sim::TraceKind::kCycleStart, "mems-striped", -1, 0,
+                    "striped cycle"});
+  }
+
+  struct Op {
+    std::size_t stream;
+    Bytes bytes;          ///< full stream bytes (each device moves /k)
+    Bytes device_offset;  ///< local offset, identical on every device
+    bool is_write;
+  };
+  std::vector<Op> ops;
+
+  // Drain pending writes (all routed to queue 0), burst-capped as in the
+  // round-robin cycle.
+  // +2 slack: the disk delivers its N writes as a burst inside ~70% of
+  // the disk cycle, so the drain rate must run slightly ahead of the
+  // long-run average or late drains starve the tail streams' reads.
+  const auto write_cap = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(streams_.size()) * config_.t_mems /
+                config_.t_disk)) + 2;
+  std::deque<PendingWrite> writes;
+  for (std::size_t i = 0; i < write_cap && !pending_[0].empty(); ++i) {
+    writes.push_back(pending_[0].front());
+    pending_[0].pop_front();
+  }
+  for (const auto& w : writes) {
+    StreamState& st = state_[w.stream];
+    const Bytes local = w.bytes / k;
+    Bytes cursor = st.write_cursor;
+    if (cursor + local > st.slot_size) cursor = 0;
+    ops.push_back(Op{w.stream, w.bytes, st.slot_base + cursor, true});
+    st.write_cursor = cursor + local;
+  }
+
+  // One DRAM transfer per stream whose data is resident (partial when a
+  // write was drained a cycle late, as in the round-robin cycle).
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    StreamState& st = state_[i];
+    const Bytes read_bytes = streams_[i].bit_rate * config_.t_mems;
+    if (!st.first_write_done) continue;
+    if (st.resident <= 0) {
+      ++report_.starved_reads;
+      st.read_deficit += read_bytes;
+      continue;
+    }
+    const Bytes wanted = read_bytes + st.read_deficit;
+    const Bytes amount = std::min(wanted, st.resident);
+    st.read_deficit = std::max(0.0, wanted - amount);
+    const Bytes local = amount / k;
+    Bytes cursor = st.read_cursor;
+    if (cursor + local > st.slot_size) cursor = 0;
+    ops.push_back(Op{i, amount, st.slot_base + cursor, false});
+    st.read_cursor = cursor + local;
+    st.resident -= amount;
+  }
+
+  // Lock-step service: every device transfers its 1/k share at the same
+  // local offset; the elapsed time is the slowest (= common) device.
+  Seconds busy = 0;
+  for (const auto& op : ops) {
+    Seconds op_time = 0;
+    for (auto& dev : bank_) {
+      auto t = dev.Service(
+          device::IoSpan{static_cast<std::int64_t>(op.device_offset),
+                         op.bytes / k},
+          nullptr);
+      if (!t.ok()) continue;  // unreachable: slots sized in Create
+      op_time = std::max(op_time, t.value());
+    }
+    busy += op_time;
+    ++report_.ios_completed;
+    const Seconds done = t0 + busy;
+    if (op.is_write) {
+      const std::size_t stream = op.stream;
+      const Bytes bytes = op.bytes;
+      sim_.ScheduleAt(done, [this, stream, bytes]() {
+        state_[stream].resident += bytes;
+        state_[stream].first_write_done = true;
+        occupancy_[0] += bytes;
+        report_.peak_mems_occupancy =
+            std::max(report_.peak_mems_occupancy, occupancy_[0]);
+      });
+    } else {
+      const std::size_t stream = op.stream;
+      const Bytes bytes = op.bytes;
+      const Seconds boundary = t0 + config_.t_mems;
+      sim_.ScheduleAt(done, [this, stream, bytes, done, boundary]() {
+        occupancy_[0] = std::max(0.0, occupancy_[0] - bytes);
+        auto* session = &sessions_[stream];
+        session->Deposit(done, bytes);
+        if (!session->playing()) {
+          const Seconds start = std::max(done, boundary);
+          sim_.ScheduleAt(start, [session, start]() {
+            if (!session->playing()) session->StartPlayback(start);
+          });
+        }
+      });
+    }
+  }
+
+  for (auto& b : device_busy_) b += busy;  // all devices move together
+  report_.mems_busy += busy * k;
+  if (busy > config_.t_mems * (1.0 + 1e-9)) ++report_.mems_overruns;
+  ++report_.mems_cycles;
+
+  const Seconds next = t0 + std::max(config_.t_mems, busy);
+  if (next < deadline) {
+    sim_.ScheduleAt(next,
+                    [this, deadline]() { RunStripedMemsCycle(deadline); });
+  }
+}
+
+Status MemsPipelineServer::Run(Seconds duration) {
+  if (ran_) return Status::FailedPrecondition("Run() may be called once");
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  ran_ = true;
+
+  MEMSTREAM_RETURN_IF_ERROR(
+      sim_.Schedule(0, [this, duration]() { RunDiskCycle(duration); }));
+  // MEMS cycles start after the first disk cycle has delivered data.
+  if (config_.placement == model::BufferPlacement::kStripedIos) {
+    MEMSTREAM_RETURN_IF_ERROR(sim_.ScheduleAt(
+        config_.t_disk,
+        [this, duration]() { RunStripedMemsCycle(duration); }));
+  } else {
+    for (std::size_t d = 0; d < bank_.size(); ++d) {
+      MEMSTREAM_RETURN_IF_ERROR(sim_.ScheduleAt(
+          config_.t_disk,
+          [this, d, duration]() { RunMemsCycle(d, duration); }));
+    }
+  }
+  auto processed = sim_.Run(duration);
+  MEMSTREAM_RETURN_IF_ERROR(processed.status());
+
+  report_.horizon = duration;
+  report_.disk_utilization =
+      duration > 0 ? std::min(report_.disk_busy, duration) / duration : 0;
+  Seconds busy_sum = 0;
+  for (Seconds b : device_busy_) busy_sum += b;
+  report_.mems_utilization =
+      duration > 0
+          ? busy_sum / (duration * static_cast<double>(bank_.size()))
+          : 0;
+  for (auto& session : sessions_) {
+    session.LevelAt(duration);
+    report_.underflow_events += session.underflow_events();
+    report_.underflow_time += session.underflow_time();
+    report_.peak_dram_demand += session.peak_level();
+  }
+  return Status::OK();
+}
+
+}  // namespace memstream::server

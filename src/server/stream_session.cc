@@ -1,0 +1,86 @@
+#include "server/stream_session.h"
+
+#include <algorithm>
+
+namespace memstream::server {
+
+void StreamSession::Advance(Seconds now) {
+  if (now <= last_update_) return;
+  const Seconds dt = now - last_update_;
+  last_update_ = now;
+  if (!playing_) return;
+
+  const Bytes demand = bit_rate_ * dt;
+  if (demand <= level_) {
+    level_ -= demand;
+    return;
+  }
+  // The buffer ran dry partway through the interval.
+  const Seconds dry_for = (demand - level_) / bit_rate_;
+  level_ = 0;
+  underflow_time_ += dry_for;
+  if (!dry_) {
+    ++underflow_events_;
+    dry_ = true;
+  }
+}
+
+void StreamSession::Deposit(Seconds now, Bytes bytes) {
+  Advance(now);
+  level_ += bytes;
+  total_deposited_ += bytes;
+  peak_level_ = std::max(peak_level_, level_);
+  if (bytes > 0) dry_ = false;
+}
+
+void StreamSession::StartPlayback(Seconds now) {
+  Advance(now);
+  playing_ = true;
+}
+
+Bytes StreamSession::LevelAt(Seconds now) {
+  Advance(now);
+  return level_;
+}
+
+void RecordingSession::Advance(Seconds now) {
+  if (now <= last_update_) return;
+  const Seconds dt = now - last_update_;
+  if (recording_) {
+    const Bytes before = level_;
+    level_ += bit_rate_ * dt;
+    peak_level_ = std::max(peak_level_, level_);
+    if (level_ > capacity_) {
+      // Accrue only the portion of the interval spent over capacity.
+      const Seconds over_for =
+          before >= capacity_ ? dt : (level_ - capacity_) / bit_rate_;
+      overflow_time_ += over_for;
+      if (!over_) {
+        ++overflow_events_;
+        over_ = true;
+      }
+    }
+  }
+  last_update_ = now;
+}
+
+void RecordingSession::StartRecording(Seconds now) {
+  Advance(now);
+  recording_ = true;
+}
+
+Bytes RecordingSession::Drain(Seconds now, Bytes bytes) {
+  Advance(now);
+  const Bytes drained = std::min(bytes, level_);
+  level_ -= drained;
+  total_drained_ += drained;
+  if (level_ <= capacity_) over_ = false;
+  return drained;
+}
+
+Bytes RecordingSession::LevelAt(Seconds now) {
+  Advance(now);
+  return level_;
+}
+
+}  // namespace memstream::server

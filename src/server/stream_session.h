@@ -1,0 +1,115 @@
+// Per-stream playback session: producers deposit IO-sized chunks, the
+// consumer drains continuously at the stream's bit-rate, and the session
+// records every interval during which the buffer ran dry (jitter).
+//
+// The buffer level is piecewise linear, so it is updated lazily at event
+// times — no per-byte simulation work.
+
+#ifndef MEMSTREAM_SERVER_STREAM_SESSION_H_
+#define MEMSTREAM_SERVER_STREAM_SESSION_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace memstream::server {
+
+/// Playback state of one continuous-media stream.
+class StreamSession {
+ public:
+  StreamSession(std::int64_t id, BytesPerSecond bit_rate)
+      : id_(id), bit_rate_(bit_rate) {}
+
+  std::int64_t id() const { return id_; }
+  BytesPerSecond bit_rate() const { return bit_rate_; }
+
+  /// Producer delivered `bytes` at time `now`.
+  void Deposit(Seconds now, Bytes bytes);
+
+  /// Starts the consumption clock (idempotent).
+  void StartPlayback(Seconds now);
+
+  /// Buffer level after draining up to `now` (also advances the lazy
+  /// state and accrues underflow time).
+  Bytes LevelAt(Seconds now);
+
+  bool playing() const { return playing_; }
+  Bytes total_deposited() const { return total_deposited_; }
+
+  /// Number of distinct dry intervals observed so far.
+  std::int64_t underflow_events() const { return underflow_events_; }
+
+  /// Total simulated time the stream spent with an empty buffer while
+  /// playing (the paper's jitter-freedom criterion is that this is zero).
+  Seconds underflow_time() const { return underflow_time_; }
+
+  /// Largest buffer level ever observed (per-stream DRAM demand).
+  Bytes peak_level() const { return peak_level_; }
+
+ private:
+  void Advance(Seconds now);
+
+  std::int64_t id_;
+  BytesPerSecond bit_rate_;
+  bool playing_ = false;
+  bool dry_ = false;
+  Seconds last_update_ = 0;
+  Bytes level_ = 0;
+  Bytes total_deposited_ = 0;
+  Bytes peak_level_ = 0;
+  std::int64_t underflow_events_ = 0;
+  Seconds underflow_time_ = 0;
+};
+
+/// Recording (write-stream) state: the mirror image of StreamSession.
+/// An encoder fills the staging buffer continuously at the stream's
+/// bit-rate; each IO cycle drains one chunk to the device. The session
+/// tracks the time spent *over* the declared staging capacity (data that
+/// would have been dropped) — the write-side analogue of underflow.
+class RecordingSession {
+ public:
+  RecordingSession(std::int64_t id, BytesPerSecond bit_rate,
+                   Bytes staging_capacity)
+      : id_(id), bit_rate_(bit_rate), capacity_(staging_capacity) {}
+
+  std::int64_t id() const { return id_; }
+  BytesPerSecond bit_rate() const { return bit_rate_; }
+
+  /// Starts the encoder clock (idempotent).
+  void StartRecording(Seconds now);
+
+  /// An IO drained up to `bytes` from staging at time `now`; returns the
+  /// bytes actually drained (never more than was staged).
+  Bytes Drain(Seconds now, Bytes bytes);
+
+  /// Staged bytes after accruing production up to `now`.
+  Bytes LevelAt(Seconds now);
+
+  bool recording() const { return recording_; }
+  Bytes total_drained() const { return total_drained_; }
+  Bytes peak_level() const { return peak_level_; }
+
+  /// Distinct intervals during which staging exceeded its capacity.
+  std::int64_t overflow_events() const { return overflow_events_; }
+  /// Total time spent over capacity.
+  Seconds overflow_time() const { return overflow_time_; }
+
+ private:
+  void Advance(Seconds now);
+
+  std::int64_t id_;
+  BytesPerSecond bit_rate_;
+  Bytes capacity_;
+  bool recording_ = false;
+  bool over_ = false;
+  Seconds last_update_ = 0;
+  Bytes level_ = 0;
+  Bytes total_drained_ = 0;
+  Bytes peak_level_ = 0;
+  std::int64_t overflow_events_ = 0;
+  Seconds overflow_time_ = 0;
+};
+
+}  // namespace memstream::server
+
+#endif  // MEMSTREAM_SERVER_STREAM_SESSION_H_

@@ -1,0 +1,203 @@
+#include "server/timecycle_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace memstream::server {
+
+Result<DirectStreamingServer> DirectStreamingServer::Create(
+    device::DiskDrive* disk, std::vector<StreamSpec> streams,
+    const DirectServerConfig& config, sim::TraceLog* trace) {
+  if (disk == nullptr) return Status::InvalidArgument("disk is required");
+  if (streams.empty()) return Status::InvalidArgument("no streams");
+  if (config.cycle <= 0) return Status::InvalidArgument("cycle must be > 0");
+  if (config.staging_ios < 1.0) {
+    return Status::InvalidArgument("staging_ios must be >= 1");
+  }
+  for (const auto& s : streams) {
+    if (s.bit_rate <= 0) {
+      return Status::InvalidArgument("stream bit_rate must be > 0");
+    }
+    if (s.extent <= 0 ||
+        s.disk_offset + s.extent > disk->Capacity()) {
+      return Status::OutOfRange("stream extent beyond disk capacity");
+    }
+    // An IO must fit inside the extent for the wrap logic to be sound.
+    if (s.bit_rate * config.cycle > s.extent) {
+      return Status::InvalidArgument("extent smaller than one IO");
+    }
+  }
+  return DirectStreamingServer(disk, std::move(streams), config, trace);
+}
+
+DirectStreamingServer::DirectStreamingServer(device::DiskDrive* disk,
+                                             std::vector<StreamSpec> streams,
+                                             const DirectServerConfig& config,
+                                             sim::TraceLog* trace)
+    : disk_(disk),
+      streams_(std::move(streams)),
+      config_(config),
+      trace_(trace),
+      rng_(config.seed) {
+  play_cursor_.assign(streams_.size(), 0);
+  session_index_.reserve(streams_.size());
+  for (const auto& s : streams_) {
+    if (s.direction == StreamDirection::kRead) {
+      session_index_.push_back(play_sessions_.size());
+      play_sessions_.emplace_back(s.id, s.bit_rate);
+    } else {
+      session_index_.push_back(record_sessions_.size());
+      const Bytes staging =
+          config_.staging_ios * s.bit_rate * config_.cycle;
+      record_sessions_.emplace_back(s.id, s.bit_rate, staging);
+    }
+  }
+}
+
+void DirectStreamingServer::RunCycle(Seconds deadline) {
+  const Seconds t0 = sim_.Now();
+  if (t0 >= deadline) return;
+
+  // Build this cycle's batch: one IO per stream at its playback cursor.
+  std::vector<device::IoSpan> batch;
+  batch.reserve(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& s = streams_[i];
+    const Bytes io_bytes = s.bit_rate * config_.cycle;
+    Bytes cursor = play_cursor_[i];
+    // Wrap within the extent so long runs keep streaming.
+    if (cursor + io_bytes > s.extent) cursor = 0;
+    play_cursor_[i] = cursor + io_bytes;
+    batch.push_back(device::IoSpan{
+        static_cast<std::int64_t>(s.disk_offset + cursor), io_bytes});
+  }
+
+  if (trace_ != nullptr) {
+    trace_->Append({t0, sim::TraceKind::kCycleStart, disk_->name(), -1, 0,
+                    "disk cycle " + std::to_string(report_.cycles)});
+  }
+
+  // Service the batch in scheduler order; completions are deposits
+  // (reads) or staging drains (writes).
+  const auto order =
+      device::ScheduleOrder(config_.policy, last_head_offset_, batch);
+  Seconds busy = 0;
+  for (std::size_t idx : order) {
+    auto st = disk_->Service(batch[idx],
+                             config_.deterministic ? nullptr : &rng_);
+    if (!st.ok()) continue;  // unreachable: offsets validated in Create
+    busy += st.value();
+    const Seconds done = t0 + busy;
+    last_head_offset_ = batch[idx].offset;
+    ++report_.ios_completed;
+    const Bytes bytes = batch[idx].bytes;
+
+    if (streams_[idx].direction == StreamDirection::kWrite) {
+      auto* recording = &record_sessions_[session_index_[idx]];
+      sim_.ScheduleAt(done, [this, recording, bytes, done]() {
+        recording->Drain(done, bytes);
+        if (trace_ != nullptr) {
+          trace_->Append({done, sim::TraceKind::kIoCompleted,
+                          disk_->name(), recording->id(), bytes,
+                          "recorded"});
+        }
+      });
+      continue;
+    }
+
+    auto* session = &play_sessions_[session_index_[idx]];
+    // Double-buffered start: data fetched during cycle c is consumed from
+    // the next cycle boundary on, so jitter-freedom only requires that
+    // every cycle's batch finishes within T.
+    const Seconds boundary = t0 + config_.cycle;
+    sim_.ScheduleAt(done, [this, session, bytes, done, boundary]() {
+      session->Deposit(done, bytes);
+      if (trace_ != nullptr) {
+        trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
+                        session->id(), bytes, ""});
+      }
+      if (!session->playing()) {
+        const Seconds start = std::max(done, boundary);
+        sim_.ScheduleAt(start, [session, start]() {
+          if (!session->playing()) session->StartPlayback(start);
+        });
+      }
+    });
+  }
+
+  // Fill remaining cycle slack with best-effort traffic (§3.1.2). Each
+  // candidate is admitted only if its worst-case service time still fits
+  // before the boundary, so the next real-time cycle never slips.
+  if (config_.best_effort_io > 0) {
+    const Seconds worst_case =
+        disk_->MaxAccessLatency() +
+        config_.best_effort_io / disk_->parameters().inner_rate;
+    while (busy + worst_case < config_.cycle) {
+      const auto span = static_cast<std::int64_t>(disk_->Capacity() -
+                                                  config_.best_effort_io);
+      const device::IoSpan io{rng_.NextInt(0, span),
+                              config_.best_effort_io};
+      auto st = disk_->Service(io, config_.deterministic ? nullptr : &rng_);
+      if (!st.ok()) break;
+      busy += st.value();
+      last_head_offset_ = io.offset;
+      ++report_.best_effort_ios;
+      report_.best_effort_bytes += io.bytes;
+    }
+  }
+
+  report_.total_busy += busy;
+  report_.max_cycle_busy = std::max(report_.max_cycle_busy, busy);
+  if (busy > config_.cycle * (1.0 + 1e-9)) ++report_.cycle_overruns;
+  ++report_.cycles;
+
+  // Next cycle at the nominal boundary (or immediately after an overrun).
+  const Seconds next = t0 + std::max(config_.cycle, busy);
+  if (next < deadline) {
+    sim_.ScheduleAt(next, [this, deadline]() { RunCycle(deadline); });
+  }
+}
+
+Status DirectStreamingServer::Run(Seconds duration) {
+  if (ran_) return Status::FailedPrecondition("Run() may be called once");
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  ran_ = true;
+
+  for (auto& recording : record_sessions_) recording.StartRecording(0);
+  MEMSTREAM_RETURN_IF_ERROR(
+      sim_.Schedule(0, [this, duration]() { RunCycle(duration); }));
+  auto processed = sim_.Run(duration);
+  MEMSTREAM_RETURN_IF_ERROR(processed.status());
+
+  report_.horizon = duration;
+  // The final cycle's batch may finish past the horizon; clamp so the
+  // utilization reads as a fraction of the observed window.
+  report_.device_utilization =
+      duration > 0 ? std::min(report_.total_busy, duration) / duration : 0;
+  for (auto& session : play_sessions_) {
+    session.LevelAt(duration);  // accrue trailing underflow time
+    report_.underflow_events += session.underflow_events();
+    report_.underflow_time += session.underflow_time();
+    report_.peak_buffer_demand += session.peak_level();
+    if (trace_ != nullptr && session.underflow_events() > 0) {
+      trace_->Append({duration, sim::TraceKind::kUnderflow, "report",
+                      session.id(), 0,
+                      "events=" + std::to_string(session.underflow_events())});
+    }
+  }
+  for (auto& recording : record_sessions_) {
+    recording.LevelAt(duration);
+    report_.overflow_events += recording.overflow_events();
+    report_.overflow_time += recording.overflow_time();
+    report_.peak_buffer_demand += recording.peak_level();
+    if (trace_ != nullptr && recording.overflow_events() > 0) {
+      trace_->Append({duration, sim::TraceKind::kOverflow, "report",
+                      recording.id(), 0,
+                      "events=" +
+                          std::to_string(recording.overflow_events())});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace memstream::server

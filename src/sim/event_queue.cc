@@ -1,0 +1,25 @@
+#include "sim/event_queue.h"
+
+#include <memory>
+#include <utility>
+
+namespace memstream::sim {
+
+std::int64_t EventQueue::Push(Seconds when, EventCallback cb) {
+  const std::int64_t id = next_seq_++;
+  heap_.push(Entry{when, id, std::make_shared<EventCallback>(std::move(cb))});
+  return id;
+}
+
+EventCallback EventQueue::Pop(Seconds* when) {
+  Entry top = heap_.top();
+  heap_.pop();
+  *when = top.when;
+  return std::move(*top.cb);
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace memstream::sim

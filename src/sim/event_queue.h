@@ -1,0 +1,60 @@
+// Discrete-event core: a time-ordered event queue with stable FIFO
+// ordering among simultaneous events (deterministic replay matters more
+// here than raw speed, but the queue is still a binary heap).
+
+#ifndef MEMSTREAM_SIM_EVENT_QUEUE_H_
+#define MEMSTREAM_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace memstream::sim {
+
+/// Event payload: an arbitrary callback.
+using EventCallback = std::function<void()>;
+
+/// Priority queue of (time, sequence, callback) ordered by time, breaking
+/// ties by insertion order.
+class EventQueue {
+ public:
+  /// Enqueues `cb` to fire at absolute time `when`. Returns the event id.
+  std::int64_t Push(Seconds when, EventCallback cb);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  Seconds NextTime() const { return heap_.top().when; }
+
+  /// Removes and returns the earliest event's callback, storing its time
+  /// in `when`.
+  EventCallback Pop(Seconds* when);
+
+  /// Drops all pending events.
+  void Clear();
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::int64_t seq;
+    // shared_ptr keeps Entry copyable for the std::priority_queue.
+    std::shared_ptr<EventCallback> cb;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::int64_t next_seq_ = 0;
+};
+
+}  // namespace memstream::sim
+
+#endif  // MEMSTREAM_SIM_EVENT_QUEUE_H_

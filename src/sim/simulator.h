@@ -1,0 +1,54 @@
+// The simulation engine: a clock plus the event queue. Components
+// schedule callbacks relative to the current time; Run() drains events in
+// order until the queue empties, a deadline passes, or Stop() is called.
+
+#ifndef MEMSTREAM_SIM_SIMULATOR_H_
+#define MEMSTREAM_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+#include "sim/event_queue.h"
+
+namespace memstream::sim {
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  /// Current simulated time (seconds since Run() start).
+  Seconds Now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` seconds from now. Negative delays are
+  /// rejected (events cannot fire in the past).
+  Status Schedule(Seconds delay, EventCallback cb);
+
+  /// Schedules `cb` at the absolute time `when` (>= Now()).
+  Status ScheduleAt(Seconds when, EventCallback cb);
+
+  /// Processes events in time order until the queue is empty or the next
+  /// event would fire after `until`. Returns the number of events
+  /// processed. Re-entrant Run() calls are rejected.
+  Result<std::int64_t> Run(
+      Seconds until = std::numeric_limits<Seconds>::infinity());
+
+  /// Makes the current Run() return after the in-flight event completes.
+  void Stop() { stopped_ = true; }
+
+  std::int64_t events_processed() const { return events_processed_; }
+  bool running() const { return running_; }
+
+  /// Clears pending events and rewinds the clock to zero.
+  void Reset();
+
+ private:
+  EventQueue queue_;
+  Seconds now_ = 0;
+  bool running_ = false;
+  bool stopped_ = false;
+  std::int64_t events_processed_ = 0;
+};
+
+}  // namespace memstream::sim
+
+#endif  // MEMSTREAM_SIM_SIMULATOR_H_

@@ -1,0 +1,58 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace memstream::sim {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCycleStart:
+      return "cycle-start";
+    case TraceKind::kIoIssued:
+      return "io-issued";
+    case TraceKind::kIoCompleted:
+      return "io-completed";
+    case TraceKind::kUnderflow:
+      return "underflow";
+    case TraceKind::kOverflow:
+      return "overflow";
+    case TraceKind::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::int64_t TraceLog::Count(TraceKind kind) const {
+  std::int64_t count = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::vector<TraceRecord> TraceLog::Filter(TraceKind kind) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.kind == kind) out.push_back(r);
+  }
+  return out;
+}
+
+std::string TraceLog::ToString(std::size_t max_records) const {
+  std::ostringstream out;
+  std::size_t emitted = 0;
+  for (const auto& r : records_) {
+    if (emitted++ >= max_records) {
+      out << "... (" << records_.size() - max_records << " more)\n";
+      break;
+    }
+    out << r.time << " " << TraceKindName(r.kind) << " " << r.actor;
+    if (r.stream_id >= 0) out << " stream=" << r.stream_id;
+    if (r.bytes > 0) out << " bytes=" << r.bytes;
+    if (!r.detail.empty()) out << " " << r.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace memstream::sim

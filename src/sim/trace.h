@@ -1,0 +1,63 @@
+// Event tracing: components append typed records (IO issued/completed,
+// cycle boundaries, underflows) that tests and the validation bench
+// inspect after a run. Tracing is off unless a TraceLog is attached.
+
+#ifndef MEMSTREAM_SIM_TRACE_H_
+#define MEMSTREAM_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace memstream::sim {
+
+/// Kind of traced event.
+enum class TraceKind {
+  kCycleStart,    ///< an IO cycle began on some device
+  kIoIssued,      ///< an IO was handed to a device
+  kIoCompleted,   ///< a device finished an IO
+  kUnderflow,     ///< a stream's playout buffer ran dry
+  kOverflow,      ///< a buffer exceeded its capacity
+  kNote,          ///< free-form annotation
+};
+
+const char* TraceKindName(TraceKind kind);
+
+/// One trace record.
+struct TraceRecord {
+  Seconds time = 0;
+  TraceKind kind = TraceKind::kNote;
+  std::string actor;    ///< component name ("disk", "mems0", "stream 3")
+  std::int64_t stream_id = -1;  ///< owning stream, when applicable
+  Bytes bytes = 0;      ///< transfer size, when applicable
+  std::string detail;   ///< free-form context
+};
+
+/// Append-only record sink with simple filters for post-run assertions.
+class TraceLog {
+ public:
+  void Append(TraceRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Number of records of the given kind.
+  std::int64_t Count(TraceKind kind) const;
+
+  /// Records of one kind, in time order (they are appended in time order
+  /// because the simulator is single-threaded).
+  std::vector<TraceRecord> Filter(TraceKind kind) const;
+
+  void Clear() { records_.clear(); }
+
+  /// Multi-line "time kind actor detail" rendering for debugging.
+  std::string ToString(std::size_t max_records = 200) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace memstream::sim
+
+#endif  // MEMSTREAM_SIM_TRACE_H_

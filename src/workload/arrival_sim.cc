@@ -1,0 +1,76 @@
+#include "workload/arrival_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/histogram.h"
+
+namespace memstream::workload {
+
+Result<LoadStudyResult> StudyAdmission(
+    const std::vector<StreamRequest>& requests, std::int64_t capacity,
+    Seconds horizon) {
+  if (capacity < 1) return Status::InvalidArgument("capacity must be >= 1");
+  if (horizon <= 0) return Status::InvalidArgument("horizon must be > 0");
+
+  LoadStudyResult out;
+  out.offered = static_cast<std::int64_t>(requests.size());
+
+  // Min-heap of departure times of active sessions.
+  std::priority_queue<Seconds, std::vector<Seconds>, std::greater<>>
+      departures;
+  TimeWeightedStats occupancy;
+  occupancy.Update(0, 0);
+  Seconds prev_arrival = 0;
+
+  for (const auto& req : requests) {
+    if (req.arrival < prev_arrival) {
+      return Status::InvalidArgument("trace not sorted by arrival time");
+    }
+    prev_arrival = req.arrival;
+    // Drain departures up to this arrival.
+    while (!departures.empty() && departures.top() <= req.arrival) {
+      occupancy.Update(std::min(departures.top(), horizon),
+                       static_cast<double>(departures.size()) - 1);
+      departures.pop();
+    }
+    if (static_cast<std::int64_t>(departures.size()) < capacity) {
+      departures.push(req.arrival + req.duration);
+      ++out.admitted;
+      occupancy.Update(std::min(req.arrival, horizon),
+                       static_cast<double>(departures.size()));
+      out.peak_occupancy = std::max(
+          out.peak_occupancy,
+          static_cast<std::int64_t>(departures.size()));
+    } else {
+      ++out.rejected;
+    }
+  }
+  // Drain the remaining departures inside the averaging window.
+  while (!departures.empty() && departures.top() <= horizon) {
+    occupancy.Update(departures.top(),
+                     static_cast<double>(departures.size()) - 1);
+    departures.pop();
+  }
+  occupancy.Update(horizon, static_cast<double>(departures.size()));
+
+  out.rejection_rate =
+      out.offered ? static_cast<double>(out.rejected) /
+                        static_cast<double>(out.offered)
+                  : 0.0;
+  out.mean_occupancy = occupancy.TimeAverage();
+  out.utilization = out.mean_occupancy / static_cast<double>(capacity);
+  return out;
+}
+
+double ErlangB(double erlangs, std::int64_t capacity) {
+  if (erlangs <= 0 || capacity < 1) return 0.0;
+  // B(0, a) = 1; B(k, a) = a*B(k-1, a) / (k + a*B(k-1, a)).
+  double b = 1.0;
+  for (std::int64_t k = 1; k <= capacity; ++k) {
+    b = erlangs * b / (static_cast<double>(k) + erlangs * b);
+  }
+  return b;
+}
+
+}  // namespace memstream::workload

@@ -1,0 +1,47 @@
+// Session-level load study: plays an arrival trace against a server with
+// a fixed admission capacity (the planner's max-N), tracking occupancy
+// and rejections over time — the operational view on top of the paper's
+// per-cycle analysis. This is a loss system (no queueing: a VoD request
+// that cannot start is rejected), so the rejection rate behaves like
+// Erlang-B blocking in the offered load a = arrival_rate * duration.
+
+#ifndef MEMSTREAM_WORKLOAD_ARRIVAL_SIM_H_
+#define MEMSTREAM_WORKLOAD_ARRIVAL_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/request_gen.h"
+
+namespace memstream::workload {
+
+/// Outcome of a load study.
+struct LoadStudyResult {
+  std::int64_t offered = 0;    ///< requests in the trace
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  double rejection_rate = 0;   ///< rejected / offered
+  double mean_occupancy = 0;   ///< time-averaged concurrent sessions
+  std::int64_t peak_occupancy = 0;
+  double utilization = 0;      ///< mean_occupancy / capacity
+};
+
+/// Replays `requests` (ascending arrival times) against a server that
+/// can hold `capacity` concurrent sessions; each admitted session stays
+/// for its request's duration. Rejected sessions are lost, not queued.
+/// `horizon` bounds the occupancy averaging window (sessions may outlive
+/// it). Requires capacity >= 1 and a sorted trace.
+Result<LoadStudyResult> StudyAdmission(
+    const std::vector<StreamRequest>& requests, std::int64_t capacity,
+    Seconds horizon);
+
+/// Erlang-B blocking probability for offered load `erlangs` on
+/// `capacity` servers (iterative, numerically stable). The loss system
+/// above converges to this as the trace grows; exposed so studies can
+/// report model-vs-trace agreement.
+double ErlangB(double erlangs, std::int64_t capacity);
+
+}  // namespace memstream::workload
+
+#endif  // MEMSTREAM_WORKLOAD_ARRIVAL_SIM_H_

@@ -1,0 +1,72 @@
+#include "workload/cache_update.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace memstream::workload {
+
+Result<CacheUpdatePlan> PlanCacheUpdate(
+    const Catalog& catalog,
+    const std::vector<std::int64_t>& current_residents,
+    const std::vector<std::int64_t>& ranking, model::CachePolicy policy,
+    std::int64_t k, Bytes mems_capacity_per_device,
+    BytesPerSecond device_write_rate) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (mems_capacity_per_device <= 0) {
+    return Status::InvalidArgument("mems capacity must be > 0");
+  }
+  if (device_write_rate <= 0) {
+    return Status::InvalidArgument("device_write_rate must be > 0");
+  }
+  if (static_cast<std::int64_t>(ranking.size()) != catalog.size()) {
+    return Status::InvalidArgument(
+        "ranking must cover the whole catalog");
+  }
+  std::unordered_set<std::int64_t> seen;
+  for (std::int64_t id : ranking) {
+    if (id < 0 || id >= catalog.size() || !seen.insert(id).second) {
+      return Status::InvalidArgument("ranking is not a permutation");
+    }
+  }
+
+  const Bytes capacity =
+      policy == model::CachePolicy::kStriped
+          ? static_cast<double>(k) * mems_capacity_per_device
+          : mems_capacity_per_device;
+
+  CacheUpdatePlan plan;
+  Bytes used = 0;
+  for (std::int64_t id : ranking) {
+    const Bytes size = catalog.title(id).size;
+    if (used + size > capacity) break;
+    plan.residents.push_back(id);
+    used += size;
+  }
+
+  const std::unordered_set<std::int64_t> old_set(
+      current_residents.begin(), current_residents.end());
+  std::unordered_set<std::int64_t> new_set(plan.residents.begin(),
+                                           plan.residents.end());
+  for (std::int64_t id : plan.residents) {
+    if (!old_set.count(id)) {
+      plan.admit.push_back(id);
+      plan.bytes_to_write += catalog.title(id).size;
+    }
+  }
+  for (std::int64_t id : current_residents) {
+    if (!new_set.count(id)) plan.evict.push_back(id);
+  }
+  std::sort(plan.evict.begin(), plan.evict.end());
+
+  // Replication writes a full copy on every device concurrently (the
+  // per-device time is bytes/rate); striping spreads one copy over k
+  // devices writing in lock-step (bytes/(k*rate)).
+  const double effective_rate =
+      policy == model::CachePolicy::kStriped
+          ? static_cast<double>(k) * device_write_rate
+          : device_write_rate;
+  plan.downtime = plan.bytes_to_write / effective_rate;
+  return plan;
+}
+
+}  // namespace memstream::workload

@@ -1,0 +1,50 @@
+// Offline cache-update planning (§3.2: "The MEMS cache is updated only
+// to account for changes in stream popularity. This can be accomplished
+// off-line, during service down-time."). Given the current resident set
+// and a new popularity ranking, the planner computes the delta — which
+// titles to evict and admit — and the downtime needed to write the new
+// content at the bank's write bandwidth.
+
+#ifndef MEMSTREAM_WORKLOAD_CACHE_UPDATE_H_
+#define MEMSTREAM_WORKLOAD_CACHE_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "model/mems_cache.h"
+#include "workload/catalog.h"
+
+namespace memstream::workload {
+
+/// The update delta and its cost.
+struct CacheUpdatePlan {
+  std::vector<std::int64_t> residents;  ///< new resident set, by rank
+  std::vector<std::int64_t> evict;      ///< leaving titles
+  std::vector<std::int64_t> admit;      ///< entering titles
+  Bytes bytes_to_write = 0;             ///< new content (one copy)
+  Seconds downtime = 0;                 ///< to write it, policy-adjusted
+};
+
+/// Plans the update:
+///  - the new resident set is the longest prefix of `ranking` (most
+///    popular first) whose total size fits the policy's cache capacity
+///    (k * Size_mems striped, Size_mems replicated);
+///  - admit/evict are the set differences vs `current_residents`;
+///  - downtime charges one copy of the admitted bytes against the
+///    bank's aggregate write bandwidth for striping, and k copies
+///    against k devices (one full copy per device at device bandwidth)
+///    for replication — identical per-device time, so the same formula
+///    bytes / device_write_rate applies; striping divides by k.
+///
+/// `ranking` must be a permutation of the catalog's title ids.
+Result<CacheUpdatePlan> PlanCacheUpdate(
+    const Catalog& catalog,
+    const std::vector<std::int64_t>& current_residents,
+    const std::vector<std::int64_t>& ranking, model::CachePolicy policy,
+    std::int64_t k, Bytes mems_capacity_per_device,
+    BytesPerSecond device_write_rate);
+
+}  // namespace memstream::workload
+
+#endif  // MEMSTREAM_WORKLOAD_CACHE_UPDATE_H_

@@ -1,0 +1,49 @@
+#include "workload/request_gen.h"
+
+#include <algorithm>
+
+namespace memstream::workload {
+
+Result<std::vector<StreamRequest>> GenerateRequests(
+    const Catalog& catalog, const TitleSampler& sampler,
+    double arrival_rate, Seconds horizon, Rng& rng) {
+  if (!sampler) return Status::InvalidArgument("sampler is required");
+  if (arrival_rate <= 0) {
+    return Status::InvalidArgument("arrival_rate must be > 0");
+  }
+  if (horizon <= 0) return Status::InvalidArgument("horizon must be > 0");
+
+  std::vector<StreamRequest> requests;
+  Seconds t = rng.NextExponential(arrival_rate);
+  while (t < horizon) {
+    StreamRequest req;
+    req.arrival = t;
+    req.title_id = sampler(rng);
+    if (req.title_id < 0 || req.title_id >= catalog.size()) {
+      return Status::OutOfRange("sampler produced an unknown title id");
+    }
+    req.duration = catalog.title(req.title_id).duration;
+    requests.push_back(req);
+    t += rng.NextExponential(arrival_rate);
+  }
+  return requests;
+}
+
+TraceHitStats MeasureHitRate(const std::vector<StreamRequest>& requests,
+                             const std::vector<std::int64_t>& cached_titles) {
+  TraceHitStats stats;
+  stats.total = static_cast<std::int64_t>(requests.size());
+  for (const auto& req : requests) {
+    if (std::binary_search(cached_titles.begin(), cached_titles.end(),
+                           req.title_id)) {
+      ++stats.hits;
+    }
+  }
+  stats.hit_rate = stats.total
+                       ? static_cast<double>(stats.hits) /
+                             static_cast<double>(stats.total)
+                       : 0.0;
+  return stats;
+}
+
+}  // namespace memstream::workload

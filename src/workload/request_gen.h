@@ -1,0 +1,49 @@
+// Stream-request generation: Poisson arrivals over a catalog with a
+// pluggable popularity sampler. Drives the admission-control and
+// simulation examples; the analytical benches do not need it.
+
+#ifndef MEMSTREAM_WORKLOAD_REQUEST_GEN_H_
+#define MEMSTREAM_WORKLOAD_REQUEST_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "workload/catalog.h"
+
+namespace memstream::workload {
+
+/// One playback request.
+struct StreamRequest {
+  Seconds arrival = 0;
+  std::int64_t title_id = 0;
+  Seconds duration = 0;  ///< requested playback length (<= title duration)
+};
+
+/// Title sampler signature (TwoClassSampler::Sample, ZipfSampler::Sample,
+/// or anything else).
+using TitleSampler = std::function<std::int64_t(Rng&)>;
+
+/// Generates requests with exponential inter-arrival times at
+/// `arrival_rate` (requests/second) until `horizon`, choosing titles via
+/// `sampler`. Durations are the full title length.
+Result<std::vector<StreamRequest>> GenerateRequests(
+    const Catalog& catalog, const TitleSampler& sampler,
+    double arrival_rate, Seconds horizon, Rng& rng);
+
+/// Empirical hit statistics of a request trace against a cached-title
+/// set; used to cross-check Eq. 11 in tests.
+struct TraceHitStats {
+  std::int64_t total = 0;
+  std::int64_t hits = 0;
+  double hit_rate = 0;
+};
+
+TraceHitStats MeasureHitRate(const std::vector<StreamRequest>& requests,
+                             const std::vector<std::int64_t>& cached_titles);
+
+}  // namespace memstream::workload
+
+#endif  // MEMSTREAM_WORKLOAD_REQUEST_GEN_H_

@@ -1,0 +1,105 @@
+#include "workload/arrival_sim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/catalog.h"
+#include "workload/popularity.h"
+
+namespace memstream::workload {
+namespace {
+
+std::vector<StreamRequest> PoissonTrace(double arrival_rate,
+                                        Seconds duration, Seconds horizon,
+                                        std::uint64_t seed) {
+  auto catalog = Catalog::Uniform(100, 1 * kMBps, duration);
+  EXPECT_TRUE(catalog.ok());
+  Rng rng(seed);
+  auto requests = GenerateRequests(
+      catalog.value(), [](Rng& r) { return r.NextInt(0, 99); },
+      arrival_rate, horizon, rng);
+  EXPECT_TRUE(requests.ok());
+  return std::move(requests).value();
+}
+
+TEST(ArrivalSimTest, NoRejectionsUnderLightLoad) {
+  // Offered load a = 0.5/s * 10 s = 5 erlangs against 100 slots.
+  auto trace = PoissonTrace(0.5, 10.0, 10000.0, 1);
+  auto result = StudyAdmission(trace, 100, 10000.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rejected, 0);
+  EXPECT_NEAR(result.value().mean_occupancy, 5.0, 0.5);
+  EXPECT_NEAR(result.value().utilization, 0.05, 0.005);
+}
+
+TEST(ArrivalSimTest, HeavyLoadRejectsAndSaturates) {
+  // a = 10/s * 100 s = 1000 erlangs against 50 slots: ~95% blocking.
+  auto trace = PoissonTrace(10.0, 100.0, 5000.0, 2);
+  auto result = StudyAdmission(trace, 50, 5000.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().rejection_rate, 0.9);
+  EXPECT_GT(result.value().utilization, 0.95);
+  EXPECT_EQ(result.value().peak_occupancy, 50);
+}
+
+TEST(ArrivalSimTest, AccountingBalances) {
+  auto trace = PoissonTrace(2.0, 200.0, 2000.0, 3);
+  auto result = StudyAdmission(trace, 100, 2000.0);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  EXPECT_EQ(r.admitted + r.rejected, r.offered);
+  EXPECT_LE(r.peak_occupancy, 100);
+  EXPECT_GE(r.mean_occupancy, 0.0);
+}
+
+TEST(ArrivalSimTest, RejectionMatchesErlangB) {
+  // a = 3/s * 60 s = 180 erlangs on 180 servers: B ~ 0.052. A long
+  // trace should land within a few points of the formula.
+  const double arrival = 3.0, duration = 60.0;
+  auto trace = PoissonTrace(arrival, duration, 50000.0, 4);
+  const std::int64_t capacity = 180;
+  auto result = StudyAdmission(trace, capacity, 50000.0);
+  ASSERT_TRUE(result.ok());
+  const double expected = ErlangB(arrival * duration, capacity);
+  EXPECT_NEAR(result.value().rejection_rate, expected, 0.02);
+}
+
+TEST(ArrivalSimTest, RejectionMonotoneInLoad) {
+  double prev = -1;
+  for (double rate : {1.0, 2.0, 4.0, 8.0}) {
+    auto trace = PoissonTrace(rate, 100.0, 5000.0, 5);
+    auto result = StudyAdmission(trace, 60, 5000.0);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().rejection_rate, prev - 0.02);
+    prev = result.value().rejection_rate;
+  }
+}
+
+TEST(ErlangBTest, KnownValues) {
+  // Classic reference points.
+  EXPECT_NEAR(ErlangB(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(ErlangB(2.0, 2), 0.4, 1e-12);
+  // Light load on many servers: essentially no blocking.
+  EXPECT_LT(ErlangB(1.0, 20), 1e-18);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(ErlangB(0.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(ErlangB(5.0, 0), 0.0);
+}
+
+TEST(ErlangBTest, MonotoneInLoadAndCapacity) {
+  EXPECT_LT(ErlangB(10, 20), ErlangB(20, 20));
+  EXPECT_GT(ErlangB(10, 10), ErlangB(10, 20));
+}
+
+TEST(ArrivalSimTest, InvalidInputsRejected) {
+  auto trace = PoissonTrace(1.0, 10.0, 100.0, 6);
+  EXPECT_FALSE(StudyAdmission(trace, 0, 100.0).ok());
+  EXPECT_FALSE(StudyAdmission(trace, 10, 0.0).ok());
+  // Unsorted trace detected.
+  std::vector<StreamRequest> unsorted{{5.0, 0, 10.0}, {1.0, 0, 10.0}};
+  EXPECT_FALSE(StudyAdmission(unsorted, 10, 100.0).ok());
+}
+
+}  // namespace
+}  // namespace memstream::workload

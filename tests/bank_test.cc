@@ -1,0 +1,123 @@
+#include "device/bank.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+#include "device/mems_device.h"
+
+namespace memstream::device {
+namespace {
+
+std::vector<std::unique_ptr<BlockDevice>> G3Bank(int k) {
+  std::vector<std::unique_ptr<BlockDevice>> devices;
+  for (int i = 0; i < k; ++i) {
+    auto dev = MemsDevice::Create(MemsG3());
+    EXPECT_TRUE(dev.ok());
+    devices.push_back(
+        std::make_unique<MemsDevice>(std::move(dev).value()));
+  }
+  return devices;
+}
+
+TEST(BankTest, RequiresAtLeastOneDevice) {
+  EXPECT_FALSE(DeviceBank::Create({}, BankMode::kStriped).ok());
+}
+
+TEST(BankTest, RejectsHeterogeneousDevices) {
+  auto devices = G3Bank(1);
+  MemsParameters small = MemsG3();
+  small.capacity = 1 * kGB;
+  auto dev = MemsDevice::Create(small);
+  ASSERT_TRUE(dev.ok());
+  devices.push_back(std::make_unique<MemsDevice>(std::move(dev).value()));
+  EXPECT_FALSE(DeviceBank::Create(std::move(devices), BankMode::kStriped)
+                   .ok());
+}
+
+// Corollary 2: a round-robin buffer bank behaves as one device with k x
+// throughput and k x lower latency.
+TEST(BankTest, RoundRobinAggregates) {
+  auto bank = DeviceBank::Create(G3Bank(4), BankMode::kRoundRobin);
+  ASSERT_TRUE(bank.ok());
+  EXPECT_DOUBLE_EQ(bank.value().AggregateTransferRate(), 4 * 320 * kMBps);
+  EXPECT_DOUBLE_EQ(bank.value().EffectiveAverageLatency() * 4,
+                   bank.value().device(0).AverageAccessLatency());
+  EXPECT_DOUBLE_EQ(bank.value().EffectiveCapacity(), 40 * kGB);
+}
+
+// Corollary 3: a striped cache keeps single-device latency.
+TEST(BankTest, StripedKeepsLatency) {
+  auto bank = DeviceBank::Create(G3Bank(4), BankMode::kStriped);
+  ASSERT_TRUE(bank.ok());
+  EXPECT_DOUBLE_EQ(bank.value().AggregateTransferRate(), 4 * 320 * kMBps);
+  EXPECT_DOUBLE_EQ(bank.value().EffectiveAverageLatency(),
+                   bank.value().device(0).AverageAccessLatency());
+  EXPECT_DOUBLE_EQ(bank.value().EffectiveCapacity(), 40 * kGB);
+}
+
+// Corollary 4: a replicated cache halves latency per device added but
+// keeps single-device capacity.
+TEST(BankTest, ReplicatedReducesLatencyKeepsCapacity) {
+  auto bank = DeviceBank::Create(G3Bank(2), BankMode::kReplicated);
+  ASSERT_TRUE(bank.ok());
+  EXPECT_DOUBLE_EQ(bank.value().AggregateTransferRate(), 2 * 320 * kMBps);
+  EXPECT_DOUBLE_EQ(bank.value().EffectiveAverageLatency() * 2,
+                   bank.value().device(0).AverageAccessLatency());
+  EXPECT_DOUBLE_EQ(bank.value().EffectiveCapacity(), 10 * kGB);
+}
+
+TEST(BankTest, RoundRobinCursorRotates) {
+  auto bank = DeviceBank::Create(G3Bank(3), BankMode::kRoundRobin);
+  ASSERT_TRUE(bank.ok());
+  EXPECT_EQ(bank.value().NextRoundRobinDevice().value(), 0u);
+  EXPECT_EQ(bank.value().NextRoundRobinDevice().value(), 1u);
+  EXPECT_EQ(bank.value().NextRoundRobinDevice().value(), 2u);
+  EXPECT_EQ(bank.value().NextRoundRobinDevice().value(), 0u);
+}
+
+TEST(BankTest, RoundRobinRoutingOnlyInRoundRobinMode) {
+  auto bank = DeviceBank::Create(G3Bank(2), BankMode::kStriped);
+  ASSERT_TRUE(bank.ok());
+  EXPECT_EQ(bank.value().NextRoundRobinDevice().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BankTest, StripedServiceSplitsAcrossDevices) {
+  auto bank = DeviceBank::Create(G3Bank(4), BankMode::kStriped);
+  ASSERT_TRUE(bank.ok());
+  bank.value().Reset();
+  auto t = bank.value().Service({0, 4 * kMB}, nullptr);
+  ASSERT_TRUE(t.ok());
+  // Each device transfers 1 MB at 320 MB/s from its current position.
+  EXPECT_NEAR(t.value(), 1 * kMB / (320 * kMBps), 1e-9);
+}
+
+TEST(BankTest, ReplicatedServiceUsesOneDevice) {
+  auto bank = DeviceBank::Create(G3Bank(2), BankMode::kReplicated);
+  ASSERT_TRUE(bank.ok());
+  bank.value().Reset();
+  auto t = bank.value().Service({0, 2 * kMB}, nullptr);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(t.value(), 2 * kMB / (320 * kMBps), 1e-9);
+}
+
+TEST(BankTest, ServiceBeyondCapacityRejected) {
+  auto bank = DeviceBank::Create(G3Bank(2), BankMode::kReplicated);
+  ASSERT_TRUE(bank.ok());
+  // Replicated capacity is one device: 10 GB.
+  EXPECT_FALSE(bank.value()
+                   .Service({static_cast<std::int64_t>(15 * kGB), 1 * kMB},
+                            nullptr)
+                   .ok());
+}
+
+TEST(BankTest, ModeNames) {
+  EXPECT_STREQ(BankModeName(BankMode::kRoundRobin), "round-robin");
+  EXPECT_STREQ(BankModeName(BankMode::kStriped), "striped");
+  EXPECT_STREQ(BankModeName(BankMode::kReplicated), "replicated");
+}
+
+}  // namespace
+}  // namespace memstream::device

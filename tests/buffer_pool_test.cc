@@ -1,0 +1,52 @@
+#include "server/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace memstream::server {
+namespace {
+
+TEST(BufferPoolTest, ReserveAndRelease) {
+  BufferPool pool(1000);
+  EXPECT_TRUE(pool.Reserve(600).ok());
+  EXPECT_DOUBLE_EQ(pool.used(), 600);
+  EXPECT_DOUBLE_EQ(pool.available(), 400);
+  EXPECT_TRUE(pool.Release(200).ok());
+  EXPECT_DOUBLE_EQ(pool.used(), 400);
+}
+
+TEST(BufferPoolTest, ExhaustionRejected) {
+  BufferPool pool(1000);
+  EXPECT_TRUE(pool.Reserve(900).ok());
+  auto status = pool.Reserve(200);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(pool.used(), 900);  // failed reserve changes nothing
+}
+
+TEST(BufferPoolTest, PeakTracksHighWatermark) {
+  BufferPool pool(1000);
+  ASSERT_TRUE(pool.Reserve(800).ok());
+  ASSERT_TRUE(pool.Release(700).ok());
+  ASSERT_TRUE(pool.Reserve(100).ok());
+  EXPECT_DOUBLE_EQ(pool.peak_used(), 800);
+}
+
+TEST(BufferPoolTest, OverReleaseIsAnError) {
+  BufferPool pool(1000);
+  ASSERT_TRUE(pool.Reserve(100).ok());
+  EXPECT_FALSE(pool.Release(200).ok());
+}
+
+TEST(BufferPoolTest, NegativeAmountsRejected) {
+  BufferPool pool(1000);
+  EXPECT_FALSE(pool.Reserve(-1).ok());
+  EXPECT_FALSE(pool.Release(-1).ok());
+}
+
+TEST(BufferPoolTest, ExactFillAllowed) {
+  BufferPool pool(1000);
+  EXPECT_TRUE(pool.Reserve(1000).ok());
+  EXPECT_DOUBLE_EQ(pool.available(), 0);
+}
+
+}  // namespace
+}  // namespace memstream::server

@@ -1,0 +1,115 @@
+#include "workload/cache_update.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace memstream::workload {
+namespace {
+
+Catalog TenGigabyteTitles(std::int64_t n) {
+  // 1 GB titles (1 MB/s x 1000 s).
+  auto catalog = Catalog::Uniform(n, 1 * kMBps, 1000);
+  EXPECT_TRUE(catalog.ok());
+  return std::move(catalog).value();
+}
+
+std::vector<std::int64_t> Identity(std::int64_t n) {
+  std::vector<std::int64_t> ranking(static_cast<std::size_t>(n));
+  std::iota(ranking.begin(), ranking.end(), 0);
+  return ranking;
+}
+
+TEST(CacheUpdateTest, InitialFillAdmitsTopRanked) {
+  Catalog catalog = TenGigabyteTitles(20);
+  auto plan = PlanCacheUpdate(catalog, {}, Identity(20),
+                              model::CachePolicy::kReplicated, 2,
+                              10 * kGB, 320 * kMBps);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Replicated capacity = one device = 10 GB = 10 titles.
+  EXPECT_EQ(plan.value().residents.size(), 10u);
+  EXPECT_EQ(plan.value().admit.size(), 10u);
+  EXPECT_TRUE(plan.value().evict.empty());
+  EXPECT_DOUBLE_EQ(plan.value().bytes_to_write, 10 * kGB);
+  // One full copy per device at device rate.
+  EXPECT_NEAR(plan.value().downtime, 10 * kGB / (320 * kMBps), 1e-9);
+}
+
+TEST(CacheUpdateTest, StripingAggregatesCapacityAndBandwidth) {
+  Catalog catalog = TenGigabyteTitles(50);
+  auto plan = PlanCacheUpdate(catalog, {}, Identity(50),
+                              model::CachePolicy::kStriped, 4, 10 * kGB,
+                              320 * kMBps);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().residents.size(), 40u);  // 4 x 10 GB
+  EXPECT_NEAR(plan.value().downtime,
+              40 * kGB / (4 * 320 * kMBps), 1e-9);
+}
+
+TEST(CacheUpdateTest, PopularityShiftComputesMinimalDelta) {
+  Catalog catalog = TenGigabyteTitles(20);
+  // Currently resident: titles 0..9. New ranking promotes 15 and 16 to
+  // the top, demoting 8 and 9 out of the cache.
+  std::vector<std::int64_t> ranking{15, 16, 0, 1, 2, 3, 4, 5, 6, 7,
+                                    8,  9,  10, 11, 12, 13, 14, 17, 18, 19};
+  std::vector<std::int64_t> current{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto plan = PlanCacheUpdate(catalog, current, ranking,
+                              model::CachePolicy::kReplicated, 1, 10 * kGB,
+                              320 * kMBps);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().admit, (std::vector<std::int64_t>{15, 16}));
+  EXPECT_EQ(plan.value().evict, (std::vector<std::int64_t>{8, 9}));
+  EXPECT_DOUBLE_EQ(plan.value().bytes_to_write, 2 * kGB);
+}
+
+TEST(CacheUpdateTest, NoChangeNoDowntime) {
+  Catalog catalog = TenGigabyteTitles(20);
+  auto current = Identity(10);
+  auto plan = PlanCacheUpdate(catalog, current, Identity(20),
+                              model::CachePolicy::kReplicated, 1, 10 * kGB,
+                              320 * kMBps);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().admit.empty());
+  EXPECT_TRUE(plan.value().evict.empty());
+  EXPECT_DOUBLE_EQ(plan.value().downtime, 0.0);
+}
+
+TEST(CacheUpdateTest, InvalidRankingRejected) {
+  Catalog catalog = TenGigabyteTitles(5);
+  // Too short.
+  EXPECT_FALSE(PlanCacheUpdate(catalog, {}, {0, 1, 2},
+                               model::CachePolicy::kStriped, 1, 10 * kGB,
+                               320 * kMBps)
+                   .ok());
+  // Duplicate entry.
+  EXPECT_FALSE(PlanCacheUpdate(catalog, {}, {0, 1, 2, 3, 3},
+                               model::CachePolicy::kStriped, 1, 10 * kGB,
+                               320 * kMBps)
+                   .ok());
+  // Out-of-range id.
+  EXPECT_FALSE(PlanCacheUpdate(catalog, {}, {0, 1, 2, 3, 9},
+                               model::CachePolicy::kStriped, 1, 10 * kGB,
+                               320 * kMBps)
+                   .ok());
+}
+
+TEST(CacheUpdateTest, InvalidParametersRejected) {
+  Catalog catalog = TenGigabyteTitles(5);
+  const auto ranking = Identity(5);
+  EXPECT_FALSE(PlanCacheUpdate(catalog, {}, ranking,
+                               model::CachePolicy::kStriped, 0, 10 * kGB,
+                               320 * kMBps)
+                   .ok());
+  EXPECT_FALSE(PlanCacheUpdate(catalog, {}, ranking,
+                               model::CachePolicy::kStriped, 1, 0,
+                               320 * kMBps)
+                   .ok());
+  EXPECT_FALSE(PlanCacheUpdate(catalog, {}, ranking,
+                               model::CachePolicy::kStriped, 1, 10 * kGB,
+                               0)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace memstream::workload

@@ -1,0 +1,158 @@
+#include "device/device_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+#include "device/disk.h"
+
+namespace memstream::device {
+namespace {
+
+DiskDrive Backing() {
+  auto disk = DiskDrive::Create(FutureDisk2007());
+  EXPECT_TRUE(disk.ok());
+  return std::move(disk).value();
+}
+
+DeviceCacheParameters SmallCache() {
+  DeviceCacheParameters p;
+  p.cache_bytes = 4 * kMB;
+  p.segment_bytes = 1 * kMB;
+  p.cache_rate = 2 * kGBps;
+  return p;
+}
+
+TEST(DeviceCacheTest, RepeatAccessHits) {
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());
+  ASSERT_TRUE(cached.ok());
+  const IoSpan io{0, 1 * kMB};
+  auto miss = cached.value().Service(io, nullptr);
+  auto hit = cached.value().Service(io, nullptr);
+  ASSERT_TRUE(miss.ok());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(cached.value().stats().misses, 1);
+  EXPECT_EQ(cached.value().stats().hits, 1);
+  // Hit avoids positioning entirely: ~0.5 ms transfer vs ~ms-scale miss.
+  EXPECT_LT(hit.value(), miss.value() * 0.5);
+  EXPECT_NEAR(hit.value(), 1 * kMB / (2 * kGBps), 1e-12);
+}
+
+TEST(DeviceCacheTest, PartialResidencyIsAMiss) {
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(cached.value().Service({0, 1 * kMB}, nullptr).ok());
+  // Spans segments 0-1; only 0 is resident.
+  ASSERT_TRUE(cached.value().Service({0, 2 * kMB}, nullptr).ok());
+  EXPECT_EQ(cached.value().stats().misses, 2);
+  // Now both segments are resident.
+  ASSERT_TRUE(cached.value().Service({0, 2 * kMB}, nullptr).ok());
+  EXPECT_EQ(cached.value().stats().hits, 1);
+}
+
+TEST(DeviceCacheTest, LruEvictsColdSegments) {
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());  // 4 segments
+  ASSERT_TRUE(cached.ok());
+  // Fill segments 0..3, then touch 4: segment 0 must be evicted.
+  for (std::int64_t s = 0; s <= 4; ++s) {
+    ASSERT_TRUE(cached.value()
+                    .Service({static_cast<std::int64_t>(s * kMB), 1 * kMB},
+                             nullptr)
+                    .ok());
+  }
+  EXPECT_EQ(cached.value().stats().evictions, 1);
+  EXPECT_EQ(cached.value().resident_segments(), 4);
+  // Segment 0 misses again; segment 4 hits.
+  ASSERT_TRUE(cached.value().Service({0, 1 * kMB}, nullptr).ok());
+  EXPECT_EQ(cached.value().stats().misses, 6);
+  ASSERT_TRUE(cached.value()
+                  .Service({static_cast<std::int64_t>(4 * kMB), 1 * kMB},
+                           nullptr)
+                  .ok());
+  EXPECT_EQ(cached.value().stats().hits, 1);
+}
+
+TEST(DeviceCacheTest, TouchRefreshesRecency) {
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());
+  ASSERT_TRUE(cached.ok());
+  for (std::int64_t s = 0; s <= 3; ++s) {
+    ASSERT_TRUE(cached.value()
+                    .Service({static_cast<std::int64_t>(s * kMB), 1 * kMB},
+                             nullptr)
+                    .ok());
+  }
+  // Re-touch segment 0, then bring in segment 4: the eviction victim
+  // must be segment 1, so 0 still hits.
+  ASSERT_TRUE(cached.value().Service({0, 1 * kMB}, nullptr).ok());
+  ASSERT_TRUE(cached.value()
+                  .Service({static_cast<std::int64_t>(4 * kMB), 1 * kMB},
+                           nullptr)
+                  .ok());
+  const auto hits_before = cached.value().stats().hits;
+  ASSERT_TRUE(cached.value().Service({0, 1 * kMB}, nullptr).ok());
+  EXPECT_EQ(cached.value().stats().hits, hits_before + 1);
+}
+
+TEST(DeviceCacheTest, SequentialStreamingGetsNoHits) {
+  // The paper's point: streaming data has no reuse, so an on-device
+  // cache contributes nothing to continuous media service.
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());
+  ASSERT_TRUE(cached.ok());
+  for (std::int64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(cached.value()
+                    .Service({static_cast<std::int64_t>(i * 8 * kMB),
+                              1 * kMB},
+                             nullptr)
+                    .ok());
+  }
+  EXPECT_EQ(cached.value().stats().hits, 0);
+  EXPECT_DOUBLE_EQ(cached.value().stats().HitRate(), 0.0);
+}
+
+TEST(DeviceCacheTest, ResetClearsEverything) {
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(cached.value().Service({0, 1 * kMB}, nullptr).ok());
+  cached.value().Reset();
+  EXPECT_EQ(cached.value().resident_segments(), 0);
+  EXPECT_EQ(cached.value().stats().misses, 0);
+}
+
+TEST(DeviceCacheTest, PassesThroughDeviceCharacteristics) {
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_DOUBLE_EQ(cached.value().Capacity(), disk.Capacity());
+  EXPECT_DOUBLE_EQ(cached.value().MaxTransferRate(),
+                   disk.MaxTransferRate());
+  EXPECT_EQ(cached.value().name(), disk.name() + "+cache");
+}
+
+TEST(DeviceCacheTest, InvalidParametersRejected) {
+  DiskDrive disk = Backing();
+  DeviceCacheParameters p = SmallCache();
+  EXPECT_FALSE(CachedDevice::Create(nullptr, p).ok());
+  p.segment_bytes = 0;
+  EXPECT_FALSE(CachedDevice::Create(&disk, p).ok());
+  p = SmallCache();
+  p.cache_bytes = p.segment_bytes / 2;
+  EXPECT_FALSE(CachedDevice::Create(&disk, p).ok());
+}
+
+TEST(DeviceCacheTest, OutOfRangeRejected) {
+  DiskDrive disk = Backing();
+  auto cached = CachedDevice::Create(&disk, SmallCache());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_FALSE(cached.value()
+                   .Service({static_cast<std::int64_t>(disk.Capacity()), 1},
+                            nullptr)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace memstream::device

@@ -1,0 +1,75 @@
+#include "device/device.h"
+
+#include <gtest/gtest.h>
+
+namespace memstream::device {
+namespace {
+
+TEST(EffectiveThroughputTest, ZeroSizeZeroThroughput) {
+  EXPECT_DOUBLE_EQ(
+      EffectiveThroughput(0, 1 * kMillisecond, 300 * kMBps), 0.0);
+}
+
+TEST(EffectiveThroughputTest, ZeroLatencyReachesMediaRate) {
+  EXPECT_DOUBLE_EQ(EffectiveThroughput(1 * kMB, 0, 300 * kMBps),
+                   300 * kMBps);
+}
+
+TEST(EffectiveThroughputTest, MonotoneInIoSize) {
+  double prev = 0;
+  for (Bytes io = 4 * kKB; io <= 64 * kMB; io *= 2) {
+    const double t =
+        EffectiveThroughput(io, 4.3 * kMillisecond, 300 * kMBps);
+    EXPECT_GT(t, prev);
+    EXPECT_LT(t, 300 * kMBps);
+    prev = t;
+  }
+}
+
+TEST(EffectiveThroughputTest, HalfRateAtLatencyEqualsTransferTime) {
+  // When the positioning time equals the transfer time, effective
+  // throughput is exactly half the media rate.
+  const Bytes io = 300 * kMBps * 4.3 * kMillisecond;  // transfer = 4.3 ms
+  EXPECT_NEAR(EffectiveThroughput(io, 4.3 * kMillisecond, 300 * kMBps),
+              150 * kMBps, 1e-6);
+}
+
+TEST(IoSizeForThroughputTest, RoundTripsWithEffectiveThroughput) {
+  const Seconds latency = 0.86 * kMillisecond;
+  const BytesPerSecond rate = 320 * kMBps;
+  for (double frac : {0.1, 0.5, 0.9, 0.99}) {
+    auto io = IoSizeForThroughput(frac * rate, latency, rate);
+    ASSERT_TRUE(io.ok()) << frac;
+    EXPECT_NEAR(EffectiveThroughput(io.value(), latency, rate),
+                frac * rate, 1e-3)
+        << frac;
+  }
+}
+
+TEST(IoSizeForThroughputTest, TargetAtOrAboveRateInfeasible) {
+  EXPECT_EQ(IoSizeForThroughput(300 * kMBps, 1e-3, 300 * kMBps)
+                .status()
+                .code(),
+            StatusCode::kInfeasible);
+  EXPECT_FALSE(IoSizeForThroughput(400 * kMBps, 1e-3, 300 * kMBps).ok());
+}
+
+TEST(IoSizeForThroughputTest, NonPositiveTargetRejected) {
+  EXPECT_EQ(IoSizeForThroughput(0, 1e-3, 300 * kMBps).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IoSizeForThroughputTest, Fig2HeadlineRatio) {
+  // Fig. 2's punchline: for 90% utilization the disk needs ~5x larger
+  // IOs than the MEMS device (latency ratio x rate ratio).
+  auto disk = IoSizeForThroughput(0.9 * 300 * kMBps, 4.3 * kMillisecond,
+                                  300 * kMBps);
+  auto mems = IoSizeForThroughput(0.9 * 320 * kMBps, 0.86 * kMillisecond,
+                                  320 * kMBps);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE(mems.ok());
+  EXPECT_NEAR(disk.value() / mems.value(), 4.69, 0.05);
+}
+
+}  // namespace
+}  // namespace memstream::device

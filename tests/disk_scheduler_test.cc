@@ -1,0 +1,103 @@
+#include "device/disk_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+#include "device/disk.h"
+
+namespace memstream::device {
+namespace {
+
+std::vector<IoSpan> Batch(std::initializer_list<std::int64_t> offsets) {
+  std::vector<IoSpan> batch;
+  for (auto o : offsets) batch.push_back({o, 1 * kMB});
+  return batch;
+}
+
+bool IsPermutation(const std::vector<std::size_t>& order, std::size_t n) {
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::size_t> expected(n);
+  std::iota(expected.begin(), expected.end(), 0);
+  return sorted == expected;
+}
+
+TEST(SchedulerTest, FcfsPreservesOrder) {
+  const auto batch = Batch({50, 10, 90, 30});
+  const auto order = ScheduleOrder(SchedulerPolicy::kFcfs, 0, batch);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(SchedulerTest, SstfGreedyFromHead) {
+  const auto batch = Batch({50, 10, 90, 30});
+  const auto order = ScheduleOrder(SchedulerPolicy::kSstf, 35, batch);
+  // From 35: nearest 30, then 10... wait 30->50 dist 20 vs 30->10 dist 20:
+  // tie broken by first found (index order): 50 is index 0.
+  ASSERT_TRUE(IsPermutation(order, 4));
+  EXPECT_EQ(order[0], 3u);  // offset 30 (distance 5)
+}
+
+TEST(SchedulerTest, ScanSweepsUpThenDown) {
+  const auto batch = Batch({50, 10, 90, 30});
+  const auto order = ScheduleOrder(SchedulerPolicy::kScan, 40, batch);
+  ASSERT_TRUE(IsPermutation(order, 4));
+  // Up: 50, 90; down: 30, 10.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 3, 1}));
+}
+
+TEST(SchedulerTest, CLookSweepsUpThenWraps) {
+  const auto batch = Batch({50, 10, 90, 30});
+  const auto order = ScheduleOrder(SchedulerPolicy::kCLook, 40, batch);
+  ASSERT_TRUE(IsPermutation(order, 4));
+  // Up: 50, 90; wrap to lowest: 10, 30.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1, 3}));
+}
+
+TEST(SchedulerTest, EmptyBatch) {
+  for (auto policy : {SchedulerPolicy::kFcfs, SchedulerPolicy::kSstf,
+                      SchedulerPolicy::kScan, SchedulerPolicy::kCLook}) {
+    EXPECT_TRUE(ScheduleOrder(policy, 0, {}).empty());
+  }
+}
+
+TEST(SchedulerTest, AllPoliciesProducePermutations) {
+  const auto batch = Batch({5, 3, 9, 1, 7, 7, 2});
+  for (auto policy : {SchedulerPolicy::kFcfs, SchedulerPolicy::kSstf,
+                      SchedulerPolicy::kScan, SchedulerPolicy::kCLook}) {
+    EXPECT_TRUE(IsPermutation(ScheduleOrder(policy, 4, batch), 7))
+        << SchedulerPolicyName(policy);
+  }
+}
+
+TEST(SchedulerTest, ElevatorBeatsFcfsOnRandomBatch) {
+  auto disk_result = DiskDrive::Create(FutureDisk2007());
+  ASSERT_TRUE(disk_result.ok());
+  DiskDrive& disk = disk_result.value();
+
+  Rng rng(99);
+  std::vector<IoSpan> batch;
+  // Small IOs so positioning (what the scheduler controls) dominates.
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(
+        {rng.NextInt(0, static_cast<std::int64_t>(900 * kGB)), 4 * kKB});
+  }
+  disk.Reset();
+  auto fcfs = ServiceBatch(disk, SchedulerPolicy::kFcfs, 0, batch, nullptr);
+  disk.Reset();
+  auto scan = ServiceBatch(disk, SchedulerPolicy::kScan, 0, batch, nullptr);
+  ASSERT_TRUE(fcfs.ok());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_LT(scan.value(), fcfs.value() * 0.6)
+      << "elevator should cut positioning time drastically";
+}
+
+TEST(SchedulerTest, PolicyNames) {
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kScan), "SCAN");
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kCLook), "C-LOOK");
+}
+
+}  // namespace
+}  // namespace memstream::device

@@ -1,0 +1,129 @@
+#include "device/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+
+namespace memstream::device {
+namespace {
+
+DiskDrive Future() {
+  auto disk = DiskDrive::Create(FutureDisk2007());
+  EXPECT_TRUE(disk.ok()) << disk.status().ToString();
+  return std::move(disk).value();
+}
+
+TEST(DiskTest, FutureDiskHeadlineNumbers) {
+  DiskDrive disk = Future();
+  EXPECT_DOUBLE_EQ(disk.MaxTransferRate(), 300 * kMBps);
+  EXPECT_DOUBLE_EQ(disk.Capacity(), 1000 * kGB);
+  // 20 000 RPM -> 3 ms rotation, 1.5 ms average rotational delay;
+  // 2.8 ms average seek -> 4.3 ms average access (the paper's L̄_disk).
+  EXPECT_NEAR(disk.RotationPeriod(), 3.0 * kMillisecond, 1e-9);
+  EXPECT_NEAR(disk.AverageAccessLatency(), 4.3 * kMillisecond, 1e-6);
+  EXPECT_NEAR(disk.MaxAccessLatency(), 10.0 * kMillisecond, 1e-6);
+}
+
+TEST(DiskTest, ServiceTimeSeekPlusRotationPlusTransfer) {
+  DiskDrive disk = Future();
+  disk.Reset();
+  // From cylinder 0 to itself: no seek, expected rotation, zoned rate.
+  auto t = disk.Service({0, 300 * kMB}, nullptr);
+  ASSERT_TRUE(t.ok());
+  // half rotation (1.5 ms) + 300MB / 300MB/s (1 s)
+  EXPECT_NEAR(t.value(), 1.0 + 1.5 * kMillisecond, 1e-6);
+}
+
+TEST(DiskTest, SequentialIoFasterThanRandom) {
+  DiskDrive disk = Future();
+  disk.Reset();
+  ASSERT_TRUE(disk.Service({0, 1 * kMB}, nullptr).ok());
+  auto sequential = disk.Service({static_cast<std::int64_t>(1 * kMB), 1 * kMB},
+                                 nullptr);
+  disk.Reset();
+  ASSERT_TRUE(disk.Service({0, 1 * kMB}, nullptr).ok());
+  auto random = disk.Service(
+      {static_cast<std::int64_t>(900 * kGB), 1 * kMB}, nullptr);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_LT(sequential.value(), random.value());
+}
+
+TEST(DiskTest, InnerZoneTransfersSlower) {
+  DiskDrive disk = Future();
+  disk.Reset();
+  auto outer = disk.Service({0, 100 * kMB}, nullptr);
+  disk.Reset();
+  auto inner = disk.Service(
+      {static_cast<std::int64_t>(999 * kGB - 100 * kMB), 100 * kMB},
+      nullptr);
+  ASSERT_TRUE(outer.ok());
+  ASSERT_TRUE(inner.ok());
+  // Compare pure transfer components by subtracting positioning bounds:
+  // inner transfer is 300/170 slower, dominating any seek difference.
+  EXPECT_GT(inner.value(), outer.value());
+}
+
+TEST(DiskTest, HeadPositionAdvances) {
+  DiskDrive disk = Future();
+  disk.Reset();
+  EXPECT_EQ(disk.current_cylinder(), 0);
+  ASSERT_TRUE(
+      disk.Service({static_cast<std::int64_t>(500 * kGB), 1 * kMB}, nullptr)
+          .ok());
+  EXPECT_GT(disk.current_cylinder(), 0);
+  disk.Reset();
+  EXPECT_EQ(disk.current_cylinder(), 0);
+}
+
+TEST(DiskTest, OutOfRangeIoRejected) {
+  DiskDrive disk = Future();
+  EXPECT_FALSE(disk.Service({-1, 1}, nullptr).ok());
+  EXPECT_FALSE(
+      disk.Service({static_cast<std::int64_t>(1000 * kGB), 1}, nullptr).ok());
+  EXPECT_FALSE(disk.Service({0, -5}, nullptr).ok());
+}
+
+TEST(DiskTest, SampledRotationWithinOnePeriod) {
+  DiskDrive disk = Future();
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    disk.Reset();
+    auto t = disk.Service({0, 0}, &rng);
+    ASSERT_TRUE(t.ok());
+    EXPECT_GE(t.value(), 0.0);
+    EXPECT_LE(t.value(), disk.RotationPeriod());
+  }
+}
+
+TEST(DiskTest, SchedulerDeterminedLatencyImprovesWithLoad) {
+  DiskDrive disk = Future();
+  auto l1 = disk.SchedulerDeterminedLatency(1);
+  auto l100 = disk.SchedulerDeterminedLatency(100);
+  auto l10000 = disk.SchedulerDeterminedLatency(10000);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l100.ok());
+  ASSERT_TRUE(l10000.ok());
+  EXPECT_GT(l1.value(), l100.value());
+  EXPECT_GT(l100.value(), l10000.value());
+  // Never better than the rotational floor.
+  EXPECT_GE(l10000.value(), 0.5 * disk.RotationPeriod());
+  // A single request pays the amortized full sweep-back on top of its gap
+  // seek: full stroke + half rotation.
+  EXPECT_NEAR(l1.value(),
+              disk.seek_model().FullStrokeTime() + 1.5 * kMillisecond, 1e-6);
+}
+
+TEST(DiskTest, SchedulerLatencyRejectsNonPositiveN) {
+  DiskDrive disk = Future();
+  EXPECT_FALSE(disk.SchedulerDeterminedLatency(0).ok());
+}
+
+TEST(DiskTest, CreateRejectsBadRpm) {
+  DiskParameters p = FutureDisk2007();
+  p.rpm = 0;
+  EXPECT_FALSE(DiskDrive::Create(p).ok());
+}
+
+}  // namespace
+}  // namespace memstream::device

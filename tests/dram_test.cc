@@ -1,0 +1,65 @@
+#include "device/dram.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+
+namespace memstream::device {
+namespace {
+
+TEST(DramTest, Table3Numbers) {
+  auto dram = Dram::Create(Dram2007());
+  ASSERT_TRUE(dram.ok());
+  EXPECT_DOUBLE_EQ(dram.value().MaxTransferRate(), 10 * kGBps);
+  EXPECT_DOUBLE_EQ(dram.value().Capacity(), 5 * kGB);
+  EXPECT_DOUBLE_EQ(dram.value().parameters().cost_per_byte * kGB, 20.0);
+}
+
+TEST(DramTest, ServiceIsLatencyPlusTransfer) {
+  auto dram = Dram::Create(Dram2007());
+  ASSERT_TRUE(dram.ok());
+  auto t = dram.value().Service({0, 1 * kGB}, nullptr);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(t.value(), 0.03 * kMillisecond + 0.1, 1e-9);
+}
+
+TEST(DramTest, PositionIndependent) {
+  auto dram = Dram::Create(Dram2007());
+  ASSERT_TRUE(dram.ok());
+  auto a = dram.value().Service({0, 1 * kMB}, nullptr);
+  auto b = dram.value().Service(
+      {static_cast<std::int64_t>(4 * kGB), 1 * kMB}, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(DramTest, OutOfRangeRejected) {
+  auto dram = Dram::Create(Dram2007());
+  ASSERT_TRUE(dram.ok());
+  EXPECT_FALSE(
+      dram.value().Service({static_cast<std::int64_t>(5 * kGB), 1}, nullptr)
+          .ok());
+}
+
+TEST(DramTest, InvalidParametersRejected) {
+  DramParameters p = Dram2007();
+  p.transfer_rate = 0;
+  EXPECT_FALSE(Dram::Create(p).ok());
+  p = Dram2007();
+  p.capacity = 0;
+  EXPECT_FALSE(Dram::Create(p).ok());
+  p = Dram2007();
+  p.access_latency = -1;
+  EXPECT_FALSE(Dram::Create(p).ok());
+}
+
+TEST(DramTest, DramIsOrdersOfMagnitudeFasterThan2002) {
+  auto d02 = Dram2002();
+  auto d07 = Dram2007();
+  EXPECT_EQ(d07.transfer_rate / d02.transfer_rate, 5.0);
+  EXPECT_EQ(d02.cost_per_byte / d07.cost_per_byte, 10.0);
+}
+
+}  // namespace
+}  // namespace memstream::device

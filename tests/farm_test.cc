@@ -1,0 +1,93 @@
+#include "server/farm.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+#include "model/profiles.h"
+#include "model/scale_out.h"
+#include "model/timecycle.h"
+
+namespace memstream::server {
+namespace {
+
+device::DiskParameters UniformDisk() {
+  device::DiskParameters p = device::FutureDisk2007();
+  p.inner_rate = p.outer_rate;
+  return p;
+}
+
+TEST(FarmTest, PlannedFarmRunsJitterFree) {
+  auto disk = device::DiskDrive::Create(UniformDisk());
+  ASSERT_TRUE(disk.ok());
+
+  model::ScaleOutConfig plan_config;
+  plan_config.num_disks = 3;
+  plan_config.disk_latency = model::DiskLatencyFn(disk.value());
+  plan_config.bit_rate = 1 * kMBps;
+  plan_config.dram_budget = 600 * kMB;
+  auto plan = model::PlanScaleOut(plan_config);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_GT(plan.value().streams_per_disk, 0);
+
+  auto cycle = model::IoCycleLength(
+      plan.value().streams_per_disk, 1 * kMBps,
+      model::DiskProfile(disk.value(), plan.value().streams_per_disk));
+  ASSERT_TRUE(cycle.ok());
+
+  FarmConfig config;
+  config.num_disks = 3;
+  config.disk = UniformDisk();
+  config.streams_per_disk = plan.value().streams_per_disk;
+  config.bit_rate = 1 * kMBps;
+  config.cycle = cycle.value();
+  config.duration = 20;
+  auto report = RunFarm(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().underflow_events, 0);
+  EXPECT_EQ(report.value().cycle_overruns, 0);
+  EXPECT_EQ(report.value().total_streams,
+            plan.value().total_streams);
+  // Double-buffered execution: within 2x of the planner's DRAM figure.
+  EXPECT_LE(report.value().peak_dram_demand,
+            2.1 * plan.value().dram_total);
+}
+
+TEST(FarmTest, ThroughputScalesWithDisks) {
+  auto disk = device::DiskDrive::Create(UniformDisk());
+  ASSERT_TRUE(disk.ok());
+  const std::int64_t n = 20;
+  auto cycle = model::IoCycleLength(
+      n, 1 * kMBps, model::DiskProfile(disk.value(), n));
+  ASSERT_TRUE(cycle.ok());
+
+  std::int64_t prev_ios = 0;
+  for (std::int64_t disks : {1, 2, 4}) {
+    FarmConfig config;
+    config.num_disks = disks;
+    config.disk = UniformDisk();
+    config.streams_per_disk = n;
+    config.bit_rate = 1 * kMBps;
+    config.cycle = cycle.value();
+    config.duration = 10;
+    auto report = RunFarm(config);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().underflow_events, 0);
+    EXPECT_GT(report.value().ios_completed, prev_ios);
+    prev_ios = report.value().ios_completed;
+  }
+}
+
+TEST(FarmTest, InvalidInputsRejected) {
+  FarmConfig config;
+  config.num_disks = 0;
+  EXPECT_FALSE(RunFarm(config).ok());
+  config = FarmConfig{};
+  config.streams_per_disk = 0;
+  EXPECT_FALSE(RunFarm(config).ok());
+  config = FarmConfig{};
+  config.cycle = 0;
+  EXPECT_FALSE(RunFarm(config).ok());
+}
+
+}  // namespace
+}  // namespace memstream::server

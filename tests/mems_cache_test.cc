@@ -1,0 +1,205 @@
+#include "model/mems_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+#include "model/profiles.h"
+#include "model/timecycle.h"
+
+namespace memstream::model {
+namespace {
+
+DeviceProfile G3Profile() {
+  auto dev = device::MemsDevice::Create(device::MemsG3());
+  EXPECT_TRUE(dev.ok());
+  return MemsProfileMaxLatency(dev.value());
+}
+
+// --- Eq. 11: hit rate ------------------------------------------------------
+
+TEST(HitRateTest, WithinPopularClassIsLinear) {
+  const Popularity pop{0.10, 0.90};
+  EXPECT_NEAR(HitRate(pop, 0.05).value(), 0.45, 1e-12);
+  EXPECT_NEAR(HitRate(pop, 0.10).value(), 0.90, 1e-12);
+}
+
+TEST(HitRateTest, BeyondPopularClass) {
+  const Popularity pop{0.10, 0.90};
+  // p = 0.55: all of the popular class plus half the unpopular mass.
+  EXPECT_NEAR(HitRate(pop, 0.55).value(), 0.90 + 0.5 * 0.10, 1e-12);
+  EXPECT_NEAR(HitRate(pop, 1.0).value(), 1.0, 1e-12);
+}
+
+TEST(HitRateTest, ContinuousAtClassBoundary) {
+  const Popularity pop{0.2, 0.8};
+  const double eps = 1e-9;
+  EXPECT_NEAR(HitRate(pop, 0.2 - eps).value(),
+              HitRate(pop, 0.2 + eps).value(), 1e-6);
+}
+
+TEST(HitRateTest, ZeroCacheZeroHits) {
+  EXPECT_DOUBLE_EQ(HitRate({0.01, 0.99}, 0.0).value(), 0.0);
+}
+
+TEST(HitRateTest, UniformPopularityHitRateEqualsP) {
+  const Popularity uniform{0.5, 0.5};
+  for (double p : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(HitRate(uniform, p).value(), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(HitRateTest, MonotoneInP) {
+  const Popularity pop{0.05, 0.95};
+  double prev = -1;
+  for (double p = 0; p <= 1.0; p += 0.01) {
+    const double h = HitRate(pop, p).value();
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(HitRateTest, PaperDistributionsAtOneDevice) {
+  // Fig. 9/10 setting: one device caches p = 1% of the content.
+  EXPECT_NEAR(HitRate({0.01, 0.99}, 0.01).value(), 0.99, 1e-12);
+  EXPECT_NEAR(HitRate({0.05, 0.95}, 0.01).value(), 0.19, 1e-12);
+  EXPECT_NEAR(HitRate({0.10, 0.90}, 0.01).value(), 0.09, 1e-12);
+  EXPECT_NEAR(HitRate({0.50, 0.50}, 0.01).value(), 0.01, 1e-12);
+}
+
+TEST(HitRateTest, InvalidInputsRejected) {
+  EXPECT_FALSE(HitRate({0.0, 0.9}, 0.5).ok());
+  EXPECT_FALSE(HitRate({0.5, 0.4}, 0.5).ok());  // y < x
+  EXPECT_FALSE(HitRate({0.1, 0.9}, 1.5).ok());
+  EXPECT_FALSE(HitRate({0.1, 0.9}, -0.1).ok());
+}
+
+// --- Cached fraction --------------------------------------------------------
+
+TEST(CachedFractionTest, StripingAggregatesReplicationDoesNot) {
+  const Bytes content = 1000 * kGB;
+  EXPECT_NEAR(
+      CachedFraction(CachePolicy::kStriped, 4, 10 * kGB, content), 0.04,
+      1e-12);
+  EXPECT_NEAR(
+      CachedFraction(CachePolicy::kReplicated, 4, 10 * kGB, content), 0.01,
+      1e-12);
+}
+
+TEST(CachedFractionTest, ClampsToOne) {
+  EXPECT_DOUBLE_EQ(
+      CachedFraction(CachePolicy::kStriped, 200, 10 * kGB, 1000 * kGB), 1.0);
+}
+
+// --- Theorems 3 and 4 -------------------------------------------------------
+
+TEST(Theorem3Test, StripedMatchesEq12) {
+  const auto mems = G3Profile();
+  const std::int64_t n = 100, k = 4;
+  const BytesPerSecond b = 1 * kMBps;
+  auto s = CachePerStreamBuffer(n, b, k, mems, CachePolicy::kStriped);
+  ASSERT_TRUE(s.ok());
+  const double bank = k * mems.rate;
+  const double expected = n * mems.latency * bank * b / (bank - n * b);
+  EXPECT_NEAR(s.value(), expected, 1e-9);
+}
+
+TEST(Theorem4Test, ReplicatedMatchesEq13) {
+  const auto mems = G3Profile();
+  const std::int64_t n = 100, k = 4;
+  const BytesPerSecond b = 1 * kMBps;
+  auto s = CachePerStreamBuffer(n, b, k, mems, CachePolicy::kReplicated);
+  ASSERT_TRUE(s.ok());
+  const double bank = k * mems.rate;
+  const double expected = (static_cast<double>(n + k - 1) / k) *
+                          mems.latency * bank * b /
+                          (bank - (n + k - 1) * b);
+  EXPECT_NEAR(s.value(), expected, 1e-9);
+}
+
+TEST(CacheTheoremsTest, ReplicationNeedsLessBufferThanStriping) {
+  // Replication makes k x fewer effective seeks per cycle, so for the
+  // same n it needs a smaller DRAM buffer (the 1:99 result of §5.2.1).
+  const auto mems = G3Profile();
+  const std::int64_t n = 200, k = 4;
+  const BytesPerSecond b = 100 * kKBps;
+  auto striped = CachePerStreamBuffer(n, b, k, mems, CachePolicy::kStriped);
+  auto replicated =
+      CachePerStreamBuffer(n, b, k, mems, CachePolicy::kReplicated);
+  ASSERT_TRUE(striped.ok());
+  ASSERT_TRUE(replicated.ok());
+  EXPECT_LT(replicated.value(), striped.value() / 2.0);
+}
+
+TEST(CacheTheoremsTest, SingleDevicePoliciesCoincide) {
+  // §5.2.1: "When k = 1, the replicated and striped caching is
+  // equivalent."
+  const auto mems = G3Profile();
+  auto striped =
+      CachePerStreamBuffer(50, 1 * kMBps, 1, mems, CachePolicy::kStriped);
+  auto replicated = CachePerStreamBuffer(50, 1 * kMBps, 1, mems,
+                                         CachePolicy::kReplicated);
+  ASSERT_TRUE(striped.ok());
+  ASSERT_TRUE(replicated.ok());
+  EXPECT_DOUBLE_EQ(striped.value(), replicated.value());
+}
+
+TEST(Corollary3Test, StripedEqualsScaledSingleDeviceWithSameLatency) {
+  // Corollary 3: k-striped cache == single device with k x throughput and
+  // unchanged latency. Eq. 12 vs Theorem 1 on the scaled profile.
+  const auto mems = G3Profile();
+  const std::int64_t n = 100, k = 4;
+  const BytesPerSecond b = 1 * kMBps;
+  auto striped = CachePerStreamBuffer(n, b, k, mems, CachePolicy::kStriped);
+  DeviceProfile scaled = mems;
+  scaled.rate *= k;  // latency unchanged
+  auto single = PerStreamBufferSize(n, b, scaled);
+  ASSERT_TRUE(striped.ok());
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(striped.value(), single.value(), 1e-9);
+}
+
+TEST(Corollary4Test, ReplicatedApproachesScaledSingleDeviceForLargeN) {
+  // Corollary 4: for N >> k, a k-replicated cache behaves as one device
+  // with k x throughput AND latency/k.
+  const auto mems = G3Profile();
+  const std::int64_t n = 1000, k = 4;
+  const BytesPerSecond b = 100 * kKBps;
+  auto replicated =
+      CachePerStreamBuffer(n, b, k, mems, CachePolicy::kReplicated);
+  DeviceProfile scaled = ScaledBankProfile(mems, k, true);
+  auto single = PerStreamBufferSize(n, b, scaled);
+  ASSERT_TRUE(replicated.ok());
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(replicated.value() / single.value(), 1.0, 0.01);
+}
+
+TEST(CacheBandwidthTest, SustainBounds) {
+  // Striped: k R > n B. Replicated: k R > (n + k - 1) B.
+  const BytesPerSecond rm = 320 * kMBps, b = 1 * kMBps;
+  EXPECT_TRUE(CacheCanSustain(1279, b, 4, rm, CachePolicy::kStriped));
+  EXPECT_FALSE(CacheCanSustain(1280, b, 4, rm, CachePolicy::kStriped));
+  EXPECT_TRUE(CacheCanSustain(1276, b, 4, rm, CachePolicy::kReplicated));
+  EXPECT_FALSE(CacheCanSustain(1277, b, 4, rm, CachePolicy::kReplicated));
+  EXPECT_EQ(MaxCacheStreamsBandwidthBound(b, 4, rm, CachePolicy::kStriped),
+            1279);
+  EXPECT_EQ(
+      MaxCacheStreamsBandwidthBound(b, 4, rm, CachePolicy::kReplicated),
+      1276);
+}
+
+TEST(CacheTheoremsTest, InfeasibleBeyondBandwidth) {
+  const auto mems = G3Profile();
+  EXPECT_EQ(CachePerStreamBuffer(1280, 1 * kMBps, 4, mems,
+                                 CachePolicy::kStriped)
+                .status()
+                .code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(CachePolicyTest, Names) {
+  EXPECT_STREQ(CachePolicyName(CachePolicy::kStriped), "striped");
+  EXPECT_STREQ(CachePolicyName(CachePolicy::kReplicated), "replicated");
+}
+
+}  // namespace
+}  // namespace memstream::model

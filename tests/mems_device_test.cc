@@ -1,0 +1,134 @@
+#include "device/mems_device.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+
+namespace memstream::device {
+namespace {
+
+MemsDevice G3() {
+  auto dev = MemsDevice::Create(MemsG3());
+  EXPECT_TRUE(dev.ok()) << dev.status().ToString();
+  return std::move(dev).value();
+}
+
+TEST(MemsDeviceTest, G3HeadlineNumbers) {
+  MemsDevice dev = G3();
+  EXPECT_DOUBLE_EQ(dev.MaxTransferRate(), 320 * kMBps);
+  EXPECT_DOUBLE_EQ(dev.Capacity(), 10 * kGB);
+  // 0.45 + 0.14 + 0.27 = 0.86 ms: the latency that makes the
+  // FutureDisk/G3 latency ratio 4.3/0.86 = 5 (§5.1).
+  EXPECT_NEAR(dev.MaxAccessLatency(), 0.86 * kMillisecond, 1e-9);
+  // Average must sit inside Table 1's 0.4-1 ms band, below the max.
+  EXPECT_GT(dev.AverageAccessLatency(), 0.4 * kMillisecond);
+  EXPECT_LT(dev.AverageAccessLatency(), dev.MaxAccessLatency());
+}
+
+TEST(MemsDeviceTest, LatencyRatioAgainstFutureDiskIsFive) {
+  MemsDevice dev = G3();
+  const Seconds disk_avg = 4.3 * kMillisecond;  // 2.8 seek + 1.5 rotation
+  EXPECT_NEAR(disk_avg / dev.MaxAccessLatency(), 5.0, 0.01);
+}
+
+TEST(MemsDeviceTest, SeekTimeZeroForSamePosition) {
+  MemsDevice dev = G3();
+  EXPECT_DOUBLE_EQ(dev.SeekTime(10, 0.5, 10, 0.5), 0.0);
+}
+
+TEST(MemsDeviceTest, FullStrokeSeekEqualsMaxLatency) {
+  MemsDevice dev = G3();
+  EXPECT_NEAR(dev.SeekTime(0, 0.0, 2499, 1.0), dev.MaxAccessLatency(),
+              1e-12);
+}
+
+TEST(MemsDeviceTest, YOnlyMoveSkipsSettle) {
+  MemsDevice dev = G3();
+  const Seconds t = dev.SeekTime(5, 0.0, 5, 1.0);
+  EXPECT_NEAR(t, 0.27 * kMillisecond, 1e-12);
+}
+
+TEST(MemsDeviceTest, XMovePaysSettle) {
+  MemsDevice dev = G3();
+  const Seconds t = dev.SeekTime(0, 0.0, 1, 0.0);
+  EXPECT_GE(t, 0.14 * kMillisecond);
+}
+
+TEST(MemsDeviceTest, SeekMonotoneInXDistance) {
+  MemsDevice dev = G3();
+  Seconds prev = 0;
+  for (std::int64_t r = 0; r < 2500; r += 100) {
+    const Seconds t = dev.SeekTime(0, 0, r, 0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MemsDeviceTest, SequentialServiceHasNoPositioningCost) {
+  MemsDevice dev = G3();
+  dev.Reset();
+  auto first = dev.Service({0, 1 * kMB}, nullptr);
+  ASSERT_TRUE(first.ok());
+  // Continue exactly where the sled stopped.
+  auto second =
+      dev.Service({static_cast<std::int64_t>(1 * kMB), 1 * kMB}, nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(second.value(), 1 * kMB / (320 * kMBps), 1e-9);
+}
+
+TEST(MemsDeviceTest, RandomServiceBoundedByMaxLatency) {
+  MemsDevice dev = G3();
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const auto offset = rng.NextInt(0, static_cast<std::int64_t>(9 * kGB));
+    auto t = dev.Service({offset, 64 * kKB}, nullptr);
+    ASSERT_TRUE(t.ok());
+    EXPECT_LE(t.value(),
+              dev.MaxAccessLatency() + 64 * kKB / (320 * kMBps) + 1e-12);
+  }
+}
+
+TEST(MemsDeviceTest, EffectiveThroughputMatchesFig2Shape) {
+  MemsDevice dev = G3();
+  // Fig. 2: at ~1 MB IOs the MEMS device already reaches ~250 MB/s while
+  // the disk (4.3 ms latency) is still near 130 MB/s.
+  const auto mems_tput =
+      EffectiveThroughput(1 * kMB, dev.MaxAccessLatency(), 320 * kMBps);
+  const auto disk_tput =
+      EffectiveThroughput(1 * kMB, 4.3 * kMillisecond, 300 * kMBps);
+  EXPECT_GT(mems_tput, 240 * kMBps);
+  EXPECT_LT(disk_tput, 150 * kMBps);
+}
+
+TEST(MemsDeviceTest, OutOfRangeRejected) {
+  MemsDevice dev = G3();
+  EXPECT_FALSE(dev.Service({-1, 1}, nullptr).ok());
+  EXPECT_FALSE(
+      dev.Service({static_cast<std::int64_t>(10 * kGB), 1}, nullptr).ok());
+}
+
+TEST(MemsDeviceTest, InvalidParametersRejected) {
+  MemsParameters p = MemsG3();
+  p.transfer_rate = 0;
+  EXPECT_FALSE(MemsDevice::Create(p).ok());
+  p = MemsG3();
+  p.num_regions = 0;
+  EXPECT_FALSE(MemsDevice::Create(p).ok());
+  p = MemsG3();
+  p.x_settle = -1;
+  EXPECT_FALSE(MemsDevice::Create(p).ok());
+}
+
+TEST(MemsDeviceTest, GenerationsImproveMonotonically) {
+  auto g1 = MemsG1();
+  auto g2 = MemsG2();
+  auto g3 = MemsG3();
+  EXPECT_LT(g1.transfer_rate, g2.transfer_rate);
+  EXPECT_LT(g2.transfer_rate, g3.transfer_rate);
+  EXPECT_LT(g1.capacity, g2.capacity);
+  EXPECT_LT(g2.capacity, g3.capacity);
+  EXPECT_GT(g1.x_full_stroke, g3.x_full_stroke);
+}
+
+}  // namespace
+}  // namespace memstream::device

@@ -1,0 +1,97 @@
+#include "workload/request_gen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "workload/popularity.h"
+
+namespace memstream::workload {
+namespace {
+
+Catalog TestCatalog() {
+  auto catalog = Catalog::Uniform(100, 1 * kMBps, 3600);
+  EXPECT_TRUE(catalog.ok());
+  return std::move(catalog).value();
+}
+
+TEST(RequestGenTest, ArrivalsSortedWithinHorizon) {
+  Catalog catalog = TestCatalog();
+  Rng rng(5);
+  auto sampler = TwoClassSampler::Create({0.1, 0.9}, catalog.size());
+  ASSERT_TRUE(sampler.ok());
+  auto requests = GenerateRequests(
+      catalog,
+      [&](Rng& r) { return sampler.value().Sample(r); }, 1.0, 1000.0, rng);
+  ASSERT_TRUE(requests.ok());
+  EXPECT_FALSE(requests.value().empty());
+  Seconds prev = 0;
+  for (const auto& req : requests.value()) {
+    EXPECT_GE(req.arrival, prev);
+    EXPECT_LT(req.arrival, 1000.0);
+    EXPECT_GE(req.title_id, 0);
+    EXPECT_LT(req.title_id, catalog.size());
+    EXPECT_DOUBLE_EQ(req.duration, 3600.0);
+    prev = req.arrival;
+  }
+}
+
+TEST(RequestGenTest, PoissonCountNearRateTimesHorizon) {
+  Catalog catalog = TestCatalog();
+  Rng rng(11);
+  auto requests = GenerateRequests(
+      catalog, [](Rng& r) { return r.NextInt(0, 99); }, 2.0, 5000.0, rng);
+  ASSERT_TRUE(requests.ok());
+  // Poisson(10000): stddev 100; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(requests.value().size()), 10000, 500);
+}
+
+TEST(RequestGenTest, MeasuredHitRateMatchesEq11) {
+  // End-to-end cross-check of Eq. 11 against a sampled trace: cache the
+  // top 1% of titles under a 10:90 popularity -> h = 0.09.
+  Catalog catalog = TestCatalog();  // 100 titles
+  auto sampler = TwoClassSampler::Create({0.1, 0.9}, catalog.size());
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(23);
+  auto requests = GenerateRequests(
+      catalog, [&](Rng& r) { return sampler.value().Sample(r); }, 20.0,
+      5000.0, rng);
+  ASSERT_TRUE(requests.ok());
+
+  // One cached title = 1% of the catalog.
+  const std::vector<std::int64_t> cached{0};
+  const auto stats = MeasureHitRate(requests.value(), cached);
+  auto analytic = model::HitRate({0.1, 0.9}, 0.01);
+  ASSERT_TRUE(analytic.ok());
+  EXPECT_NEAR(stats.hit_rate, analytic.value(), 0.01);
+}
+
+TEST(RequestGenTest, HitRateZeroWithEmptyCache) {
+  Catalog catalog = TestCatalog();
+  Rng rng(2);
+  auto requests = GenerateRequests(
+      catalog, [](Rng& r) { return r.NextInt(0, 99); }, 1.0, 100.0, rng);
+  ASSERT_TRUE(requests.ok());
+  EXPECT_DOUBLE_EQ(MeasureHitRate(requests.value(), {}).hit_rate, 0.0);
+}
+
+TEST(RequestGenTest, InvalidInputsRejected) {
+  Catalog catalog = TestCatalog();
+  Rng rng(1);
+  EXPECT_FALSE(GenerateRequests(catalog, nullptr, 1.0, 10.0, rng).ok());
+  EXPECT_FALSE(GenerateRequests(
+                   catalog, [](Rng& r) { return r.NextInt(0, 99); }, 0.0,
+                   10.0, rng)
+                   .ok());
+  EXPECT_FALSE(GenerateRequests(
+                   catalog, [](Rng& r) { return r.NextInt(0, 99); }, 1.0,
+                   0.0, rng)
+                   .ok());
+  // Sampler returning out-of-range ids is an error.
+  EXPECT_FALSE(GenerateRequests(
+                   catalog, [](Rng&) { return 1000; }, 1.0, 10.0, rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace memstream::workload

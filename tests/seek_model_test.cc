@@ -1,0 +1,86 @@
+#include "device/seek_model.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace memstream::device {
+namespace {
+
+SeekModel FutureDiskSeek() {
+  auto model = SeekModel::Calibrate(0.3 * kMillisecond, 2.8 * kMillisecond,
+                                    7.0 * kMillisecond, 100000);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return model.value();
+}
+
+TEST(SeekModelTest, CalibrationHitsAnchors) {
+  SeekModel m = FutureDiskSeek();
+  EXPECT_NEAR(m.FullStrokeTime(), 7.0 * kMillisecond, 1e-9);
+  EXPECT_NEAR(m.AverageSeekTime(), 2.8 * kMillisecond, 1e-9);
+  EXPECT_NEAR(m.SeekTime(1), 0.3 * kMillisecond, 0.05 * kMillisecond);
+}
+
+TEST(SeekModelTest, ZeroDistanceIsFree) {
+  EXPECT_EQ(FutureDiskSeek().SeekTime(0), 0.0);
+}
+
+TEST(SeekModelTest, MonotoneNonDecreasing) {
+  SeekModel m = FutureDiskSeek();
+  Seconds prev = 0;
+  for (std::int64_t d = 1; d <= 100000; d += 997) {
+    const Seconds t = m.SeekTime(d);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SeekModelTest, ClampsBeyondFullStroke) {
+  SeekModel m = FutureDiskSeek();
+  EXPECT_DOUBLE_EQ(m.SeekTime(100000), m.SeekTime(200000));
+}
+
+TEST(SeekModelTest, EmpiricalAverageMatchesCalibration) {
+  // Monte-Carlo over random cylinder pairs: the model's analytic average
+  // must match the simulated one (validates the 8/15 and 1/3 moments).
+  SeekModel m = FutureDiskSeek();
+  Rng rng(17);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto a = rng.NextInt(0, 99999);
+    const auto b = rng.NextInt(0, 99999);
+    sum += m.SeekTime(std::llabs(a - b));
+  }
+  EXPECT_NEAR(sum / n, 2.8 * kMillisecond, 0.03 * kMillisecond);
+}
+
+TEST(SeekModelTest, RejectsDisorderedFigures) {
+  EXPECT_FALSE(SeekModel::Calibrate(2 * kMillisecond, 1 * kMillisecond,
+                                    7 * kMillisecond, 1000)
+                   .ok());
+  EXPECT_FALSE(SeekModel::Calibrate(1 * kMillisecond, 8 * kMillisecond,
+                                    7 * kMillisecond, 1000)
+                   .ok());
+  EXPECT_FALSE(
+      SeekModel::Calibrate(0, 2 * kMillisecond, 7 * kMillisecond, 1000).ok());
+}
+
+TEST(SeekModelTest, RejectsUnrealizableConcaveFit) {
+  // Average too close to full stroke: would need a convex curve.
+  EXPECT_FALSE(SeekModel::Calibrate(0.3 * kMillisecond, 6.9 * kMillisecond,
+                                    7.0 * kMillisecond, 1000)
+                   .ok());
+}
+
+TEST(SeekModelTest, TooFewCylindersRejected) {
+  EXPECT_FALSE(SeekModel::Calibrate(0.3 * kMillisecond, 2.8 * kMillisecond,
+                                    7.0 * kMillisecond, 1)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace memstream::device

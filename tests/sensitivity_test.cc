@@ -1,0 +1,111 @@
+#include "model/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+
+namespace memstream::model {
+namespace {
+
+SensitivityInputs PaperInputs(BytesPerSecond bit_rate = 100 * kKBps) {
+  auto disk = device::DiskDrive::Create(device::FutureDisk2007());
+  EXPECT_TRUE(disk.ok());
+  SensitivityInputs inputs;
+  inputs.bit_rate = bit_rate;
+  inputs.disk_latency = DiskLatencyFn(disk.value());
+  return inputs;
+}
+
+TEST(SensitivityTest, PaperOperatingPointWins) {
+  // The paper's 2007 prediction: Cdram/Cmems = 20, Rmems/Rdisk ~ 1.07.
+  auto outcome = EvaluateSensitivity(PaperInputs(), 20.0, 320.0 / 300.0);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome.value().mems_wins);
+  EXPECT_GT(outcome.value().percent_reduction, 25.0);
+  // At least the paper's two G3-class devices (2x disk bandwidth); the
+  // cost optimizer may buy more when extra capacity pays for itself.
+  EXPECT_GE(outcome.value().k, 2);
+  EXPECT_LE(outcome.value().k, 4);
+}
+
+TEST(SensitivityTest, CostParityLoses) {
+  // MEMS as expensive as DRAM: buying devices only adds cost.
+  auto outcome = EvaluateSensitivity(PaperInputs(), 1.0, 320.0 / 300.0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome.value().mems_wins);
+}
+
+TEST(SensitivityTest, ReductionMonotoneInCostFactor) {
+  double prev = -1e9;
+  for (double factor : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    auto outcome =
+        EvaluateSensitivity(PaperInputs(), factor, 320.0 / 300.0);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_GE(outcome.value().percent_reduction, prev);
+    prev = outcome.value().percent_reduction;
+  }
+}
+
+TEST(SensitivityTest, ThroughputTargetIndependentOfSweep) {
+  // The sweep must hold the workload fixed: same n at every point.
+  auto a = EvaluateSensitivity(PaperInputs(), 2.0, 1.0);
+  auto b = EvaluateSensitivity(PaperInputs(), 50.0, 2.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().n, b.value().n);
+  EXPECT_DOUBLE_EQ(a.value().cost_without, b.value().cost_without);
+}
+
+TEST(SensitivityTest, LowerBandwidthNeedsMoreDevices) {
+  auto fast = EvaluateSensitivity(PaperInputs(), 20.0, 1.0);
+  auto slow = EvaluateSensitivity(PaperInputs(), 20.0, 0.25);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_GT(slow.value().k, fast.value().k);
+  // More devices cost more, so the reduction shrinks.
+  EXPECT_LT(slow.value().percent_reduction,
+            fast.value().percent_reduction);
+}
+
+TEST(SensitivityTest, BreakEvenIsConsistent) {
+  const auto inputs = PaperInputs();
+  auto break_even = BreakEvenCostFactor(inputs, 1.0);
+  ASSERT_TRUE(break_even.ok()) << break_even.status().ToString();
+  EXPECT_GT(break_even.value(), 1.0);
+  // Just below: loses; just above: wins.
+  auto below =
+      EvaluateSensitivity(inputs, break_even.value() * 0.95, 1.0);
+  auto above =
+      EvaluateSensitivity(inputs, break_even.value() * 1.05, 1.0);
+  ASSERT_TRUE(below.ok());
+  ASSERT_TRUE(above.ok());
+  EXPECT_FALSE(below.value().mems_wins);
+  EXPECT_TRUE(above.value().mems_wins);
+}
+
+TEST(SensitivityTest, FootnoteTwoHolds) {
+  // Footnote 2's claim, checked directly: at an order-of-magnitude cost
+  // advantage (10x) and disk-comparable bandwidth (>= 1x), MEMS
+  // buffering is effective for low and medium bit-rates.
+  for (BytesPerSecond bit_rate : {10 * kKBps, 100 * kKBps, 1 * kMBps}) {
+    for (double bandwidth : {1.0, 1.5, 2.0}) {
+      auto outcome =
+          EvaluateSensitivity(PaperInputs(bit_rate), 10.0, bandwidth);
+      ASSERT_TRUE(outcome.ok())
+          << bit_rate << "/" << bandwidth << ": "
+          << outcome.status().ToString();
+      EXPECT_TRUE(outcome.value().mems_wins)
+          << "bit_rate=" << bit_rate << " bandwidth=" << bandwidth;
+    }
+  }
+}
+
+TEST(SensitivityTest, InvalidInputsRejected) {
+  SensitivityInputs no_latency;
+  EXPECT_FALSE(EvaluateSensitivity(no_latency, 20.0, 1.0).ok());
+  EXPECT_FALSE(EvaluateSensitivity(PaperInputs(), 0.0, 1.0).ok());
+  EXPECT_FALSE(EvaluateSensitivity(PaperInputs(), 20.0, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace memstream::model

@@ -1,0 +1,125 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace memstream::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(3.0, [&] { fired.push_back(3); });
+  q.Push(1.0, [&] { fired.push_back(1); });
+  q.Push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    Seconds when;
+    q.Pop(&when)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongSimultaneous) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    Seconds when;
+    q.Pop(&when)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<Seconds> seen;
+  ASSERT_TRUE(sim.Schedule(5.0, [&] { seen.push_back(sim.Now()); }).ok());
+  ASSERT_TRUE(sim.Schedule(2.0, [&] { seen.push_back(sim.Now()); }).ok());
+  auto n = sim.Run();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 2);
+  EXPECT_EQ(seen, (std::vector<Seconds>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    ++count;
+    if (count < 10) {
+      ASSERT_TRUE(sim.Schedule(1.0, tick).ok());
+    }
+  };
+  ASSERT_TRUE(sim.Schedule(1.0, tick).ok());
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, BoundedRunStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  ASSERT_TRUE(sim.Schedule(1.0, [&] { ++fired; }).ok());
+  ASSERT_TRUE(sim.Schedule(100.0, [&] { ++fired; }).ok());
+  auto n = sim.Run(10.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+  // Resuming processes the rest.
+  ASSERT_TRUE(sim.Run(200.0).ok());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  ASSERT_TRUE(sim.Schedule(1.0, [&] {
+                    ++fired;
+                    sim.Stop();
+                  })
+                  .ok());
+  ASSERT_TRUE(sim.Schedule(2.0, [&] { ++fired; }).ok());
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Schedule(-1.0, [] {}).ok());
+}
+
+TEST(SimulatorTest, PastAbsoluteTimeRejected) {
+  Simulator sim;
+  ASSERT_TRUE(sim.Schedule(5.0, [] {}).ok());
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_FALSE(sim.ScheduleAt(1.0, [] {}).ok());
+  EXPECT_TRUE(sim.ScheduleAt(5.0, [] {}).ok());
+}
+
+TEST(SimulatorTest, ResetClearsEverything) {
+  Simulator sim;
+  ASSERT_TRUE(sim.Schedule(1.0, [] {}).ok());
+  ASSERT_TRUE(sim.Run().ok());
+  sim.Reset();
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.events_processed(), 0);
+}
+
+TEST(SimulatorTest, CountsEventsAcrossRuns) {
+  Simulator sim;
+  ASSERT_TRUE(sim.Schedule(1.0, [] {}).ok());
+  ASSERT_TRUE(sim.Schedule(2.0, [] {}).ok());
+  ASSERT_TRUE(sim.Run(1.5).ok());
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(sim.events_processed(), 2);
+}
+
+}  // namespace
+}  // namespace memstream::sim

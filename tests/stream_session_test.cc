@@ -1,0 +1,172 @@
+#include "server/stream_session.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "model/stream.h"
+
+namespace memstream::server {
+namespace {
+
+TEST(SessionTest, NoConsumptionBeforePlayback) {
+  StreamSession s(1, 1 * kMBps);
+  s.Deposit(0.0, 5 * kMB);
+  EXPECT_DOUBLE_EQ(s.LevelAt(10.0), 5 * kMB);
+  EXPECT_EQ(s.underflow_events(), 0);
+}
+
+TEST(SessionTest, DrainsAtBitRate) {
+  StreamSession s(1, 1 * kMBps);
+  s.Deposit(0.0, 5 * kMB);
+  s.StartPlayback(0.0);
+  EXPECT_DOUBLE_EQ(s.LevelAt(2.0), 3 * kMB);
+  EXPECT_DOUBLE_EQ(s.LevelAt(5.0), 0.0);
+  EXPECT_EQ(s.underflow_events(), 0);  // hit zero exactly, no stall yet
+}
+
+TEST(SessionTest, UnderflowAccountsDryTime) {
+  StreamSession s(1, 1 * kMBps);
+  s.Deposit(0.0, 2 * kMB);
+  s.StartPlayback(0.0);
+  // Demand over [0, 5] is 5 MB against 2 MB: dry for 3 seconds.
+  EXPECT_DOUBLE_EQ(s.LevelAt(5.0), 0.0);
+  EXPECT_EQ(s.underflow_events(), 1);
+  EXPECT_DOUBLE_EQ(s.underflow_time(), 3.0);
+}
+
+TEST(SessionTest, SingleDryIntervalCountedOnce) {
+  StreamSession s(1, 1 * kMBps);
+  s.Deposit(0.0, 1 * kMB);
+  s.StartPlayback(0.0);
+  s.LevelAt(3.0);
+  s.LevelAt(4.0);
+  s.LevelAt(5.0);
+  EXPECT_EQ(s.underflow_events(), 1);
+  EXPECT_DOUBLE_EQ(s.underflow_time(), 4.0);
+}
+
+TEST(SessionTest, DepositEndsDrySpell) {
+  StreamSession s(1, 1 * kMBps);
+  s.Deposit(0.0, 1 * kMB);
+  s.StartPlayback(0.0);
+  s.LevelAt(3.0);                // dry since t=1
+  s.Deposit(3.0, 1 * kMB);       // refill
+  EXPECT_DOUBLE_EQ(s.LevelAt(3.5), 0.5 * kMB);
+  s.LevelAt(6.0);                // dry again since t=4
+  EXPECT_EQ(s.underflow_events(), 2);
+  EXPECT_DOUBLE_EQ(s.underflow_time(), 2.0 + 2.0);
+}
+
+TEST(SessionTest, SteadyStateJustInTimeNeverUnderflows) {
+  // Deposits of exactly one second's worth every second.
+  StreamSession s(1, 2 * kMBps);
+  s.Deposit(0.0, 2 * kMB);
+  s.StartPlayback(0.0);
+  for (int t = 1; t <= 100; ++t) {
+    s.Deposit(static_cast<double>(t), 2 * kMB);
+  }
+  s.LevelAt(100.0);
+  EXPECT_EQ(s.underflow_events(), 0);
+  EXPECT_DOUBLE_EQ(s.underflow_time(), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_deposited(), 202 * kMB);
+}
+
+TEST(SessionTest, PeakLevelTracksMaximum) {
+  StreamSession s(1, 1 * kMBps);
+  s.Deposit(0.0, 3 * kMB);
+  s.StartPlayback(0.0);
+  s.Deposit(1.0, 3 * kMB);  // level 2+3 = 5 MB
+  s.LevelAt(4.0);
+  EXPECT_DOUBLE_EQ(s.peak_level(), 5 * kMB);
+}
+
+TEST(SessionTest, TimeNeverRunsBackwards) {
+  StreamSession s(1, 1 * kMBps);
+  s.Deposit(5.0, 1 * kMB);
+  // Stale queries do not disturb the state.
+  EXPECT_DOUBLE_EQ(s.LevelAt(3.0), 1 * kMB);
+  EXPECT_DOUBLE_EQ(s.LevelAt(5.0), 1 * kMB);
+}
+
+// Empirical check of the footnote-1 VBR cushion: a CBR schedule delivers
+// S = mean * T per cycle (just-in-time, at cycle boundaries) while the
+// consumer alternates whole peak-rate and trough-rate cycles. A
+// peak-rate cycle overdraws the buffer by exactly (peak - mean) * T —
+// the VbrCushion — so prefilling the cushion keeps the level
+// non-negative and omitting it does not.
+TEST(SessionTest, VbrCushionIsExactlyThePeakCycleOverdraw) {
+  const BytesPerSecond mean = 1 * kMBps;
+  const BytesPerSecond peak = 1.5 * kMBps;
+  const BytesPerSecond trough = 2 * mean - peak;  // mean preserved
+  const Seconds cycle = 2.0;
+  const Bytes io = mean * cycle;
+  const Bytes cushion =
+      model::VbrCushion({"vbr", mean, peak}, cycle);
+
+  auto min_level = [&](Bytes prefill) {
+    Bytes level = prefill + io;  // initial fill
+    Bytes floor = level;
+    for (int c = 0; c < 50; ++c) {
+      level -= (c % 2 == 0 ? peak : trough) * cycle;
+      floor = std::min(floor, level);
+      level += io;  // just-in-time CBR deposit at the cycle boundary
+    }
+    return floor;
+  };
+
+  EXPECT_GE(min_level(cushion), -1e-6);       // cushion suffices...
+  EXPECT_LT(min_level(cushion * 0.9), -1e-6); // ...and is tight
+  EXPECT_LT(min_level(0), -1e-6);
+}
+
+TEST(RecordingTest, FillsAtBitRate) {
+  RecordingSession r(1, 2 * kMBps, 100 * kMB);
+  r.StartRecording(0.0);
+  EXPECT_DOUBLE_EQ(r.LevelAt(3.0), 6 * kMB);
+  EXPECT_EQ(r.overflow_events(), 0);
+}
+
+TEST(RecordingTest, NoFillBeforeStart) {
+  RecordingSession r(1, 2 * kMBps, 100 * kMB);
+  EXPECT_DOUBLE_EQ(r.LevelAt(10.0), 0.0);
+  r.StartRecording(10.0);
+  EXPECT_DOUBLE_EQ(r.LevelAt(11.0), 2 * kMB);
+}
+
+TEST(RecordingTest, DrainRemovesAtMostLevel) {
+  RecordingSession r(1, 1 * kMBps, 100 * kMB);
+  r.StartRecording(0.0);
+  EXPECT_DOUBLE_EQ(r.Drain(2.0, 5 * kMB), 2 * kMB);
+  EXPECT_DOUBLE_EQ(r.LevelAt(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_drained(), 2 * kMB);
+}
+
+TEST(RecordingTest, OverflowAccountsTimeOverCapacity) {
+  RecordingSession r(1, 1 * kMBps, 2 * kMB);
+  r.StartRecording(0.0);
+  // Level crosses 2 MB at t = 2; by t = 5 it has been over for 3 s.
+  r.LevelAt(5.0);
+  EXPECT_EQ(r.overflow_events(), 1);
+  EXPECT_DOUBLE_EQ(r.overflow_time(), 3.0);
+  // A big drain ends the overflow spell; a new one counts separately.
+  r.Drain(5.0, 5 * kMB);
+  r.LevelAt(8.0);  // refills to 3 MB: over since t = 7
+  EXPECT_EQ(r.overflow_events(), 2);
+  EXPECT_DOUBLE_EQ(r.overflow_time(), 4.0);
+}
+
+TEST(RecordingTest, SteadyStateDrainsStayBounded) {
+  RecordingSession r(1, 1 * kMBps, 2.2 * kMB);
+  r.StartRecording(0.0);
+  for (int t = 1; t <= 50; ++t) {
+    r.Drain(static_cast<double>(t), 1 * kMB);
+  }
+  EXPECT_EQ(r.overflow_events(), 0);
+  EXPECT_LE(r.peak_level(), 1.1 * kMB);
+  EXPECT_DOUBLE_EQ(r.total_drained(), 50 * kMB);
+}
+
+}  // namespace
+}  // namespace memstream::server

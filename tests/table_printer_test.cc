@@ -1,0 +1,57 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace memstream {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatsDouble) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(static_cast<std::int64_t>(42)), "42");
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"x", "longheader"});
+  t.AddRow({"aa", "1"});
+  const std::string out = t.ToString();
+  std::istringstream lines(out);
+  std::string header, sep, row;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), sep.size());
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(TablePrinterTest, PrintWritesToStream) {
+  TablePrinter t({"h"});
+  t.AddRow({"v"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str(), t.ToString());
+}
+
+}  // namespace
+}  // namespace memstream

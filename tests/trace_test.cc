@@ -1,0 +1,55 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace memstream::sim {
+namespace {
+
+TEST(TraceTest, CountAndFilterByKind) {
+  TraceLog log;
+  log.Append({0.0, TraceKind::kCycleStart, "disk", -1, 0, ""});
+  log.Append({0.1, TraceKind::kIoCompleted, "disk", 1, 100, ""});
+  log.Append({0.2, TraceKind::kIoCompleted, "disk", 2, 100, ""});
+  log.Append({0.3, TraceKind::kUnderflow, "stream", 2, 0, ""});
+  EXPECT_EQ(log.Count(TraceKind::kIoCompleted), 2);
+  EXPECT_EQ(log.Count(TraceKind::kUnderflow), 1);
+  EXPECT_EQ(log.Count(TraceKind::kOverflow), 0);
+  const auto ios = log.Filter(TraceKind::kIoCompleted);
+  ASSERT_EQ(ios.size(), 2u);
+  EXPECT_EQ(ios[0].stream_id, 1);
+  EXPECT_EQ(ios[1].stream_id, 2);
+}
+
+TEST(TraceTest, ToStringIncludesKindAndActor) {
+  TraceLog log;
+  log.Append({1.5, TraceKind::kNote, "server", -1, 0, "hello"});
+  const std::string s = log.ToString();
+  EXPECT_NE(s.find("note"), std::string::npos);
+  EXPECT_NE(s.find("server"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+}
+
+TEST(TraceTest, ToStringTruncates) {
+  TraceLog log;
+  for (int i = 0; i < 300; ++i) {
+    log.Append({static_cast<double>(i), TraceKind::kNote, "x", -1, 0, ""});
+  }
+  const std::string s = log.ToString(10);
+  EXPECT_NE(s.find("290 more"), std::string::npos);
+}
+
+TEST(TraceTest, ClearEmpties) {
+  TraceLog log;
+  log.Append({0, TraceKind::kNote, "x", -1, 0, ""});
+  log.Clear();
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(TraceTest, KindNamesDistinct) {
+  EXPECT_STREQ(TraceKindName(TraceKind::kUnderflow), "underflow");
+  EXPECT_STREQ(TraceKindName(TraceKind::kOverflow), "overflow");
+  EXPECT_STREQ(TraceKindName(TraceKind::kCycleStart), "cycle-start");
+}
+
+}  // namespace
+}  // namespace memstream::sim
