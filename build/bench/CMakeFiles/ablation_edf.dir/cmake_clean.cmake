@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edf.dir/ablation_edf.cc.o"
+  "CMakeFiles/ablation_edf.dir/ablation_edf.cc.o.d"
+  "ablation_edf"
+  "ablation_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

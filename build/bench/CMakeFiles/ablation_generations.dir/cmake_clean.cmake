@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generations.dir/ablation_generations.cc.o"
+  "CMakeFiles/ablation_generations.dir/ablation_generations.cc.o.d"
+  "ablation_generations"
+  "ablation_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

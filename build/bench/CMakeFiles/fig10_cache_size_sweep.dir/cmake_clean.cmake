@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cache_size_sweep.dir/fig10_cache_size_sweep.cc.o"
+  "CMakeFiles/fig10_cache_size_sweep.dir/fig10_cache_size_sweep.cc.o.d"
+  "fig10_cache_size_sweep"
+  "fig10_cache_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cache_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

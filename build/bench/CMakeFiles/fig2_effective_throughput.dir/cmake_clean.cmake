@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_effective_throughput.dir/fig2_effective_throughput.cc.o"
+  "CMakeFiles/fig2_effective_throughput.dir/fig2_effective_throughput.cc.o.d"
+  "fig2_effective_throughput"
+  "fig2_effective_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_effective_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fig5_schedules.dir/fig4_fig5_schedules.cc.o"
+  "CMakeFiles/fig4_fig5_schedules.dir/fig4_fig5_schedules.cc.o.d"
+  "fig4_fig5_schedules"
+  "fig4_fig5_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fig5_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dram_requirement.dir/fig6_dram_requirement.cc.o"
+  "CMakeFiles/fig6_dram_requirement.dir/fig6_dram_requirement.cc.o.d"
+  "fig6_dram_requirement"
+  "fig6_dram_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dram_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

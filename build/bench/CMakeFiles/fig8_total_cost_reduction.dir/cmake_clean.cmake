@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_total_cost_reduction.dir/fig8_total_cost_reduction.cc.o"
+  "CMakeFiles/fig8_total_cost_reduction.dir/fig8_total_cost_reduction.cc.o.d"
+  "fig8_total_cost_reduction"
+  "fig8_total_cost_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_total_cost_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_total_cost_reduction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_media_characteristics.dir/table1_media_characteristics.cc.o"
+  "CMakeFiles/table1_media_characteristics.dir/table1_media_characteristics.cc.o.d"
+  "table1_media_characteristics"
+  "table1_media_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_media_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

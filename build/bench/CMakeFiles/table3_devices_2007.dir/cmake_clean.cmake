@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_devices_2007.dir/table3_devices_2007.cc.o"
+  "CMakeFiles/table3_devices_2007.dir/table3_devices_2007.cc.o.d"
+  "table3_devices_2007"
+  "table3_devices_2007.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_devices_2007.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_devices_2007.
+# This may be replaced when dependencies are built.

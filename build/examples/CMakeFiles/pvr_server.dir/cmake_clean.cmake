@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_server.dir/pvr_server.cpp.o"
+  "CMakeFiles/pvr_server.dir/pvr_server.cpp.o.d"
+  "pvr_server"
+  "pvr_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

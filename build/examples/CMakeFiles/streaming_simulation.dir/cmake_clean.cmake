@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_simulation.dir/streaming_simulation.cpp.o"
+  "CMakeFiles/streaming_simulation.dir/streaming_simulation.cpp.o.d"
+  "streaming_simulation"
+  "streaming_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

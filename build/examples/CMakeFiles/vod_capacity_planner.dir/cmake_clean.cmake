@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_capacity_planner.dir/vod_capacity_planner.cpp.o"
+  "CMakeFiles/vod_capacity_planner.dir/vod_capacity_planner.cpp.o.d"
+  "vod_capacity_planner"
+  "vod_capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstream_common.dir/csv_writer.cc.o"
+  "CMakeFiles/memstream_common.dir/csv_writer.cc.o.d"
+  "CMakeFiles/memstream_common.dir/histogram.cc.o"
+  "CMakeFiles/memstream_common.dir/histogram.cc.o.d"
+  "CMakeFiles/memstream_common.dir/logging.cc.o"
+  "CMakeFiles/memstream_common.dir/logging.cc.o.d"
+  "CMakeFiles/memstream_common.dir/math_utils.cc.o"
+  "CMakeFiles/memstream_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/memstream_common.dir/random.cc.o"
+  "CMakeFiles/memstream_common.dir/random.cc.o.d"
+  "CMakeFiles/memstream_common.dir/status.cc.o"
+  "CMakeFiles/memstream_common.dir/status.cc.o.d"
+  "CMakeFiles/memstream_common.dir/table_printer.cc.o"
+  "CMakeFiles/memstream_common.dir/table_printer.cc.o.d"
+  "libmemstream_common.a"
+  "libmemstream_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstream_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

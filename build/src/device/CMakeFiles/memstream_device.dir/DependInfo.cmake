@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/bank.cc" "src/device/CMakeFiles/memstream_device.dir/bank.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/bank.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/device/CMakeFiles/memstream_device.dir/device.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/device.cc.o.d"
+  "/root/repo/src/device/device_cache.cc" "src/device/CMakeFiles/memstream_device.dir/device_cache.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/device_cache.cc.o.d"
+  "/root/repo/src/device/device_catalog.cc" "src/device/CMakeFiles/memstream_device.dir/device_catalog.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/device_catalog.cc.o.d"
+  "/root/repo/src/device/disk.cc" "src/device/CMakeFiles/memstream_device.dir/disk.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/disk.cc.o.d"
+  "/root/repo/src/device/disk_geometry.cc" "src/device/CMakeFiles/memstream_device.dir/disk_geometry.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/disk_geometry.cc.o.d"
+  "/root/repo/src/device/disk_scheduler.cc" "src/device/CMakeFiles/memstream_device.dir/disk_scheduler.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/disk_scheduler.cc.o.d"
+  "/root/repo/src/device/dram.cc" "src/device/CMakeFiles/memstream_device.dir/dram.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/dram.cc.o.d"
+  "/root/repo/src/device/mems_device.cc" "src/device/CMakeFiles/memstream_device.dir/mems_device.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/mems_device.cc.o.d"
+  "/root/repo/src/device/mems_scheduler.cc" "src/device/CMakeFiles/memstream_device.dir/mems_scheduler.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/mems_scheduler.cc.o.d"
+  "/root/repo/src/device/seek_model.cc" "src/device/CMakeFiles/memstream_device.dir/seek_model.cc.o" "gcc" "src/device/CMakeFiles/memstream_device.dir/seek_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memstream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstream_device.dir/bank.cc.o"
+  "CMakeFiles/memstream_device.dir/bank.cc.o.d"
+  "CMakeFiles/memstream_device.dir/device.cc.o"
+  "CMakeFiles/memstream_device.dir/device.cc.o.d"
+  "CMakeFiles/memstream_device.dir/device_cache.cc.o"
+  "CMakeFiles/memstream_device.dir/device_cache.cc.o.d"
+  "CMakeFiles/memstream_device.dir/device_catalog.cc.o"
+  "CMakeFiles/memstream_device.dir/device_catalog.cc.o.d"
+  "CMakeFiles/memstream_device.dir/disk.cc.o"
+  "CMakeFiles/memstream_device.dir/disk.cc.o.d"
+  "CMakeFiles/memstream_device.dir/disk_geometry.cc.o"
+  "CMakeFiles/memstream_device.dir/disk_geometry.cc.o.d"
+  "CMakeFiles/memstream_device.dir/disk_scheduler.cc.o"
+  "CMakeFiles/memstream_device.dir/disk_scheduler.cc.o.d"
+  "CMakeFiles/memstream_device.dir/dram.cc.o"
+  "CMakeFiles/memstream_device.dir/dram.cc.o.d"
+  "CMakeFiles/memstream_device.dir/mems_device.cc.o"
+  "CMakeFiles/memstream_device.dir/mems_device.cc.o.d"
+  "CMakeFiles/memstream_device.dir/mems_scheduler.cc.o"
+  "CMakeFiles/memstream_device.dir/mems_scheduler.cc.o.d"
+  "CMakeFiles/memstream_device.dir/seek_model.cc.o"
+  "CMakeFiles/memstream_device.dir/seek_model.cc.o.d"
+  "libmemstream_device.a"
+  "libmemstream_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstream_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

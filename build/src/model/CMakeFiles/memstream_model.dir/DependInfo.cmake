@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cost.cc" "src/model/CMakeFiles/memstream_model.dir/cost.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/cost.cc.o.d"
+  "/root/repo/src/model/hybrid.cc" "src/model/CMakeFiles/memstream_model.dir/hybrid.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/hybrid.cc.o.d"
+  "/root/repo/src/model/mems_buffer.cc" "src/model/CMakeFiles/memstream_model.dir/mems_buffer.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/mems_buffer.cc.o.d"
+  "/root/repo/src/model/mems_cache.cc" "src/model/CMakeFiles/memstream_model.dir/mems_cache.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/mems_cache.cc.o.d"
+  "/root/repo/src/model/planner.cc" "src/model/CMakeFiles/memstream_model.dir/planner.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/planner.cc.o.d"
+  "/root/repo/src/model/profiles.cc" "src/model/CMakeFiles/memstream_model.dir/profiles.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/profiles.cc.o.d"
+  "/root/repo/src/model/scale_out.cc" "src/model/CMakeFiles/memstream_model.dir/scale_out.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/scale_out.cc.o.d"
+  "/root/repo/src/model/sensitivity.cc" "src/model/CMakeFiles/memstream_model.dir/sensitivity.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/sensitivity.cc.o.d"
+  "/root/repo/src/model/stream.cc" "src/model/CMakeFiles/memstream_model.dir/stream.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/stream.cc.o.d"
+  "/root/repo/src/model/timecycle.cc" "src/model/CMakeFiles/memstream_model.dir/timecycle.cc.o" "gcc" "src/model/CMakeFiles/memstream_model.dir/timecycle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memstream_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstream_model.dir/cost.cc.o"
+  "CMakeFiles/memstream_model.dir/cost.cc.o.d"
+  "CMakeFiles/memstream_model.dir/hybrid.cc.o"
+  "CMakeFiles/memstream_model.dir/hybrid.cc.o.d"
+  "CMakeFiles/memstream_model.dir/mems_buffer.cc.o"
+  "CMakeFiles/memstream_model.dir/mems_buffer.cc.o.d"
+  "CMakeFiles/memstream_model.dir/mems_cache.cc.o"
+  "CMakeFiles/memstream_model.dir/mems_cache.cc.o.d"
+  "CMakeFiles/memstream_model.dir/planner.cc.o"
+  "CMakeFiles/memstream_model.dir/planner.cc.o.d"
+  "CMakeFiles/memstream_model.dir/profiles.cc.o"
+  "CMakeFiles/memstream_model.dir/profiles.cc.o.d"
+  "CMakeFiles/memstream_model.dir/scale_out.cc.o"
+  "CMakeFiles/memstream_model.dir/scale_out.cc.o.d"
+  "CMakeFiles/memstream_model.dir/sensitivity.cc.o"
+  "CMakeFiles/memstream_model.dir/sensitivity.cc.o.d"
+  "CMakeFiles/memstream_model.dir/stream.cc.o"
+  "CMakeFiles/memstream_model.dir/stream.cc.o.d"
+  "CMakeFiles/memstream_model.dir/timecycle.cc.o"
+  "CMakeFiles/memstream_model.dir/timecycle.cc.o.d"
+  "libmemstream_model.a"
+  "libmemstream_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstream_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/admission.cc" "src/server/CMakeFiles/memstream_server.dir/admission.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/admission.cc.o.d"
+  "/root/repo/src/server/buffer_pool.cc" "src/server/CMakeFiles/memstream_server.dir/buffer_pool.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/server/cache_server.cc" "src/server/CMakeFiles/memstream_server.dir/cache_server.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/cache_server.cc.o.d"
+  "/root/repo/src/server/edf_server.cc" "src/server/CMakeFiles/memstream_server.dir/edf_server.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/edf_server.cc.o.d"
+  "/root/repo/src/server/farm.cc" "src/server/CMakeFiles/memstream_server.dir/farm.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/farm.cc.o.d"
+  "/root/repo/src/server/media_server.cc" "src/server/CMakeFiles/memstream_server.dir/media_server.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/media_server.cc.o.d"
+  "/root/repo/src/server/mems_pipeline_server.cc" "src/server/CMakeFiles/memstream_server.dir/mems_pipeline_server.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/mems_pipeline_server.cc.o.d"
+  "/root/repo/src/server/stream_session.cc" "src/server/CMakeFiles/memstream_server.dir/stream_session.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/stream_session.cc.o.d"
+  "/root/repo/src/server/timecycle_server.cc" "src/server/CMakeFiles/memstream_server.dir/timecycle_server.cc.o" "gcc" "src/server/CMakeFiles/memstream_server.dir/timecycle_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memstream_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memstream_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memstream_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstream_server.dir/admission.cc.o"
+  "CMakeFiles/memstream_server.dir/admission.cc.o.d"
+  "CMakeFiles/memstream_server.dir/buffer_pool.cc.o"
+  "CMakeFiles/memstream_server.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/memstream_server.dir/cache_server.cc.o"
+  "CMakeFiles/memstream_server.dir/cache_server.cc.o.d"
+  "CMakeFiles/memstream_server.dir/edf_server.cc.o"
+  "CMakeFiles/memstream_server.dir/edf_server.cc.o.d"
+  "CMakeFiles/memstream_server.dir/farm.cc.o"
+  "CMakeFiles/memstream_server.dir/farm.cc.o.d"
+  "CMakeFiles/memstream_server.dir/media_server.cc.o"
+  "CMakeFiles/memstream_server.dir/media_server.cc.o.d"
+  "CMakeFiles/memstream_server.dir/mems_pipeline_server.cc.o"
+  "CMakeFiles/memstream_server.dir/mems_pipeline_server.cc.o.d"
+  "CMakeFiles/memstream_server.dir/stream_session.cc.o"
+  "CMakeFiles/memstream_server.dir/stream_session.cc.o.d"
+  "CMakeFiles/memstream_server.dir/timecycle_server.cc.o"
+  "CMakeFiles/memstream_server.dir/timecycle_server.cc.o.d"
+  "libmemstream_server.a"
+  "libmemstream_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstream_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstream_sim.dir/event_queue.cc.o"
+  "CMakeFiles/memstream_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/memstream_sim.dir/simulator.cc.o"
+  "CMakeFiles/memstream_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/memstream_sim.dir/trace.cc.o"
+  "CMakeFiles/memstream_sim.dir/trace.cc.o.d"
+  "libmemstream_sim.a"
+  "libmemstream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_sim.cc" "src/workload/CMakeFiles/memstream_workload.dir/arrival_sim.cc.o" "gcc" "src/workload/CMakeFiles/memstream_workload.dir/arrival_sim.cc.o.d"
+  "/root/repo/src/workload/cache_update.cc" "src/workload/CMakeFiles/memstream_workload.dir/cache_update.cc.o" "gcc" "src/workload/CMakeFiles/memstream_workload.dir/cache_update.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/memstream_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/memstream_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/popularity.cc" "src/workload/CMakeFiles/memstream_workload.dir/popularity.cc.o" "gcc" "src/workload/CMakeFiles/memstream_workload.dir/popularity.cc.o.d"
+  "/root/repo/src/workload/request_gen.cc" "src/workload/CMakeFiles/memstream_workload.dir/request_gen.cc.o" "gcc" "src/workload/CMakeFiles/memstream_workload.dir/request_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memstream_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memstream_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memstream_workload.dir/arrival_sim.cc.o"
+  "CMakeFiles/memstream_workload.dir/arrival_sim.cc.o.d"
+  "CMakeFiles/memstream_workload.dir/cache_update.cc.o"
+  "CMakeFiles/memstream_workload.dir/cache_update.cc.o.d"
+  "CMakeFiles/memstream_workload.dir/catalog.cc.o"
+  "CMakeFiles/memstream_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/memstream_workload.dir/popularity.cc.o"
+  "CMakeFiles/memstream_workload.dir/popularity.cc.o.d"
+  "CMakeFiles/memstream_workload.dir/request_gen.cc.o"
+  "CMakeFiles/memstream_workload.dir/request_gen.cc.o.d"
+  "libmemstream_workload.a"
+  "libmemstream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memstream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_sim_test.dir/arrival_sim_test.cc.o"
+  "CMakeFiles/arrival_sim_test.dir/arrival_sim_test.cc.o.d"
+  "arrival_sim_test"
+  "arrival_sim_test.pdb"
+  "arrival_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_server_test.dir/cache_server_test.cc.o"
+  "CMakeFiles/cache_server_test.dir/cache_server_test.cc.o.d"
+  "cache_server_test"
+  "cache_server_test.pdb"
+  "cache_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_scheduler_test.dir/disk_scheduler_test.cc.o"
+  "CMakeFiles/disk_scheduler_test.dir/disk_scheduler_test.cc.o.d"
+  "disk_scheduler_test"
+  "disk_scheduler_test.pdb"
+  "disk_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

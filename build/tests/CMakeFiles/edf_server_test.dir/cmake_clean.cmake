@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_server_test.dir/edf_server_test.cc.o"
+  "CMakeFiles/edf_server_test.dir/edf_server_test.cc.o.d"
+  "edf_server_test"
+  "edf_server_test.pdb"
+  "edf_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_server_test.dir/media_server_test.cc.o"
+  "CMakeFiles/media_server_test.dir/media_server_test.cc.o.d"
+  "media_server_test"
+  "media_server_test.pdb"
+  "media_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

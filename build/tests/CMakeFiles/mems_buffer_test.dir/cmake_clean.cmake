@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mems_buffer_test.dir/mems_buffer_test.cc.o"
+  "CMakeFiles/mems_buffer_test.dir/mems_buffer_test.cc.o.d"
+  "mems_buffer_test"
+  "mems_buffer_test.pdb"
+  "mems_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mems_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

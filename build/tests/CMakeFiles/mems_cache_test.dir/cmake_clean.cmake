@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mems_cache_test.dir/mems_cache_test.cc.o"
+  "CMakeFiles/mems_cache_test.dir/mems_cache_test.cc.o.d"
+  "mems_cache_test"
+  "mems_cache_test.pdb"
+  "mems_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mems_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mems_device_test.dir/mems_device_test.cc.o"
+  "CMakeFiles/mems_device_test.dir/mems_device_test.cc.o.d"
+  "mems_device_test"
+  "mems_device_test.pdb"
+  "mems_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mems_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

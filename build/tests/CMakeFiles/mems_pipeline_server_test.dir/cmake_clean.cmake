@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mems_pipeline_server_test.dir/mems_pipeline_server_test.cc.o"
+  "CMakeFiles/mems_pipeline_server_test.dir/mems_pipeline_server_test.cc.o.d"
+  "mems_pipeline_server_test"
+  "mems_pipeline_server_test.pdb"
+  "mems_pipeline_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mems_pipeline_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mems_scheduler_test.dir/mems_scheduler_test.cc.o"
+  "CMakeFiles/mems_scheduler_test.dir/mems_scheduler_test.cc.o.d"
+  "mems_scheduler_test"
+  "mems_scheduler_test.pdb"
+  "mems_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mems_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

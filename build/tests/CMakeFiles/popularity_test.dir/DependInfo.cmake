@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/popularity_test.cc" "tests/CMakeFiles/popularity_test.dir/popularity_test.cc.o" "gcc" "tests/CMakeFiles/popularity_test.dir/popularity_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memstream_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memstream_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memstream_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memstream_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memstream_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/memstream_server.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

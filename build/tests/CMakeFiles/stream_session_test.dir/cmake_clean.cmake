@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_session_test.dir/stream_session_test.cc.o"
+  "CMakeFiles/stream_session_test.dir/stream_session_test.cc.o.d"
+  "stream_session_test"
+  "stream_session_test.pdb"
+  "stream_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

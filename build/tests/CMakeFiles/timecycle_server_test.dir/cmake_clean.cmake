@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timecycle_server_test.dir/timecycle_server_test.cc.o"
+  "CMakeFiles/timecycle_server_test.dir/timecycle_server_test.cc.o.d"
+  "timecycle_server_test"
+  "timecycle_server_test.pdb"
+  "timecycle_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timecycle_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timecycle_test.dir/timecycle_test.cc.o"
+  "CMakeFiles/timecycle_test.dir/timecycle_test.cc.o.d"
+  "timecycle_test"
+  "timecycle_test.pdb"
+  "timecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
