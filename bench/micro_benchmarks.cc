@@ -4,12 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/random.h"
 #include "device/device_catalog.h"
 #include "device/disk_scheduler.h"
 #include "model/mems_buffer.h"
 #include "model/planner.h"
 #include "model/timecycle.h"
+#include "obs/metrics.h"
+#include "server/timecycle_server.h"
 #include "sim/simulator.h"
 
 namespace memstream {
@@ -114,6 +118,57 @@ void BM_EventQueueChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueChurn);
+
+// Cost of one telemetry update through the null-tolerant helpers:
+// Arg(0) = disabled (null handles, the pay-for-what-you-use idle cost),
+// Arg(1) = enabled (live registry handles).
+void BM_MetricHooks(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  const bool enabled = state.range(0) != 0;
+  obs::Counter* counter = enabled ? registry.counter("bench.ios") : nullptr;
+  obs::HistogramMetric* hist =
+      enabled ? registry.histogram("bench.slack_ms", {0.0, 10.0, 20})
+              : nullptr;
+  obs::TimeWeightedGauge* tw =
+      enabled ? registry.time_weighted("bench.bytes") : nullptr;
+  double now = 0;
+  for (auto _ : state) {
+    now += 1.0;
+    obs::Increment(counter);
+    obs::Observe(hist, 5.0);
+    obs::Update(tw, now, 42.0);
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_MetricHooks)->Arg(0)->Arg(1);
+
+// End-to-end instrumentation overhead: the same DirectStreamingServer run
+// with a null registry (Arg 0) vs full telemetry (Arg 1). The two arms
+// should be within noise of each other.
+void BM_DirectServerTelemetry(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    auto disk = device::DiskDrive::Create(device::FutureDisk2007()).value();
+    obs::MetricsRegistry registry;
+    server::DirectServerConfig config;
+    config.cycle = 0.5;
+    config.metrics = enabled ? &registry : nullptr;
+    std::vector<server::StreamSpec> streams;
+    for (int i = 0; i < 8; ++i) {
+      server::StreamSpec s;
+      s.id = i;
+      s.bit_rate = 1 * kMBps;
+      s.disk_offset = static_cast<double>(i) * 10 * kGB;
+      s.extent = 5 * kGB;
+      streams.push_back(s);
+    }
+    auto srv = server::DirectStreamingServer::Create(&disk, streams, config);
+    (void)srv.value().Run(20.0);
+    benchmark::DoNotOptimize(srv.value().report().ios_completed);
+  }
+}
+BENCHMARK(BM_DirectServerTelemetry)->Arg(0)->Arg(1);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution dist(10000, 1.0);

@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <utility>
 
 namespace memstream {
 
@@ -9,7 +13,41 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
-const char* LevelName(LogLevel level) {
+std::mutex& SinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
+
+/// "[YYYY-MM-DD HH:MM:SS.mmm]" from the wall clock.
+std::string Timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &secs);
+#else
+  localtime_r(&secs, &tm_buf);
+#endif
+  char text[64];
+  std::snprintf(text, sizeof(text),
+                "%04d-%02d-%02d %02d:%02d:%02d.%03d", tm_buf.tm_year + 1900,
+                tm_buf.tm_mon + 1, tm_buf.tm_mday, tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
+  return text;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -23,15 +61,28 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    sink = SinkSlot();
+  }
+  if (sink) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] [%s] %s\n", Timestamp().c_str(),
+               LogLevelName(level), message.c_str());
 }
 
 }  // namespace memstream

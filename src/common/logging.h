@@ -1,9 +1,13 @@
 // Minimal leveled logger. The library itself logs nothing at Info by
 // default; the simulator and benches use it for progress and diagnostics.
+// Every emitted line carries a wall-clock timestamp and a level tag; the
+// output sink is injectable (tests capture lines instead of scraping
+// stderr).
 
 #ifndef MEMSTREAM_COMMON_LOGGING_H_
 #define MEMSTREAM_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,11 +15,23 @@ namespace memstream {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// Human-readable tag ("DEBUG", "INFO", "WARN", "ERROR").
+const char* LogLevelName(LogLevel level);
+
 /// Sets the global minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits a message to stderr if `level` passes the global threshold.
+/// Receives every message that passes the threshold. The message is the
+/// raw text without timestamp or level decoration — sinks decide the
+/// framing.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the output sink. Null restores the default sink, which writes
+/// "[YYYY-MM-DD HH:MM:SS.mmm] [LEVEL] message" lines to stderr.
+void SetLogSink(LogSink sink);
+
+/// Emits a message if `level` passes the global threshold.
 void LogMessage(LogLevel level, const std::string& message);
 
 namespace internal {

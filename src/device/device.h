@@ -57,6 +57,34 @@ class BlockDevice {
 
   /// Returns the head/sled to offset zero (used between experiments).
   virtual void Reset() = 0;
+
+  // Cumulative service accounting, maintained by every Service()
+  // implementation. busy_seconds() over a simulated horizon is the
+  // device's utilization numerator; callers export these into an
+  // obs::MetricsRegistry after a run.
+  Seconds busy_seconds() const { return busy_seconds_; }
+  std::int64_t ios_serviced() const { return ios_serviced_; }
+  Bytes bytes_transferred() const { return bytes_transferred_; }
+
+  /// Zeroes the accounting (position state is untouched; see Reset()).
+  void ResetStats() {
+    busy_seconds_ = 0;
+    ios_serviced_ = 0;
+    bytes_transferred_ = 0;
+  }
+
+ protected:
+  /// Subclasses call this once per successful Service().
+  void AccountService(Seconds service_time, Bytes bytes) {
+    busy_seconds_ += service_time;
+    ++ios_serviced_;
+    bytes_transferred_ += bytes;
+  }
+
+ private:
+  Seconds busy_seconds_ = 0;
+  std::int64_t ios_serviced_ = 0;
+  Bytes bytes_transferred_ = 0;
 };
 
 /// Sustained throughput of a device accessed with IOs of `io_size`, paying

@@ -54,13 +54,16 @@ Result<Seconds> CachedDevice::Service(const IoSpan& io, Rng* rng) {
   if (hit) {
     ++stats_.hits;
     for (std::int64_t s = first; s <= last; ++s) Touch(s);
-    return io.bytes / params_.cache_rate;
+    const Seconds service = io.bytes / params_.cache_rate;
+    AccountService(service, io.bytes);
+    return service;
   }
 
   ++stats_.misses;
   auto t = backing_->Service(io, rng);
   MEMSTREAM_RETURN_IF_ERROR(t.status());
   for (std::int64_t s = first; s <= last; ++s) Touch(s);
+  AccountService(t.value(), io.bytes);
   return t.value();
 }
 

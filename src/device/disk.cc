@@ -55,7 +55,9 @@ Result<Seconds> DiskDrive::Service(const IoSpan& io, Rng* rng) {
   MEMSTREAM_RETURN_IF_ERROR(end_cylinder.status());
   current_cylinder_ = end_cylinder.value();
 
-  return seek + rotation + transfer;
+  const Seconds service = seek + rotation + transfer;
+  AccountService(service, io.bytes);
+  return service;
 }
 
 Result<Seconds> DiskDrive::SchedulerDeterminedLatency(std::int64_t n) const {

@@ -21,7 +21,10 @@ Result<Seconds> Dram::Service(const IoSpan& io, Rng* /*rng*/) {
       static_cast<Bytes>(io.offset) + io.bytes > params_.capacity) {
     return Status::OutOfRange("IO beyond DRAM capacity");
   }
-  return params_.access_latency + io.bytes / params_.transfer_rate;
+  const Seconds service =
+      params_.access_latency + io.bytes / params_.transfer_rate;
+  AccountService(service, io.bytes);
+  return service;
 }
 
 }  // namespace memstream::device

@@ -103,7 +103,9 @@ Result<Seconds> MemsDevice::Service(const IoSpan& io, Rng* /*rng*/) {
   const Seconds transfer = io.bytes / params_.transfer_rate;
   current_region_ = end.value().region;
   current_y_ = end.value().y;
-  return seek + transfer;
+  const Seconds service = seek + transfer;
+  AccountService(service, io.bytes);
+  return service;
 }
 
 void MemsDevice::Reset() {

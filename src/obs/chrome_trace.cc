@@ -1,0 +1,246 @@
+#include "obs/chrome_trace.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "obs/json_writer.h"
+
+namespace memstream::obs {
+
+namespace {
+
+constexpr std::int64_t kDevicesPid = 1;
+constexpr std::int64_t kStreamsPid = 2;
+
+constexpr double kMicrosPerSecond = 1e6;
+
+void MetadataEvent(JsonWriter& w, const char* name, std::int64_t pid,
+                   std::int64_t tid, const std::string& value) {
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Int(pid);
+  w.Key("tid");
+  w.Int(tid);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String(value);
+  w.EndObject();
+  w.EndObject();
+}
+
+void EventHeader(JsonWriter& w, const std::string& name, const char* phase,
+                 double ts_us, std::int64_t pid, std::int64_t tid) {
+  w.Key("name");
+  w.String(name);
+  w.Key("ph");
+  w.String(phase);
+  w.Key("ts");
+  w.Number(ts_us);
+  w.Key("pid");
+  w.Int(pid);
+  w.Key("tid");
+  w.Int(tid);
+}
+
+}  // namespace
+
+std::string ChromeTraceExporter::ToJson(const sim::TraceLog& log) const {
+  // First pass: assign device tids in order of first appearance and
+  // collect the stream-id set, so metadata can label every track.
+  std::map<std::string, std::int64_t> device_tid;
+  std::set<std::int64_t> stream_ids;
+  for (const auto& r : log.records()) {
+    switch (r.kind) {
+      case sim::TraceKind::kCycleStart:
+      case sim::TraceKind::kCycleEnd:
+      case sim::TraceKind::kIoIssued:
+      case sim::TraceKind::kIoCompleted:
+        if (!r.actor.empty() && device_tid.find(r.actor) == device_tid.end()) {
+          const auto tid = static_cast<std::int64_t>(device_tid.size()) + 1;
+          device_tid[r.actor] = tid;
+        }
+        break;
+      case sim::TraceKind::kUnderflow:
+      case sim::TraceKind::kOverflow:
+      case sim::TraceKind::kBufferLevel:
+        break;
+      case sim::TraceKind::kNote:
+        break;
+    }
+    if (r.stream_id >= 0) stream_ids.insert(r.stream_id);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  if (!log.records().empty()) {
+    MetadataEvent(w, "process_name", kDevicesPid, 0, "devices");
+    for (const auto& [actor, tid] : device_tid) {
+      MetadataEvent(w, "thread_name", kDevicesPid, tid, actor);
+    }
+  }
+  if (!stream_ids.empty()) {
+    MetadataEvent(w, "process_name", kStreamsPid, 0, "streams");
+    for (std::int64_t id : stream_ids) {
+      MetadataEvent(w, "thread_name", kStreamsPid, id + 1,
+                    "stream " + std::to_string(id));
+    }
+  }
+
+  for (const auto& r : log.records()) {
+    const double ts = r.time * kMicrosPerSecond;
+    switch (r.kind) {
+      case sim::TraceKind::kCycleEnd:
+      case sim::TraceKind::kIoCompleted: {
+        const std::int64_t tid = device_tid.count(r.actor)
+                                     ? device_tid[r.actor]
+                                     : 0;
+        const std::string name =
+            r.kind == sim::TraceKind::kCycleEnd
+                ? "cycle"
+                : (r.detail.empty() ? "io" : r.detail);
+        w.BeginObject();
+        if (r.duration > 0) {
+          // Span ending at r.time.
+          EventHeader(w, name, "X", ts - r.duration * kMicrosPerSecond,
+                      kDevicesPid, tid);
+          w.Key("dur");
+          w.Number(r.duration * kMicrosPerSecond);
+        } else {
+          EventHeader(w, name, "i", ts, kDevicesPid, tid);
+          w.Key("s");
+          w.String("t");
+        }
+        w.Key("args");
+        w.BeginObject();
+        if (r.stream_id >= 0) {
+          w.Key("stream");
+          w.Int(r.stream_id);
+        }
+        if (r.bytes > 0) {
+          w.Key("bytes");
+          w.Number(r.bytes);
+        }
+        if (r.kind == sim::TraceKind::kIoCompleted && !r.detail.empty()) {
+          w.Key("detail");
+          w.String(r.detail);
+        }
+        if (r.kind == sim::TraceKind::kCycleEnd && !r.detail.empty()) {
+          w.Key("detail");
+          w.String(r.detail);
+        }
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case sim::TraceKind::kCycleStart:
+      case sim::TraceKind::kIoIssued: {
+        if (!options_.include_instants) break;
+        const std::int64_t tid = device_tid.count(r.actor)
+                                     ? device_tid[r.actor]
+                                     : 0;
+        w.BeginObject();
+        EventHeader(w, TraceKindName(r.kind), "i", ts, kDevicesPid, tid);
+        w.Key("s");
+        w.String("t");
+        w.Key("args");
+        w.BeginObject();
+        if (!r.detail.empty()) {
+          w.Key("detail");
+          w.String(r.detail);
+        }
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case sim::TraceKind::kUnderflow:
+      case sim::TraceKind::kOverflow: {
+        const bool on_stream = r.stream_id >= 0;
+        w.BeginObject();
+        EventHeader(w, TraceKindName(r.kind), "i", ts,
+                    on_stream ? kStreamsPid : kDevicesPid,
+                    on_stream ? r.stream_id + 1
+                              : (device_tid.count(r.actor)
+                                     ? device_tid[r.actor]
+                                     : 0));
+        w.Key("s");
+        w.String("g");  // global scope: draw a full-height marker
+        w.Key("args");
+        w.BeginObject();
+        w.Key("actor");
+        w.String(r.actor);
+        if (!r.detail.empty()) {
+          w.Key("detail");
+          w.String(r.detail);
+        }
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case sim::TraceKind::kBufferLevel: {
+        if (!options_.include_buffer_counters || r.stream_id < 0) break;
+        w.BeginObject();
+        EventHeader(w,
+                    "stream" + std::to_string(r.stream_id) + ".buffer_bytes",
+                    "C", ts, kStreamsPid, r.stream_id + 1);
+        w.Key("args");
+        w.BeginObject();
+        w.Key("bytes");
+        w.Number(r.bytes);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case sim::TraceKind::kNote: {
+        if (!options_.include_instants) break;
+        w.BeginObject();
+        EventHeader(w, r.detail.empty() ? "note" : r.detail, "i", ts,
+                    kDevicesPid, 0);
+        w.Key("s");
+        w.String("t");
+        w.Key("args");
+        w.BeginObject();
+        w.Key("actor");
+        w.String(r.actor);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+    }
+  }
+
+  w.EndArray();
+  if (log.dropped_records() > 0) {
+    w.Key("otherData");
+    w.BeginObject();
+    w.Key("dropped_records");
+    w.Int(log.dropped_records());
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Status ChromeTraceExporter::WriteFile(const sim::TraceLog& log,
+                                      const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  out << ToJson(log);
+  out.close();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace memstream::obs

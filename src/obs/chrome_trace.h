@@ -1,0 +1,52 @@
+// Chrome trace-event export: converts a sim::TraceLog into the JSON
+// Object Format understood by chrome://tracing and Perfetto, so a whole
+// MEMS-buffer run can be inspected on a timeline — one track for the
+// disk, one per MEMS device, one per stream.
+//
+// Mapping (see docs/OBSERVABILITY.md):
+//  - pid 1 "devices": one tid per distinct actor, in order of first
+//    appearance. kCycleEnd / kIoCompleted records with a duration become
+//    complete ("X") span events ending at record.time; kCycleStart and
+//    kIoIssued become instants.
+//  - pid 2 "streams": one tid per stream id. kUnderflow / kOverflow are
+//    instants; kBufferLevel becomes a counter ("C") series
+//    "stream<id>.buffer_bytes", which Perfetto renders as a staircase of
+//    per-stream occupancy.
+//  - Metadata ("M") events name every process and thread.
+//
+// Timestamps are microseconds of simulated time.
+
+#ifndef MEMSTREAM_OBS_CHROME_TRACE_H_
+#define MEMSTREAM_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sim/trace.h"
+
+namespace memstream::obs {
+
+/// Options for the exporter.
+struct ChromeTraceOptions {
+  bool include_buffer_counters = true;  ///< emit kBufferLevel "C" events
+  bool include_instants = true;  ///< emit instants (issues, notes, starts)
+};
+
+class ChromeTraceExporter {
+ public:
+  explicit ChromeTraceExporter(ChromeTraceOptions options = {})
+      : options_(options) {}
+
+  /// Renders `log` as a Chrome trace-event JSON document.
+  std::string ToJson(const sim::TraceLog& log) const;
+
+  /// Writes ToJson() to `path` (conventionally <name>.trace.json).
+  Status WriteFile(const sim::TraceLog& log, const std::string& path) const;
+
+ private:
+  ChromeTraceOptions options_;
+};
+
+}  // namespace memstream::obs
+
+#endif  // MEMSTREAM_OBS_CHROME_TRACE_H_

@@ -1,0 +1,33 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+
+namespace memstream::obs {
+
+void ExportDeviceStats(MetricsRegistry* metrics,
+                       const device::BlockDevice& device, Seconds horizon) {
+  if (metrics == nullptr) return;
+  const std::string prefix = "device." + device.name() + ".";
+  metrics->gauge(prefix + "busy_seconds")->Set(device.busy_seconds());
+  metrics->gauge(prefix + "ios")
+      ->Set(static_cast<double>(device.ios_serviced()));
+  metrics->gauge(prefix + "bytes")->Set(device.bytes_transferred());
+  if (horizon > 0) {
+    metrics->gauge(prefix + "utilization")
+        ->Set(std::min(device.busy_seconds(), horizon) / horizon);
+  }
+}
+
+void ExportSimulatorStats(MetricsRegistry* metrics,
+                          const sim::Simulator& sim) {
+  if (metrics == nullptr) return;
+  metrics->gauge("sim.events_processed")
+      ->Set(static_cast<double>(sim.events_processed()));
+  metrics->gauge("sim.max_queue_depth")
+      ->Set(static_cast<double>(sim.max_queue_depth()));
+  metrics->gauge("sim.wall_seconds")->Set(sim.last_run_wall_seconds());
+  metrics->gauge("sim.events_per_sec_wall")
+      ->Set(sim.last_run_events_per_sec());
+}
+
+}  // namespace memstream::obs

@@ -1,0 +1,27 @@
+// Bridges from the always-on lightweight counters kept by the device
+// layer and the simulator into a MetricsRegistry. The servers call these
+// at the end of a run; with a null registry they are no-ops, so the
+// simulation hot loop never pays for telemetry that nobody asked for.
+
+#ifndef MEMSTREAM_OBS_EXPORTERS_H_
+#define MEMSTREAM_OBS_EXPORTERS_H_
+
+#include "device/device.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace memstream::obs {
+
+/// Exports "device.<name>.busy_seconds|ios|bytes|utilization" gauges.
+/// Utilization is busy/horizon clamped to [0, 1]; horizon <= 0 skips it.
+void ExportDeviceStats(MetricsRegistry* metrics,
+                       const device::BlockDevice& device, Seconds horizon);
+
+/// Exports "sim.events_processed|max_queue_depth|wall_seconds|
+/// events_per_sec_wall" gauges from the engine's built-in run telemetry.
+void ExportSimulatorStats(MetricsRegistry* metrics,
+                          const sim::Simulator& sim);
+
+}  // namespace memstream::obs
+
+#endif  // MEMSTREAM_OBS_EXPORTERS_H_

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv_writer.h"
+
+namespace memstream::obs {
+
+namespace {
+
+constexpr char kCounterKind[] = "counter";
+constexpr char kGaugeKind[] = "gauge";
+constexpr char kHistogramKind[] = "histogram";
+constexpr char kTimeWeightedKind[] = "time_weighted";
+
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  Entry& e = metrics_[name];
+  if (e.kind.empty()) {
+    e.kind = kCounterKind;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  Entry& e = metrics_[name];
+  if (e.kind.empty()) {
+    e.kind = kGaugeKind;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name,
+                                            const HistogramOptions& options) {
+  Entry& e = metrics_[name];
+  if (e.kind.empty()) {
+    e.kind = kHistogramKind;
+    e.histogram = std::make_unique<HistogramMetric>(options.lo, options.hi,
+                                                    options.buckets);
+  }
+  return e.histogram.get();
+}
+
+TimeWeightedGauge* MetricsRegistry::time_weighted(const std::string& name) {
+  Entry& e = metrics_[name];
+  if (e.kind.empty()) {
+    e.kind = kTimeWeightedKind;
+    e.time_weighted = std::make_unique<TimeWeightedGauge>();
+  }
+  return e.time_weighted.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.gauge.get();
+}
+
+const HistogramMetric* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.histogram.get();
+}
+
+const TimeWeightedGauge* MetricsRegistry::FindTimeWeighted(
+    const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.time_weighted.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = entry.kind;
+    if (entry.counter != nullptr) {
+      s.value = entry.counter->value();
+      s.count = 1;
+    } else if (entry.gauge != nullptr) {
+      s.value = entry.gauge->value();
+      s.count = 1;
+    } else if (entry.histogram != nullptr) {
+      const auto& h = entry.histogram->histogram();
+      const auto& st = h.stats();
+      s.count = st.count();
+      s.min = st.min();
+      s.max = st.max();
+      s.mean = st.mean();
+      s.value = st.mean();
+      s.p50 = h.Quantile(0.50);
+      s.p95 = h.Quantile(0.95);
+      s.p99 = h.Quantile(0.99);
+    } else if (entry.time_weighted != nullptr) {
+      const auto& st = entry.time_weighted->stats();
+      s.value = st.TimeAverage();
+      s.mean = st.TimeAverage();
+      s.max = st.max_value();
+      s.count = 1;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, entry] : metrics_) {
+    const std::string prom = PrometheusName(name);
+    if (entry.counter != nullptr) {
+      out << "# TYPE " << prom << " counter\n";
+      out << prom << " " << FormatDouble(entry.counter->value()) << "\n";
+    } else if (entry.gauge != nullptr) {
+      out << "# TYPE " << prom << " gauge\n";
+      out << prom << " " << FormatDouble(entry.gauge->value()) << "\n";
+    } else if (entry.histogram != nullptr) {
+      const auto& h = entry.histogram->histogram();
+      const auto& st = h.stats();
+      out << "# TYPE " << prom << " summary\n";
+      for (double q : {0.5, 0.95, 0.99}) {
+        out << prom << "{quantile=\"" << FormatDouble(q) << "\"} "
+            << FormatDouble(h.Quantile(q)) << "\n";
+      }
+      out << prom << "_sum " << FormatDouble(st.sum()) << "\n";
+      out << prom << "_count " << st.count() << "\n";
+    } else if (entry.time_weighted != nullptr) {
+      const auto& st = entry.time_weighted->stats();
+      out << "# TYPE " << prom << "_avg gauge\n";
+      out << prom << "_avg " << FormatDouble(st.TimeAverage()) << "\n";
+      out << "# TYPE " << prom << "_max gauge\n";
+      out << prom << "_max " << FormatDouble(st.max_value()) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToCsvText() const {
+  std::ostringstream out;
+  out << "name,kind,value,count,min,max,mean,p50,p95,p99\n";
+  for (const auto& s : Snapshot()) {
+    out << CsvEscape(s.name) << "," << s.kind << "," << FormatDouble(s.value)
+        << "," << s.count << "," << FormatDouble(s.min) << ","
+        << FormatDouble(s.max) << "," << FormatDouble(s.mean) << ","
+        << FormatDouble(s.p50) << "," << FormatDouble(s.p95) << ","
+        << FormatDouble(s.p99) << "\n";
+  }
+  return out.str();
+}
+
+Status MetricsRegistry::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  out << ToCsvText();
+  out.close();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace memstream::obs

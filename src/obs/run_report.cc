@@ -1,0 +1,91 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace memstream::obs {
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(kRunReportSchemaVersion);
+  w.Key("title");
+  w.String(title);
+
+  w.Key("config");
+  w.BeginObject();
+  for (const auto& [key, value] : config) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+
+  w.Key("analytic");
+  w.BeginObject();
+  for (const auto& [key, value] : analytic) {
+    w.Key(key);
+    w.Number(value);
+  }
+  w.EndObject();
+
+  w.Key("simulated");
+  w.BeginObject();
+  for (const auto& [key, value] : simulated) {
+    w.Key(key);
+    w.Number(value);
+  }
+  w.EndObject();
+
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    w.BeginArray();
+    for (const auto& s : metrics->Snapshot()) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(s.name);
+      w.Key("kind");
+      w.String(s.kind);
+      w.Key("value");
+      w.Number(s.value);
+      if (s.kind == "histogram") {
+        w.Key("count");
+        w.Int(s.count);
+        w.Key("min");
+        w.Number(s.min);
+        w.Key("max");
+        w.Number(s.max);
+        w.Key("mean");
+        w.Number(s.mean);
+        w.Key("p50");
+        w.Number(s.p50);
+        w.Key("p95");
+        w.Number(s.p95);
+        w.Key("p99");
+        w.Number(s.p99);
+      } else if (s.kind == "time_weighted") {
+        w.Key("max");
+        w.Number(s.max);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  w.EndObject();
+  return w.str();
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  out << ToJson();
+  out.close();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace memstream::obs

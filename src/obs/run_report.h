@@ -1,0 +1,58 @@
+// Structured run report: one JSON document per simulated run that places
+// the analytical model's predictions and the simulator's observed
+// telemetry side by side, plus an optional embedded metrics snapshot.
+// server::BuildRunReport() fills one from a MediaServer run; tests and
+// downstream tooling parse the JSON (schema in docs/OBSERVABILITY.md).
+
+#ifndef MEMSTREAM_OBS_RUN_REPORT_H_
+#define MEMSTREAM_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace memstream::obs {
+
+/// Schema version of the emitted JSON; bump on breaking layout changes.
+inline constexpr std::int64_t kRunReportSchemaVersion = 1;
+
+/// One run's worth of side-by-side analytic and simulated quantities.
+/// `config` echoes the knobs as strings; `analytic` and `simulated` are
+/// numeric so tooling can diff prediction against observation directly.
+struct RunReport {
+  std::string title;
+
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::pair<std::string, double>> analytic;
+  std::vector<std::pair<std::string, double>> simulated;
+
+  /// Optional: embedded into the JSON as a "metrics" array when set.
+  /// Not owned; must outlive ToJson()/WriteFile().
+  const MetricsRegistry* metrics = nullptr;
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config.emplace_back(key, value);
+  }
+  void AddAnalytic(const std::string& key, double value) {
+    analytic.emplace_back(key, value);
+  }
+  void AddSimulated(const std::string& key, double value) {
+    simulated.emplace_back(key, value);
+  }
+
+  /// Serializes the report as a JSON object:
+  /// {"schema_version":1,"title":...,"config":{...},
+  ///  "analytic":{...},"simulated":{...},"metrics":[...]}
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (conventionally <name>.report.json).
+  Status WriteFile(const std::string& path) const;
+};
+
+}  // namespace memstream::obs
+
+#endif  // MEMSTREAM_OBS_RUN_REPORT_H_

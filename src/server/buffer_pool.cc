@@ -4,13 +4,32 @@
 
 namespace memstream::server {
 
+void BufferPool::AttachMetrics(obs::MetricsRegistry* metrics,
+                               const std::string& prefix) {
+  if (metrics == nullptr) {
+    used_gauge_ = nullptr;
+    peak_gauge_ = nullptr;
+    exhausted_metric_ = nullptr;
+    return;
+  }
+  used_gauge_ = metrics->gauge(prefix + ".used_bytes");
+  peak_gauge_ = metrics->gauge(prefix + ".peak_bytes");
+  exhausted_metric_ = metrics->counter(prefix + ".reserve_failures");
+  metrics->gauge(prefix + ".capacity_bytes")->Set(capacity_);
+  used_gauge_->Set(used_);
+  peak_gauge_->Set(peak_used_);
+}
+
 Status BufferPool::Reserve(Bytes bytes) {
   if (bytes < 0) return Status::InvalidArgument("negative reservation");
   if (used_ + bytes > capacity_ * (1.0 + 1e-9)) {
+    obs::Increment(exhausted_metric_);
     return Status::ResourceExhausted("buffer pool exhausted");
   }
   used_ += bytes;
   peak_used_ = std::max(peak_used_, used_);
+  obs::Set(used_gauge_, used_);
+  obs::Set(peak_gauge_, peak_used_);
   return Status::OK();
 }
 
@@ -20,6 +39,7 @@ Status BufferPool::Release(Bytes bytes) {
     return Status::InvalidArgument("releasing more than reserved");
   }
   used_ = std::max(0.0, used_ - bytes);
+  obs::Set(used_gauge_, used_);
   return Status::OK();
 }
 

@@ -5,8 +5,11 @@
 #ifndef MEMSTREAM_SERVER_BUFFER_POOL_H_
 #define MEMSTREAM_SERVER_BUFFER_POOL_H_
 
+#include <string>
+
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace memstream::server {
 
@@ -16,6 +19,12 @@ class BufferPool {
  public:
   /// A pool of `capacity` bytes. Requires capacity >= 0.
   explicit BufferPool(Bytes capacity) : capacity_(capacity) {}
+
+  /// Publishes the pool into `metrics` under `prefix` (e.g. "pool.dram"):
+  /// a used-bytes gauge, a reservation-failure counter, and a peak gauge
+  /// kept current on every Reserve(). Null detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics,
+                     const std::string& prefix);
 
   /// Reserves `bytes`; ResourceExhausted if it would exceed capacity.
   Status Reserve(Bytes bytes);
@@ -33,6 +42,9 @@ class BufferPool {
   Bytes capacity_;
   Bytes used_ = 0;
   Bytes peak_used_ = 0;
+  obs::Gauge* used_gauge_ = nullptr;
+  obs::Gauge* peak_gauge_ = nullptr;
+  obs::Counter* exhausted_metric_ = nullptr;
 };
 
 }  // namespace memstream::server

@@ -1,7 +1,10 @@
 #include "server/cache_server.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/exporters.h"
 
 namespace memstream::server {
 
@@ -70,16 +73,43 @@ CacheStreamingServer::CacheStreamingServer(
       disk_streams_.push_back(i);
     }
   }
+
+  // Resolve telemetry handles once; hot-path updates are null-guarded.
+  obs::MetricsRegistry* metrics = config_.metrics;
+  dram_occupancy_.assign(sessions_.size(), nullptr);
+  if (metrics != nullptr) {
+    const double disk_ms = config_.disk_cycle / kMillisecond;
+    const double mems_ms = config_.mems_cycle / kMillisecond;
+    disk_slack_hist_ = metrics->histogram("server.cache.disk.cycle_slack_ms",
+                                          {-disk_ms, disk_ms, 40});
+    mems_slack_hist_ = metrics->histogram("server.cache.mems.cycle_slack_ms",
+                                          {-mems_ms, mems_ms, 40});
+    disk_cycles_metric_ = metrics->counter("server.cache.disk.cycles");
+    mems_cycles_metric_ = metrics->counter("server.cache.mems.cycles");
+    ios_metric_ = metrics->counter("server.cache.ios");
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      dram_occupancy_[i] = metrics->time_weighted(
+          "stream." + std::to_string(sessions_[i].id()) + ".dram_bytes");
+    }
+  }
 }
 
 void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
-                                           Seconds done, Seconds boundary) {
+                                           Seconds done, Seconds boundary,
+                                           const std::string& actor,
+                                           Seconds service) {
   auto* session = &sessions_[stream];
-  sim_.ScheduleAt(done, [this, session, bytes, done, boundary]() {
+  auto* occupancy_tw = dram_occupancy_[stream];
+  sim_.ScheduleAt(done, [this, session, occupancy_tw, bytes, done, boundary,
+                         actor, service]() {
     session->Deposit(done, bytes);
+    const Bytes level = session->LevelAt(done);
+    obs::Update(occupancy_tw, done, level);
     if (trace_ != nullptr) {
-      trace_->Append({done, sim::TraceKind::kIoCompleted, "deposit",
-                      session->id(), bytes, ""});
+      trace_->Append({done, sim::TraceKind::kIoCompleted, actor,
+                      session->id(), bytes, "", service});
+      trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
+                      session->id(), level, ""});
     }
     if (!session->playing()) {
       const Seconds start = std::max(done, boundary);
@@ -116,13 +146,24 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
     busy += st.value();
     last_head_offset_ = batch[pos].offset;
     ++report_.ios_completed;
+    obs::Increment(ios_metric_);
     ScheduleDeposit(disk_streams_[pos], batch[pos].bytes, t0 + busy,
-                    t0 + config_.disk_cycle);
+                    t0 + config_.disk_cycle, disk_->name(), st.value());
   }
 
   report_.disk_busy += busy;
   if (busy > config_.disk_cycle * (1.0 + 1e-9)) ++report_.disk_overruns;
   ++report_.disk_cycles;
+  obs::Increment(disk_cycles_metric_);
+  obs::Observe(disk_slack_hist_, (config_.disk_cycle - busy) / kMillisecond);
+  if (trace_ != nullptr && busy > 0) {
+    // Scheduled so the record lands in time order among the IO records.
+    const Seconds end = t0 + busy;
+    sim_.ScheduleAt(end, [this, end, busy]() {
+      trace_->Append({end, sim::TraceKind::kCycleEnd, disk_->name(), -1, 0,
+                      "", busy});
+    });
+  }
 
   const Seconds next = t0 + std::max(config_.disk_cycle, busy);
   if (next < deadline) {
@@ -155,13 +196,24 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
     }
     busy += op_time;
     ++report_.ios_completed;
-    ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle);
+    obs::Increment(ios_metric_);
+    ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
+                    "mems-striped", op_time);
   }
 
   for (auto& b : device_busy_) b += busy;  // all devices move together
   report_.mems_busy += busy * k;
   if (busy > config_.mems_cycle * (1.0 + 1e-9)) ++report_.mems_overruns;
   ++report_.mems_cycles;
+  obs::Increment(mems_cycles_metric_);
+  obs::Observe(mems_slack_hist_, (config_.mems_cycle - busy) / kMillisecond);
+  if (trace_ != nullptr && busy > 0) {
+    const Seconds end = t0 + busy;
+    sim_.ScheduleAt(end, [this, end, busy]() {
+      trace_->Append({end, sim::TraceKind::kCycleEnd, "mems-striped", -1, 0,
+                      "", busy});
+    });
+  }
 
   const Seconds next = t0 + std::max(config_.mems_cycle, busy);
   if (next < deadline) {
@@ -193,7 +245,9 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
     if (!st.ok()) continue;  // unreachable: validated in Create
     busy += st.value();
     ++report_.ios_completed;
-    ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle);
+    obs::Increment(ios_metric_);
+    ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
+                    bank_[dev].name(), st.value());
   }
   if (!any) return;
 
@@ -201,6 +255,16 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
   report_.mems_busy += busy;
   if (busy > config_.mems_cycle * (1.0 + 1e-9)) ++report_.mems_overruns;
   ++report_.mems_cycles;
+  obs::Increment(mems_cycles_metric_);
+  obs::Observe(mems_slack_hist_, (config_.mems_cycle - busy) / kMillisecond);
+  if (trace_ != nullptr && busy > 0) {
+    const std::string actor = bank_[dev].name();
+    const Seconds end = t0 + busy;
+    sim_.ScheduleAt(end, [this, actor, end, busy]() {
+      trace_->Append({end, sim::TraceKind::kCycleEnd, actor, -1, 0, "",
+                      busy});
+    });
+  }
 
   const Seconds next = t0 + std::max(config_.mems_cycle, busy);
   if (next < deadline) {
@@ -247,6 +311,28 @@ Status CacheStreamingServer::Run(Seconds duration) {
     report_.underflow_events += session.underflow_events();
     report_.underflow_time += session.underflow_time();
     report_.peak_dram_demand += session.peak_level();
+  }
+
+  if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
+    metrics->gauge("server.cache.underflow_events")
+        ->Set(static_cast<double>(report_.underflow_events));
+    metrics->gauge("server.cache.underflow_time_s")
+        ->Set(report_.underflow_time);
+    metrics->gauge("server.cache.disk.overruns")
+        ->Set(static_cast<double>(report_.disk_overruns));
+    metrics->gauge("server.cache.mems.overruns")
+        ->Set(static_cast<double>(report_.mems_overruns));
+    metrics->gauge("server.cache.disk.utilization")
+        ->Set(report_.disk_utilization);
+    metrics->gauge("server.cache.mems.utilization")
+        ->Set(report_.mems_utilization);
+    metrics->gauge("server.cache.peak_dram_bytes")
+        ->Set(report_.peak_dram_demand);
+    if (disk_ != nullptr) obs::ExportDeviceStats(metrics, *disk_, duration);
+    for (const auto& dev : bank_) {
+      obs::ExportDeviceStats(metrics, dev, duration);
+    }
+    obs::ExportSimulatorStats(metrics, sim_);
   }
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #define MEMSTREAM_SERVER_CACHE_SERVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -15,6 +16,7 @@
 #include "device/disk_scheduler.h"
 #include "device/mems_device.h"
 #include "model/mems_cache.h"
+#include "obs/metrics.h"
 #include "server/stream_session.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
@@ -43,6 +45,10 @@ struct CacheServerConfig {
   device::SchedulerPolicy disk_policy = device::SchedulerPolicy::kCLook;
   bool deterministic = true;
   std::uint64_t seed = 42;
+  /// Optional telemetry: per-side cycle-slack histograms, per-stream
+  /// occupancy, run summary gauges. Null (the default) costs one pointer
+  /// test per update site. Not owned; must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Post-run statistics, split by side.
@@ -90,7 +96,8 @@ class CacheStreamingServer {
   void RunReplicatedCycle(std::size_t dev, Seconds deadline);
 
   void ScheduleDeposit(std::size_t stream, Bytes bytes, Seconds done,
-                       Seconds boundary);
+                       Seconds boundary, const std::string& actor,
+                       Seconds service);
 
   device::DiskDrive* disk_;
   std::vector<device::MemsDevice> bank_;
@@ -107,6 +114,13 @@ class CacheStreamingServer {
   std::int64_t last_head_offset_ = 0;
   CacheServerReport report_;
   bool ran_ = false;
+  // Telemetry handles (null when config_.metrics is null).
+  obs::HistogramMetric* disk_slack_hist_ = nullptr;
+  obs::HistogramMetric* mems_slack_hist_ = nullptr;
+  obs::Counter* disk_cycles_metric_ = nullptr;
+  obs::Counter* mems_cycles_metric_ = nullptr;
+  obs::Counter* ios_metric_ = nullptr;
+  std::vector<obs::TimeWeightedGauge*> dram_occupancy_;  ///< per stream
 };
 
 }  // namespace memstream::server

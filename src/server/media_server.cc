@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "model/profiles.h"
@@ -62,12 +63,13 @@ Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
   server_config.cycle = cycle.value();
   server_config.deterministic = config.deterministic;
   server_config.seed = config.seed;
+  server_config.metrics = config.metrics;
   const Bytes io = config.bit_rate * cycle.value();
   auto server = DirectStreamingServer::Create(
       &disk.value(),
       PlaceStreams(config.num_streams, config.bit_rate,
                    disk.value().Capacity(), 2 * io),
-      server_config);
+      server_config, config.trace);
   MEMSTREAM_RETURN_IF_ERROR(server.status());
   MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
 
@@ -120,12 +122,13 @@ Result<MediaServerResult> RunBuffer(const MediaServerConfig& config) {
   server_config.t_mems = sizing.value().t_mems_snapped;
   server_config.deterministic = config.deterministic;
   server_config.seed = config.seed;
+  server_config.metrics = config.metrics;
   const Bytes io = config.bit_rate * server_config.t_disk;
   auto server = MemsPipelineServer::Create(
       &disk.value(), std::move(bank),
       PlaceStreams(config.num_streams, config.bit_rate,
                    disk.value().Capacity(), 2 * io),
-      server_config);
+      server_config, config.trace);
   MEMSTREAM_RETURN_IF_ERROR(server.status());
   MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
 
@@ -233,8 +236,10 @@ Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
   server_config.policy = config.cache_policy;
   server_config.deterministic = config.deterministic;
   server_config.seed = config.seed;
+  server_config.metrics = config.metrics;
   auto server = CacheStreamingServer::Create(
-      &disk.value(), std::move(bank), std::move(streams), server_config);
+      &disk.value(), std::move(bank), std::move(streams), server_config,
+      config.trace);
   MEMSTREAM_RETURN_IF_ERROR(server.status());
   MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
 
@@ -272,6 +277,40 @@ Result<MediaServerResult> RunMediaServer(const MediaServerConfig& config) {
       return RunCache(config);
   }
   return Status::InvalidArgument("unknown mode");
+}
+
+obs::RunReport BuildRunReport(const MediaServerConfig& config,
+                              const MediaServerResult& result,
+                              const obs::MetricsRegistry* metrics) {
+  obs::RunReport report;
+  report.title = std::string("media-server ") + ServerModeName(config.mode);
+  report.AddConfig("mode", ServerModeName(config.mode));
+  report.AddConfig("disk", config.disk.name);
+  report.AddConfig("mems", config.mems.name);
+  report.AddConfig("k", std::to_string(config.k));
+  report.AddConfig("num_streams", std::to_string(config.num_streams));
+  report.AddConfig("bit_rate_mbps", std::to_string(config.bit_rate / kMBps));
+  report.AddConfig("sim_duration_s", std::to_string(config.sim_duration));
+  report.AddConfig("deterministic", config.deterministic ? "true" : "false");
+  report.AddConfig("seed", std::to_string(config.seed));
+
+  report.AddAnalytic("dram_total_bytes", result.analytic_dram_total);
+  report.AddAnalytic("disk_cycle_s", result.disk_cycle);
+  report.AddAnalytic("mems_cycle_s", result.mems_cycle);
+
+  report.AddSimulated("underflow_events",
+                      static_cast<double>(result.underflow_events));
+  report.AddSimulated("underflow_time_s", result.underflow_time);
+  report.AddSimulated("cycle_overruns",
+                      static_cast<double>(result.cycle_overruns));
+  report.AddSimulated("peak_dram_bytes", result.sim_peak_dram);
+  report.AddSimulated("disk_utilization", result.disk_utilization);
+  report.AddSimulated("mems_utilization", result.mems_utilization);
+  report.AddSimulated("ios_completed",
+                      static_cast<double>(result.ios_completed));
+
+  report.metrics = metrics;
+  return report;
 }
 
 }  // namespace memstream::server

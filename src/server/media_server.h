@@ -13,9 +13,12 @@
 #include "device/device_catalog.h"
 #include "model/mems_buffer.h"
 #include "model/mems_cache.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "server/cache_server.h"
 #include "server/mems_pipeline_server.h"
 #include "server/timecycle_server.h"
+#include "sim/trace.h"
 
 namespace memstream::server {
 
@@ -46,6 +49,13 @@ struct MediaServerConfig {
   Seconds t_disk_override = 0;
   bool deterministic = true;
   std::uint64_t seed = 42;
+  /// Optional event trace of the simulated server (cycle spans, IO
+  /// completions, buffer levels) — feed to obs::ChromeTraceExporter.
+  /// Not owned; must outlive the call.
+  sim::TraceLog* trace = nullptr;
+  /// Optional metrics sink; the chosen server publishes its full
+  /// telemetry here. Not owned; must outlive the call.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Analytic sizing and simulated outcome of one run.
@@ -67,6 +77,13 @@ struct MediaServerResult {
 /// Sizes, builds, simulates, reports. Returns the first infeasibility the
 /// model detects (e.g. too many streams for the disk).
 Result<MediaServerResult> RunMediaServer(const MediaServerConfig& config);
+
+/// Builds a structured run report: the configuration echo, the analytic
+/// sizing, and the simulated outcome side by side, plus a snapshot of
+/// `metrics` when given (pass the registry the run wrote into, or null).
+obs::RunReport BuildRunReport(const MediaServerConfig& config,
+                              const MediaServerResult& result,
+                              const obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace memstream::server
 

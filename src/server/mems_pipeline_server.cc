@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/exporters.h"
+
 namespace memstream::server {
 
 Result<MemsPipelineServer> MemsPipelineServer::Create(
@@ -94,6 +96,31 @@ MemsPipelineServer::MemsPipelineServer(device::DiskDrive* disk,
     st.slot_base =
         st.slot_size * static_cast<double>(slot_index[st.device]++);
   }
+
+  // Resolve telemetry handles once; hot-path updates are null-guarded.
+  obs::MetricsRegistry* metrics = config_.metrics;
+  dram_occupancy_.assign(streams_.size(), nullptr);
+  mems_occupancy_.assign(k, nullptr);
+  if (metrics != nullptr) {
+    const double t_disk_ms = config_.t_disk / kMillisecond;
+    const double t_mems_ms = config_.t_mems / kMillisecond;
+    disk_slack_hist_ = metrics->histogram(
+        "server.pipeline.disk.cycle_slack_ms", {-t_disk_ms, t_disk_ms, 40});
+    mems_slack_hist_ = metrics->histogram(
+        "server.pipeline.mems.cycle_slack_ms", {-t_mems_ms, t_mems_ms, 40});
+    disk_cycles_metric_ = metrics->counter("server.pipeline.disk.cycles");
+    mems_cycles_metric_ = metrics->counter("server.pipeline.mems.cycles");
+    ios_metric_ = metrics->counter("server.pipeline.ios");
+    starved_metric_ = metrics->counter("server.pipeline.starved_reads");
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      dram_occupancy_[i] = metrics->time_weighted(
+          "stream." + std::to_string(streams_[i].id) + ".dram_bytes");
+    }
+    for (std::size_t d = 0; d < k; ++d) {
+      mems_occupancy_[d] = metrics->time_weighted(
+          "device." + bank_[d].name() + ".occupancy_bytes");
+    }
+  }
 }
 
 void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
@@ -125,14 +152,16 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: validated in Create
     busy += st.value();
+    const Seconds service = st.value();
     last_head_offset_ = batch[idx].offset;
     const Seconds done = t0 + busy;
     const Bytes bytes = batch[idx].bytes;
-    sim_.ScheduleAt(done, [this, idx, bytes, done]() {
+    sim_.ScheduleAt(done, [this, idx, bytes, done, service]() {
       pending_[state_[idx].device].push_back(PendingWrite{idx, bytes});
       if (trace_ != nullptr) {
         trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
-                        sessions_[idx].id(), bytes, "-> mems pending"});
+                        sessions_[idx].id(), bytes, "-> mems pending",
+                        service});
       }
     });
   }
@@ -141,6 +170,16 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
   if (busy > config_.t_disk * (1.0 + 1e-9)) ++report_.disk_overruns;
   ++report_.disk_cycles;
   report_.ios_completed += static_cast<std::int64_t>(order.size());
+  obs::Increment(disk_cycles_metric_);
+  obs::Increment(ios_metric_, static_cast<double>(order.size()));
+  obs::Observe(disk_slack_hist_, (config_.t_disk - busy) / kMillisecond);
+  if (trace_ != nullptr && busy > 0) {
+    const Seconds end = t0 + busy;
+    sim_.ScheduleAt(end, [this, end, busy]() {
+      trace_->Append({end, sim::TraceKind::kCycleEnd, disk_->name(), -1, 0,
+                      "", busy});
+    });
+  }
 
   const Seconds next = t0 + std::max(config_.t_disk, busy);
   if (next < deadline) {
@@ -201,6 +240,7 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
     if (!st.first_write_done) continue;  // stream not started yet
     if (st.resident <= 0) {
       ++report_.starved_reads;
+      obs::Increment(starved_metric_);
       st.read_deficit += read_bytes;
       continue;
     }
@@ -222,22 +262,25 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
         nullptr);
     if (!st.ok()) continue;  // unreachable: slots sized in Create
     busy += st.value();
+    const Seconds service = st.value();
     const Seconds done = t0 + busy;
     ++report_.ios_completed;
+    obs::Increment(ios_metric_);
     if (op.is_write) {
       const std::size_t stream = op.stream;
       const Bytes bytes = op.bytes;
-      sim_.ScheduleAt(done, [this, dev, stream, bytes, done]() {
+      sim_.ScheduleAt(done, [this, dev, stream, bytes, done, service]() {
         StreamState& s = state_[stream];
         s.resident += bytes;
         s.first_write_done = true;
         occupancy_[dev] += bytes;
         report_.peak_mems_occupancy =
             std::max(report_.peak_mems_occupancy, occupancy_[dev]);
+        obs::Update(mems_occupancy_[dev], done, occupancy_[dev]);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           bank_[dev].name(), sessions_[stream].id(), bytes,
-                          "disk->MEMS write"});
+                          "disk->MEMS write", service});
           if (occupancy_[dev] > bank_[dev].Capacity()) {
             trace_->Append({done, sim::TraceKind::kOverflow,
                             bank_[dev].name(), sessions_[stream].id(),
@@ -250,14 +293,20 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
       const std::size_t stream = op.stream;
       const Bytes bytes = op.bytes;
       const Seconds boundary = t0 + config_.t_mems;
-      sim_.ScheduleAt(done, [this, dev, stream, bytes, done, boundary]() {
+      sim_.ScheduleAt(done, [this, dev, stream, bytes, done, boundary,
+                             service]() {
         occupancy_[dev] = std::max(0.0, occupancy_[dev] - bytes);
+        obs::Update(mems_occupancy_[dev], done, occupancy_[dev]);
         auto* session = &sessions_[stream];
         session->Deposit(done, bytes);
+        const Bytes level = session->LevelAt(done);
+        obs::Update(dram_occupancy_[stream], done, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           bank_[dev].name(), session->id(), bytes,
-                          "MEMS->DRAM read"});
+                          "MEMS->DRAM read", service});
+          trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
+                          session->id(), level, ""});
         }
         if (!session->playing()) {
           const Seconds start = std::max(done, boundary);
@@ -273,6 +322,16 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
   report_.mems_busy += busy;
   if (busy > config_.t_mems * (1.0 + 1e-9)) ++report_.mems_overruns;
   ++report_.mems_cycles;
+  obs::Increment(mems_cycles_metric_);
+  obs::Observe(mems_slack_hist_, (config_.t_mems - busy) / kMillisecond);
+  if (trace_ != nullptr && busy > 0) {
+    const Seconds end = t0 + busy;
+    const std::string actor = device.name();
+    sim_.ScheduleAt(end, [this, end, busy, actor]() {
+      trace_->Append({end, sim::TraceKind::kCycleEnd, actor, -1, 0, "",
+                      busy});
+    });
+  }
 
   const Seconds next = t0 + std::max(config_.t_mems, busy);
   if (next < deadline) {
@@ -329,6 +388,7 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
     if (!st.first_write_done) continue;
     if (st.resident <= 0) {
       ++report_.starved_reads;
+      obs::Increment(starved_metric_);
       st.read_deficit += read_bytes;
       continue;
     }
@@ -358,16 +418,18 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
     }
     busy += op_time;
     ++report_.ios_completed;
+    obs::Increment(ios_metric_);
     const Seconds done = t0 + busy;
     if (op.is_write) {
       const std::size_t stream = op.stream;
       const Bytes bytes = op.bytes;
-      sim_.ScheduleAt(done, [this, stream, bytes]() {
+      sim_.ScheduleAt(done, [this, stream, bytes, done]() {
         state_[stream].resident += bytes;
         state_[stream].first_write_done = true;
         occupancy_[0] += bytes;
         report_.peak_mems_occupancy =
             std::max(report_.peak_mems_occupancy, occupancy_[0]);
+        obs::Update(mems_occupancy_[0], done, occupancy_[0]);
       });
     } else {
       const std::size_t stream = op.stream;
@@ -375,8 +437,15 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
       const Seconds boundary = t0 + config_.t_mems;
       sim_.ScheduleAt(done, [this, stream, bytes, done, boundary]() {
         occupancy_[0] = std::max(0.0, occupancy_[0] - bytes);
+        obs::Update(mems_occupancy_[0], done, occupancy_[0]);
         auto* session = &sessions_[stream];
         session->Deposit(done, bytes);
+        const Bytes level = session->LevelAt(done);
+        obs::Update(dram_occupancy_[stream], done, level);
+        if (trace_ != nullptr) {
+          trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
+                          session->id(), level, ""});
+        }
         if (!session->playing()) {
           const Seconds start = std::max(done, boundary);
           sim_.ScheduleAt(start, [session, start]() {
@@ -391,6 +460,15 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
   report_.mems_busy += busy * k;
   if (busy > config_.t_mems * (1.0 + 1e-9)) ++report_.mems_overruns;
   ++report_.mems_cycles;
+  obs::Increment(mems_cycles_metric_);
+  obs::Observe(mems_slack_hist_, (config_.t_mems - busy) / kMillisecond);
+  if (trace_ != nullptr && busy > 0) {
+    const Seconds end = t0 + busy;
+    sim_.ScheduleAt(end, [this, end, busy]() {
+      trace_->Append({end, sim::TraceKind::kCycleEnd, "mems-striped", -1, 0,
+                      "", busy});
+    });
+  }
 
   const Seconds next = t0 + std::max(config_.t_mems, busy);
   if (next < deadline) {
@@ -435,6 +513,30 @@ Status MemsPipelineServer::Run(Seconds duration) {
     report_.underflow_events += session.underflow_events();
     report_.underflow_time += session.underflow_time();
     report_.peak_dram_demand += session.peak_level();
+  }
+
+  if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
+    metrics->gauge("server.pipeline.underflow_events")
+        ->Set(static_cast<double>(report_.underflow_events));
+    metrics->gauge("server.pipeline.underflow_time_s")
+        ->Set(report_.underflow_time);
+    metrics->gauge("server.pipeline.disk.overruns")
+        ->Set(static_cast<double>(report_.disk_overruns));
+    metrics->gauge("server.pipeline.mems.overruns")
+        ->Set(static_cast<double>(report_.mems_overruns));
+    metrics->gauge("server.pipeline.disk.utilization")
+        ->Set(report_.disk_utilization);
+    metrics->gauge("server.pipeline.mems.utilization")
+        ->Set(report_.mems_utilization);
+    metrics->gauge("server.pipeline.peak_dram_bytes")
+        ->Set(report_.peak_dram_demand);
+    metrics->gauge("server.pipeline.peak_mems_bytes")
+        ->Set(report_.peak_mems_occupancy);
+    obs::ExportDeviceStats(metrics, *disk_, duration);
+    for (const auto& dev : bank_) {
+      obs::ExportDeviceStats(metrics, dev, duration);
+    }
+    obs::ExportSimulatorStats(metrics, sim_);
   }
   return Status::OK();
 }

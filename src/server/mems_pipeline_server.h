@@ -28,6 +28,7 @@
 #include "device/disk_scheduler.h"
 #include "device/mems_device.h"
 #include "model/mems_buffer.h"
+#include "obs/metrics.h"
 #include "server/stream_session.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
@@ -50,6 +51,10 @@ struct MemsPipelineConfig {
       model::BufferPlacement::kRoundRobinStreams;
   bool deterministic = true;  ///< expected rotational delay on the disk
   std::uint64_t seed = 42;
+  /// Optional telemetry: disk/MEMS cycle-slack histograms, per-stream
+  /// and per-device occupancy, run summary gauges. Null (the default)
+  /// costs one pointer test per update site. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Post-run statistics of the pipeline.
@@ -135,6 +140,15 @@ class MemsPipelineServer {
   std::int64_t last_head_offset_ = 0;
   MemsPipelineReport report_;
   bool ran_ = false;
+  // Telemetry handles (null when config_.metrics is null).
+  obs::HistogramMetric* disk_slack_hist_ = nullptr;
+  obs::HistogramMetric* mems_slack_hist_ = nullptr;
+  obs::Counter* disk_cycles_metric_ = nullptr;
+  obs::Counter* mems_cycles_metric_ = nullptr;
+  obs::Counter* ios_metric_ = nullptr;
+  obs::Counter* starved_metric_ = nullptr;
+  std::vector<obs::TimeWeightedGauge*> dram_occupancy_;  ///< per stream
+  std::vector<obs::TimeWeightedGauge*> mems_occupancy_;  ///< per device
 };
 
 }  // namespace memstream::server

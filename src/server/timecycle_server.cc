@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/exporters.h"
+
 namespace memstream::server {
 
 Result<DirectStreamingServer> DirectStreamingServer::Create(
@@ -52,6 +54,29 @@ DirectStreamingServer::DirectStreamingServer(device::DiskDrive* disk,
       record_sessions_.emplace_back(s.id, s.bit_rate, staging);
     }
   }
+
+  // Resolve telemetry handles once; hot-path updates are null-guarded.
+  obs::MetricsRegistry* metrics = config_.metrics;
+  play_occupancy_.assign(play_sessions_.size(), nullptr);
+  staging_occupancy_.assign(record_sessions_.size(), nullptr);
+  if (metrics != nullptr) {
+    const double cycle_ms = config_.cycle / kMillisecond;
+    slack_hist_ = metrics->histogram("server.direct.cycle_slack_ms",
+                                     {-cycle_ms, cycle_ms, 40});
+    cycles_metric_ = metrics->counter("server.direct.cycles");
+    overruns_metric_ = metrics->counter("server.direct.cycle_overruns");
+    ios_metric_ = metrics->counter("server.direct.ios");
+    for (std::size_t i = 0; i < play_sessions_.size(); ++i) {
+      play_occupancy_[i] = metrics->time_weighted(
+          "stream." + std::to_string(play_sessions_[i].id()) +
+          ".dram_bytes");
+    }
+    for (std::size_t i = 0; i < record_sessions_.size(); ++i) {
+      staging_occupancy_[i] = metrics->time_weighted(
+          "stream." + std::to_string(record_sessions_[i].id()) +
+          ".staging_bytes");
+    }
+  }
 }
 
 void DirectStreamingServer::RunCycle(Seconds deadline) {
@@ -87,34 +112,45 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: offsets validated in Create
     busy += st.value();
+    const Seconds service = st.value();
     const Seconds done = t0 + busy;
     last_head_offset_ = batch[idx].offset;
     ++report_.ios_completed;
+    obs::Increment(ios_metric_);
     const Bytes bytes = batch[idx].bytes;
 
     if (streams_[idx].direction == StreamDirection::kWrite) {
       auto* recording = &record_sessions_[session_index_[idx]];
-      sim_.ScheduleAt(done, [this, recording, bytes, done]() {
+      auto* staging_tw = staging_occupancy_[session_index_[idx]];
+      sim_.ScheduleAt(done, [this, recording, staging_tw, bytes, done,
+                             service]() {
         recording->Drain(done, bytes);
+        obs::Update(staging_tw, done, recording->LevelAt(done));
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           disk_->name(), recording->id(), bytes,
-                          "recorded"});
+                          "recorded", service});
         }
       });
       continue;
     }
 
     auto* session = &play_sessions_[session_index_[idx]];
+    auto* occupancy_tw = play_occupancy_[session_index_[idx]];
     // Double-buffered start: data fetched during cycle c is consumed from
     // the next cycle boundary on, so jitter-freedom only requires that
     // every cycle's batch finishes within T.
     const Seconds boundary = t0 + config_.cycle;
-    sim_.ScheduleAt(done, [this, session, bytes, done, boundary]() {
+    sim_.ScheduleAt(done, [this, session, occupancy_tw, bytes, done,
+                           boundary, service]() {
       session->Deposit(done, bytes);
+      const Bytes level = session->LevelAt(done);
+      obs::Update(occupancy_tw, done, level);
       if (trace_ != nullptr) {
         trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
-                        session->id(), bytes, ""});
+                        session->id(), bytes, "", service});
+        trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
+                        session->id(), level, ""});
       }
       if (!session->playing()) {
         const Seconds start = std::max(done, boundary);
@@ -148,8 +184,21 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
 
   report_.total_busy += busy;
   report_.max_cycle_busy = std::max(report_.max_cycle_busy, busy);
-  if (busy > config_.cycle * (1.0 + 1e-9)) ++report_.cycle_overruns;
+  if (busy > config_.cycle * (1.0 + 1e-9)) {
+    ++report_.cycle_overruns;
+    obs::Increment(overruns_metric_);
+  }
   ++report_.cycles;
+  obs::Increment(cycles_metric_);
+  obs::Observe(slack_hist_, (config_.cycle - busy) / kMillisecond);
+  if (trace_ != nullptr && busy > 0) {
+    // Scheduled so the record lands in time order among the IO records.
+    const Seconds end = t0 + busy;
+    sim_.ScheduleAt(end, [this, end, busy]() {
+      trace_->Append({end, sim::TraceKind::kCycleEnd, disk_->name(), -1, 0,
+                      "", busy});
+    });
+  }
 
   // Next cycle at the nominal boundary (or immediately after an overrun).
   const Seconds next = t0 + std::max(config_.cycle, busy);
@@ -196,6 +245,23 @@ Status DirectStreamingServer::Run(Seconds duration) {
                       "events=" +
                           std::to_string(recording.overflow_events())});
     }
+  }
+
+  if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
+    metrics->gauge("server.direct.underflow_events")
+        ->Set(static_cast<double>(report_.underflow_events));
+    metrics->gauge("server.direct.underflow_time_s")
+        ->Set(report_.underflow_time);
+    metrics->gauge("server.direct.overflow_events")
+        ->Set(static_cast<double>(report_.overflow_events));
+    metrics->gauge("server.direct.utilization")
+        ->Set(report_.device_utilization);
+    metrics->gauge("server.direct.peak_dram_bytes")
+        ->Set(report_.peak_buffer_demand);
+    metrics->gauge("server.direct.max_cycle_busy_ms")
+        ->Set(report_.max_cycle_busy / kMillisecond);
+    obs::ExportDeviceStats(metrics, *disk_, duration);
+    obs::ExportSimulatorStats(metrics, sim_);
   }
   return Status::OK();
 }

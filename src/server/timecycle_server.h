@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "device/disk.h"
 #include "device/disk_scheduler.h"
+#include "obs/metrics.h"
 #include "server/stream_session.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -59,6 +60,10 @@ struct DirectServerConfig {
   /// the delay is sampled per IO from `seed`.
   bool deterministic = true;
   std::uint64_t seed = 42;
+  /// Optional telemetry: cycle-slack histogram, per-stream occupancy,
+  /// run summary gauges. Null (the default) compiles the hooks down to a
+  /// pointer test per site. Not owned; must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Post-run statistics common to all the simulated servers.
@@ -126,6 +131,13 @@ class DirectStreamingServer {
   std::int64_t last_head_offset_ = 0;
   ServerReport report_;
   bool ran_ = false;
+  // Telemetry handles (null when config_.metrics is null).
+  obs::HistogramMetric* slack_hist_ = nullptr;
+  obs::Counter* cycles_metric_ = nullptr;
+  obs::Counter* overruns_metric_ = nullptr;
+  obs::Counter* ios_metric_ = nullptr;
+  std::vector<obs::TimeWeightedGauge*> play_occupancy_;  ///< per session
+  std::vector<obs::TimeWeightedGauge*> staging_occupancy_;
 };
 
 }  // namespace memstream::server

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <utility>
 
 namespace memstream::sim {
@@ -20,9 +21,11 @@ Result<std::int64_t> Simulator::Run(Seconds until) {
   if (running_) return Status::FailedPrecondition("Run() is not re-entrant");
   running_ = true;
   stopped_ = false;
+  const auto wall_start = std::chrono::steady_clock::now();
   std::int64_t processed = 0;
   while (!queue_.empty() && !stopped_) {
     if (queue_.NextTime() > until) break;
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
     Seconds when = 0;
     EventCallback cb = queue_.Pop(&when);
     now_ = when;
@@ -36,8 +39,18 @@ Result<std::int64_t> Simulator::Run(Seconds until) {
       now_ < until && (queue_.empty() || queue_.NextTime() > until)) {
     now_ = until;
   }
+  last_run_events_ = processed;
+  last_run_wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   running_ = false;
   return processed;
+}
+
+double Simulator::last_run_events_per_sec() const {
+  if (last_run_wall_seconds_ <= 0) return 0;
+  return static_cast<double>(last_run_events_) / last_run_wall_seconds_;
 }
 
 void Simulator::Reset() {
@@ -46,6 +59,9 @@ void Simulator::Reset() {
   running_ = false;
   stopped_ = false;
   events_processed_ = 0;
+  max_queue_depth_ = 0;
+  last_run_events_ = 0;
+  last_run_wall_seconds_ = 0;
 }
 
 }  // namespace memstream::sim

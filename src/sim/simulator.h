@@ -1,6 +1,11 @@
 // The simulation engine: a clock plus the event queue. Components
 // schedule callbacks relative to the current time; Run() drains events in
 // order until the queue empties, a deadline passes, or Stop() is called.
+//
+// Run() keeps cheap always-on telemetry (queue-depth high-water mark,
+// wall-clock event throughput) that callers can export into an
+// obs::MetricsRegistry after the run; the engine itself stays free of
+// heavier instrumentation so the hot loop costs nothing extra.
 
 #ifndef MEMSTREAM_SIM_SIMULATOR_H_
 #define MEMSTREAM_SIM_SIMULATOR_H_
@@ -38,6 +43,15 @@ class Simulator {
   std::int64_t events_processed() const { return events_processed_; }
   bool running() const { return running_; }
 
+  /// Largest pending-event count observed inside any Run() so far.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  /// Pending events right now.
+  std::size_t queue_depth() const { return queue_.size(); }
+  /// Wall-clock duration of the most recent Run() call.
+  Seconds last_run_wall_seconds() const { return last_run_wall_seconds_; }
+  /// Events per wall-clock second over the most recent Run() call.
+  double last_run_events_per_sec() const;
+
   /// Clears pending events and rewinds the clock to zero.
   void Reset();
 
@@ -47,6 +61,9 @@ class Simulator {
   bool running_ = false;
   bool stopped_ = false;
   std::int64_t events_processed_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  std::int64_t last_run_events_ = 0;
+  Seconds last_run_wall_seconds_ = 0;
 };
 
 }  // namespace memstream::sim

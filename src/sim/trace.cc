@@ -8,6 +8,8 @@ const char* TraceKindName(TraceKind kind) {
   switch (kind) {
     case TraceKind::kCycleStart:
       return "cycle-start";
+    case TraceKind::kCycleEnd:
+      return "cycle-end";
     case TraceKind::kIoIssued:
       return "io-issued";
     case TraceKind::kIoCompleted:
@@ -16,6 +18,8 @@ const char* TraceKindName(TraceKind kind) {
       return "underflow";
     case TraceKind::kOverflow:
       return "overflow";
+    case TraceKind::kBufferLevel:
+      return "buffer-level";
     case TraceKind::kNote:
       return "note";
   }

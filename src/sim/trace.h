@@ -1,11 +1,18 @@
 // Event tracing: components append typed records (IO issued/completed,
 // cycle boundaries, underflows) that tests and the validation bench
 // inspect after a run. Tracing is off unless a TraceLog is attached.
+//
+// A TraceLog may be bounded: with a capacity set it becomes a ring
+// buffer that evicts the oldest records and counts the evictions, so a
+// long sim_duration cannot exhaust memory. Records carry an optional
+// `duration` so completion-style events double as spans; the
+// obs::ChromeTraceExporter turns a log into Chrome trace-event JSON.
 
 #ifndef MEMSTREAM_SIM_TRACE_H_
 #define MEMSTREAM_SIM_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -16,10 +23,12 @@ namespace memstream::sim {
 /// Kind of traced event.
 enum class TraceKind {
   kCycleStart,    ///< an IO cycle began on some device
+  kCycleEnd,      ///< an IO cycle finished (duration = busy time)
   kIoIssued,      ///< an IO was handed to a device
-  kIoCompleted,   ///< a device finished an IO
+  kIoCompleted,   ///< a device finished an IO (duration = service time)
   kUnderflow,     ///< a stream's playout buffer ran dry
   kOverflow,      ///< a buffer exceeded its capacity
+  kBufferLevel,   ///< per-stream buffer occupancy sample (bytes = level)
   kNote,          ///< free-form annotation
 };
 
@@ -31,16 +40,41 @@ struct TraceRecord {
   TraceKind kind = TraceKind::kNote;
   std::string actor;    ///< component name ("disk", "mems0", "stream 3")
   std::int64_t stream_id = -1;  ///< owning stream, when applicable
-  Bytes bytes = 0;      ///< transfer size, when applicable
+  Bytes bytes = 0;      ///< transfer size or buffer level, when applicable
   std::string detail;   ///< free-form context
+  Seconds duration = 0;  ///< span length ending at `time` (0 = instant)
 };
 
-/// Append-only record sink with simple filters for post-run assertions.
+/// Record sink with simple filters for post-run assertions. Unbounded by
+/// default; SetCapacity() turns it into a ring buffer.
 class TraceLog {
  public:
-  void Append(TraceRecord record) { records_.push_back(std::move(record)); }
+  TraceLog() = default;
+  /// A log that retains at most `capacity` records (0 = unbounded).
+  explicit TraceLog(std::size_t capacity) : capacity_(capacity) {}
 
-  const std::vector<TraceRecord>& records() const { return records_; }
+  void Append(TraceRecord record) {
+    if (capacity_ > 0 && records_.size() >= capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(std::move(record));
+  }
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+
+  /// Retention limit; evicts immediately if the log is already larger.
+  void SetCapacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (capacity_ > 0 && records_.size() > capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Records evicted by the ring buffer since the last Clear().
+  std::int64_t dropped_records() const { return dropped_; }
 
   /// Number of records of the given kind.
   std::int64_t Count(TraceKind kind) const;
@@ -49,13 +83,18 @@ class TraceLog {
   /// because the simulator is single-threaded).
   std::vector<TraceRecord> Filter(TraceKind kind) const;
 
-  void Clear() { records_.clear(); }
+  void Clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
 
   /// Multi-line "time kind actor detail" rendering for debugging.
   std::string ToString(std::size_t max_records = 200) const;
 
  private:
-  std::vector<TraceRecord> records_;
+  std::deque<TraceRecord> records_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::int64_t dropped_ = 0;
 };
 
 }  // namespace memstream::sim

@@ -1,0 +1,226 @@
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json_test_util.h"
+#include "server/media_server.h"
+#include "sim/trace.h"
+
+namespace memstream::obs {
+namespace {
+
+using testutil::JsonValue;
+using testutil::ParseOrFail;
+
+const std::vector<JsonValue>& Events(const JsonValue& doc) {
+  const JsonValue* events = doc.Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  static const std::vector<JsonValue> kEmpty;
+  return events != nullptr ? events->array : kEmpty;
+}
+
+TEST(ChromeTraceTest, EmptyLogIsValidJson) {
+  sim::TraceLog log;
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(Events(doc).size(), 0u);
+}
+
+TEST(ChromeTraceTest, CompletionWithDurationBecomesCompleteEvent) {
+  sim::TraceLog log;
+  log.Append({1.0, sim::TraceKind::kIoCompleted, "disk", 3, 1024.0,
+              "io", 0.25});
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+
+  const JsonValue* span = nullptr;
+  for (const auto& e : Events(doc)) {
+    if (e.Str("ph") == "X") span = &e;
+  }
+  ASSERT_NE(span, nullptr);
+  // Span ends at record.time: ts = (1.0 - 0.25)s in microseconds.
+  EXPECT_DOUBLE_EQ(span->Num("ts"), 750000.0);
+  EXPECT_DOUBLE_EQ(span->Num("dur"), 250000.0);
+  EXPECT_DOUBLE_EQ(span->Num("pid"), 1);  // devices process
+  const JsonValue* args = span->Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->Num("stream"), 3);
+  EXPECT_DOUBLE_EQ(args->Num("bytes"), 1024.0);
+}
+
+TEST(ChromeTraceTest, DeviceTidsFollowFirstAppearance) {
+  sim::TraceLog log;
+  log.Append({0.0, sim::TraceKind::kCycleStart, "disk", -1, 0, ""});
+  log.Append({0.1, sim::TraceKind::kIoCompleted, "mems#0", 0, 8.0, "", 0.05});
+  log.Append({0.2, sim::TraceKind::kIoCompleted, "mems#1", 1, 8.0, "", 0.05});
+  log.Append({0.3, sim::TraceKind::kIoCompleted, "disk", 0, 8.0, "", 0.05});
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+
+  std::map<std::string, double> tids;  // thread_name metadata, pid 1
+  for (const auto& e : Events(doc)) {
+    if (e.Str("ph") == "M" && e.Str("name") == "thread_name" &&
+        e.Num("pid") == 1) {
+      tids[e.Find("args")->Str("name")] = e.Num("tid");
+    }
+  }
+  ASSERT_EQ(tids.size(), 3u);
+  EXPECT_DOUBLE_EQ(tids["disk"], 1);     // appeared first
+  EXPECT_DOUBLE_EQ(tids["mems#0"], 2);
+  EXPECT_DOUBLE_EQ(tids["mems#1"], 3);
+}
+
+TEST(ChromeTraceTest, IoSpansNestInsideTheirCycleSpan) {
+  sim::TraceLog log;
+  log.Append({0.0, sim::TraceKind::kCycleStart, "disk", -1, 0, "cycle 0"});
+  log.Append({0.2, sim::TraceKind::kIoCompleted, "disk", 0, 8.0, "", 0.2});
+  log.Append({0.5, sim::TraceKind::kIoCompleted, "disk", 1, 8.0, "", 0.3});
+  log.Append({0.5, sim::TraceKind::kCycleEnd, "disk", -1, 0, "", 0.5});
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+
+  double cycle_ts = -1, cycle_end = -1;
+  std::vector<std::pair<double, double>> io_spans;
+  for (const auto& e : Events(doc)) {
+    if (e.Str("ph") != "X") continue;
+    if (e.Str("name") == "cycle") {
+      cycle_ts = e.Num("ts");
+      cycle_end = e.Num("ts") + e.Num("dur");
+    } else {
+      io_spans.emplace_back(e.Num("ts"), e.Num("ts") + e.Num("dur"));
+    }
+  }
+  ASSERT_GE(cycle_ts, 0.0);
+  ASSERT_EQ(io_spans.size(), 2u);
+  for (const auto& [lo, hi] : io_spans) {
+    EXPECT_GE(lo, cycle_ts - 1e-6);
+    EXPECT_LE(hi, cycle_end + 1e-6);
+  }
+}
+
+TEST(ChromeTraceTest, BufferLevelBecomesCounterOnStreamTrack) {
+  sim::TraceLog log;
+  log.Append({0.5, sim::TraceKind::kBufferLevel, "stream", 2, 4096.0, ""});
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+
+  const JsonValue* counter = nullptr;
+  const JsonValue* thread_meta = nullptr;
+  for (const auto& e : Events(doc)) {
+    if (e.Str("ph") == "C") counter = &e;
+    if (e.Str("ph") == "M" && e.Str("name") == "thread_name" &&
+        e.Num("pid") == 2) {
+      thread_meta = &e;
+    }
+  }
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->Num("pid"), 2);  // streams process
+  EXPECT_DOUBLE_EQ(counter->Num("tid"), 3);  // stream id 2 -> tid 3
+  EXPECT_DOUBLE_EQ(counter->Find("args")->Num("bytes"), 4096.0);
+  ASSERT_NE(thread_meta, nullptr);
+  EXPECT_EQ(thread_meta->Find("args")->Str("name"), "stream 2");
+}
+
+TEST(ChromeTraceTest, OptionsSuppressCountersAndInstants) {
+  sim::TraceLog log;
+  log.Append({0.0, sim::TraceKind::kCycleStart, "disk", -1, 0, ""});
+  log.Append({0.5, sim::TraceKind::kBufferLevel, "stream", 0, 1.0, ""});
+  ChromeTraceOptions options;
+  options.include_buffer_counters = false;
+  options.include_instants = false;
+  ChromeTraceExporter exporter(options);
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+  for (const auto& e : Events(doc)) {
+    EXPECT_NE(e.Str("ph"), "C");
+    EXPECT_NE(e.Str("ph"), "i");
+  }
+}
+
+TEST(ChromeTraceTest, DroppedRecordsSurfaceInOtherData) {
+  sim::TraceLog log(2);
+  for (int i = 0; i < 5; ++i) {
+    log.Append({static_cast<double>(i), sim::TraceKind::kNote, "n", -1, 0,
+                "x"});
+  }
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+  const JsonValue* other = doc.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->Num("dropped_records"), 3);
+}
+
+TEST(ChromeTraceTest, EscapesHostileStringsIntoValidJson) {
+  sim::TraceLog log;
+  log.Append({0.0, sim::TraceKind::kNote, "a\"b\\c", -1, 0,
+              std::string("line\nbreak\tand \x01 control")});
+  ChromeTraceExporter exporter;
+  ParseOrFail(exporter.ToJson(log));  // must parse cleanly
+}
+
+TEST(ChromeTraceTest, WriteFileCreatesLoadableDocument) {
+  sim::TraceLog log;
+  log.Append({0.1, sim::TraceKind::kIoCompleted, "disk", 0, 64.0, "", 0.1});
+  ChromeTraceExporter exporter;
+  const std::string path = ::testing::TempDir() + "/trace_test.trace.json";
+  ASSERT_TRUE(exporter.WriteFile(log, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  ParseOrFail(contents);
+}
+
+// The acceptance scenario from the issue: a full kMemsBuffer run with
+// N >= 4 streams and k >= 2 devices exports to valid trace JSON with one
+// device track per MEMS device (plus the disk) and one track per stream.
+TEST(ChromeTraceTest, MemsBufferRunExportsOneTrackPerDeviceAndStream) {
+  sim::TraceLog log;
+  server::MediaServerConfig config;
+  config.mode = server::ServerMode::kMemsBuffer;
+  config.k = 2;
+  config.num_streams = 4;
+  config.sim_duration = 5;
+  config.trace = &log;
+  auto result = server::RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(log.records().empty());
+
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log));
+
+  std::set<double> device_tids;
+  std::set<double> stream_tids;
+  for (const auto& e : Events(doc)) {
+    if (e.Str("ph") == "M" && e.Str("name") == "thread_name") {
+      if (e.Num("pid") == 1) device_tids.insert(e.Num("tid"));
+      if (e.Num("pid") == 2) stream_tids.insert(e.Num("tid"));
+    }
+  }
+  // Disk + 2 MEMS devices; 4 streams.
+  EXPECT_EQ(device_tids.size(), 3u);
+  EXPECT_EQ(stream_tids.size(), 4u);
+
+  // The run must produce real spans (cycles and IOs), not just instants.
+  int spans = 0;
+  for (const auto& e : Events(doc)) {
+    if (e.Str("ph") == "X") ++spans;
+  }
+  EXPECT_GT(spans, 0);
+}
+
+}  // namespace
+}  // namespace memstream::obs

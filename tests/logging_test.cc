@@ -2,13 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace memstream {
 namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
   void SetUp() override { previous_ = GetLogLevel(); }
-  void TearDown() override { SetLogLevel(previous_); }
+  void TearDown() override {
+    SetLogLevel(previous_);
+    SetLogSink(nullptr);
+  }
   LogLevel previous_ = LogLevel::kInfo;
 };
 
@@ -34,6 +41,70 @@ TEST_F(LoggingTest, CapturesStderrAtEnabledLevel) {
   const std::string out = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(out.find("WARN"), std::string::npos);
   EXPECT_NE(out.find("cycle overrun"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DefaultSinkPrefixesWallClockTimestamp) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  MEMSTREAM_LOG(kInfo) << "stamped";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // "[YYYY-MM-DD HH:MM:SS.mmm] [INFO] stamped"
+  ASSERT_GE(out.size(), 26u);
+  EXPECT_EQ(out[0], '[');
+  EXPECT_EQ(out[5], '-');
+  EXPECT_EQ(out[8], '-');
+  EXPECT_EQ(out[11], ' ');
+  EXPECT_EQ(out[14], ':');
+  EXPECT_EQ(out[17], ':');
+  EXPECT_EQ(out[20], '.');
+  EXPECT_EQ(out[24], ']');
+  EXPECT_NE(out.find("[INFO] stamped"), std::string::npos);
+}
+
+TEST_F(LoggingTest, InjectedSinkReceivesLevelAndRawMessage) {
+  SetLogLevel(LogLevel::kDebug);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  ::testing::internal::CaptureStderr();
+  MEMSTREAM_LOG(kWarning) << "slack " << -3 << " ms";
+  MEMSTREAM_LOG(kError) << "underflow";
+  const std::string stderr_out = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(stderr_out.empty());  // sink replaces stderr entirely
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  EXPECT_EQ(captured[0].second, "slack -3 ms");  // undecorated
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_EQ(captured[1].second, "underflow");
+}
+
+TEST_F(LoggingTest, InjectedSinkStillRespectsThreshold) {
+  SetLogLevel(LogLevel::kError);
+  int calls = 0;
+  SetLogSink([&calls](LogLevel, const std::string&) { ++calls; });
+  MEMSTREAM_LOG(kDebug) << "dropped";
+  MEMSTREAM_LOG(kWarning) << "dropped too";
+  EXPECT_EQ(calls, 0);
+  MEMSTREAM_LOG(kError) << "kept";
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(LoggingTest, NullSinkRestoresStderr) {
+  SetLogLevel(LogLevel::kDebug);
+  SetLogSink([](LogLevel, const std::string&) {});
+  SetLogSink(nullptr);
+  ::testing::internal::CaptureStderr();
+  MEMSTREAM_LOG(kWarning) << "back on stderr";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("back on stderr"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
 }
 
 TEST_F(LoggingTest, SuppressedBelowThreshold) {

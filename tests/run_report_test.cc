@@ -1,0 +1,151 @@
+#include "obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "json_test_util.h"
+#include "obs/metrics.h"
+#include "server/media_server.h"
+
+namespace memstream::obs {
+namespace {
+
+using testutil::JsonValue;
+using testutil::ParseOrFail;
+
+TEST(RunReportTest, EmptyReportIsValidJsonWithSchemaVersion) {
+  RunReport report;
+  report.title = "empty";
+  const JsonValue doc = ParseOrFail(report.ToJson());
+  EXPECT_DOUBLE_EQ(doc.Num("schema_version"), kRunReportSchemaVersion);
+  EXPECT_EQ(doc.Str("title"), "empty");
+  ASSERT_NE(doc.Find("config"), nullptr);
+  ASSERT_NE(doc.Find("analytic"), nullptr);
+  ASSERT_NE(doc.Find("simulated"), nullptr);
+}
+
+TEST(RunReportTest, SectionsCarryTheirEntries) {
+  RunReport report;
+  report.title = "t";
+  report.AddConfig("mode", "direct");
+  report.AddAnalytic("dram_total_bytes", 1.5e6);
+  report.AddSimulated("underflow_events", 0);
+
+  const JsonValue doc = ParseOrFail(report.ToJson());
+  EXPECT_EQ(doc.Find("config")->Str("mode"), "direct");
+  EXPECT_DOUBLE_EQ(doc.Find("analytic")->Num("dram_total_bytes"), 1.5e6);
+  EXPECT_DOUBLE_EQ(doc.Find("simulated")->Num("underflow_events"), 0);
+}
+
+TEST(RunReportTest, EmbedsMetricsSnapshotWhenAttached) {
+  MetricsRegistry registry;
+  registry.counter("server.ios")->Increment(42);
+  registry.gauge("server.utilization")->Set(0.25);
+
+  RunReport report;
+  report.title = "with metrics";
+  report.metrics = &registry;
+  const JsonValue doc = ParseOrFail(report.ToJson());
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->array.size(), 2u);
+  // Name order from the registry snapshot.
+  EXPECT_EQ(metrics->array[0].Str("name"), "server.ios");
+  EXPECT_EQ(metrics->array[0].Str("kind"), "counter");
+  EXPECT_DOUBLE_EQ(metrics->array[0].Num("value"), 42);
+  EXPECT_EQ(metrics->array[1].Str("name"), "server.utilization");
+}
+
+TEST(RunReportTest, OmitsMetricsWhenDetached) {
+  RunReport report;
+  const JsonValue doc = ParseOrFail(report.ToJson());
+  EXPECT_EQ(doc.Find("metrics"), nullptr);
+}
+
+TEST(RunReportTest, EscapesHostileText) {
+  RunReport report;
+  report.title = "quote \" slash \\ newline \n tab \t";
+  report.AddConfig("key\"x", "value\x01");
+  ParseOrFail(report.ToJson());  // must parse cleanly
+}
+
+TEST(RunReportTest, WriteFileRoundTrips) {
+  RunReport report;
+  report.title = "file";
+  report.AddSimulated("x", 1);
+  const std::string path = ::testing::TempDir() + "/run_report_test.json";
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  const JsonValue doc = ParseOrFail(contents);
+  EXPECT_EQ(doc.Str("title"), "file");
+}
+
+// BuildRunReport must place the analytic sizing and the simulated outcome
+// side by side, with every field the issue's schema names present.
+TEST(RunReportTest, MediaServerReportHasAnalyticAndSimulatedSides) {
+  MetricsRegistry registry;
+  server::MediaServerConfig config;
+  config.mode = server::ServerMode::kMemsBuffer;
+  config.k = 2;
+  config.num_streams = 4;
+  config.sim_duration = 5;
+  config.metrics = &registry;
+  auto result = server::RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const RunReport report =
+      server::BuildRunReport(config, result.value(), &registry);
+  const JsonValue doc = ParseOrFail(report.ToJson());
+
+  const JsonValue* cfg = doc.Find("config");
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->Str("mode"), "mems-buffer");
+  EXPECT_EQ(cfg->Str("k"), "2");
+  EXPECT_EQ(cfg->Str("num_streams"), "4");
+
+  const JsonValue* analytic = doc.Find("analytic");
+  ASSERT_NE(analytic, nullptr);
+  EXPECT_GT(analytic->Num("dram_total_bytes"), 0);
+  EXPECT_GT(analytic->Num("disk_cycle_s"), 0);
+  EXPECT_GT(analytic->Num("mems_cycle_s"), 0);
+
+  const JsonValue* simulated = doc.Find("simulated");
+  ASSERT_NE(simulated, nullptr);
+  ASSERT_NE(simulated->Find("underflow_events"), nullptr);
+  ASSERT_NE(simulated->Find("cycle_overruns"), nullptr);
+  EXPECT_GT(simulated->Num("peak_dram_bytes"), 0);
+  EXPECT_GT(simulated->Num("disk_utilization"), 0);
+  EXPECT_GT(simulated->Num("ios_completed"), 0);
+
+  // A jitter-free run: simulation must agree with the model's promise.
+  EXPECT_DOUBLE_EQ(simulated->Num("underflow_events"), 0);
+  // The simulated peak is of the analytic sizing's order of magnitude
+  // (start-up transients can exceed the steady-state bound slightly).
+  EXPECT_LE(simulated->Num("peak_dram_bytes"),
+            analytic->Num("dram_total_bytes") * 2.0);
+
+  // The embedded registry snapshot carries the server telemetry.
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool saw_pipeline_metric = false;
+  for (const auto& m : metrics->array) {
+    if (m.Str("name").rfind("server.pipeline.", 0) == 0) {
+      saw_pipeline_metric = true;
+    }
+  }
+  EXPECT_TRUE(saw_pipeline_metric);
+}
+
+}  // namespace
+}  // namespace memstream::obs

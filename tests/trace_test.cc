@@ -49,6 +49,64 @@ TEST(TraceTest, KindNamesDistinct) {
   EXPECT_STREQ(TraceKindName(TraceKind::kUnderflow), "underflow");
   EXPECT_STREQ(TraceKindName(TraceKind::kOverflow), "overflow");
   EXPECT_STREQ(TraceKindName(TraceKind::kCycleStart), "cycle-start");
+  EXPECT_STREQ(TraceKindName(TraceKind::kCycleEnd), "cycle-end");
+  EXPECT_STREQ(TraceKindName(TraceKind::kBufferLevel), "buffer-level");
+}
+
+TEST(TraceTest, UnboundedByDefault) {
+  TraceLog log;
+  EXPECT_EQ(log.capacity(), 0u);
+  for (int i = 0; i < 1000; ++i) {
+    log.Append({static_cast<double>(i), TraceKind::kNote, "x", -1, 0, ""});
+  }
+  EXPECT_EQ(log.records().size(), 1000u);
+  EXPECT_EQ(log.dropped_records(), 0);
+}
+
+TEST(TraceTest, BoundedLogEvictsOldestAndCountsDrops) {
+  TraceLog log(3);
+  for (int i = 0; i < 7; ++i) {
+    log.Append({static_cast<double>(i), TraceKind::kNote, "x", -1, 0, ""});
+  }
+  ASSERT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.dropped_records(), 4);
+  // The newest three survive, still in time order.
+  EXPECT_DOUBLE_EQ(log.records()[0].time, 4.0);
+  EXPECT_DOUBLE_EQ(log.records()[1].time, 5.0);
+  EXPECT_DOUBLE_EQ(log.records()[2].time, 6.0);
+}
+
+TEST(TraceTest, SetCapacityShrinksImmediately) {
+  TraceLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.Append({static_cast<double>(i), TraceKind::kNote, "x", -1, 0, ""});
+  }
+  log.SetCapacity(4);
+  EXPECT_EQ(log.records().size(), 4u);
+  EXPECT_EQ(log.dropped_records(), 6);
+  EXPECT_DOUBLE_EQ(log.records().front().time, 6.0);
+  // Growing the cap later keeps retained records.
+  log.SetCapacity(100);
+  log.Append({99.0, TraceKind::kNote, "x", -1, 0, ""});
+  EXPECT_EQ(log.records().size(), 5u);
+}
+
+TEST(TraceTest, ClearResetsDropCounter) {
+  TraceLog log(1);
+  log.Append({0, TraceKind::kNote, "x", -1, 0, ""});
+  log.Append({1, TraceKind::kNote, "x", -1, 0, ""});
+  EXPECT_EQ(log.dropped_records(), 1);
+  log.Clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.dropped_records(), 0);
+}
+
+TEST(TraceTest, RecordsCarryOptionalDuration) {
+  TraceLog log;
+  log.Append({1.0, TraceKind::kIoCompleted, "disk", 0, 64.0, "", 0.25});
+  log.Append({2.0, TraceKind::kNote, "disk", -1, 0, ""});
+  EXPECT_DOUBLE_EQ(log.records()[0].duration, 0.25);
+  EXPECT_DOUBLE_EQ(log.records()[1].duration, 0.0);  // instant by default
 }
 
 }  // namespace
