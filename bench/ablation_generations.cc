@@ -2,8 +2,12 @@
 // paper evaluates only the G3 prediction; here the same buffer and cache
 // experiments run against the conservative G1 and intermediate G2 models
 // to show how the conclusions depend on the device generation.
+//
+// Each generation's buffer solve (a 17-point k search) and cache solve
+// runs as a parallel sweep task; tables are emitted serially.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table_printer.h"
@@ -17,8 +21,11 @@ int main() {
   auto disk = bench::AnalyticFutureDisk();
   const auto latency = model::DiskLatencyFn(disk);
 
-  const device::MemsParameters generations[] = {
+  std::vector<device::MemsParameters> generations = {
       device::MemsG1(), device::MemsG2(), device::MemsG3()};
+  if (bench::SmokeMode() && generations.size() > 1) {
+    generations.erase(generations.begin(), generations.end() - 1);
+  }
 
   std::cout << "MEMS generations ablation (100 KB/s streams)\n\n";
 
@@ -39,43 +46,73 @@ int main() {
                          TablePrinter::Cell(ToMB(direct.value()), 1),
                          "1.0x"});
   }
-  for (const auto& params : generations) {
-    auto dev = device::MemsDevice::Create(params);
-    if (!dev.ok()) continue;
-    model::DeviceProfile mems = model::MemsProfileMaxLatency(dev.value());
-    // Smallest workable bank, then grow while the DRAM bill keeps
-    // falling (a minimal bank runs near saturation, where Theorem 2's C
-    // — and with it the DRAM requirement — blows up).
-    auto k_min = model::MinBufferDevices(n, 100 * kKBps, mems.rate);
-    if (!k_min.ok()) {
+
+  struct BufferRow {
+    bool no_bank = false;  // MinBufferDevices failed: dashes row
+    bool ok = false;
+    double rate_mbps = 0;
+    double max_latency_ms = 0;
+    std::int64_t best_k = 0;
+    Bytes best_dram = 0;
+  };
+  exp::SweepRunner runner;
+  const auto buffer_rows = runner.Map(
+      static_cast<std::int64_t>(generations.size()),
+      [&generations, &disk_profile, &direct, n](exp::TaskContext& ctx) {
+        const auto& params =
+            generations[static_cast<std::size_t>(ctx.index())];
+        BufferRow row;
+        auto dev = device::MemsDevice::Create(params);
+        if (!dev.ok()) return row;
+        model::DeviceProfile mems =
+            model::MemsProfileMaxLatency(dev.value());
+        // Smallest workable bank, then grow while the DRAM bill keeps
+        // falling (a minimal bank runs near saturation, where Theorem
+        // 2's C — and with it the DRAM requirement — blows up).
+        auto k_min = model::MinBufferDevices(n, 100 * kKBps, mems.rate);
+        if (!k_min.ok()) {
+          row.no_bank = true;
+          return row;
+        }
+        for (std::int64_t k = k_min.value(); k <= k_min.value() + 16;
+             ++k) {
+          model::MemsBufferParams buffer;
+          buffer.k = k;
+          buffer.disk = disk_profile;
+          buffer.mems = mems;
+          auto sized = model::SolveMemsBuffer(n, 100 * kKBps, buffer);
+          ctx.AddEvents(1);
+          if (!sized.ok()) continue;
+          if (row.best_k == 0 ||
+              sized.value().dram_total < row.best_dram) {
+            row.best_k = k;
+            row.best_dram = sized.value().dram_total;
+          }
+        }
+        if (row.best_k == 0 || !direct.ok()) return row;
+        row.ok = true;
+        row.rate_mbps = mems.rate / kMBps;
+        row.max_latency_ms = ToMs(mems.latency);
+        return row;
+      });
+  for (std::size_t i = 0; i < generations.size(); ++i) {
+    const auto& params = generations[i];
+    const BufferRow& row = buffer_rows[i];
+    if (row.no_bank) {
       buffer_table.AddRow({params.name, "-", "-", "-", "-", "-"});
       continue;
     }
-    std::int64_t best_k = 0;
-    Bytes best_dram = 0;
-    for (std::int64_t k = k_min.value(); k <= k_min.value() + 16; ++k) {
-      model::MemsBufferParams buffer;
-      buffer.k = k;
-      buffer.disk = disk_profile;
-      buffer.mems = mems;
-      auto sized = model::SolveMemsBuffer(n, 100 * kKBps, buffer);
-      if (!sized.ok()) continue;
-      if (best_k == 0 || sized.value().dram_total < best_dram) {
-        best_k = k;
-        best_dram = sized.value().dram_total;
-      }
-    }
-    if (best_k == 0 || !direct.ok()) continue;
+    if (!row.ok) continue;
     buffer_table.AddRow(
-        {params.name, TablePrinter::Cell(mems.rate / kMBps, 1),
-         TablePrinter::Cell(ToMs(mems.latency), 2),
-         TablePrinter::Cell(best_k),
-         TablePrinter::Cell(ToMB(best_dram), 1),
-         TablePrinter::Cell(direct.value() / best_dram, 1) + "x"});
+        {params.name, TablePrinter::Cell(row.rate_mbps, 1),
+         TablePrinter::Cell(row.max_latency_ms, 2),
+         TablePrinter::Cell(row.best_k),
+         TablePrinter::Cell(ToMB(row.best_dram), 1),
+         TablePrinter::Cell(direct.value() / row.best_dram, 1) + "x"});
     csv.AddRow(std::vector<std::string>{
-        params.name, std::to_string(mems.rate / kMBps),
-        std::to_string(ToMs(mems.latency)), std::to_string(best_k),
-        std::to_string(ToMB(best_dram)), ""});
+        params.name, std::to_string(row.rate_mbps),
+        std::to_string(row.max_latency_ms), std::to_string(row.best_k),
+        std::to_string(ToMB(row.best_dram)), ""});
   }
   std::cout << "Buffer configuration (N = 1000):\n";
   buffer_table.Print(std::cout);
@@ -102,27 +139,49 @@ int main() {
                         TablePrinter::Cell(baseline.value().total_streams),
                         "1.00x"});
   }
-  for (const auto& params : generations) {
-    auto dev = device::MemsDevice::Create(params);
-    if (!dev.ok()) continue;
-    config.mems = model::MemsProfileMaxLatency(dev.value());
-    config.mems_capacity = params.capacity;
-    auto best_k = model::BestCacheBankSize(config, 8);
-    if (!best_k.ok() || !baseline.ok()) continue;
-    config.k = best_k.value();
-    auto result = model::MaxCacheSystemThroughput(config);
-    if (!result.ok()) continue;
+
+  struct CacheRow {
+    bool ok = false;
+    std::int64_t best_k = 0;
+    std::int64_t streams = 0;
+  };
+  const auto cache_rows = runner.Map(
+      static_cast<std::int64_t>(generations.size()),
+      [&generations, &config, &baseline](exp::TaskContext& ctx) {
+        const auto& params =
+            generations[static_cast<std::size_t>(ctx.index())];
+        CacheRow row;
+        ctx.AddEvents(1);
+        auto dev = device::MemsDevice::Create(params);
+        if (!dev.ok()) return row;
+        model::CacheSystemConfig local = config;
+        local.mems = model::MemsProfileMaxLatency(dev.value());
+        local.mems_capacity = params.capacity;
+        auto best_k = model::BestCacheBankSize(local, 8);
+        if (!best_k.ok() || !baseline.ok()) return row;
+        local.k = best_k.value();
+        auto result = model::MaxCacheSystemThroughput(local);
+        if (!result.ok()) return row;
+        row.ok = true;
+        row.best_k = best_k.value();
+        row.streams = result.value().total_streams;
+        return row;
+      });
+  for (std::size_t i = 0; i < generations.size(); ++i) {
+    const auto& params = generations[i];
+    const CacheRow& row = cache_rows[i];
+    if (!row.ok) continue;
     cache_table.AddRow(
-        {params.name, TablePrinter::Cell(best_k.value()),
-         TablePrinter::Cell(result.value().total_streams),
+        {params.name, TablePrinter::Cell(row.best_k),
+         TablePrinter::Cell(row.streams),
          TablePrinter::Cell(
-             static_cast<double>(result.value().total_streams) /
+             static_cast<double>(row.streams) /
                  static_cast<double>(baseline.value().total_streams),
              2) +
              "x"});
     csv.AddRow(std::vector<std::string>{
-        params.name, "", "", std::to_string(best_k.value()), "",
-        std::to_string(result.value().total_streams)});
+        params.name, "", "", std::to_string(row.best_k), "",
+        std::to_string(row.streams)});
   }
   cache_table.Print(std::cout);
 
@@ -131,5 +190,6 @@ int main() {
                "cheap per byte); each generation shrinks both the bank "
                "size and the residual DRAM further.\n";
   std::cout << "CSV: " << bench::CsvPath("ablation_generations") << "\n";
+  bench::RecordSweep("ablation_generations", runner);
   return 0;
 }

@@ -2,8 +2,12 @@
 // bank between buffering and caching. For each popularity distribution,
 // compares the best pure-cache, pure-buffer, and hybrid splits at a
 // fixed $100 budget, 100 KB/s streams.
+//
+// Each popularity distribution (the pure-k search plus the hybrid plan)
+// is one parallel sweep task.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table_printer.h"
@@ -27,8 +31,11 @@ int main() {
   config.base.mems = bench::MemsProfileAtRatio(5.0);
   config.max_devices = 8;
 
-  const model::Popularity distributions[] = {
+  std::vector<model::Popularity> distributions = {
       {0.01, 0.99}, {0.05, 0.95}, {0.10, 0.90}, {0.20, 0.80}, {0.50, 0.50}};
+  if (bench::SmokeMode() && distributions.size() > 2) {
+    distributions.resize(2);
+  }
 
   std::cout << "Hybrid buffer+cache ablation ($100 budget, 100 KB/s)\n\n";
   TablePrinter table({"Popularity", "No MEMS", "Best cache-only",
@@ -38,48 +45,75 @@ int main() {
                 {"popularity_x", "no_mems", "cache_only", "buffer_only",
                  "k_buffer", "k_cache", "hybrid"});
 
-  for (const auto& pop : distributions) {
-    config.base.popularity = pop;
-    auto none = model::EvaluateHybridSplit(config, 0, 0);
-    std::int64_t best_cache = 0, best_buffer = 0;
-    for (std::int64_t k = 1; k <= config.max_devices; ++k) {
-      auto cache = model::EvaluateHybridSplit(config, 0, k);
-      if (cache.ok()) {
-        best_cache = std::max(best_cache, cache.value().total_streams);
-      }
-      auto buffer = model::EvaluateHybridSplit(config, k, 0);
-      if (buffer.ok()) {
-        best_buffer = std::max(best_buffer, buffer.value().total_streams);
-      }
-    }
-    auto plan = model::PlanHybrid(config);
-    if (!none.ok() || !plan.ok()) continue;
+  struct Row {
+    bool ok = false;
+    std::int64_t none = 0;
+    std::int64_t best_cache = 0;
+    std::int64_t best_buffer = 0;
+    std::int64_t k_buffer = 0;
+    std::int64_t k_cache = 0;
+    std::int64_t hybrid = 0;
+  };
+  exp::SweepRunner runner;
+  const auto rows = runner.Map(
+      static_cast<std::int64_t>(distributions.size()),
+      [&distributions, &config](exp::TaskContext& ctx) {
+        Row row;
+        model::HybridConfig local = config;
+        local.base.popularity =
+            distributions[static_cast<std::size_t>(ctx.index())];
+        auto none = model::EvaluateHybridSplit(local, 0, 0);
+        for (std::int64_t k = 1; k <= local.max_devices; ++k) {
+          ctx.AddEvents(2);
+          auto cache = model::EvaluateHybridSplit(local, 0, k);
+          if (cache.ok()) {
+            row.best_cache =
+                std::max(row.best_cache, cache.value().total_streams);
+          }
+          auto buffer = model::EvaluateHybridSplit(local, k, 0);
+          if (buffer.ok()) {
+            row.best_buffer =
+                std::max(row.best_buffer, buffer.value().total_streams);
+          }
+        }
+        auto plan = model::PlanHybrid(local);
+        if (!none.ok() || !plan.ok()) return row;
+        row.ok = true;
+        row.none = none.value().total_streams;
+        row.k_buffer = plan.value().k_buffer;
+        row.k_cache = plan.value().k_cache;
+        row.hybrid = plan.value().throughput.total_streams;
+        return row;
+      });
 
+  for (std::size_t i = 0; i < distributions.size(); ++i) {
+    const auto& pop = distributions[i];
+    const Row& row = rows[i];
+    if (!row.ok) continue;
     const std::int64_t pure_best =
-        std::max({none.value().total_streams, best_cache, best_buffer});
-    const std::int64_t hybrid = plan.value().throughput.total_streams;
+        std::max({row.none, row.best_cache, row.best_buffer});
     table.AddRow(
         {std::to_string(static_cast<int>(pop.x * 100)) + ":" +
              std::to_string(static_cast<int>(pop.y * 100)),
-         TablePrinter::Cell(none.value().total_streams),
-         TablePrinter::Cell(best_cache), TablePrinter::Cell(best_buffer),
-         "(" + TablePrinter::Cell(plan.value().k_buffer) + "," +
-             TablePrinter::Cell(plan.value().k_cache) + ")",
-         TablePrinter::Cell(hybrid),
+         TablePrinter::Cell(row.none), TablePrinter::Cell(row.best_cache),
+         TablePrinter::Cell(row.best_buffer),
+         "(" + TablePrinter::Cell(row.k_buffer) + "," +
+             TablePrinter::Cell(row.k_cache) + ")",
+         TablePrinter::Cell(row.hybrid),
          TablePrinter::Cell(
-             100.0 * (static_cast<double>(hybrid) /
+             100.0 * (static_cast<double>(row.hybrid) /
                           static_cast<double>(pure_best) -
                       1.0),
              1) +
              "%"});
     csv.AddRow(std::vector<std::string>{
-        std::to_string(pop.x),
-        std::to_string(none.value().total_streams),
-        std::to_string(best_cache), std::to_string(best_buffer),
-        std::to_string(plan.value().k_buffer),
-        std::to_string(plan.value().k_cache), std::to_string(hybrid)});
+        std::to_string(pop.x), std::to_string(row.none),
+        std::to_string(row.best_cache), std::to_string(row.best_buffer),
+        std::to_string(row.k_buffer), std::to_string(row.k_cache),
+        std::to_string(row.hybrid)});
   }
   table.Print(std::cout);
   std::cout << "\nCSV: " << bench::CsvPath("ablation_hybrid") << "\n";
+  bench::RecordSweep("ablation_hybrid", runner);
   return 0;
 }

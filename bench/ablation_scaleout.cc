@@ -2,8 +2,12 @@
 // budget, with and without per-disk MEMS buffer banks — where does the
 // farm's bottleneck move, and how much farm the MEMS buffer saves. The
 // plans are cross-validated by executing a sampled configuration.
+//
+// Each farm size (a direct plan plus a buffered plan) is one parallel
+// sweep task; the sampled simulation runs as another.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table_printer.h"
@@ -25,67 +29,112 @@ int main() {
   CsvWriter csv(bench::CsvPath("ablation_scaleout"),
                 {"disks", "direct_total", "buffered_total", "gain"});
 
-  for (std::int64_t disks : {1, 2, 4, 8, 16}) {
-    model::ScaleOutConfig config;
-    config.num_disks = disks;
-    config.disk_latency = latency;
-    config.bit_rate = 100 * kKBps;
-    config.dram_budget = 10 * kGB;
-    auto direct = model::PlanScaleOut(config);
-    config.buffer_k_per_disk = 2;
-    config.mems = bench::MemsProfileAtRatio(5.0);
-    auto buffered = model::PlanScaleOut(config);
-    if (!direct.ok() || !buffered.ok()) continue;
-    const double gain =
-        static_cast<double>(buffered.value().total_streams) /
-        static_cast<double>(direct.value().total_streams);
-    table.AddRow({TablePrinter::Cell(disks),
-                  TablePrinter::Cell(direct.value().total_streams),
-                  TablePrinter::Cell(direct.value().streams_per_disk),
-                  TablePrinter::Cell(buffered.value().total_streams),
-                  TablePrinter::Cell(buffered.value().streams_per_disk),
+  std::vector<std::int64_t> farm_sizes = {1, 2, 4, 8, 16};
+  if (bench::SmokeMode() && farm_sizes.size() > 2) farm_sizes.resize(2);
+
+  struct Row {
+    bool ok = false;
+    std::int64_t direct_total = 0;
+    std::int64_t direct_per_disk = 0;
+    std::int64_t buffered_total = 0;
+    std::int64_t buffered_per_disk = 0;
+    std::int64_t mems_devices = 0;
+  };
+  exp::SweepRunner runner;
+  const auto rows = runner.Map(
+      static_cast<std::int64_t>(farm_sizes.size()),
+      [&farm_sizes, &latency](exp::TaskContext& ctx) {
+        const std::int64_t disks =
+            farm_sizes[static_cast<std::size_t>(ctx.index())];
+        ctx.AddEvents(2);  // direct + buffered plans
+        Row row;
+        model::ScaleOutConfig config;
+        config.num_disks = disks;
+        config.disk_latency = latency;
+        config.bit_rate = 100 * kKBps;
+        config.dram_budget = 10 * kGB;
+        auto direct = model::PlanScaleOut(config);
+        config.buffer_k_per_disk = 2;
+        config.mems = bench::MemsProfileAtRatio(5.0);
+        auto buffered = model::PlanScaleOut(config);
+        if (!direct.ok() || !buffered.ok()) return row;
+        row.ok = true;
+        row.direct_total = direct.value().total_streams;
+        row.direct_per_disk = direct.value().streams_per_disk;
+        row.buffered_total = buffered.value().total_streams;
+        row.buffered_per_disk = buffered.value().streams_per_disk;
+        row.mems_devices = buffered.value().mems_devices_total;
+        return row;
+      });
+  for (std::size_t i = 0; i < farm_sizes.size(); ++i) {
+    const Row& row = rows[i];
+    if (!row.ok) continue;
+    const double gain = static_cast<double>(row.buffered_total) /
+                        static_cast<double>(row.direct_total);
+    table.AddRow({TablePrinter::Cell(farm_sizes[i]),
+                  TablePrinter::Cell(row.direct_total),
+                  TablePrinter::Cell(row.direct_per_disk),
+                  TablePrinter::Cell(row.buffered_total),
+                  TablePrinter::Cell(row.buffered_per_disk),
                   TablePrinter::Cell(gain, 2) + "x",
-                  TablePrinter::Cell(buffered.value().mems_devices_total)});
+                  TablePrinter::Cell(row.mems_devices)});
     csv.AddRow(std::vector<double>{
-        static_cast<double>(disks),
-        static_cast<double>(direct.value().total_streams),
-        static_cast<double>(buffered.value().total_streams), gain});
+        static_cast<double>(farm_sizes[i]),
+        static_cast<double>(row.direct_total),
+        static_cast<double>(row.buffered_total), gain});
   }
   table.Print(std::cout);
 
   // Execute a sampled plan to confirm it holds up in simulation.
   {
-    model::ScaleOutConfig config;
-    config.num_disks = 3;
-    config.disk_latency = latency;
-    config.bit_rate = 1 * kMBps;
-    config.dram_budget = 1 * kGB;
-    auto plan = model::PlanScaleOut(config);
-    if (plan.ok()) {
-      device::DiskParameters uniform = device::FutureDisk2007();
-      uniform.inner_rate = uniform.outer_rate;
-      auto probe = device::DiskDrive::Create(uniform).value();
-      auto cycle = model::IoCycleLength(
-          plan.value().streams_per_disk, 1 * kMBps,
-          model::DiskProfile(probe, plan.value().streams_per_disk));
-      server::FarmConfig farm;
-      farm.num_disks = 3;
-      farm.disk = uniform;
-      farm.streams_per_disk = plan.value().streams_per_disk;
-      farm.bit_rate = 1 * kMBps;
-      farm.cycle = cycle.value();
-      farm.duration = 20;
-      auto report = server::RunFarm(farm);
-      if (report.ok()) {
-        std::cout << "\nSimulated 3-disk plan ("
-                  << plan.value().total_streams << " DVD streams): "
-                  << report.value().underflow_events << " underflows, "
-                  << report.value().cycle_overruns << " overruns, mean "
-                  << "disk utilization "
-                  << static_cast<int>(
-                         100 * report.value().mean_disk_utilization)
-                  << "%\n";
-      }
+    struct SimOutcome {
+      bool ok = false;
+      std::int64_t total_streams = 0;
+      std::int64_t underflows = 0;
+      std::int64_t overruns = 0;
+      int mean_disk_util_percent = 0;
+    };
+    const Seconds duration = bench::SmokeDuration(20, 2);
+    const auto sims = runner.Map(
+        1, [&latency, duration](exp::TaskContext& ctx) {
+          SimOutcome out;
+          model::ScaleOutConfig config;
+          config.num_disks = 3;
+          config.disk_latency = latency;
+          config.bit_rate = 1 * kMBps;
+          config.dram_budget = 1 * kGB;
+          auto plan = model::PlanScaleOut(config);
+          if (!plan.ok()) return out;
+          device::DiskParameters uniform = device::FutureDisk2007();
+          uniform.inner_rate = uniform.outer_rate;
+          auto probe = device::DiskDrive::Create(uniform).value();
+          auto cycle = model::IoCycleLength(
+              plan.value().streams_per_disk, 1 * kMBps,
+              model::DiskProfile(probe, plan.value().streams_per_disk));
+          server::FarmConfig farm;
+          farm.num_disks = 3;
+          farm.disk = uniform;
+          farm.streams_per_disk = plan.value().streams_per_disk;
+          farm.bit_rate = 1 * kMBps;
+          farm.cycle = cycle.value();
+          farm.duration = duration;
+          auto report = server::RunFarm(farm);
+          if (!report.ok()) return out;
+          ctx.AddEvents(report.value().ios_completed);
+          out.ok = true;
+          out.total_streams = plan.value().total_streams;
+          out.underflows = report.value().underflow_events;
+          out.overruns = report.value().cycle_overruns;
+          out.mean_disk_util_percent = static_cast<int>(
+              100 * report.value().mean_disk_utilization);
+          return out;
+        });
+    if (sims[0].ok) {
+      std::cout << "\nSimulated 3-disk plan (" << sims[0].total_streams
+                << " DVD streams): " << sims[0].underflows
+                << " underflows, " << sims[0].overruns
+                << " overruns, mean disk utilization "
+                << sims[0].mean_disk_util_percent << "%\n";
     }
   }
 
@@ -94,5 +143,6 @@ int main() {
                "the farm scales linearly and extra buffering stops "
                "helping.\n";
   std::cout << "CSV: " << bench::CsvPath("ablation_scaleout") << "\n";
+  bench::RecordSweep("ablation_scaleout", runner);
   return 0;
 }

@@ -1,42 +1,75 @@
 // Shared plumbing for the figure/table regenerators: canonical 2007
-// devices, the latency-ratio knob of §5.1, and CSV output placement.
+// devices, the latency-ratio knob of §5.1, CSV output placement, and the
+// sweep-engine glue (smoke mode, BENCH_sweeps.json cost records).
+//
+// Concurrency: the converted benches evaluate sweep points on a
+// exp::SweepRunner pool, so everything here is either immutable after
+// first use (function-local statics, thread-safe under C++ magic-static
+// initialization) or returns an independent copy per call.
 
 #ifndef MEMSTREAM_BENCH_BENCH_COMMON_H_
 #define MEMSTREAM_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
 #include "common/csv_writer.h"
 #include "common/units.h"
 #include "device/device_catalog.h"
+#include "exp/sweep_runner.h"
+#include "exp/sweep_stats.h"
 #include "model/profiles.h"
 
 namespace memstream::bench {
 
 /// Directory (under the current working directory) where every bench
-/// drops its CSV series; created on demand.
-inline std::string ResultsDir() {
-  std::filesystem::create_directories("bench_results");
-  return "bench_results";
+/// drops its CSV series. Created once per process, on first use.
+inline const std::string& ResultsDir() {
+  static const std::string dir = [] {
+    std::filesystem::create_directories("bench_results");
+    return std::string("bench_results");
+  }();
+  return dir;
 }
 
 inline std::string CsvPath(const std::string& name) {
   return ResultsDir() + "/" + name + ".csv";
 }
 
+/// True when MEMSTREAM_SMOKE is set: benches shrink their sweeps to a
+/// seconds-long spot check (the bench-smoke ctest label runs every
+/// binary this way under the sanitizer presets).
+inline bool SmokeMode() {
+  static const bool smoke = std::getenv("MEMSTREAM_SMOKE") != nullptr;
+  return smoke;
+}
+
+/// Simulation horizon helper: the full duration normally, a short one in
+/// smoke mode.
+inline Seconds SmokeDuration(Seconds full, Seconds smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
 /// The FutureDisk as the paper's analysis sees it: a single 300 MB/s
-/// transfer rate.
+/// transfer rate. Calibrated once; each call returns an independent copy
+/// (DiskDrive carries mutable head state, so sweep tasks must not share
+/// one instance).
 inline device::DiskDrive AnalyticFutureDisk() {
-  device::DiskParameters p = device::FutureDisk2007();
-  p.inner_rate = p.outer_rate;
-  return device::DiskDrive::Create(p).value();
+  static const device::DiskDrive drive = [] {
+    device::DiskParameters p = device::FutureDisk2007();
+    p.inner_rate = p.outer_rate;
+    return device::DiskDrive::Create(p).value();
+  }();
+  return drive;
 }
 
 /// The FutureDisk's average access latency (2.8 ms seek + 1.5 ms
-/// rotation): the numerator of the §5.1 latency ratio.
+/// rotation): the numerator of the §5.1 latency ratio. Memoized.
 inline Seconds FutureDiskAverageLatency() {
-  return AnalyticFutureDisk().AverageAccessLatency();
+  static const Seconds latency = AnalyticFutureDisk().AverageAccessLatency();
+  return latency;
 }
 
 /// The disk IO latency charge used by the paper's cost evaluation
@@ -46,19 +79,40 @@ inline Seconds FutureDiskAverageLatency() {
 /// elevator estimate (DiskLatencyFn) is tighter; the figure benches use
 /// this conservative constant to reproduce the paper's magnitudes.
 inline model::LatencyFn PaperConservativeDiskLatency() {
-  auto disk = AnalyticFutureDisk();
-  const Seconds charge =
-      disk.seek_model().AverageSeekTime() + disk.RotationPeriod();
-  return [charge](std::int64_t) { return charge; };
+  static const Seconds charge = [] {
+    const device::DiskDrive disk = AnalyticFutureDisk();
+    return disk.seek_model().AverageSeekTime() + disk.RotationPeriod();
+  }();
+  return [](std::int64_t) { return charge; };
 }
 
 /// G3 MEMS profile whose max latency is derived from the latency ratio:
 /// L̄_mems = L̄_disk(avg) / ratio. ratio = 5 reproduces the G3 device.
 inline model::DeviceProfile MemsProfileAtRatio(double ratio) {
-  auto dev = device::MemsDevice::Create(device::MemsG3()).value();
-  model::DeviceProfile p = model::MemsProfileMaxLatency(dev);
+  static const model::DeviceProfile base = [] {
+    auto dev = device::MemsDevice::Create(device::MemsG3()).value();
+    return model::MemsProfileMaxLatency(dev);
+  }();
+  model::DeviceProfile p = base;
   p.latency = FutureDiskAverageLatency() / ratio;
   return p;
+}
+
+/// Writes the runner's cumulative cost into
+/// bench_results/BENCH_sweeps.json (insert-or-replace by bench name)
+/// and echoes a one-line summary on stdout.
+inline void RecordSweep(const std::string& bench_name,
+                        const exp::SweepRunner& runner) {
+  const auto record =
+      exp::MakeBenchSweepRecord(bench_name, runner.stats());
+  const std::string path = ResultsDir() + "/BENCH_sweeps.json";
+  (void)exp::AppendBenchSweepRecord(path, record);
+  std::printf(
+      "Sweep: %lld tasks on %d thread(s), %.3f s wall, %lld events "
+      "(%.0f events/s) -> %s\n",
+      static_cast<long long>(record.tasks), record.threads,
+      record.wall_seconds, static_cast<long long>(record.events),
+      record.events_per_sec, path.c_str());
 }
 
 }  // namespace memstream::bench

@@ -2,11 +2,16 @@
 // for the four media types (mp3 / DivX / DVD / HDTV), (a) streaming
 // directly from the FutureDisk and (b) through a k = 2 bank of G3 MEMS
 // buffer devices (unlimited buffering, per the §5.1.1 relaxation).
+//
+// The (media, N) grid is evaluated on the parallel sweep engine; rows
+// are collected in index order so the table and CSV are byte-identical
+// to a serial run.
 
 #include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -35,6 +40,12 @@ int main() {
                 {"media", "bit_rate_bps", "n", "dram_without_gb",
                  "dram_with_gb"});
 
+  // Sweep points, flattened (media x stream count), in emission order.
+  struct Point {
+    model::StreamClass media;
+    std::int64_t n = 0;
+  };
+  std::vector<Point> points;
   for (const auto& media : model::PaperStreamClasses()) {
     const std::int64_t cap =
         model::MaxStreamsBandwidthBound(300 * kMBps, media.bit_rate);
@@ -53,40 +64,67 @@ int main() {
     stream_counts.erase(
         std::unique(stream_counts.begin(), stream_counts.end()),
         stream_counts.end());
+    if (bench::SmokeMode() && stream_counts.size() > 3) {
+      stream_counts.resize(3);
+    }
     for (std::int64_t n : stream_counts) {
       if (n > cap || n < 1) continue;
-      model::DeviceProfile disk_profile;
-      disk_profile.rate = 300 * kMBps;
-      disk_profile.latency = latency(n);
-      auto without = model::TotalBufferSize(n, media.bit_rate, disk_profile);
-      if (!without.ok()) continue;
-
-      double with_gb = std::numeric_limits<double>::quiet_NaN();
-      if (n >= 2) {
-        model::MemsBufferParams params;
-        params.k = 2;
-        params.disk = disk_profile;
-        params.mems = mems;
-        params.mems_capacity_override =
-            std::numeric_limits<double>::infinity();
-        auto with_mems = model::SolveMemsBuffer(n, media.bit_rate, params);
-        if (with_mems.ok()) with_gb = ToGB(with_mems.value().dram_total);
-      }
-
-      const bool no_mems = std::isnan(with_gb);
-      table.AddRow(
-          {media.name, TablePrinter::Cell(n),
-           TablePrinter::Cell(ToGB(without.value()), 6),
-           no_mems ? std::string("-") : TablePrinter::Cell(with_gb, 6),
-           no_mems ? std::string("-")
-                   : TablePrinter::Cell(ToGB(without.value()) / with_gb,
-                                        1) +
-                         "x"});
-      csv.AddRow(std::vector<std::string>{
-          media.name, std::to_string(media.bit_rate), std::to_string(n),
-          std::to_string(ToGB(without.value())),
-          no_mems ? std::string() : std::to_string(with_gb)});
+      points.push_back({media, n});
     }
+  }
+
+  struct Row {
+    bool valid = false;
+    double without_gb = 0;
+    double with_gb = std::numeric_limits<double>::quiet_NaN();
+  };
+  exp::SweepRunner runner;
+  const auto rows = runner.Map(
+      static_cast<std::int64_t>(points.size()),
+      [&points, &latency, &mems](exp::TaskContext& ctx) {
+        const Point& p = points[static_cast<std::size_t>(ctx.index())];
+        Row row;
+        model::DeviceProfile disk_profile;
+        disk_profile.rate = 300 * kMBps;
+        disk_profile.latency = latency(p.n);
+        auto without =
+            model::TotalBufferSize(p.n, p.media.bit_rate, disk_profile);
+        if (!without.ok()) return row;
+        row.valid = true;
+        row.without_gb = ToGB(without.value());
+        if (p.n >= 2) {
+          model::MemsBufferParams params;
+          params.k = 2;
+          params.disk = disk_profile;
+          params.mems = mems;
+          params.mems_capacity_override =
+              std::numeric_limits<double>::infinity();
+          auto with_mems =
+              model::SolveMemsBuffer(p.n, p.media.bit_rate, params);
+          if (with_mems.ok()) {
+            row.with_gb = ToGB(with_mems.value().dram_total);
+          }
+        }
+        ctx.AddEvents(1);
+        return row;
+      });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const Row& row = rows[i];
+    if (!row.valid) continue;
+    const bool no_mems = std::isnan(row.with_gb);
+    table.AddRow(
+        {p.media.name, TablePrinter::Cell(p.n),
+         TablePrinter::Cell(row.without_gb, 6),
+         no_mems ? std::string("-") : TablePrinter::Cell(row.with_gb, 6),
+         no_mems ? std::string("-")
+                 : TablePrinter::Cell(row.without_gb / row.with_gb, 1) +
+                       "x"});
+    csv.AddRow(std::vector<std::string>{
+        p.media.name, std::to_string(p.media.bit_rate),
+        std::to_string(p.n), std::to_string(row.without_gb),
+        no_mems ? std::string() : std::to_string(row.with_gb)});
   }
   table.Print(std::cout);
 
@@ -95,5 +133,6 @@ int main() {
                "(mp3); the MEMS buffer cuts it by roughly an order of "
                "magnitude.\n";
   std::cout << "CSV: " << bench::CsvPath("fig6_dram_requirement") << "\n";
+  bench::RecordSweep("fig6_dram_requirement", runner);
   return 0;
 }

@@ -2,6 +2,9 @@
 // the MEMS storage actually used, per-byte pricing) vs the number of
 // streams, for the four media types. The disk IO cycle T_disk is chosen
 // by the planner's closed-form per-byte optimum.
+//
+// The (media, N) grid is evaluated on the parallel sweep engine; rows
+// are emitted serially in grid order.
 
 #include <cmath>
 #include <iostream>
@@ -32,6 +35,11 @@ int main() {
                 {"media", "bit_rate_bps", "n", "cost_without",
                  "cost_with", "reduction"});
 
+  struct Point {
+    model::StreamClass media;
+    std::int64_t n = 0;
+  };
+  std::vector<Point> points;
   for (const auto& media : model::PaperStreamClasses()) {
     const std::int64_t cap =
         model::MaxStreamsBandwidthBound(300 * kMBps, media.bit_rate);
@@ -51,36 +59,61 @@ int main() {
     stream_counts.erase(
         std::unique(stream_counts.begin(), stream_counts.end()),
         stream_counts.end());
+    if (bench::SmokeMode() && stream_counts.size() > 3) {
+      stream_counts.resize(3);
+    }
     for (std::int64_t n : stream_counts) {
       if (n > cap || n < 2) continue;
-      model::DeviceProfile disk_profile;
-      disk_profile.rate = 300 * kMBps;
-      disk_profile.latency = latency(n);
-      auto without = model::TotalBufferSize(n, media.bit_rate, disk_profile);
-      if (!without.ok()) continue;
-      const Dollars cost_without =
-          without.value() * prices.dram_per_byte;
-
-      model::MemsBufferParams params;
-      params.k = 2;
-      params.disk = disk_profile;
-      params.mems = bench::MemsProfileAtRatio(5.0);
-      params.mems_capacity_override = 1e18;  // per-byte pricing: no cap
-      auto best = model::OptimalTdiskPerByte(n, media.bit_rate, params,
-                                             prices);
-      if (!best.ok()) continue;
-
-      const Dollars reduction = cost_without - best.value().total_cost;
-      table.AddRow({media.name, TablePrinter::Cell(n),
-                    TablePrinter::Cell(cost_without, 3),
-                    TablePrinter::Cell(best.value().total_cost, 3),
-                    TablePrinter::Cell(reduction, 3)});
-      csv.AddRow(std::vector<std::string>{
-          media.name, std::to_string(media.bit_rate), std::to_string(n),
-          std::to_string(cost_without),
-          std::to_string(best.value().total_cost),
-          std::to_string(reduction)});
+      points.push_back({media, n});
     }
+  }
+
+  struct Row {
+    bool valid = false;
+    Dollars cost_without = 0;
+    Dollars cost_with = 0;
+  };
+  exp::SweepRunner runner;
+  const auto rows = runner.Map(
+      static_cast<std::int64_t>(points.size()),
+      [&points, &latency, &prices](exp::TaskContext& ctx) {
+        const Point& p = points[static_cast<std::size_t>(ctx.index())];
+        Row row;
+        ctx.AddEvents(1);
+        model::DeviceProfile disk_profile;
+        disk_profile.rate = 300 * kMBps;
+        disk_profile.latency = latency(p.n);
+        auto without =
+            model::TotalBufferSize(p.n, p.media.bit_rate, disk_profile);
+        if (!without.ok()) return row;
+        row.cost_without = without.value() * prices.dram_per_byte;
+
+        model::MemsBufferParams params;
+        params.k = 2;
+        params.disk = disk_profile;
+        params.mems = bench::MemsProfileAtRatio(5.0);
+        params.mems_capacity_override = 1e18;  // per-byte pricing: no cap
+        auto best = model::OptimalTdiskPerByte(p.n, p.media.bit_rate,
+                                               params, prices);
+        if (!best.ok()) return row;
+        row.valid = true;
+        row.cost_with = best.value().total_cost;
+        return row;
+      });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const Row& row = rows[i];
+    if (!row.valid) continue;
+    const Dollars reduction = row.cost_without - row.cost_with;
+    table.AddRow({p.media.name, TablePrinter::Cell(p.n),
+                  TablePrinter::Cell(row.cost_without, 3),
+                  TablePrinter::Cell(row.cost_with, 3),
+                  TablePrinter::Cell(reduction, 3)});
+    csv.AddRow(std::vector<std::string>{
+        p.media.name, std::to_string(p.media.bit_rate),
+        std::to_string(p.n), std::to_string(row.cost_without),
+        std::to_string(row.cost_with), std::to_string(reduction)});
   }
   table.Print(std::cout);
 
@@ -90,5 +123,6 @@ int main() {
                "full load.\n";
   std::cout << "CSV: " << bench::CsvPath("fig8_total_cost_reduction")
             << "\n";
+  bench::RecordSweep("fig8_total_cost_reduction", runner);
   return 0;
 }

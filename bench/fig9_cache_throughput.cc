@@ -5,8 +5,12 @@
 // cache management, against the no-cache baseline.
 //
 //  (a) average bit-rate 10 KB/s;  (b) 1 MB/s.
+//
+// Each (bit-rate, budget, popularity) cell — three planner solves — is
+// one parallel sweep task; tables are emitted serially afterwards.
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table_printer.h"
@@ -31,6 +35,23 @@ struct Budget {
 
 const Budget kBudgets[] = {{50, 1}, {100, 2}, {200, 4}};
 
+// One planner outcome, flattened for cross-thread collection.
+struct Outcome {
+  bool ok = false;
+  std::int64_t streams = 0;
+  double hit_rate = 0;
+};
+
+Outcome Flatten(const Result<model::CacheSystemThroughput>& r) {
+  Outcome out;
+  if (r.ok()) {
+    out.ok = true;
+    out.streams = r.value().total_streams;
+    out.hit_rate = r.value().hit_rate;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -41,14 +62,36 @@ int main() {
                 {"bit_rate_bps", "budget", "k", "popularity", "config",
                  "streams", "hit_rate"});
 
-  for (BytesPerSecond bit_rate : {10 * kKBps, 1 * kMBps}) {
-    std::cout << "Fig. 9" << (bit_rate == 10 * kKBps ? "(a)" : "(b)")
-              << ": server throughput, average bit-rate "
-              << bit_rate / kKBps << " KB/s\n\n";
-    TablePrinter table({"Budget", "Popularity", "w/o MEMS cache",
-                        "Replicated", "Striped", "hit(repl)", "hit(str)"});
-    for (const Budget& budget : kBudgets) {
-      for (const auto& pop : kDistributions) {
+  const std::vector<BytesPerSecond> bit_rates = {10 * kKBps, 1 * kMBps};
+  std::vector<model::Popularity> pops(std::begin(kDistributions),
+                                      std::end(kDistributions));
+  if (bench::SmokeMode() && pops.size() > 2) pops.resize(2);
+
+  struct Cell {
+    Outcome none;
+    Outcome replicated;
+    Outcome striped;
+  };
+  const std::int64_t budget_count =
+      static_cast<std::int64_t>(std::size(kBudgets));
+  const std::int64_t pop_count = static_cast<std::int64_t>(pops.size());
+  const std::int64_t cells_per_rate = budget_count * pop_count;
+
+  exp::SweepRunner runner;
+  const auto cells = runner.Map(
+      static_cast<std::int64_t>(bit_rates.size()) * cells_per_rate,
+      [&bit_rates, &pops, &latency, cells_per_rate,
+       pop_count](exp::TaskContext& ctx) {
+        const BytesPerSecond bit_rate =
+            bit_rates[static_cast<std::size_t>(ctx.index() /
+                                               cells_per_rate)];
+        const std::int64_t cell = ctx.index() % cells_per_rate;
+        const Budget& budget =
+            kBudgets[static_cast<std::size_t>(cell / pop_count)];
+        const model::Popularity& pop =
+            pops[static_cast<std::size_t>(cell % pop_count)];
+        ctx.AddEvents(3);  // three planner solves per cell
+
         model::CacheSystemConfig config;
         config.total_budget = budget.total;
         config.dram_per_byte = 20.0 / kGB;
@@ -61,40 +104,56 @@ int main() {
         config.disk_latency = latency;
         config.mems = bench::MemsProfileAtRatio(5.0);
 
+        Cell out;
         config.k = 0;
-        auto none = model::MaxCacheSystemThroughput(config);
-
+        out.none = Flatten(model::MaxCacheSystemThroughput(config));
         config.k = budget.k;
         config.policy = model::CachePolicy::kReplicated;
-        auto replicated = model::MaxCacheSystemThroughput(config);
+        out.replicated = Flatten(model::MaxCacheSystemThroughput(config));
         config.policy = model::CachePolicy::kStriped;
-        auto striped = model::MaxCacheSystemThroughput(config);
+        out.striped = Flatten(model::MaxCacheSystemThroughput(config));
+        return out;
+      });
 
-        auto cell = [](const Result<model::CacheSystemThroughput>& r) {
-          return r.ok() ? TablePrinter::Cell(r.value().total_streams)
-                        : std::string("-");
+  for (std::size_t r = 0; r < bit_rates.size(); ++r) {
+    const BytesPerSecond bit_rate = bit_rates[r];
+    std::cout << "Fig. 9" << (bit_rate == 10 * kKBps ? "(a)" : "(b)")
+              << ": server throughput, average bit-rate "
+              << bit_rate / kKBps << " KB/s\n\n";
+    TablePrinter table({"Budget", "Popularity", "w/o MEMS cache",
+                        "Replicated", "Striped", "hit(repl)", "hit(str)"});
+    for (std::int64_t b = 0; b < budget_count; ++b) {
+      const Budget& budget = kBudgets[static_cast<std::size_t>(b)];
+      for (std::int64_t p = 0; p < pop_count; ++p) {
+        const model::Popularity& pop = pops[static_cast<std::size_t>(p)];
+        const Cell& cell = cells[static_cast<std::size_t>(
+            static_cast<std::int64_t>(r) * cells_per_rate + b * pop_count +
+            p)];
+
+        auto count_cell = [](const Outcome& o) {
+          return o.ok ? TablePrinter::Cell(o.streams) : std::string("-");
         };
-        auto hit = [](const Result<model::CacheSystemThroughput>& r) {
-          return r.ok() ? TablePrinter::Cell(r.value().hit_rate, 3)
-                        : std::string("-");
+        auto hit = [](const Outcome& o) {
+          return o.ok ? TablePrinter::Cell(o.hit_rate, 3)
+                      : std::string("-");
         };
         table.AddRow({"$" + TablePrinter::Cell(
                                 static_cast<std::int64_t>(budget.total)) +
                           " k=" + TablePrinter::Cell(budget.k),
-                      PopName(pop), cell(none), cell(replicated),
-                      cell(striped), hit(replicated), hit(striped)});
+                      PopName(pop), count_cell(cell.none),
+                      count_cell(cell.replicated), count_cell(cell.striped),
+                      hit(cell.replicated), hit(cell.striped)});
 
-        auto emit = [&](const char* name,
-                        const Result<model::CacheSystemThroughput>& r) {
+        auto emit = [&](const char* name, const Outcome& o) {
           csv.AddRow(std::vector<std::string>{
               std::to_string(bit_rate), std::to_string(budget.total),
               std::to_string(budget.k), PopName(pop), name,
-              r.ok() ? std::to_string(r.value().total_streams) : "",
-              r.ok() ? std::to_string(r.value().hit_rate) : ""});
+              o.ok ? std::to_string(o.streams) : "",
+              o.ok ? std::to_string(o.hit_rate) : ""});
         };
-        emit("none", none);
-        emit("replicated", replicated);
-        emit("striped", striped);
+        emit("none", cell.none);
+        emit("replicated", cell.replicated);
+        emit("striped", cell.striped);
       }
     }
     table.Print(std::cout);
@@ -109,5 +168,6 @@ int main() {
                "budget (disk-bandwidth-limited), while the cache keeps "
                "adding streams.\n";
   std::cout << "CSV: " << bench::CsvPath("fig9_cache_throughput") << "\n";
+  bench::RecordSweep("fig9_cache_throughput", runner);
   return 0;
 }

@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <vector>
 
+#include "common/move_only_function.h"
 #include "common/random.h"
 #include "device/device_catalog.h"
 #include "device/disk_scheduler.h"
@@ -14,6 +16,7 @@
 #include "model/timecycle.h"
 #include "obs/metrics.h"
 #include "server/timecycle_server.h"
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace memstream {
@@ -102,6 +105,54 @@ void BM_MemsService(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MemsService);
+
+// Steady-state push/pop on the flat 4-ary-heap event queue: after the
+// warmup fill, every iteration pops the earliest event and pushes a
+// replacement. With the small-buffer callbacks this path performs zero
+// heap allocations (asserted by event_queue_test).
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  Rng rng(11);
+  std::int64_t fired = 0;
+  const std::int64_t depth = state.range(0);
+  for (std::int64_t i = 0; i < depth; ++i) {
+    queue.Push(rng.NextDouble(), [&fired] { ++fired; });
+  }
+  double horizon = 1.0;
+  for (auto _ : state) {
+    Seconds when = 0;
+    auto cb = queue.Pop(&when);
+    cb();
+    horizon += 1e-9;
+    queue.Push(when + rng.NextDouble() * horizon, [&fired] { ++fired; });
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(4096);
+
+// Dispatch cost of the inline move-only callable vs std::function, same
+// 32-byte capture. The gap is the shared_ptr/heap indirection the event
+// core no longer pays.
+void BM_MoveOnlyFunctionDispatch(benchmark::State& state) {
+  std::int64_t a = 1, b = 2, c = 3, d = 4;
+  MoveOnlyFunction<std::int64_t()> fn([a, b, c, d] { return a + b + c + d; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MoveOnlyFunctionDispatch);
+
+void BM_StdFunctionDispatch(benchmark::State& state) {
+  std::int64_t a = 1, b = 2, c = 3, d = 4;
+  std::function<std::int64_t()> fn([a, b, c, d] { return a + b + c + d; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdFunctionDispatch);
 
 void BM_EventQueueChurn(benchmark::State& state) {
   for (auto _ : state) {

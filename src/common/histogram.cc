@@ -17,6 +17,24 @@ void RunningStats::Add(double x) {
   max_ = std::max(max_, x);
 }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n_a + n_b;
+  mean_ += delta * n_b / n;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -44,6 +62,19 @@ void Histogram::Add(double x) {
     idx = std::min(idx, counts_.size() - 1);
   }
   ++counts_[idx];
+}
+
+bool Histogram::Merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  stats_.Merge(other.stats_);
+  return true;
 }
 
 double Histogram::BucketLow(std::size_t i) const {
@@ -92,6 +123,17 @@ void TimeWeightedStats::Update(double now, double value) {
   last_time_ = now;
   last_value_ = value;
   max_value_ = std::max(max_value_, value);
+}
+
+void TimeWeightedStats::Merge(const TimeWeightedStats& other) {
+  weighted_sum_ += other.weighted_sum_;
+  total_time_ += other.total_time_;
+  max_value_ = std::max(max_value_, other.max_value_);
+  if (other.started_) {
+    started_ = true;
+    last_time_ = other.last_time_;
+    last_value_ = other.last_value_;
+  }
 }
 
 double TimeWeightedStats::TimeAverage() const {

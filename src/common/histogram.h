@@ -17,6 +17,12 @@ class RunningStats {
  public:
   void Add(double x);
 
+  /// Folds another accumulator in, as if every sample it saw had been
+  /// Add()ed here (Chan et al. parallel combine). Order-independent up
+  /// to floating-point rounding; the sweep engine merges per-task stats
+  /// in task order so results stay bit-reproducible.
+  void Merge(const RunningStats& other);
+
   std::int64_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
@@ -43,6 +49,11 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void Add(double x);
+
+  /// Adds another histogram's samples bucket-by-bucket. Returns false
+  /// (and changes nothing) unless `other` has the identical [lo, hi)
+  /// range and bucket count.
+  bool Merge(const Histogram& other);
 
   std::int64_t TotalCount() const { return total_; }
   std::int64_t BucketCount(std::size_t i) const { return counts_[i]; }
@@ -72,6 +83,13 @@ class TimeWeightedStats {
   /// Records that the signal held `value` from the previous update time
   /// until `now`. Times must be non-decreasing.
   void Update(double now, double value);
+
+  /// Combines two independently observed signals (e.g. the same gauge
+  /// tracked in per-task registries): durations and weighted sums add,
+  /// max is the overall max, and last_value follows `other` when it saw
+  /// any update — so merging in task order keeps last-writer-wins
+  /// semantics deterministic.
+  void Merge(const TimeWeightedStats& other);
 
   double TimeAverage() const;
   double last_value() const { return last_value_; }

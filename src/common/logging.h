@@ -29,6 +29,13 @@ using LogSink = std::function<void(LogLevel, const std::string&)>;
 
 /// Replaces the output sink. Null restores the default sink, which writes
 /// "[YYYY-MM-DD HH:MM:SS.mmm] [LEVEL] message" lines to stderr.
+///
+/// Thread-safety: SetLogSink and LogMessage may race freely — the slot
+/// is mutex-protected and LogMessage snapshots the sink before invoking
+/// it, so a concurrent swap never tears a call. The sink itself must be
+/// thread-safe once benches run multi-threaded sweeps: it can be invoked
+/// from any pool worker concurrently. Prefer installing the sink before
+/// a sweep starts and leaving it in place until the sweep's barrier.
 void SetLogSink(LogSink sink);
 
 /// Emits a message if `level` passes the global threshold.
@@ -36,20 +43,29 @@ void LogMessage(LogLevel level, const std::string& message);
 
 namespace internal {
 
-/// Stream-style collector used by the MEMSTREAM_LOG macro.
+/// Stream-style collector used by the MEMSTREAM_LOG macro. Checks the
+/// level once at construction: a filtered line never formats its
+/// operands and never reaches LogMessage (no sink-mutex traffic), so
+/// disabled-level logging in hot loops costs one atomic load.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { LogMessage(level_, stream_.str()); }
+  explicit LogLine(LogLevel level)
+      : level_(level),
+        enabled_(static_cast<int>(level) >=
+                 static_cast<int>(GetLogLevel())) {}
+  ~LogLine() {
+    if (enabled_) LogMessage(level_, stream_.str());
+  }
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    stream_ << v;
+    if (enabled_) stream_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 

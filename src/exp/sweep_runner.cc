@@ -1,0 +1,98 @@
+#include "exp/sweep_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "exp/thread_pool.h"
+
+namespace memstream::exp {
+
+std::uint64_t TaskSeed(std::uint64_t base_seed, std::int64_t index) {
+  // SplitMix64 of the index-th point of the base sequence: decorrelates
+  // neighboring tasks while staying a pure function of (seed, index).
+  std::uint64_t z =
+      base_seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MEMSTREAM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(options), threads_(ResolveThreadCount(options.threads)) {
+  stats_.threads = threads_;
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::RunIndexed(
+    std::int64_t n, const std::function<void(TaskContext&)>& body) {
+  if (n <= 0) return;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> events{0};
+
+  // Per-task registries so concurrent tasks never share a registry and
+  // the post-barrier merge (in task order) is deterministic.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
+  if (options_.metrics != nullptr) {
+    registries.resize(static_cast<std::size_t>(n));
+    for (auto& r : registries) r = std::make_unique<obs::MetricsRegistry>();
+  }
+
+  auto run_one = [&](std::int64_t index) {
+    TaskContext ctx(
+        index, TaskSeed(options_.base_seed, index),
+        registries.empty() ? nullptr
+                           : registries[static_cast<std::size_t>(index)].get(),
+        &events);
+    body(ctx);
+  };
+
+  if (pool_ == nullptr) {
+    for (std::int64_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    // One drainer per worker pulling indices from a shared counter:
+    // dynamic load balancing without work stealing, and the index fully
+    // determines a task's seed/registry, so placement cannot leak into
+    // results.
+    std::atomic<std::int64_t> next{0};
+    const int drainers = static_cast<int>(
+        std::min<std::int64_t>(threads_, n));
+    for (int d = 0; d < drainers; ++d) {
+      pool_->Submit([&run_one, &next, n] {
+        for (;;) {
+          const std::int64_t i = next.fetch_add(1);
+          if (i >= n) return;
+          run_one(i);
+        }
+      });
+    }
+    pool_->Wait();
+  }
+
+  if (options_.metrics != nullptr) {
+    for (const auto& r : registries) options_.metrics->Merge(*r);
+  }
+
+  stats_.tasks += n;
+  stats_.events += events.load();
+  stats_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+}
+
+}  // namespace memstream::exp

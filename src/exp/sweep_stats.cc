@@ -1,0 +1,87 @@
+#include "exp/sweep_stats.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace memstream::exp {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+BenchSweepRecord MakeBenchSweepRecord(const std::string& bench,
+                                      const SweepStats& stats) {
+  BenchSweepRecord record;
+  record.bench = bench;
+  record.tasks = stats.tasks;
+  record.threads = stats.threads;
+  record.wall_seconds = stats.wall_seconds;
+  record.events = stats.events;
+  record.events_per_sec = stats.events_per_sec();
+  return record;
+}
+
+std::string BenchSweepRecordJson(const BenchSweepRecord& record) {
+  // Bench names are our own binary names (ASCII, no quotes/backslashes),
+  // so no escaping pass is needed.
+  std::ostringstream out;
+  out << "{\"bench\":\"" << record.bench << "\",\"tasks\":" << record.tasks
+      << ",\"threads\":" << record.threads
+      << ",\"wall_seconds\":" << FormatDouble(record.wall_seconds)
+      << ",\"events\":" << record.events
+      << ",\"events_per_sec\":" << FormatDouble(record.events_per_sec)
+      << "}";
+  return out.str();
+}
+
+Status AppendBenchSweepRecord(const std::string& path,
+                              const BenchSweepRecord& record) {
+  // The file keeps one record object per line, so updating a bench's
+  // record is a line-level splice — no JSON parser needed.
+  std::vector<std::string> records;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto start = line.find('{');
+      if (start == std::string::npos) continue;  // "[", "]", blanks
+      const auto end = line.rfind('}');
+      if (end == std::string::npos || end < start) continue;
+      records.push_back(line.substr(start, end - start + 1));
+    }
+  }
+
+  const std::string key = "\"bench\":\"" + record.bench + "\"";
+  const std::string fresh = BenchSweepRecordJson(record);
+  bool replaced = false;
+  for (auto& existing : records) {
+    if (existing.find(key) != std::string::npos) {
+      existing = fresh;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) records.push_back(fresh);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << records[i] << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  out.close();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace memstream::exp

@@ -1,0 +1,43 @@
+// Persistence for sweep cost records: every converted bench appends its
+// wall-clock / events-per-second / thread-count record to
+// bench_results/BENCH_sweeps.json so the perf trajectory is tracked
+// across PRs. The file is a JSON array with one record object per line;
+// re-running a bench replaces its own record in place (keyed by the
+// bench name) instead of appending duplicates.
+
+#ifndef MEMSTREAM_EXP_SWEEP_STATS_H_
+#define MEMSTREAM_EXP_SWEEP_STATS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exp/sweep_runner.h"
+
+namespace memstream::exp {
+
+/// One bench's sweep cost, as written to BENCH_sweeps.json.
+struct BenchSweepRecord {
+  std::string bench;          ///< bench binary name (record key)
+  std::int64_t tasks = 0;
+  int threads = 1;
+  double wall_seconds = 0;
+  std::int64_t events = 0;
+  double events_per_sec = 0;
+};
+
+/// Builds the record from a runner's cumulative stats.
+BenchSweepRecord MakeBenchSweepRecord(const std::string& bench,
+                                      const SweepStats& stats);
+
+/// Serializes one record as a single-line JSON object.
+std::string BenchSweepRecordJson(const BenchSweepRecord& record);
+
+/// Inserts or replaces `record` in the JSON-array file at `path`,
+/// creating the file when absent. Records of other benches are kept in
+/// file order.
+Status AppendBenchSweepRecord(const std::string& path,
+                              const BenchSweepRecord& record);
+
+}  // namespace memstream::exp
+
+#endif  // MEMSTREAM_EXP_SWEEP_STATS_H_

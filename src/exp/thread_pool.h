@@ -1,0 +1,61 @@
+// Fixed-size thread pool for the experiment engine. Deliberately plain:
+// one shared FIFO queue, no work stealing, no priorities — the sweep
+// layer above guarantees determinism by making tasks independent and
+// collecting results by index, so the pool only needs to be correct and
+// cheap. A pool of size 0 or 1 runs tasks inline on the submitting
+// thread (no worker threads at all), which is the reference execution
+// the determinism tests compare against.
+
+#ifndef MEMSTREAM_EXP_THREAD_POOL_H_
+#define MEMSTREAM_EXP_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/move_only_function.h"
+
+namespace memstream::exp {
+
+class ThreadPool {
+ public:
+  using Task = MoveOnlyFunction<void()>;
+
+  /// Spawns `threads` workers; 0 and 1 both mean inline execution.
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. With no workers the task runs before Submit
+  /// returns. Tasks may Submit follow-up work; calling Wait() from
+  /// inside a task deadlocks.
+  void Submit(Task task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Worker count (0 = inline mode).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<Task> queue_;
+  std::int64_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace memstream::exp
+
+#endif  // MEMSTREAM_EXP_THREAD_POOL_H_

@@ -83,6 +83,46 @@ const TimeWeightedGauge* MetricsRegistry::FindTimeWeighted(
   return it == metrics_.end() ? nullptr : it->second.time_weighted.get();
 }
 
+std::size_t MetricsRegistry::Merge(const MetricsRegistry& other) {
+  std::size_t skipped = 0;
+  for (const auto& [name, theirs] : other.metrics_) {
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+      // Clone the metric wholesale; merging into nothing is a copy.
+      Entry fresh;
+      fresh.kind = theirs.kind;
+      if (theirs.counter != nullptr) {
+        fresh.counter = std::make_unique<Counter>(*theirs.counter);
+      } else if (theirs.gauge != nullptr) {
+        fresh.gauge = std::make_unique<Gauge>(*theirs.gauge);
+      } else if (theirs.histogram != nullptr) {
+        fresh.histogram = std::make_unique<HistogramMetric>(*theirs.histogram);
+      } else if (theirs.time_weighted != nullptr) {
+        fresh.time_weighted =
+            std::make_unique<TimeWeightedGauge>(*theirs.time_weighted);
+      }
+      metrics_.emplace(name, std::move(fresh));
+      continue;
+    }
+    Entry& mine = it->second;
+    if (mine.kind != theirs.kind) {
+      ++skipped;
+      continue;
+    }
+    if (mine.counter != nullptr && theirs.counter != nullptr) {
+      mine.counter->Increment(theirs.counter->value());
+    } else if (mine.gauge != nullptr && theirs.gauge != nullptr) {
+      mine.gauge->Set(theirs.gauge->value());
+    } else if (mine.histogram != nullptr && theirs.histogram != nullptr) {
+      if (!mine.histogram->Merge(*theirs.histogram)) ++skipped;
+    } else if (mine.time_weighted != nullptr &&
+               theirs.time_weighted != nullptr) {
+      mine.time_weighted->Merge(*theirs.time_weighted);
+    }
+  }
+  return skipped;
+}
+
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> out;
   out.reserve(metrics_.size());

@@ -60,6 +60,11 @@ class HistogramMetric {
   const Histogram& histogram() const { return histogram_; }
   const RunningStats& stats() const { return histogram_.stats(); }
 
+  /// Bucket-wise merge; false (no-op) on layout mismatch.
+  bool Merge(const HistogramMetric& other) {
+    return histogram_.Merge(other.histogram_);
+  }
+
  private:
   Histogram histogram_;
 };
@@ -71,6 +76,7 @@ class TimeWeightedGauge {
   /// seconds, non-decreasing).
   void Update(double now, double value) { stats_.Update(now, value); }
   const TimeWeightedStats& stats() const { return stats_; }
+  void Merge(const TimeWeightedGauge& other) { stats_.Merge(other.stats_); }
 
  private:
   TimeWeightedStats stats_;
@@ -132,6 +138,16 @@ class MetricsRegistry {
 
   /// Writes ToCsvText() to `path`.
   Status WriteCsv(const std::string& path) const;
+
+  /// Folds `other`'s metrics into this registry (the sweep engine's
+  /// post-barrier combine — see docs/OBSERVABILITY.md). Per kind:
+  /// counters add, gauges take `other`'s value (last-writer-wins, so
+  /// merging per-task registries in task order is deterministic),
+  /// histograms merge bucket-wise, time-weighted gauges add durations.
+  /// Metrics only in `other` are created here. A name present in both
+  /// with different kinds — or histograms with different bucket layouts —
+  /// is skipped and counted in the return value.
+  std::size_t Merge(const MetricsRegistry& other);
 
   /// Drops every metric (handles become dangling; re-resolve after).
   void Clear() { metrics_.clear(); }

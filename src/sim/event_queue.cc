@@ -1,25 +1,60 @@
 #include "sim/event_queue.h"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 namespace memstream::sim {
 
 std::int64_t EventQueue::Push(Seconds when, EventCallback cb) {
   const std::int64_t id = next_seq_++;
-  heap_.push(Entry{when, id, std::make_shared<EventCallback>(std::move(cb))});
+  heap_.push_back(Entry{when, id, std::move(cb)});
+  SiftUp(heap_.size() - 1);
   return id;
 }
 
 EventCallback EventQueue::Pop(Seconds* when) {
-  Entry top = heap_.top();
-  heap_.pop();
+  Entry top = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    SiftDown(0);
+  } else {
+    heap_.pop_back();
+  }
   *when = top.when;
-  return std::move(*top.cb);
+  return std::move(top.cb);
 }
 
-void EventQueue::Clear() {
-  while (!heap_.empty()) heap_.pop();
+void EventQueue::Clear() { heap_.clear(); }
+
+void EventQueue::SiftUp(std::size_t i) {
+  Entry moving = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!moving.Before(heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(moving);
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry moving = std::move(heap_[i]);
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child =
+        std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].Before(heap_[best])) best = c;
+    }
+    if (!heap_[best].Before(moving)) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(moving);
 }
 
 }  // namespace memstream::sim

@@ -1,0 +1,176 @@
+// MoveOnlyFunction: inline vs heap storage thresholds, move semantics,
+// and the allocation-free guarantee the event queue depends on. This
+// binary replaces global operator new/delete with counting versions so
+// the inline-storage claims are verified, not assumed.
+
+#include "common/move_only_function.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace {
+
+std::atomic<std::int64_t> g_allocations{0};
+
+}  // namespace
+
+// GCC pairs `new` expressions with the free() inside these replaced
+// operators and warns about the malloc/free crossing; it is intentional
+// here — the replacement is malloc-backed on both sides.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+// The nothrow forms must be replaced too: leaving them default would
+// pair the library allocator's new with our free.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace memstream {
+namespace {
+
+using Fn = MoveOnlyFunction<int()>;
+
+std::int64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(MoveOnlyFunctionTest, EmptyIsFalsy) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(MoveOnlyFunctionTest, InvokesSmallLambda) {
+  Fn f = [] { return 42; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(MoveOnlyFunctionTest, SmallCaptureStoredInlineWithoutAllocating) {
+  struct Capture {
+    std::int64_t a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;  // 48 bytes
+  };
+  static_assert(sizeof(Capture) == Fn::kInlineCapacity);
+  Capture cap;
+  const std::int64_t before = AllocationCount();
+  Fn f = [cap] { return static_cast<int>(cap.a + cap.f); };
+  const std::int64_t after = AllocationCount();
+  EXPECT_EQ(after, before) << "<=48-byte capture must not allocate";
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(MoveOnlyFunctionTest, LargeCaptureFallsBackToHeap) {
+  struct Capture {
+    std::int64_t vals[7] = {1, 2, 3, 4, 5, 6, 7};  // 56 bytes
+  };
+  static_assert(sizeof(Capture) > Fn::kInlineCapacity);
+  Capture cap;
+  const std::int64_t before = AllocationCount();
+  Fn f = [cap] { return static_cast<int>(cap.vals[6]); };
+  EXPECT_GT(AllocationCount(), before);
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(MoveOnlyFunctionTest, MoveTransfersCallableAndEmptiesSource) {
+  Fn a = [] { return 5; };
+  Fn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b(), 5);
+
+  Fn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c(), 5);
+}
+
+TEST(MoveOnlyFunctionTest, MovingNeverAllocates) {
+  struct Big {
+    std::int64_t vals[16] = {};
+  };
+  Fn inline_fn = [] { return 1; };
+  Fn heap_fn = [big = Big()] { return static_cast<int>(big.vals[0] + 2); };
+  const std::int64_t before = AllocationCount();
+  Fn moved_inline = std::move(inline_fn);
+  Fn moved_heap = std::move(heap_fn);  // steals the heap cell
+  EXPECT_EQ(AllocationCount(), before);
+  EXPECT_EQ(moved_inline(), 1);
+  EXPECT_EQ(moved_heap(), 2);
+}
+
+TEST(MoveOnlyFunctionTest, AcceptsMoveOnlyCaptures) {
+  auto owned = std::make_unique<int>(99);
+  MoveOnlyFunction<int()> f = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(f(), 99);
+  MoveOnlyFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 99);
+}
+
+TEST(MoveOnlyFunctionTest, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    explicit Probe(int* counter) : counter_(counter) {}
+    Probe(Probe&& other) noexcept : counter_(other.counter_) {
+      other.counter_ = nullptr;
+    }
+    ~Probe() {
+      if (counter_ != nullptr) ++*counter_;
+    }
+    int* counter_;
+  };
+  int destroyed = 0;
+  {
+    MoveOnlyFunction<void()> f = [p = Probe(&destroyed)] { (void)p; };
+    MoveOnlyFunction<void()> g = std::move(f);
+    g();
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(MoveOnlyFunctionTest, PassesArgumentsAndReturnsResults) {
+  MoveOnlyFunction<double(double, double)> f = [](double a, double b) {
+    return a * b;
+  };
+  EXPECT_DOUBLE_EQ(f(3.0, 4.0), 12.0);
+}
+
+TEST(MoveOnlyFunctionTest, InlineThresholdIsCompileTimeQueryable) {
+  struct Small {
+    char data[8];
+    void operator()() const {}
+  };
+  struct Huge {
+    char data[128];
+    void operator()() const {}
+  };
+  static_assert(MoveOnlyFunction<void()>::kStoredInline<Small>);
+  static_assert(!MoveOnlyFunction<void()>::kStoredInline<Huge>);
+}
+
+}  // namespace
+}  // namespace memstream

@@ -1,0 +1,84 @@
+// ThreadPool: basic execution, the Wait() barrier, inline mode, and
+// shutdown draining. Data races in the pool surface under the sanitize
+// and tsan presets (the bench-smoke label runs there too).
+
+#include "exp/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace memstream::exp {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsTasksOnSubmit) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0);  // no workers spawned
+  int ran = 0;
+  pool.Submit([&ran] { ++ran; });
+  EXPECT_EQ(ran, 1);  // already done, before Wait()
+  pool.Wait();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, WaitIsABarrier) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(done.load(), (round + 1) * 16);
+  }
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitFollowUpWork) {
+  ThreadPool pool(2);
+  std::atomic<int> stage_two{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &stage_two] {
+      pool.Submit([&stage_two] { stage_two.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(stage_two.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, MoveOnlyTaskPayloads) {
+  ThreadPool pool(2);
+  auto value = std::make_unique<int>(7);
+  std::atomic<int> seen{0};
+  pool.Submit([&seen, v = std::move(value)] { seen.store(*v); });
+  pool.Wait();
+  EXPECT_EQ(seen.load(), 7);
+}
+
+}  // namespace
+}  // namespace memstream::exp
