@@ -100,13 +100,13 @@ int main() {
         ctx.AddEvents(tcr.ios_completed + edfr.ios_completed);
         row.ok = true;
         row.cycle = cycle.value();
-        row.tc_underflows = tcr.underflow_events;
+        row.tc_underflows = tcr.qos.underflow_events;
         row.tc_per_io =
             tcr.ios_completed
                 ? ToMs(tcr.total_busy /
                        static_cast<double>(tcr.ios_completed))
                 : 0;
-        row.edf_underflows = edfr.underflow_events;
+        row.edf_underflows = edfr.qos.underflow_events;
         row.edf_per_io =
             edfr.ios_completed
                 ? ToMs(edfr.total_busy /
@@ -162,7 +162,7 @@ int main() {
           if (!edf.ok() || !edf.value().Run(sim_time).ok()) return row;
           ctx.AddEvents(edf.value().report().ios_completed);
           row.ok = true;
-          row.underflows = edf.value().report().underflow_events;
+          row.underflows = edf.value().report().qos.underflow_events;
           return row;
         });
     for (std::size_t i = 0; i < factors.size(); ++i) {

@@ -158,7 +158,7 @@ int main() {
           row.t_mems = config.t_mems;
           row.dram_per_stream_kb =
               sizing.value().s_mems_dram_schedulable / kKB;
-          row.underflows = r.underflow_events;
+          row.underflows = r.qos.underflow_events;
           row.overruns = r.mems_overruns;
           row.peak_dram_mb = ToMB(r.peak_dram_demand);
           return row;

@@ -123,7 +123,7 @@ int main() {
           ctx.AddEvents(report.value().ios_completed);
           out.ok = true;
           out.total_streams = plan.value().total_streams;
-          out.underflows = report.value().underflow_events;
+          out.underflows = report.value().qos.underflow_events;
           out.overruns = report.value().cycle_overruns;
           out.mean_disk_util_percent = static_cast<int>(
               100 * report.value().mean_disk_utilization);

@@ -122,7 +122,7 @@ ScenarioResult RunScenario(const Scenario& scenario,
     out.window.push_back({r.time, r.actor, r.detail, r.stream_id, r.bytes});
   }
   const auto& report = server.value().report();
-  out.underflows = report.underflow_events;
+  out.underflows = report.qos.underflow_events;
   out.overruns = report.mems_overruns;
   return out;
 }

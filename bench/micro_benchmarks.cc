@@ -221,6 +221,65 @@ void BM_DirectServerTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectServerTelemetry)->Arg(0)->Arg(1);
 
+// Cost of one auditor/timeline sample through the null-tolerant helpers:
+// Arg(0) = disabled (null sink: one pointer test per site), Arg(1) = a
+// live sealed auditor plus a live timeline series on the clean path.
+void BM_QosAuditTimelineHooks(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::QosAuditorConfig qc;
+  qc.disk_cycle = 1.0;
+  obs::QosAuditor live(qc);
+  live.AddStream(0, 1 * kMBps, 4 * kMB, obs::QosDomain::kDisk);
+  live.Seal();
+  obs::QosAuditor* auditor = enabled ? &live : nullptr;
+  obs::TimelineRecorder recorder;
+  obs::TimelineSeries* series =
+      enabled ? recorder.AddSeries("bench.dram_bytes", "bytes") : nullptr;
+  double now = 0;
+  for (auto _ : state) {
+    now += 1.0;
+    obs::RecordIo(auditor, 0, 1 * kMB);
+    obs::RecordDramLevel(auditor, 0, now, 2 * kMB);
+    obs::Record(series, now, 2 * kMB);
+    obs::EndDiskCycle(auditor, now, 0.5);
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_QosAuditTimelineHooks)->Arg(0)->Arg(1);
+
+// End-to-end auditor overhead: the same DirectStreamingServer run with no
+// auditor (Arg 0) vs a sealed clean-path auditor (Arg 1). The two arms
+// should be within noise of each other.
+void BM_DirectServerAudit(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    auto disk = device::DiskDrive::Create(device::FutureDisk2007()).value();
+    server::DirectServerConfig config;
+    config.cycle = 0.5;
+    obs::QosAuditorConfig qc;
+    qc.disk_cycle = config.cycle;
+    obs::QosAuditor auditor(qc);
+    std::vector<server::StreamSpec> streams;
+    for (int i = 0; i < 8; ++i) {
+      server::StreamSpec s;
+      s.id = i;
+      s.bit_rate = 1 * kMBps;
+      s.disk_offset = static_cast<double>(i) * 10 * kGB;
+      s.extent = 5 * kGB;
+      streams.push_back(s);
+      auditor.AddStream(s.id, s.bit_rate, 2 * s.bit_rate * config.cycle,
+                        obs::QosDomain::kDisk);
+    }
+    auditor.Seal();
+    config.auditor = enabled ? &auditor : nullptr;
+    auto srv = server::DirectStreamingServer::Create(&disk, streams, config);
+    (void)srv.value().Run(20.0);
+    benchmark::DoNotOptimize(srv.value().report().ios_completed);
+  }
+}
+BENCHMARK(BM_DirectServerAudit)->Arg(0)->Arg(1);
+
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution dist(10000, 1.0);
   Rng rng(3);

@@ -51,11 +51,11 @@ void Report(TablePrinter& table, const std::string& name,
   table.AddRow(
       {name, TablePrinter::Cell(ToMB(r.analytic_dram_total), 2),
        TablePrinter::Cell(ToMB(r.sim_peak_dram), 2),
-       TablePrinter::Cell(r.underflow_events),
+       TablePrinter::Cell(r.qos.underflow_events),
        TablePrinter::Cell(r.cycle_overruns),
        TablePrinter::Cell(100 * r.disk_utilization, 1) + "%",
        TablePrinter::Cell(100 * r.mems_utilization, 1) + "%",
-       r.underflow_events == 0 && r.cycle_overruns == 0 ? "PASS" : "FAIL"});
+       r.qos.underflow_events == 0 && r.cycle_overruns == 0 ? "PASS" : "FAIL"});
 }
 
 }  // namespace
@@ -150,7 +150,7 @@ int main() {
       csv.AddRow(std::vector<std::string>{
           name, std::to_string(ToMB(r.analytic_dram_total)),
           std::to_string(ToMB(r.sim_peak_dram)),
-          std::to_string(r.underflow_events),
+          std::to_string(r.qos.underflow_events),
           std::to_string(r.cycle_overruns),
           std::to_string(r.disk_utilization),
           std::to_string(r.mems_utilization)});
@@ -207,9 +207,9 @@ int main() {
           ctx.AddEvents(r.ios_completed);
           row.ok = true;
           row.cycle = config.cycle;
-          row.underflows = r.underflow_events;
+          row.underflows = r.qos.underflow_events;
           row.overruns = r.cycle_overruns;
-          row.underflow_time = r.underflow_time;
+          row.underflow_time = r.qos.underflow_time;
           return row;
         });
     for (std::size_t i = 0; i < factors.size(); ++i) {

@@ -106,7 +106,7 @@ int main() {
                 model::CachePolicyName(policy),
                 ToMB(result.value().analytic_dram_total),
                 ToMB(result.value().sim_peak_dram),
-                static_cast<long long>(result.value().underflow_events),
+                static_cast<long long>(result.value().qos.underflow_events),
                 100 * result.value().mems_utilization);
   }
   return 0;

@@ -76,11 +76,11 @@ int main(int argc, char** argv) {
   const server::ServerReport& report = server.value().report();
   std::printf("Simulated %.0f s:\n", horizon);
   std::printf("  playback underflows:   %lld (%.3f s)\n",
-              static_cast<long long>(report.underflow_events),
-              report.underflow_time);
+              static_cast<long long>(report.qos.underflow_events),
+              report.qos.underflow_time);
   std::printf("  recording overflows:   %lld (%.3f s)\n",
-              static_cast<long long>(report.overflow_events),
-              report.overflow_time);
+              static_cast<long long>(report.qos.overflow_events),
+              report.qos.overflow_time);
   std::printf("  cycle overruns:        %lld\n",
               static_cast<long long>(report.cycle_overruns));
   std::printf("  best-effort served:    %lld IOs (%.1f MB)\n",
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
               ToMB(captured), server.value().record_sessions().size());
 
   const bool clean =
-      report.underflow_events == 0 && report.overflow_events == 0;
+      report.qos.underflow_events == 0 && report.qos.overflow_events == 0;
   std::printf("\n%s\n", clean
                             ? "Jitter-free playback and loss-free capture "
                               "on one schedule."

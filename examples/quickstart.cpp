@@ -2,23 +2,30 @@
 // then execute both schedules in the simulator to confirm jitter-free
 // playback.
 //
-//   $ ./quickstart
+//   $ ./quickstart [report_dir]
 //
 // Walks through the library's three core steps:
 //   1. describe devices (Table 3 presets),
 //   2. size buffers analytically (Theorems 1 and 2),
 //   3. validate by simulation (MediaServer facade).
+//
+// With a report_dir argument, each validation run also writes a
+// structured <mode>.report.json (analytic vs simulated, QoS audit,
+// timelines) for tools/memstream-report to merge into a dashboard.
 
 #include <cstdio>
+#include <string>
 
 #include "device/device_catalog.h"
 #include "model/mems_buffer.h"
 #include "model/profiles.h"
 #include "model/timecycle.h"
+#include "obs/run_report.h"
 #include "server/media_server.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace memstream;
+  const std::string report_dir = argc > 1 ? argv[1] : "";
 
   // --- 1. Devices: the paper's 2007 case study --------------------------
   device::DiskParameters disk_params = device::FutureDisk2007();
@@ -68,6 +75,8 @@ int main() {
   // --- 3. Validation: run both schedules --------------------------------
   for (auto mode :
        {server::ServerMode::kDirect, server::ServerMode::kMemsBuffer}) {
+    obs::MetricsRegistry metrics;
+    obs::TimelineRecorder timelines;
     server::MediaServerConfig config;
     config.mode = mode;
     config.disk = disk_params;
@@ -75,6 +84,10 @@ int main() {
     config.num_streams = n;
     config.bit_rate = bit_rate;
     config.sim_duration = 30;
+    if (!report_dir.empty()) {
+      config.metrics = &metrics;
+      config.timelines = &timelines;
+    }
     auto result = server::RunMediaServer(config);
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", ServerModeName(mode),
@@ -82,12 +95,26 @@ int main() {
       return 1;
     }
     std::printf("%-12s simulated 30 s: %lld IOs, %lld underflows, "
-                "%lld overruns, disk util %.0f%%\n",
+                "%lld overruns, %lld audit violations, disk util %.0f%%\n",
                 ServerModeName(mode),
                 static_cast<long long>(result.value().ios_completed),
-                static_cast<long long>(result.value().underflow_events),
+                static_cast<long long>(result.value().qos.underflow_events),
                 static_cast<long long>(result.value().cycle_overruns),
+                static_cast<long long>(result.value().qos.violations),
                 100 * result.value().disk_utilization);
+    if (!report_dir.empty()) {
+      const obs::RunReport report =
+          server::BuildRunReport(config, result.value(), &metrics);
+      const std::string path = report_dir + "/" +
+                               std::string(ServerModeName(mode)) +
+                               ".report.json";
+      if (auto st = report.WriteFile(path); !st.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+      std::printf("             wrote %s\n", path.c_str());
+    }
   }
   std::printf("\nBoth schedules are jitter-free; the MEMS buffer delivers "
               "the same streams with a fraction of the DRAM.\n");

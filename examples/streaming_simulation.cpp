@@ -136,8 +136,8 @@ int main(int argc, char** argv) {
   std::printf("  IOs completed:   %lld\n",
               static_cast<long long>(result.value().ios_completed));
   std::printf("  underflows:      %lld (%.3f s dry)\n",
-              static_cast<long long>(result.value().underflow_events),
-              result.value().underflow_time);
+              static_cast<long long>(result.value().qos.underflow_events),
+              result.value().qos.underflow_time);
   std::printf("  cycle overruns:  %lld\n",
               static_cast<long long>(result.value().cycle_overruns));
   std::printf("  disk / MEMS util: %.0f%% / %.0f%%\n",
@@ -146,5 +146,5 @@ int main(int argc, char** argv) {
   std::printf("  DRAM: analytic %.1f MB, simulated peak %.1f MB\n",
               ToMB(result.value().analytic_dram_total),
               ToMB(result.value().sim_peak_dram));
-  return result.value().underflow_events == 0 ? 0 : 2;
+  return result.value().qos.underflow_events == 0 ? 0 : 2;
 }

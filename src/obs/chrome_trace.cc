@@ -12,6 +12,7 @@ namespace {
 
 constexpr std::int64_t kDevicesPid = 1;
 constexpr std::int64_t kStreamsPid = 2;
+constexpr std::int64_t kTimelinesPid = 3;
 
 constexpr double kMicrosPerSecond = 1e6;
 
@@ -50,7 +51,8 @@ void EventHeader(JsonWriter& w, const std::string& name, const char* phase,
 
 }  // namespace
 
-std::string ChromeTraceExporter::ToJson(const sim::TraceLog& log) const {
+std::string ChromeTraceExporter::ToJson(
+    const sim::TraceLog& log, const TimelineRecorder* timelines) const {
   // First pass: assign device tids in order of first appearance and
   // collect the stream-id set, so metadata can label every track.
   std::map<std::string, std::int64_t> device_tid;
@@ -219,6 +221,27 @@ std::string ChromeTraceExporter::ToJson(const sim::TraceLog& log) const {
     }
   }
 
+  if (timelines != nullptr && timelines->size() > 0) {
+    MetadataEvent(w, "process_name", kTimelinesPid, 0, "timelines");
+    std::int64_t tid = 0;
+    for (const auto& s : timelines->series()) {
+      ++tid;
+      MetadataEvent(w, "thread_name", kTimelinesPid, tid, s.name());
+      const std::string value_key = s.unit().empty() ? "value" : s.unit();
+      for (const auto& p : s.points()) {
+        w.BeginObject();
+        EventHeader(w, s.name(), "C", p.t * kMicrosPerSecond, kTimelinesPid,
+                    tid);
+        w.Key("args");
+        w.BeginObject();
+        w.Key(value_key);
+        w.Number(p.v);
+        w.EndObject();
+        w.EndObject();
+      }
+    }
+  }
+
   w.EndArray();
   if (log.dropped_records() > 0) {
     w.Key("otherData");
@@ -232,12 +255,13 @@ std::string ChromeTraceExporter::ToJson(const sim::TraceLog& log) const {
 }
 
 Status ChromeTraceExporter::WriteFile(const sim::TraceLog& log,
-                                      const std::string& path) const {
+                                      const std::string& path,
+                                      const TimelineRecorder* timelines) const {
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::NotFound("cannot open " + path + " for writing");
   }
-  out << ToJson(log);
+  out << ToJson(log, timelines);
   out.close();
   if (!out.good()) return Status::Internal("write to " + path + " failed");
   return Status::OK();

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/timeline.h"
 #include "sim/trace.h"
 
 namespace memstream::obs {
@@ -37,11 +38,16 @@ class ChromeTraceExporter {
   explicit ChromeTraceExporter(ChromeTraceOptions options = {})
       : options_(options) {}
 
-  /// Renders `log` as a Chrome trace-event JSON document.
-  std::string ToJson(const sim::TraceLog& log) const;
+  /// Renders `log` as a Chrome trace-event JSON document. When
+  /// `timelines` is non-null its series are appended as counter ("C")
+  /// tracks under pid 3 "timelines", one tid per series, so recorder
+  /// signals (occupancy, utilization) render next to the event tracks.
+  std::string ToJson(const sim::TraceLog& log,
+                     const TimelineRecorder* timelines = nullptr) const;
 
   /// Writes ToJson() to `path` (conventionally <name>.trace.json).
-  Status WriteFile(const sim::TraceLog& log, const std::string& path) const;
+  Status WriteFile(const sim::TraceLog& log, const std::string& path,
+                   const TimelineRecorder* timelines = nullptr) const;
 
  private:
   ChromeTraceOptions options_;

@@ -1,0 +1,193 @@
+#include "obs/json_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace memstream::obs {
+
+JsonValue JsonParser::Parse() {
+  JsonValue v = ParseValue();
+  SkipSpace();
+  ok_ = ok_ && pos_ == text_.size();
+  return v;
+}
+
+void JsonParser::SkipSpace() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool JsonParser::Consume(char c) {
+  SkipSpace();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool JsonParser::ConsumeLiteral(const std::string& lit) {
+  if (text_.compare(pos_, lit.size(), lit) == 0) {
+    pos_ += lit.size();
+    return true;
+  }
+  ok_ = false;
+  return false;
+}
+
+JsonValue JsonParser::ParseValue() {
+  SkipSpace();
+  if (pos_ >= text_.size()) {
+    ok_ = false;
+    return {};
+  }
+  switch (text_[pos_]) {
+    case '{':
+      return ParseObject();
+    case '[':
+      return ParseArray();
+    case '"':
+      return ParseString();
+    case 't': {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      ConsumeLiteral("true");
+      return v;
+    }
+    case 'f': {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      ConsumeLiteral("false");
+      return v;
+    }
+    case 'n':
+      ConsumeLiteral("null");
+      return {};
+    default:
+      return ParseNumber();
+  }
+}
+
+JsonValue JsonParser::ParseObject() {
+  JsonValue v;
+  v.type = JsonValue::Type::kObject;
+  if (!Consume('{')) {
+    ok_ = false;
+    return v;
+  }
+  SkipSpace();
+  if (Consume('}')) return v;
+  while (ok_) {
+    SkipSpace();
+    JsonValue key = ParseString();
+    if (!ok_ || !Consume(':')) {
+      ok_ = false;
+      return v;
+    }
+    v.object.emplace(key.string, ParseValue());
+    if (Consume(',')) continue;
+    if (Consume('}')) return v;
+    ok_ = false;
+  }
+  return v;
+}
+
+JsonValue JsonParser::ParseArray() {
+  JsonValue v;
+  v.type = JsonValue::Type::kArray;
+  if (!Consume('[')) {
+    ok_ = false;
+    return v;
+  }
+  SkipSpace();
+  if (Consume(']')) return v;
+  while (ok_) {
+    v.array.push_back(ParseValue());
+    if (Consume(',')) continue;
+    if (Consume(']')) return v;
+    ok_ = false;
+  }
+  return v;
+}
+
+JsonValue JsonParser::ParseString() {
+  JsonValue v;
+  v.type = JsonValue::Type::kString;
+  if (pos_ >= text_.size() || text_[pos_] != '"') {
+    ok_ = false;
+    return v;
+  }
+  ++pos_;
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    char c = text_[pos_];
+    if (c == '\\') {
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_];
+      switch (esc) {
+        case '"': v.string.push_back('"'); break;
+        case '\\': v.string.push_back('\\'); break;
+        case '/': v.string.push_back('/'); break;
+        case 'b': v.string.push_back('\b'); break;
+        case 'f': v.string.push_back('\f'); break;
+        case 'n': v.string.push_back('\n'); break;
+        case 'r': v.string.push_back('\r'); break;
+        case 't': v.string.push_back('\t'); break;
+        case 'u':
+          // Keep the escape opaque; the tooling never needs the glyph.
+          pos_ += 4;
+          v.string.push_back('?');
+          break;
+        default:
+          ok_ = false;
+          return v;
+      }
+      ++pos_;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      ok_ = false;  // raw control characters are invalid inside strings
+      return v;
+    } else {
+      v.string.push_back(c);
+      ++pos_;
+    }
+  }
+  if (pos_ >= text_.size()) {
+    ok_ = false;
+    return v;
+  }
+  ++pos_;  // closing quote
+  return v;
+}
+
+JsonValue JsonParser::ParseNumber() {
+  JsonValue v;
+  v.type = JsonValue::Type::kNumber;
+  const std::size_t start = pos_;
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+          text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    ++pos_;
+  }
+  if (start == pos_) {
+    ok_ = false;
+    return v;
+  }
+  const std::string token = text_.substr(start, pos_ - start);
+  char* end = nullptr;
+  v.number = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') ok_ = false;
+  return v;
+}
+
+JsonValue ParseJson(const std::string& text, bool* ok) {
+  JsonParser parser(text);
+  JsonValue doc = parser.Parse();
+  if (ok != nullptr) *ok = parser.ok();
+  return doc;
+}
+
+}  // namespace memstream::obs

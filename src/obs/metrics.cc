@@ -61,6 +61,21 @@ TimeWeightedGauge* MetricsRegistry::time_weighted(const std::string& name) {
   return e.time_weighted.get();
 }
 
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  help_[name] = help;
+}
+
+std::string MetricsRegistry::GetHelp(const std::string& name) const {
+  auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
+}
+
+void MetricsRegistry::SetLabel(const std::string& name, const std::string& key,
+                               const std::string& value) {
+  labels_[name][key] = value;
+}
+
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
   auto it = metrics_.find(name);
   return it == metrics_.end() ? nullptr : it->second.counter.get();
@@ -171,32 +186,89 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+std::string PrometheusEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToPrometheusText() const {
   std::ostringstream out;
   for (const auto& [name, entry] : metrics_) {
     const std::string prom = PrometheusName(name);
+
+    // Constant labels, rendered once per metric. Keys go through
+    // PrometheusName (the grammar allows no escaping in label names);
+    // values are escaped per the exposition format.
+    std::string label_body;  // `k1="v1",k2="v2"` without braces
+    if (auto it = labels_.find(name); it != labels_.end()) {
+      for (const auto& [k, v] : it->second) {
+        if (!label_body.empty()) label_body += ",";
+        label_body +=
+            PrometheusName(k) + "=\"" + PrometheusEscapeLabelValue(v) + "\"";
+      }
+    }
+    const std::string labels =
+        label_body.empty() ? std::string() : "{" + label_body + "}";
+
+    if (auto it = help_.find(name); it != help_.end() && !it->second.empty()) {
+      out << "# HELP " << prom << " " << PrometheusEscapeHelp(it->second)
+          << "\n";
+    }
     if (entry.counter != nullptr) {
       out << "# TYPE " << prom << " counter\n";
-      out << prom << " " << FormatDouble(entry.counter->value()) << "\n";
+      out << prom << labels << " " << FormatDouble(entry.counter->value())
+          << "\n";
     } else if (entry.gauge != nullptr) {
       out << "# TYPE " << prom << " gauge\n";
-      out << prom << " " << FormatDouble(entry.gauge->value()) << "\n";
+      out << prom << labels << " " << FormatDouble(entry.gauge->value())
+          << "\n";
     } else if (entry.histogram != nullptr) {
       const auto& h = entry.histogram->histogram();
       const auto& st = h.stats();
       out << "# TYPE " << prom << " summary\n";
       for (double q : {0.5, 0.95, 0.99}) {
-        out << prom << "{quantile=\"" << FormatDouble(q) << "\"} "
+        out << prom << "{"
+            << (label_body.empty() ? std::string() : label_body + ",")
+            << "quantile=\"" << FormatDouble(q) << "\"} "
             << FormatDouble(h.Quantile(q)) << "\n";
       }
-      out << prom << "_sum " << FormatDouble(st.sum()) << "\n";
-      out << prom << "_count " << st.count() << "\n";
+      out << prom << "_sum" << labels << " " << FormatDouble(st.sum()) << "\n";
+      out << prom << "_count" << labels << " " << st.count() << "\n";
     } else if (entry.time_weighted != nullptr) {
       const auto& st = entry.time_weighted->stats();
       out << "# TYPE " << prom << "_avg gauge\n";
-      out << prom << "_avg " << FormatDouble(st.TimeAverage()) << "\n";
+      out << prom << "_avg" << labels << " " << FormatDouble(st.TimeAverage())
+          << "\n";
       out << "# TYPE " << prom << "_max gauge\n";
-      out << prom << "_max " << FormatDouble(st.max_value()) << "\n";
+      out << prom << "_max" << labels << " " << FormatDouble(st.max_value())
+          << "\n";
     }
   }
   return out.str();

@@ -118,6 +118,19 @@ class MetricsRegistry {
                              const HistogramOptions& options);
   TimeWeightedGauge* time_weighted(const std::string& name);
 
+  /// Attaches a help string to `name`, emitted as a `# HELP` line in the
+  /// Prometheus export (with `\` and newlines escaped per the exposition
+  /// format). May be called before or after the metric is registered.
+  void SetHelp(const std::string& name, const std::string& help);
+  /// Help string for `name`, or "" when none was set.
+  std::string GetHelp(const std::string& name) const;
+
+  /// Attaches a constant label to `name`, emitted on every sample line of
+  /// that metric (value escaped per the exposition format). Labels set
+  /// before registration are kept, like SetHelp.
+  void SetLabel(const std::string& name, const std::string& key,
+                const std::string& value);
+
   /// Lookup without creation; null if absent or of a different kind.
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
@@ -163,6 +176,10 @@ class MetricsRegistry {
   };
 
   std::map<std::string, Entry> metrics_;
+  // Annotation maps are kept separate from metrics_ so SetHelp/SetLabel
+  // on a not-yet-registered name never creates a phantom metric.
+  std::map<std::string, std::string> help_;
+  std::map<std::string, std::map<std::string, std::string>> labels_;
 };
 
 // Null-tolerant update helpers: the instrumentation idiom is to resolve
@@ -183,6 +200,14 @@ inline void Update(TimeWeightedGauge* g, double now, double value) {
 /// "server.disk.cycle_slack_ms" -> "server_disk_cycle_slack_ms": rewrites
 /// the library's dotted names into the Prometheus grammar.
 std::string PrometheusName(const std::string& name);
+
+/// Escapes a HELP string per the text exposition format: `\` -> `\\`,
+/// newline -> `\n`.
+std::string PrometheusEscapeHelp(const std::string& text);
+
+/// Escapes a label value per the text exposition format: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`.
+std::string PrometheusEscapeLabelValue(const std::string& text);
 
 }  // namespace memstream::obs
 

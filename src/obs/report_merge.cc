@@ -1,0 +1,618 @@
+#include "obs/report_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_parser.h"
+
+namespace memstream::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Markdown table cells cannot hold raw '|' or newlines.
+std::string MdEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '|') {
+      out += "\\|";
+    } else if (c == '\n') {
+      out += " ";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// One RFC 4180 CSV line -> cells (handles quoted cells and "" escapes).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+double ToDouble(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (...) {
+    return 0;
+  }
+}
+
+constexpr char kMetricsCsvHeader[] = "name,kind,value";
+
+void LoadMetricSamples(const JsonValue& arr,
+                       std::vector<MetricSample>* out) {
+  for (const auto& m : arr.array) {
+    if (!m.is_object()) continue;
+    MetricSample s;
+    s.name = m.Str("name");
+    s.kind = m.Str("kind");
+    s.value = m.Num("value", 0);
+    s.count = static_cast<std::int64_t>(m.Num("count", 0));
+    s.min = m.Num("min", 0);
+    s.max = m.Num("max", 0);
+    s.mean = m.Num("mean", 0);
+    s.p50 = m.Num("p50", 0);
+    s.p95 = m.Num("p95", 0);
+    s.p99 = m.Num("p99", 0);
+    out->push_back(std::move(s));
+  }
+}
+
+Status ParseRunReport(const std::string& path, const JsonValue& doc,
+                      ReportBundle* bundle) {
+  LoadedRunReport run;
+  run.path = path;
+  run.title = doc.Str("title");
+  if (run.title.empty()) run.title = path;
+  run.schema_version = static_cast<std::int64_t>(doc.Num("schema_version", 0));
+
+  if (const JsonValue* cfg = doc.Find("config"); cfg != nullptr) {
+    for (const auto& [k, v] : cfg->object) run.config.emplace_back(k, v.string);
+  }
+  if (const JsonValue* a = doc.Find("analytic"); a != nullptr) {
+    for (const auto& [k, v] : a->object) run.analytic.emplace_back(k, v.number);
+  }
+  if (const JsonValue* s = doc.Find("simulated"); s != nullptr) {
+    for (const auto& [k, v] : s->object) {
+      run.simulated.emplace_back(k, v.number);
+    }
+  }
+  if (const JsonValue* m = doc.Find("metrics"); m != nullptr && m->is_array()) {
+    LoadMetricSamples(*m, &run.metrics);
+  }
+  if (const JsonValue* d = doc.Find("trace_dropped_records"); d != nullptr) {
+    run.trace_dropped_records = static_cast<std::int64_t>(d->number);
+  }
+  if (const JsonValue* q = doc.Find("qos"); q != nullptr && q->is_object()) {
+    run.has_qos = true;
+    run.total_violations =
+        static_cast<std::int64_t>(q->Num("total_violations", 0));
+    run.disk_cycles_audited =
+        static_cast<std::int64_t>(q->Num("disk_cycles_audited", 0));
+    run.mems_cycles_audited =
+        static_cast<std::int64_t>(q->Num("mems_cycles_audited", 0));
+    if (const JsonValue* vs = q->Find("violations");
+        vs != nullptr && vs->is_array()) {
+      for (const auto& v : vs->array) {
+        LoadedViolation lv;
+        lv.invariant = v.Str("invariant");
+        lv.stream_id = static_cast<std::int64_t>(v.Num("stream_id", -1));
+        lv.cycle_index = static_cast<std::int64_t>(v.Num("cycle_index", -1));
+        lv.time = v.Num("time", 0);
+        lv.expected = v.Num("expected", 0);
+        lv.observed = v.Num("observed", 0);
+        lv.detail = v.Str("detail");
+        lv.trace_index = static_cast<std::int64_t>(v.Num("trace_index", -1));
+        run.violations.push_back(std::move(lv));
+      }
+    }
+  }
+  if (const JsonValue* ts = doc.Find("timelines");
+      ts != nullptr && ts->is_array()) {
+    for (const auto& s : ts->array) {
+      LoadedSeries series;
+      series.name = s.Str("name");
+      series.unit = s.Str("unit");
+      if (const JsonValue* pts = s.Find("points");
+          pts != nullptr && pts->is_array()) {
+        for (const auto& p : pts->array) {
+          if (p.is_array() && p.array.size() == 2) {
+            series.points.push_back(
+                TimelinePoint{p.array[0].number, p.array[1].number});
+          }
+        }
+      }
+      run.timelines.push_back(std::move(series));
+    }
+  }
+  bundle->runs.push_back(std::move(run));
+  return Status::OK();
+}
+
+Status ParseBenchSweeps(const JsonValue& doc, ReportBundle* bundle) {
+  for (const auto& r : doc.array) {
+    if (!r.is_object()) continue;
+    LoadedBenchRecord rec;
+    rec.bench = r.Str("bench");
+    rec.tasks = static_cast<std::int64_t>(r.Num("tasks", 0));
+    rec.threads = static_cast<std::int64_t>(r.Num("threads", 1));
+    rec.wall_seconds = r.Num("wall_seconds", 0);
+    rec.events = static_cast<std::int64_t>(r.Num("events", 0));
+    rec.events_per_sec = r.Num("events_per_sec", 0);
+    bundle->bench.push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+Status ParseMetricsCsv(const std::string& path, const std::string& content,
+                       ReportBundle* bundle) {
+  std::vector<MetricSample> rows;
+  std::istringstream in(content);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const auto cells = SplitCsvLine(line);
+    if (cells.size() < 10) continue;
+    MetricSample s;
+    s.name = cells[0];
+    s.kind = cells[1];
+    s.value = ToDouble(cells[2]);
+    s.count = static_cast<std::int64_t>(ToDouble(cells[3]));
+    s.min = ToDouble(cells[4]);
+    s.max = ToDouble(cells[5]);
+    s.mean = ToDouble(cells[6]);
+    s.p50 = ToDouble(cells[7]);
+    s.p95 = ToDouble(cells[8]);
+    s.p99 = ToDouble(cells[9]);
+    rows.push_back(std::move(s));
+  }
+  bundle->csvs.emplace_back(path, std::move(rows));
+  return Status::OK();
+}
+
+/// Inline SVG sparkline of (x, y) samples: one polyline in a fixed
+/// viewBox, scaled to the data range. Returns "" for fewer than 2 points.
+std::string SvgSparkline(const std::vector<TimelinePoint>& pts, int width,
+                         int height) {
+  if (pts.size() < 2) return "";
+  double x_lo = pts.front().t, x_hi = pts.front().t;
+  double y_lo = pts.front().v, y_hi = pts.front().v;
+  for (const auto& p : pts) {
+    x_lo = std::min(x_lo, p.t);
+    x_hi = std::max(x_hi, p.t);
+    y_lo = std::min(y_lo, p.v);
+    y_hi = std::max(y_hi, p.v);
+  }
+  const double x_span = x_hi - x_lo > 0 ? x_hi - x_lo : 1;
+  const double y_span = y_hi - y_lo > 0 ? y_hi - y_lo : 1;
+  std::ostringstream out;
+  out << "<svg viewBox=\"0 0 " << width << " " << height << "\" width=\""
+      << width << "\" height=\"" << height
+      << "\" preserveAspectRatio=\"none\"><polyline fill=\"none\" "
+         "stroke=\"#2a6fb0\" stroke-width=\"1.5\" points=\"";
+  const int pad = 2;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double x =
+        pad + (pts[i].t - x_lo) / x_span * (width - 2 * pad);
+    const double y =
+        height - pad - (pts[i].v - y_lo) / y_span * (height - 2 * pad);
+    if (i > 0) out << " ";
+    out << FormatDouble(x) << "," << FormatDouble(y);
+  }
+  out << "\"/></svg>";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<LoadedRunReport::Delta> LoadedRunReport::Deltas() const {
+  std::vector<Delta> out;
+  for (const auto& [key, a] : analytic) {
+    for (const auto& [skey, s] : simulated) {
+      if (skey != key) continue;
+      Delta d;
+      d.key = key;
+      d.analytic = a;
+      d.simulated = s;
+      d.delta = s - a;
+      d.rel = a != 0 ? d.delta / std::abs(a) : 0;
+      out.push_back(std::move(d));
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, LoadedViolation>>
+ReportBundle::AllViolations() const {
+  std::vector<std::pair<std::string, LoadedViolation>> out;
+  for (const auto& run : runs) {
+    for (const auto& v : run.violations) out.emplace_back(run.title, v);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricSample>>
+ReportBundle::HistogramsMatching(const std::string& needle) const {
+  std::vector<std::pair<std::string, MetricSample>> out;
+  for (const auto& run : runs) {
+    for (const auto& s : run.metrics) {
+      if (s.kind == "histogram" && s.name.find(needle) != std::string::npos) {
+        out.emplace_back(run.title, s);
+      }
+    }
+  }
+  for (const auto& [path, rows] : csvs) {
+    for (const auto& s : rows) {
+      if (s.kind == "histogram" && s.name.find(needle) != std::string::npos) {
+        out.emplace_back(path, s);
+      }
+    }
+  }
+  return out;
+}
+
+ReportInputKind ClassifyReportInput(const std::string& content) {
+  // Metrics CSV: starts with the snapshot header.
+  std::size_t start = 0;
+  while (start < content.size() &&
+         (content[start] == ' ' || content[start] == '\n' ||
+          content[start] == '\r' || content[start] == '\t')) {
+    ++start;
+  }
+  if (content.compare(start, sizeof(kMetricsCsvHeader) - 1,
+                      kMetricsCsvHeader) == 0) {
+    return ReportInputKind::kMetricsCsv;
+  }
+  bool ok = false;
+  const JsonValue doc = ParseJson(content, &ok);
+  if (!ok) return ReportInputKind::kUnknown;
+  if (doc.is_object() && doc.Find("schema_version") != nullptr) {
+    return ReportInputKind::kRunReport;
+  }
+  if (doc.is_array()) {
+    // Empty arrays count: an empty BENCH_sweeps.json merges to nothing.
+    if (doc.array.empty()) return ReportInputKind::kBenchSweeps;
+    if (doc.array.front().is_object() &&
+        doc.array.front().Find("bench") != nullptr) {
+      return ReportInputKind::kBenchSweeps;
+    }
+  }
+  return ReportInputKind::kUnknown;
+}
+
+Status AddReportInput(const std::string& path, const std::string& content,
+                      ReportBundle* bundle) {
+  const ReportInputKind kind = ClassifyReportInput(content);
+  switch (kind) {
+    case ReportInputKind::kRunReport: {
+      bool ok = false;
+      const JsonValue doc = ParseJson(content, &ok);
+      if (!ok) break;
+      return ParseRunReport(path, doc, bundle);
+    }
+    case ReportInputKind::kBenchSweeps: {
+      bool ok = false;
+      const JsonValue doc = ParseJson(content, &ok);
+      if (!ok) break;
+      return ParseBenchSweeps(doc, bundle);
+    }
+    case ReportInputKind::kMetricsCsv:
+      return ParseMetricsCsv(path, content, bundle);
+    case ReportInputKind::kUnknown:
+      break;
+  }
+  bundle->errors.push_back(path + ": not a run report, metrics CSV, or "
+                           "BENCH_sweeps.json");
+  return Status::InvalidArgument(bundle->errors.back());
+}
+
+Status LoadReportInput(const std::string& path, ReportBundle* bundle) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    bundle->errors.push_back(path + ": cannot open");
+    return Status::NotFound(bundle->errors.back());
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return AddReportInput(path, content.str(), bundle);
+}
+
+std::string RenderMarkdownReport(const ReportBundle& bundle,
+                                 const std::string& title) {
+  std::ostringstream out;
+  out << "# " << title << "\n\n";
+  out << bundle.runs.size() << " run report(s), " << bundle.csvs.size()
+      << " metrics CSV(s), " << bundle.bench.size()
+      << " bench record(s)\n\n";
+  for (const auto& err : bundle.errors) out << "> warning: " << err << "\n\n";
+
+  for (const auto& run : bundle.runs) {
+    out << "## Run: " << MdEscape(run.title) << "\n\n";
+    out << "source: `" << run.path << "` (schema v" << run.schema_version
+        << ")\n\n";
+    if (!run.config.empty()) {
+      out << "| config | value |\n|---|---|\n";
+      for (const auto& [k, v] : run.config) {
+        out << "| " << MdEscape(k) << " | " << MdEscape(v) << " |\n";
+      }
+      out << "\n";
+    }
+    const auto deltas = run.Deltas();
+    if (!deltas.empty()) {
+      out << "### Analytic vs simulated\n\n";
+      out << "| key | analytic | simulated | delta | rel |\n"
+          << "|---|---|---|---|---|\n";
+      for (const auto& d : deltas) {
+        out << "| " << MdEscape(d.key) << " | " << FormatDouble(d.analytic)
+            << " | " << FormatDouble(d.simulated) << " | "
+            << FormatDouble(d.delta) << " | " << FormatDouble(d.rel)
+            << " |\n";
+      }
+      out << "\n";
+    }
+    if (run.has_qos) {
+      out << "QoS: " << run.total_violations << " violation(s) over "
+          << run.disk_cycles_audited << " disk + " << run.mems_cycles_audited
+          << " MEMS audited cycles\n\n";
+    }
+    if (run.trace_dropped_records > 0) {
+      out << "> warning: trace ring buffer dropped "
+          << run.trace_dropped_records << " records\n\n";
+    }
+  }
+
+  out << "## Violations\n\n";
+  const auto violations = bundle.AllViolations();
+  if (violations.empty()) {
+    out << "No QoS violations recorded.\n\n";
+  } else {
+    out << "| run | invariant | stream | cycle | t (s) | expected | "
+           "observed | detail |\n|---|---|---|---|---|---|---|---|\n";
+    for (const auto& [run, v] : violations) {
+      out << "| " << MdEscape(run) << " | " << MdEscape(v.invariant) << " | "
+          << v.stream_id << " | " << v.cycle_index << " | "
+          << FormatDouble(v.time) << " | " << FormatDouble(v.expected)
+          << " | " << FormatDouble(v.observed) << " | " << MdEscape(v.detail)
+          << " |\n";
+    }
+    out << "\n";
+  }
+
+  const auto slack = bundle.HistogramsMatching("slack");
+  out << "## Slack percentiles\n\n";
+  if (slack.empty()) {
+    out << "No slack histograms found.\n\n";
+  } else {
+    out << "| source | metric | count | min | p50 | p95 | p99 | max |\n"
+        << "|---|---|---|---|---|---|---|---|\n";
+    for (const auto& [src, s] : slack) {
+      out << "| " << MdEscape(src) << " | " << MdEscape(s.name) << " | "
+          << s.count << " | " << FormatDouble(s.min) << " | "
+          << FormatDouble(s.p50) << " | " << FormatDouble(s.p95) << " | "
+          << FormatDouble(s.p99) << " | " << FormatDouble(s.max) << " |\n";
+    }
+    out << "\n";
+  }
+
+  out << "## Bench trajectory\n\n";
+  if (bundle.bench.empty()) {
+    out << "No bench sweep records found.\n\n";
+  } else {
+    out << "| bench | tasks | threads | wall (s) | events | events/s |\n"
+        << "|---|---|---|---|---|---|\n";
+    for (const auto& b : bundle.bench) {
+      out << "| " << MdEscape(b.bench) << " | " << b.tasks << " | "
+          << b.threads << " | " << FormatDouble(b.wall_seconds) << " | "
+          << b.events << " | " << FormatDouble(b.events_per_sec) << " |\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderHtmlDashboard(const ReportBundle& bundle,
+                                const std::string& title) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+      << "<meta charset=\"utf-8\">\n<title>" << HtmlEscape(title)
+      << "</title>\n<style>\n"
+      << "body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;"
+         "max-width:70em;padding:0 1em;color:#1c2733}\n"
+      << "h1,h2{border-bottom:1px solid #d8dee4;padding-bottom:.2em}\n"
+      << "table{border-collapse:collapse;margin:.8em 0}\n"
+      << "th,td{border:1px solid #d8dee4;padding:.25em .6em;"
+         "text-align:left}\n"
+      << "th{background:#f3f6f9}\n"
+      << ".warn{color:#9a3b00;background:#fff4e8;padding:.4em .8em;"
+         "border-left:3px solid #e08030}\n"
+      << ".ok{color:#1a6b2f}\n.bad{color:#b01818;font-weight:600}\n"
+      << ".src{color:#5a6b7a;font-size:12px}\n"
+      << "</style>\n</head>\n<body>\n";
+  out << "<h1>" << HtmlEscape(title) << "</h1>\n";
+  out << "<p class=\"src\">" << bundle.runs.size() << " run report(s), "
+      << bundle.csvs.size() << " metrics CSV(s), " << bundle.bench.size()
+      << " bench record(s)</p>\n";
+  for (const auto& err : bundle.errors) {
+    out << "<p class=\"warn\">" << HtmlEscape(err) << "</p>\n";
+  }
+
+  // Per-run config and analytic-vs-simulated deltas.
+  for (const auto& run : bundle.runs) {
+    out << "<h2>Run: " << HtmlEscape(run.title) << "</h2>\n";
+    out << "<p class=\"src\">" << HtmlEscape(run.path) << " · schema v"
+        << run.schema_version;
+    if (run.has_qos) {
+      out << " · <span class=\""
+          << (run.total_violations == 0 ? "ok" : "bad") << "\">"
+          << run.total_violations << " QoS violation(s)</span> over "
+          << run.disk_cycles_audited << " disk + " << run.mems_cycles_audited
+          << " MEMS cycles";
+    }
+    out << "</p>\n";
+    if (run.trace_dropped_records > 0) {
+      out << "<p class=\"warn\">trace ring buffer dropped "
+          << run.trace_dropped_records << " records</p>\n";
+    }
+    if (!run.config.empty()) {
+      out << "<table><tr><th>config</th><th>value</th></tr>\n";
+      for (const auto& [k, v] : run.config) {
+        out << "<tr><td>" << HtmlEscape(k) << "</td><td>" << HtmlEscape(v)
+            << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    }
+    const auto deltas = run.Deltas();
+    if (!deltas.empty()) {
+      out << "<h3>Analytic vs simulated</h3>\n"
+          << "<table><tr><th>key</th><th>analytic</th><th>simulated</th>"
+          << "<th>delta</th><th>rel</th></tr>\n";
+      for (const auto& d : deltas) {
+        out << "<tr><td>" << HtmlEscape(d.key) << "</td><td>"
+            << FormatDouble(d.analytic) << "</td><td>"
+            << FormatDouble(d.simulated) << "</td><td>"
+            << FormatDouble(d.delta) << "</td><td>" << FormatDouble(d.rel)
+            << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    }
+    if (!run.timelines.empty()) {
+      out << "<h3>Timelines</h3>\n<table><tr><th>series</th>"
+          << "<th>unit</th><th>points</th><th>shape</th></tr>\n";
+      for (const auto& s : run.timelines) {
+        out << "<tr><td>" << HtmlEscape(s.name) << "</td><td>"
+            << HtmlEscape(s.unit) << "</td><td>" << s.points.size()
+            << "</td><td>" << SvgSparkline(s.points, 240, 36)
+            << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    }
+  }
+
+  // Merged violation table.
+  out << "<h2>Violations</h2>\n";
+  const auto violations = bundle.AllViolations();
+  if (violations.empty()) {
+    out << "<p class=\"ok\">No QoS violations recorded.</p>\n";
+  } else {
+    out << "<table><tr><th>run</th><th>invariant</th><th>stream</th>"
+        << "<th>cycle</th><th>t (s)</th><th>expected</th><th>observed</th>"
+        << "<th>detail</th><th>trace idx</th></tr>\n";
+    for (const auto& [run, v] : violations) {
+      out << "<tr><td>" << HtmlEscape(run) << "</td><td class=\"bad\">"
+          << HtmlEscape(v.invariant) << "</td><td>" << v.stream_id
+          << "</td><td>" << v.cycle_index << "</td><td>"
+          << FormatDouble(v.time) << "</td><td>" << FormatDouble(v.expected)
+          << "</td><td>" << FormatDouble(v.observed) << "</td><td>"
+          << HtmlEscape(v.detail) << "</td><td>" << v.trace_index
+          << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  // Slack percentiles across every attached metrics source.
+  out << "<h2>Slack percentiles</h2>\n";
+  const auto slack = bundle.HistogramsMatching("slack");
+  if (slack.empty()) {
+    out << "<p class=\"src\">No slack histograms found.</p>\n";
+  } else {
+    out << "<table><tr><th>source</th><th>metric</th><th>count</th>"
+        << "<th>min</th><th>p50</th><th>p95</th><th>p99</th><th>max</th>"
+        << "</tr>\n";
+    for (const auto& [src, s] : slack) {
+      out << "<tr><td>" << HtmlEscape(src) << "</td><td>"
+          << HtmlEscape(s.name) << "</td><td>" << s.count << "</td><td>"
+          << FormatDouble(s.min) << "</td><td>" << FormatDouble(s.p50)
+          << "</td><td>" << FormatDouble(s.p95) << "</td><td>"
+          << FormatDouble(s.p99) << "</td><td>" << FormatDouble(s.max)
+          << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  // Bench wall-clock trajectory.
+  out << "<h2>Bench trajectory</h2>\n";
+  if (bundle.bench.empty()) {
+    out << "<p class=\"src\">No bench sweep records found.</p>\n";
+  } else {
+    out << "<table><tr><th>bench</th><th>tasks</th><th>threads</th>"
+        << "<th>wall (s)</th><th>events</th><th>events/s</th></tr>\n";
+    for (const auto& b : bundle.bench) {
+      out << "<tr><td>" << HtmlEscape(b.bench) << "</td><td>" << b.tasks
+          << "</td><td>" << b.threads << "</td><td>"
+          << FormatDouble(b.wall_seconds) << "</td><td>" << b.events
+          << "</td><td>" << FormatDouble(b.events_per_sec)
+          << "</td></tr>\n";
+    }
+    out << "</table>\n";
+    std::vector<TimelinePoint> wall;
+    for (std::size_t i = 0; i < bundle.bench.size(); ++i) {
+      wall.push_back(TimelinePoint{static_cast<double>(i),
+                                   bundle.bench[i].wall_seconds});
+    }
+    const std::string spark = SvgSparkline(wall, 480, 80);
+    if (!spark.empty()) {
+      out << "<p>wall-clock across records: " << spark << "</p>\n";
+    }
+  }
+
+  out << "</body>\n</html>\n";
+  return out.str();
+}
+
+}  // namespace memstream::obs

@@ -1,0 +1,133 @@
+// Run-report aggregation: loads one-or-many run.report.json documents,
+// metrics CSV snapshots, and BENCH_sweeps.json files into a single
+// bundle and renders it as merged Markdown or a standalone single-file
+// HTML dashboard (inline CSS + SVG, no external assets). This is the
+// library behind tools/memstream-report; the CLI is a thin argv shim so
+// tests exercise the real logic in-process.
+
+#ifndef MEMSTREAM_OBS_REPORT_MERGE_H_
+#define MEMSTREAM_OBS_REPORT_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+namespace memstream::obs {
+
+/// What a given input file parsed as.
+enum class ReportInputKind {
+  kRunReport,   ///< a RunReport JSON document (schema v1 or v2)
+  kBenchSweeps, ///< a BENCH_sweeps.json array of bench cost records
+  kMetricsCsv,  ///< a MetricsRegistry::ToCsvText() snapshot
+  kUnknown,
+};
+
+/// One QoS violation as read back from a report (invariant kept as its
+/// wire name; the reader does not need the enum).
+struct LoadedViolation {
+  std::string invariant;
+  std::int64_t stream_id = -1;
+  std::int64_t cycle_index = -1;
+  double time = 0;
+  double expected = 0;
+  double observed = 0;
+  std::string detail;
+  std::int64_t trace_index = -1;
+};
+
+/// One timeline series as read back from a report.
+struct LoadedSeries {
+  std::string name;
+  std::string unit;
+  std::vector<TimelinePoint> points;
+};
+
+/// One run.report.json, loaded.
+struct LoadedRunReport {
+  std::string path;
+  std::string title;
+  std::int64_t schema_version = 0;
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::pair<std::string, double>> analytic;
+  std::vector<std::pair<std::string, double>> simulated;
+  std::vector<MetricSample> metrics;
+
+  bool has_qos = false;
+  std::int64_t total_violations = 0;
+  std::int64_t disk_cycles_audited = 0;
+  std::int64_t mems_cycles_audited = 0;
+  std::vector<LoadedViolation> violations;
+
+  std::int64_t trace_dropped_records = -1;
+  std::vector<LoadedSeries> timelines;
+
+  /// simulated[key] - analytic[key] for keys present in both.
+  struct Delta {
+    std::string key;
+    double analytic = 0;
+    double simulated = 0;
+    double delta = 0;
+    double rel = 0;  ///< delta / |analytic| (0 when analytic == 0)
+  };
+  std::vector<Delta> Deltas() const;
+};
+
+/// One bench cost record from BENCH_sweeps.json (mirrors
+/// exp::BenchSweepRecord without the exp dependency).
+struct LoadedBenchRecord {
+  std::string bench;
+  std::int64_t tasks = 0;
+  std::int64_t threads = 1;
+  double wall_seconds = 0;
+  std::int64_t events = 0;
+  double events_per_sec = 0;
+};
+
+/// Everything the dashboard renders, merged across input files.
+struct ReportBundle {
+  std::vector<LoadedRunReport> runs;
+  /// Metrics CSV snapshots: (source path, parsed rows).
+  std::vector<std::pair<std::string, std::vector<MetricSample>>> csvs;
+  std::vector<LoadedBenchRecord> bench;
+  /// Per-file load problems (file kept out of the bundle).
+  std::vector<std::string> errors;
+
+  /// All violations across runs, tagged with the run title.
+  std::vector<std::pair<std::string, LoadedViolation>> AllViolations() const;
+  /// Histogram-kind metric samples whose name mentions `needle`
+  /// (e.g. "slack"), tagged with their source (run title or CSV path).
+  std::vector<std::pair<std::string, MetricSample>> HistogramsMatching(
+      const std::string& needle) const;
+};
+
+/// Sniffs content (not filename): JSON object with "schema_version" ->
+/// run report; JSON array of objects with "bench" -> bench sweeps; text
+/// starting with the metrics CSV header -> metrics CSV.
+ReportInputKind ClassifyReportInput(const std::string& content);
+
+/// Parses `content` (from `path`, used for labels/errors) into `bundle`.
+/// Unknown or malformed inputs append to bundle->errors and return a
+/// non-OK status.
+Status AddReportInput(const std::string& path, const std::string& content,
+                      ReportBundle* bundle);
+
+/// Reads the file at `path` and forwards to AddReportInput().
+Status LoadReportInput(const std::string& path, ReportBundle* bundle);
+
+/// Renders the merged Markdown report.
+std::string RenderMarkdownReport(const ReportBundle& bundle,
+                                 const std::string& title);
+
+/// Renders the standalone single-file HTML dashboard (inline CSS and
+/// SVG sparklines; no scripts, no external assets).
+std::string RenderHtmlDashboard(const ReportBundle& bundle,
+                                const std::string& title);
+
+}  // namespace memstream::obs
+
+#endif  // MEMSTREAM_OBS_REPORT_MERGE_H_

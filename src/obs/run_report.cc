@@ -38,6 +38,73 @@ std::string RunReport::ToJson() const {
   }
   w.EndObject();
 
+  if (trace_dropped_records >= 0) {
+    w.Key("trace_dropped_records");
+    w.Int(trace_dropped_records);
+  }
+
+  if (qos != nullptr) {
+    w.Key("qos");
+    w.BeginObject();
+    w.Key("total_violations");
+    w.Int(qos->total_violations());
+    w.Key("disk_cycles_audited");
+    w.Int(qos->disk_cycles_audited());
+    w.Key("mems_cycles_audited");
+    w.Int(qos->mems_cycles_audited());
+    w.Key("violations");
+    w.BeginArray();
+    for (const auto& v : qos->violations()) {
+      w.BeginObject();
+      w.Key("invariant");
+      w.String(QosInvariantName(v.invariant));
+      w.Key("stream_id");
+      w.Int(v.stream_id);
+      w.Key("cycle_index");
+      w.Int(v.cycle_index);
+      w.Key("time");
+      w.Number(v.time);
+      w.Key("expected");
+      w.Number(v.expected);
+      w.Key("observed");
+      w.Number(v.observed);
+      w.Key("detail");
+      w.String(v.detail);
+      w.Key("trace_index");
+      w.Int(v.trace_index);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
+  if (timelines != nullptr && timelines->size() > 0) {
+    w.Key("timelines");
+    w.BeginArray();
+    for (const auto& s : timelines->series()) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(s.name());
+      w.Key("unit");
+      w.String(s.unit());
+      w.Key("stride");
+      w.Int(static_cast<std::int64_t>(s.stride()));
+      w.Key("samples_seen");
+      w.Int(static_cast<std::int64_t>(s.samples_seen()));
+      w.Key("points");
+      w.BeginArray();
+      for (const auto& p : s.points()) {
+        w.BeginArray();
+        w.Number(p.t);
+        w.Number(p.v);
+        w.EndArray();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
   if (metrics != nullptr) {
     w.Key("metrics");
     w.BeginArray();

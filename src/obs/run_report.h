@@ -14,11 +14,15 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/qos_auditor.h"
+#include "obs/timeline.h"
 
 namespace memstream::obs {
 
 /// Schema version of the emitted JSON; bump on breaking layout changes.
-inline constexpr std::int64_t kRunReportSchemaVersion = 1;
+/// v2 adds "qos", "timelines" and "trace_dropped_records" (all optional,
+/// so v1 consumers keep working on v2 documents).
+inline constexpr std::int64_t kRunReportSchemaVersion = 2;
 
 /// One run's worth of side-by-side analytic and simulated quantities.
 /// `config` echoes the knobs as strings; `analytic` and `simulated` are
@@ -33,6 +37,18 @@ struct RunReport {
   /// Optional: embedded into the JSON as a "metrics" array when set.
   /// Not owned; must outlive ToJson()/WriteFile().
   const MetricsRegistry* metrics = nullptr;
+
+  /// Optional: embedded as a "qos" object (violation counter-examples and
+  /// audited-cycle counts) when set. Not owned.
+  const QosAuditor* qos = nullptr;
+
+  /// Optional: embedded as a "timelines" array (downsampled series) when
+  /// set. Not owned.
+  const TimelineRecorder* timelines = nullptr;
+
+  /// TraceLog records evicted by the bounded ring buffer; surfaced so
+  /// truncation is no longer silent. -1 = no trace attached to the run.
+  std::int64_t trace_dropped_records = -1;
 
   void AddConfig(const std::string& key, const std::string& value) {
     config.emplace_back(key, value);

@@ -1,0 +1,20 @@
+#include "obs/timeline.h"
+
+namespace memstream::obs {
+
+TimelineSeries* TimelineRecorder::AddSeries(const std::string& name,
+                                            const std::string& unit) {
+  for (auto& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  series_.emplace_back(name, unit, options_.max_points_per_series);
+  return &series_.back();
+}
+
+std::size_t TimelineRecorder::total_points() const {
+  std::size_t n = 0;
+  for (const auto& s : series_) n += s.points().size();
+  return n;
+}
+
+}  // namespace memstream::obs

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/logging.h"
 #include "obs/exporters.h"
 
 namespace memstream::server {
@@ -48,6 +49,11 @@ Result<CacheStreamingServer> CacheStreamingServer::Create(
     }
   }
   (void)any_disk;
+  if (config.auditor != nullptr &&
+      config.auditor->num_streams() != streams.size()) {
+    return Status::InvalidArgument(
+        "auditor stream registration does not match the stream set");
+  }
   return CacheStreamingServer(disk, std::move(bank), std::move(streams),
                               config, trace);
 }
@@ -92,6 +98,14 @@ CacheStreamingServer::CacheStreamingServer(
           "stream." + std::to_string(sessions_[i].id()) + ".dram_bytes");
     }
   }
+  dram_series_.assign(sessions_.size(), nullptr);
+  if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      dram_series_[i] = tl->AddSeries(
+          "stream." + std::to_string(sessions_[i].id()) + ".dram_bytes",
+          "bytes");
+    }
+  }
 }
 
 void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
@@ -100,11 +114,14 @@ void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
                                            Seconds service) {
   auto* session = &sessions_[stream];
   auto* occupancy_tw = dram_occupancy_[stream];
-  sim_.ScheduleAt(done, [this, session, occupancy_tw, bytes, done, boundary,
-                         actor, service]() {
+  auto* occupancy_series = dram_series_[stream];
+  sim_.ScheduleAt(done, [this, session, occupancy_tw, occupancy_series,
+                         stream, bytes, done, boundary, actor, service]() {
     session->Deposit(done, bytes);
     const Bytes level = session->LevelAt(done);
     obs::Update(occupancy_tw, done, level);
+    obs::Record(occupancy_series, done, level);
+    obs::RecordDramLevel(config_.auditor, stream, done, level);
     if (trace_ != nullptr) {
       trace_->Append({done, sim::TraceKind::kIoCompleted, actor,
                       session->id(), bytes, "", service});
@@ -147,6 +164,7 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
     last_head_offset_ = batch[pos].offset;
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
+    obs::RecordIo(config_.auditor, disk_streams_[pos], batch[pos].bytes);
     ScheduleDeposit(disk_streams_[pos], batch[pos].bytes, t0 + busy,
                     t0 + config_.disk_cycle, disk_->name(), st.value());
   }
@@ -156,6 +174,7 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
   ++report_.disk_cycles;
   obs::Increment(disk_cycles_metric_);
   obs::Observe(disk_slack_hist_, (config_.disk_cycle - busy) / kMillisecond);
+  obs::EndDiskCycle(config_.auditor, t0, busy);
   if (trace_ != nullptr && busy > 0) {
     // Scheduled so the record lands in time order among the IO records.
     const Seconds end = t0 + busy;
@@ -197,6 +216,7 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
     busy += op_time;
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
+    obs::RecordIo(config_.auditor, i, io_bytes);
     ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
                     "mems-striped", op_time);
   }
@@ -207,6 +227,7 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.mems_cycle - busy) / kMillisecond);
+  obs::EndMemsCycle(config_.auditor, -1, t0, busy);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, end, busy]() {
@@ -246,6 +267,7 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
     busy += st.value();
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
+    obs::RecordIo(config_.auditor, i, io_bytes);
     ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
                     bank_[dev].name(), st.value());
   }
@@ -257,6 +279,8 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.mems_cycle - busy) / kMillisecond);
+  obs::EndMemsCycle(config_.auditor, static_cast<std::int64_t>(dev), t0,
+                    busy);
   if (trace_ != nullptr && busy > 0) {
     const std::string actor = bank_[dev].name();
     const Seconds end = t0 + busy;
@@ -308,16 +332,23 @@ Status CacheStreamingServer::Run(Seconds duration) {
           : 0;
   for (auto& session : sessions_) {
     session.LevelAt(duration);
-    report_.underflow_events += session.underflow_events();
-    report_.underflow_time += session.underflow_time();
+    report_.qos.AbsorbPlayback(session);
     report_.peak_dram_demand += session.peak_level();
+  }
+  if (config_.auditor != nullptr) {
+    report_.qos.violations = config_.auditor->total_violations();
+  }
+  if (trace_ != nullptr && trace_->dropped_records() > 0) {
+    MEMSTREAM_LOG(kWarning)
+        << "trace ring buffer dropped " << trace_->dropped_records()
+        << " records; raise the TraceLog capacity to keep the full window";
   }
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.cache.underflow_events")
-        ->Set(static_cast<double>(report_.underflow_events));
+        ->Set(static_cast<double>(report_.qos.underflow_events));
     metrics->gauge("server.cache.underflow_time_s")
-        ->Set(report_.underflow_time);
+        ->Set(report_.qos.underflow_time);
     metrics->gauge("server.cache.disk.overruns")
         ->Set(static_cast<double>(report_.disk_overruns));
     metrics->gauge("server.cache.mems.overruns")

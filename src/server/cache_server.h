@@ -17,6 +17,9 @@
 #include "device/mems_device.h"
 #include "model/mems_cache.h"
 #include "obs/metrics.h"
+#include "obs/qos_auditor.h"
+#include "obs/timeline.h"
+#include "server/qos_counters.h"
 #include "server/stream_session.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
@@ -49,6 +52,14 @@ struct CacheServerConfig {
   /// occupancy, run summary gauges. Null (the default) costs one pointer
   /// test per update site. Not owned; must outlive the server.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional online QoS auditor. Register the streams in spec order:
+  /// uncached streams with domain kDisk, cached streams with domain
+  /// kMems (replicated policy: device = position-among-cached mod k;
+  /// striped: device 0, the lock-step cycle closes with device -1), and
+  /// Seal() before Run(). Not owned.
+  obs::QosAuditor* auditor = nullptr;
+  /// Optional timeline recorder: per-stream DRAM occupancy. Not owned.
+  obs::TimelineRecorder* timelines = nullptr;
 };
 
 /// Post-run statistics, split by side.
@@ -60,8 +71,7 @@ struct CacheServerReport {
   std::int64_t mems_overruns = 0;
   Seconds mems_busy = 0;  ///< summed across devices
   std::int64_t ios_completed = 0;
-  std::int64_t underflow_events = 0;
-  Seconds underflow_time = 0;
+  QosCounters qos;  ///< underflows/violations
   Bytes peak_dram_demand = 0;
   Seconds horizon = 0;
   double disk_utilization = 0;
@@ -121,6 +131,8 @@ class CacheStreamingServer {
   obs::Counter* mems_cycles_metric_ = nullptr;
   obs::Counter* ios_metric_ = nullptr;
   std::vector<obs::TimeWeightedGauge*> dram_occupancy_;  ///< per stream
+  // Timeline handles (null when config_.timelines is null).
+  std::vector<obs::TimelineSeries*> dram_series_;  ///< per stream
 };
 
 }  // namespace memstream::server

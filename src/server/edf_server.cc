@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace memstream::server {
 
 namespace {
@@ -34,6 +36,11 @@ Result<EdfStreamingServer> EdfStreamingServer::Create(
       return Status::InvalidArgument("extent smaller than one IO");
     }
   }
+  if (config.auditor != nullptr &&
+      config.auditor->num_streams() != streams.size()) {
+    return Status::InvalidArgument(
+        "auditor stream registration does not match the stream set");
+  }
   return EdfStreamingServer(disk, std::move(streams), config, trace);
 }
 
@@ -49,6 +56,19 @@ EdfStreamingServer::EdfStreamingServer(device::DiskDrive* disk,
   play_cursor_.assign(streams_.size(), 0);
   sessions_.reserve(streams_.size());
   for (const auto& s : streams_) sessions_.emplace_back(s.id, s.bit_rate);
+
+  if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
+    ios_metric_ = metrics->counter("server.edf.ios");
+    misses_metric_ = metrics->counter("server.edf.deadline_misses");
+  }
+  occupancy_series_.assign(streams_.size(), nullptr);
+  if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      occupancy_series_[i] = tl->AddSeries(
+          "stream." + std::to_string(streams_[i].id) + ".dram_bytes",
+          "bytes");
+    }
+  }
 }
 
 Seconds EdfStreamingServer::DeadlineOf(std::size_t i) {
@@ -114,15 +134,23 @@ void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
   const Seconds done = now + service.value();
   report_.total_busy += service.value();
   ++report_.ios_completed;
+  obs::Increment(ios_metric_);
+  obs::RecordIo(config_.auditor, chosen, io_bytes);
   if (sessions_[chosen].playing() && done > best_deadline) {
     ++report_.deadline_misses;
+    obs::Increment(misses_metric_);
   }
 
   auto* session = &sessions_[chosen];
+  auto* occupancy_series = occupancy_series_[chosen];
+  const std::size_t audit_index = chosen;
   const Seconds playback_delay = config_.io_playback;
-  sim_.ScheduleAt(done, [this, session, io_bytes, done, playback_delay,
-                         deadline_time]() {
+  sim_.ScheduleAt(done, [this, session, occupancy_series, audit_index,
+                         io_bytes, done, playback_delay, deadline_time]() {
     session->Deposit(done, io_bytes);
+    const Bytes level = session->LevelAt(done);
+    obs::Record(occupancy_series, done, level);
+    obs::RecordDramLevel(config_.auditor, audit_index, done, level);
     if (trace_ != nullptr) {
       trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
                       session->id(), io_bytes, "edf"});
@@ -157,9 +185,22 @@ Status EdfStreamingServer::Run(Seconds duration) {
       duration > 0 ? std::min(report_.total_busy, duration) / duration : 0;
   for (auto& session : sessions_) {
     session.LevelAt(duration);
-    report_.underflow_events += session.underflow_events();
-    report_.underflow_time += session.underflow_time();
+    report_.qos.AbsorbPlayback(session);
     report_.peak_buffer_demand += session.peak_level();
+  }
+  if (config_.auditor != nullptr) {
+    report_.qos.violations = config_.auditor->total_violations();
+  }
+  if (trace_ != nullptr && trace_->dropped_records() > 0) {
+    MEMSTREAM_LOG(kWarning)
+        << "trace ring buffer dropped " << trace_->dropped_records()
+        << " records; raise the TraceLog capacity to keep the full window";
+  }
+  if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
+    metrics->gauge("server.edf.underflow_events")
+        ->Set(static_cast<double>(report_.qos.underflow_events));
+    metrics->gauge("server.edf.utilization")->Set(report_.device_utilization);
+    metrics->gauge("server.edf.idle_time_s")->Set(report_.idle_time);
   }
   return Status::OK();
 }

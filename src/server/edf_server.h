@@ -21,6 +21,10 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "device/disk.h"
+#include "obs/metrics.h"
+#include "obs/qos_auditor.h"
+#include "obs/timeline.h"
+#include "server/qos_counters.h"
 #include "server/stream_session.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
@@ -35,6 +39,15 @@ struct EdfServerConfig {
   Seconds io_playback = 1.0;
   bool deterministic = true;
   std::uint64_t seed = 42;
+  /// Optional telemetry: IO counters, run summary gauges. Null (the
+  /// default) costs one pointer test per update site. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional online QoS auditor. EDF has no cycles, so register the
+  /// streams with domain kNone (occupancy-only audit, bound 2x the IO
+  /// size) and Seal() before Run(). Not owned.
+  obs::QosAuditor* auditor = nullptr;
+  /// Optional timeline recorder: per-stream DRAM occupancy. Not owned.
+  obs::TimelineRecorder* timelines = nullptr;
 };
 
 /// EDF statistics (a ServerReport subset plus scheduling counters).
@@ -44,8 +57,7 @@ struct EdfServerReport {
   Seconds total_busy = 0;
   Seconds idle_time = 0;             ///< disk idle: all buffers full
   Seconds horizon = 0;
-  std::int64_t underflow_events = 0;
-  Seconds underflow_time = 0;
+  QosCounters qos;                   ///< underflows/violations
   Bytes peak_buffer_demand = 0;
   double device_utilization = 0;
 };
@@ -87,6 +99,10 @@ class EdfStreamingServer {
   EdfServerReport report_;
   bool busy_ = false;  ///< an IO is in flight on the disk
   bool ran_ = false;
+  // Telemetry handles (null when the matching config member is null).
+  obs::Counter* ios_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  std::vector<obs::TimelineSeries*> occupancy_series_;  ///< per stream
 };
 
 }  // namespace memstream::server

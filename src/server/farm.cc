@@ -48,8 +48,7 @@ Result<FarmReport> RunFarm(const FarmConfig& config) {
     farm.total_streams += config.streams_per_disk;
     farm.ios_completed += report.ios_completed;
     farm.cycle_overruns += report.cycle_overruns;
-    farm.underflow_events += report.underflow_events;
-    farm.underflow_time += report.underflow_time;
+    farm.qos.Merge(report.qos);
     farm.peak_dram_demand += report.peak_buffer_demand;
     farm.mean_disk_utilization +=
         report.device_utilization / static_cast<double>(config.num_disks);

@@ -33,8 +33,7 @@ struct FarmReport {
   std::int64_t total_streams = 0;
   std::int64_t ios_completed = 0;
   std::int64_t cycle_overruns = 0;
-  std::int64_t underflow_events = 0;
-  Seconds underflow_time = 0;
+  QosCounters qos;                ///< merged across disks
   Bytes peak_dram_demand = 0;     ///< summed across disks
   double mean_disk_utilization = 0;
 };

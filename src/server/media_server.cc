@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/profiles.h"
@@ -46,6 +48,28 @@ std::vector<StreamSpec> PlaceStreams(std::int64_t n,
   return streams;
 }
 
+/// Builds the auditor shell shared by all modes: cycle lengths, Eq. 7/8
+/// parameters, and the margin/trace sinks. Stream registration is
+/// mode-specific; callers AddStream() in spec order, then Seal().
+std::shared_ptr<obs::QosAuditor> MakeAuditor(const MediaServerConfig& config,
+                                             Seconds disk_cycle,
+                                             Seconds mems_cycle,
+                                             Bytes mems_device_capacity,
+                                             bool nested,
+                                             Bytes dram_total_bound) {
+  if (!config.audit) return nullptr;
+  obs::QosAuditorConfig qc;
+  qc.disk_cycle = disk_cycle;
+  qc.mems_cycle = mems_cycle;
+  qc.mems_devices = nested ? config.k : 0;
+  qc.mems_device_capacity = mems_device_capacity;
+  qc.nested_cycles = nested;
+  qc.dram_total_bound = dram_total_bound;
+  qc.metrics = config.metrics;
+  qc.trace = config.trace;
+  return std::make_shared<obs::QosAuditor>(qc);
+}
+
 Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
   auto disk = device::DiskDrive::Create(config.disk);
   MEMSTREAM_RETURN_IF_ERROR(disk.status());
@@ -64,12 +88,24 @@ Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
   server_config.deterministic = config.deterministic;
   server_config.seed = config.seed;
   server_config.metrics = config.metrics;
+  server_config.timelines = config.timelines;
   const Bytes io = config.bit_rate * cycle.value();
-  auto server = DirectStreamingServer::Create(
-      &disk.value(),
-      PlaceStreams(config.num_streams, config.bit_rate,
-                   disk.value().Capacity(), 2 * io),
-      server_config, config.trace);
+  auto streams = PlaceStreams(config.num_streams, config.bit_rate,
+                              disk.value().Capacity(), 2 * io);
+  // Theorem 1 executable bounds: the double-buffered schedule holds at
+  // most two IOs per stream, so per-stream DRAM <= 2·B̄·T.
+  auto auditor = MakeAuditor(config, cycle.value(), 0, 0, false,
+                             2 * dram.value());
+  if (auditor != nullptr) {
+    for (const auto& s : streams) {
+      auditor->AddStream(s.id, s.bit_rate, 2 * io, obs::QosDomain::kDisk);
+    }
+    auditor->Seal();
+  }
+  server_config.auditor = auditor.get();
+  auto server = DirectStreamingServer::Create(&disk.value(),
+                                              std::move(streams),
+                                              server_config, config.trace);
   MEMSTREAM_RETURN_IF_ERROR(server.status());
   MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
 
@@ -77,12 +113,12 @@ Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
   MediaServerResult out;
   out.analytic_dram_total = dram.value();
   out.disk_cycle = cycle.value();
-  out.underflow_events = report.underflow_events;
-  out.underflow_time = report.underflow_time;
+  out.qos = report.qos;
   out.cycle_overruns = report.cycle_overruns;
   out.sim_peak_dram = report.peak_buffer_demand;
   out.disk_utilization = report.device_utilization;
   out.ios_completed = report.ios_completed;
+  out.auditor = std::move(auditor);
   return out;
 }
 
@@ -123,12 +159,30 @@ Result<MediaServerResult> RunBuffer(const MediaServerConfig& config) {
   server_config.deterministic = config.deterministic;
   server_config.seed = config.seed;
   server_config.metrics = config.metrics;
+  server_config.timelines = config.timelines;
   const Bytes io = config.bit_rate * server_config.t_disk;
-  auto server = MemsPipelineServer::Create(
-      &disk.value(), std::move(bank),
-      PlaceStreams(config.num_streams, config.bit_rate,
-                   disk.value().Capacity(), 2 * io),
-      server_config, config.trace);
+  auto streams = PlaceStreams(config.num_streams, config.bit_rate,
+                              disk.value().Capacity(), 2 * io);
+  // Theorem 2 executable bounds: DRAM deposits are MEMS-cycle sized, so
+  // per-stream DRAM <= 2·B̄·T_mems (catch-up reads only refill what a
+  // starved cycle skipped). MEMS-side reads are legally partial, so only
+  // the disk cycle's one-IO-per-stream invariant is byte-audited.
+  const Bytes mems_io = config.bit_rate * server_config.t_mems;
+  auto auditor = MakeAuditor(
+      config, server_config.t_disk, server_config.t_mems,
+      params.mems.capacity, /*nested=*/true,
+      static_cast<double>(config.num_streams) * 2 * mems_io);
+  if (auditor != nullptr) {
+    for (const auto& s : streams) {
+      auditor->AddStream(s.id, s.bit_rate, 2 * mems_io,
+                         obs::QosDomain::kDisk);
+    }
+    auditor->Seal();
+  }
+  server_config.auditor = auditor.get();
+  auto server = MemsPipelineServer::Create(&disk.value(), std::move(bank),
+                                           std::move(streams), server_config,
+                                           config.trace);
   MEMSTREAM_RETURN_IF_ERROR(server.status());
   MEMSTREAM_RETURN_IF_ERROR(server.value().Run(config.sim_duration));
 
@@ -139,13 +193,13 @@ Result<MediaServerResult> RunBuffer(const MediaServerConfig& config) {
       sizing.value().s_mems_dram_schedulable;
   out.disk_cycle = sizing.value().t_disk;
   out.mems_cycle = sizing.value().t_mems_snapped;
-  out.underflow_events = report.underflow_events;
-  out.underflow_time = report.underflow_time;
+  out.qos = report.qos;
   out.cycle_overruns = report.disk_overruns + report.mems_overruns;
   out.sim_peak_dram = report.peak_dram_demand;
   out.disk_utilization = report.disk_utilization;
   out.mems_utilization = report.mems_utilization;
   out.ios_completed = report.ios_completed;
+  out.auditor = std::move(auditor);
   return out;
 }
 
@@ -237,6 +291,36 @@ Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
   server_config.deterministic = config.deterministic;
   server_config.seed = config.seed;
   server_config.metrics = config.metrics;
+  server_config.timelines = config.timelines;
+  // Theorem 3/4 executable bounds: each side's double-buffered schedule
+  // holds at most two cycle-sized IOs per stream.
+  const Bytes disk_io = config.bit_rate * disk_cycle;
+  const Bytes cache_io = config.bit_rate * mems_cycle;
+  auto auditor = MakeAuditor(
+      config, disk_cycle, mems_cycle, 0, /*nested=*/false,
+      static_cast<double>(n_disk) * 2 * disk_io +
+          static_cast<double>(n_cache) * 2 * cache_io);
+  if (auditor != nullptr) {
+    std::int64_t cached_seen = 0;
+    for (const auto& s : streams) {
+      if (s.cached) {
+        // Replicated policy: device j services every (j + i*k)-th cached
+        // stream; striped cycles close all kMems streams at once.
+        const std::int64_t device =
+            config.cache_policy == model::CachePolicy::kReplicated
+                ? cached_seen % config.k
+                : 0;
+        auditor->AddStream(s.id, s.bit_rate, 2 * cache_io,
+                           obs::QosDomain::kMems, device);
+        ++cached_seen;
+      } else {
+        auditor->AddStream(s.id, s.bit_rate, 2 * disk_io,
+                           obs::QosDomain::kDisk);
+      }
+    }
+    auditor->Seal();
+  }
+  server_config.auditor = auditor.get();
   auto server = CacheStreamingServer::Create(
       &disk.value(), std::move(bank), std::move(streams), server_config,
       config.trace);
@@ -246,8 +330,8 @@ Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
   const CacheServerReport& report = server.value().report();
   out.disk_cycle = disk_cycle;
   out.mems_cycle = mems_cycle;
-  out.underflow_events = report.underflow_events;
-  out.underflow_time = report.underflow_time;
+  out.qos = report.qos;
+  out.auditor = std::move(auditor);
   out.cycle_overruns = report.disk_overruns + report.mems_overruns;
   out.sim_peak_dram = report.peak_dram_demand;
   out.disk_utilization = report.disk_utilization;
@@ -299,8 +383,8 @@ obs::RunReport BuildRunReport(const MediaServerConfig& config,
   report.AddAnalytic("mems_cycle_s", result.mems_cycle);
 
   report.AddSimulated("underflow_events",
-                      static_cast<double>(result.underflow_events));
-  report.AddSimulated("underflow_time_s", result.underflow_time);
+                      static_cast<double>(result.qos.underflow_events));
+  report.AddSimulated("underflow_time_s", result.qos.underflow_time);
   report.AddSimulated("cycle_overruns",
                       static_cast<double>(result.cycle_overruns));
   report.AddSimulated("peak_dram_bytes", result.sim_peak_dram);
@@ -308,8 +392,15 @@ obs::RunReport BuildRunReport(const MediaServerConfig& config,
   report.AddSimulated("mems_utilization", result.mems_utilization);
   report.AddSimulated("ios_completed",
                       static_cast<double>(result.ios_completed));
+  report.AddSimulated("qos_violations",
+                      static_cast<double>(result.qos.violations));
 
   report.metrics = metrics;
+  report.qos = result.auditor.get();
+  report.timelines = config.timelines;
+  if (config.trace != nullptr) {
+    report.trace_dropped_records = config.trace->dropped_records();
+  }
   return report;
 }
 

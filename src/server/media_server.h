@@ -8,13 +8,16 @@
 #define MEMSTREAM_SERVER_MEDIA_SERVER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "common/status.h"
 #include "device/device_catalog.h"
 #include "model/mems_buffer.h"
 #include "model/mems_cache.h"
 #include "obs/metrics.h"
+#include "obs/qos_auditor.h"
 #include "obs/run_report.h"
+#include "obs/timeline.h"
 #include "server/cache_server.h"
 #include "server/mems_pipeline_server.h"
 #include "server/timecycle_server.h"
@@ -56,6 +59,16 @@ struct MediaServerConfig {
   /// Optional metrics sink; the chosen server publishes its full
   /// telemetry here. Not owned; must outlive the call.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When true (the default), an online obs::QosAuditor is built from
+  /// the analytic sizing — cycle lengths, per-stream DRAM bounds (the
+  /// executable double-buffer analog, 2·B̄·T of the stream's cycle
+  /// domain), and for kMemsBuffer the Eq. 7 / Eq. 8 parameters — and
+  /// wired through the simulated server. The result carries it.
+  bool audit = true;
+  /// Optional timeline recorder: the chosen server records per-stream
+  /// DRAM occupancy (and device series where it has them). Not owned;
+  /// must outlive the call.
+  obs::TimelineRecorder* timelines = nullptr;
 };
 
 /// Analytic sizing and simulated outcome of one run.
@@ -65,13 +78,17 @@ struct MediaServerResult {
   Seconds disk_cycle = 0;
   Seconds mems_cycle = 0;          ///< 0 in kDirect mode
   // Simulated side.
-  std::int64_t underflow_events = 0;
-  Seconds underflow_time = 0;
+  QosCounters qos;                  ///< underflows + audited violations
   std::int64_t cycle_overruns = 0;  ///< disk + MEMS
   Bytes sim_peak_dram = 0;
   double disk_utilization = 0;
   double mems_utilization = 0;      ///< 0 in kDirect mode
   std::int64_t ios_completed = 0;
+  /// The online auditor the run was wired through (null when
+  /// config.audit was false): violation counter-examples, audited cycle
+  /// tallies, Summary(). Shared so the result stays copyable and
+  /// BuildRunReport can embed it.
+  std::shared_ptr<obs::QosAuditor> auditor;
 };
 
 /// Sizes, builds, simulates, reports. Returns the first infeasibility the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/logging.h"
 #include "obs/exporters.h"
 
 namespace memstream::server {
@@ -53,6 +54,11 @@ Result<MemsPipelineServer> MemsPipelineServer::Create(
       return Status::Infeasible(
           "MEMS capacity insufficient for the chosen T_disk (condition 7)");
     }
+  }
+  if (config.auditor != nullptr &&
+      config.auditor->num_streams() != streams.size()) {
+    return Status::InvalidArgument(
+        "auditor stream registration does not match the stream set");
   }
   return MemsPipelineServer(disk, std::move(bank), std::move(streams),
                             config, trace);
@@ -121,6 +127,19 @@ MemsPipelineServer::MemsPipelineServer(device::DiskDrive* disk,
           "device." + bank_[d].name() + ".occupancy_bytes");
     }
   }
+  dram_series_.assign(streams_.size(), nullptr);
+  mems_series_.assign(k, nullptr);
+  if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      dram_series_[i] = tl->AddSeries(
+          "stream." + std::to_string(streams_[i].id) + ".dram_bytes",
+          "bytes");
+    }
+    for (std::size_t d = 0; d < k; ++d) {
+      mems_series_[d] = tl->AddSeries(
+          "device." + bank_[d].name() + ".occupancy_bytes", "bytes");
+    }
+  }
 }
 
 void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
@@ -156,6 +175,7 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
     last_head_offset_ = batch[idx].offset;
     const Seconds done = t0 + busy;
     const Bytes bytes = batch[idx].bytes;
+    obs::RecordIo(config_.auditor, idx, bytes);
     sim_.ScheduleAt(done, [this, idx, bytes, done, service]() {
       pending_[state_[idx].device].push_back(PendingWrite{idx, bytes});
       if (trace_ != nullptr) {
@@ -173,6 +193,7 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
   obs::Increment(disk_cycles_metric_);
   obs::Increment(ios_metric_, static_cast<double>(order.size()));
   obs::Observe(disk_slack_hist_, (config_.t_disk - busy) / kMillisecond);
+  obs::EndDiskCycle(config_.auditor, t0, busy);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, end, busy]() {
@@ -277,6 +298,7 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
         report_.peak_mems_occupancy =
             std::max(report_.peak_mems_occupancy, occupancy_[dev]);
         obs::Update(mems_occupancy_[dev], done, occupancy_[dev]);
+        obs::Record(mems_series_[dev], done, occupancy_[dev]);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           bank_[dev].name(), sessions_[stream].id(), bytes,
@@ -297,10 +319,13 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
                              service]() {
         occupancy_[dev] = std::max(0.0, occupancy_[dev] - bytes);
         obs::Update(mems_occupancy_[dev], done, occupancy_[dev]);
+        obs::Record(mems_series_[dev], done, occupancy_[dev]);
         auto* session = &sessions_[stream];
         session->Deposit(done, bytes);
         const Bytes level = session->LevelAt(done);
         obs::Update(dram_occupancy_[stream], done, level);
+        obs::Record(dram_series_[stream], done, level);
+        obs::RecordDramLevel(config_.auditor, stream, done, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           bank_[dev].name(), session->id(), bytes,
@@ -324,6 +349,8 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.t_mems - busy) / kMillisecond);
+  obs::EndMemsCycle(config_.auditor, static_cast<std::int64_t>(dev), t0,
+                    busy);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     const std::string actor = device.name();
@@ -430,6 +457,7 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
         report_.peak_mems_occupancy =
             std::max(report_.peak_mems_occupancy, occupancy_[0]);
         obs::Update(mems_occupancy_[0], done, occupancy_[0]);
+        obs::Record(mems_series_[0], done, occupancy_[0]);
       });
     } else {
       const std::size_t stream = op.stream;
@@ -438,10 +466,13 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
       sim_.ScheduleAt(done, [this, stream, bytes, done, boundary]() {
         occupancy_[0] = std::max(0.0, occupancy_[0] - bytes);
         obs::Update(mems_occupancy_[0], done, occupancy_[0]);
+        obs::Record(mems_series_[0], done, occupancy_[0]);
         auto* session = &sessions_[stream];
         session->Deposit(done, bytes);
         const Bytes level = session->LevelAt(done);
         obs::Update(dram_occupancy_[stream], done, level);
+        obs::Record(dram_series_[stream], done, level);
+        obs::RecordDramLevel(config_.auditor, stream, done, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
                           session->id(), level, ""});
@@ -462,6 +493,7 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.t_mems - busy) / kMillisecond);
+  obs::EndMemsCycle(config_.auditor, -1, t0, busy);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, end, busy]() {
@@ -510,16 +542,23 @@ Status MemsPipelineServer::Run(Seconds duration) {
           : 0;
   for (auto& session : sessions_) {
     session.LevelAt(duration);
-    report_.underflow_events += session.underflow_events();
-    report_.underflow_time += session.underflow_time();
+    report_.qos.AbsorbPlayback(session);
     report_.peak_dram_demand += session.peak_level();
+  }
+  if (config_.auditor != nullptr) {
+    report_.qos.violations = config_.auditor->total_violations();
+  }
+  if (trace_ != nullptr && trace_->dropped_records() > 0) {
+    MEMSTREAM_LOG(kWarning)
+        << "trace ring buffer dropped " << trace_->dropped_records()
+        << " records; raise the TraceLog capacity to keep the full window";
   }
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.pipeline.underflow_events")
-        ->Set(static_cast<double>(report_.underflow_events));
+        ->Set(static_cast<double>(report_.qos.underflow_events));
     metrics->gauge("server.pipeline.underflow_time_s")
-        ->Set(report_.underflow_time);
+        ->Set(report_.qos.underflow_time);
     metrics->gauge("server.pipeline.disk.overruns")
         ->Set(static_cast<double>(report_.disk_overruns));
     metrics->gauge("server.pipeline.mems.overruns")

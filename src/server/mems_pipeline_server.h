@@ -29,6 +29,9 @@
 #include "device/mems_device.h"
 #include "model/mems_buffer.h"
 #include "obs/metrics.h"
+#include "obs/qos_auditor.h"
+#include "obs/timeline.h"
+#include "server/qos_counters.h"
 #include "server/stream_session.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
@@ -55,6 +58,14 @@ struct MemsPipelineConfig {
   /// and per-device occupancy, run summary gauges. Null (the default)
   /// costs one pointer test per update site. Not owned.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional online QoS auditor. Register the streams (spec order,
+  /// domain kDisk — MEMS-side reads are legally partial through drain
+  /// jitter, so only the disk cycle's one-IO-per-stream invariant is
+  /// byte-checked) and Seal() before Run(). Not owned.
+  obs::QosAuditor* auditor = nullptr;
+  /// Optional timeline recorder: per-stream DRAM occupancy and
+  /// per-device MEMS occupancy series. Not owned.
+  obs::TimelineRecorder* timelines = nullptr;
 };
 
 /// Post-run statistics of the pipeline.
@@ -67,8 +78,7 @@ struct MemsPipelineReport {
   Seconds mems_busy = 0;          ///< summed across devices
   std::int64_t ios_completed = 0;
   std::int64_t starved_reads = 0;  ///< DRAM reads skipped: data not resident
-  std::int64_t underflow_events = 0;
-  Seconds underflow_time = 0;
+  QosCounters qos;                 ///< underflows/violations
   Bytes peak_mems_occupancy = 0;  ///< max per-device resident bytes
   Bytes peak_dram_demand = 0;     ///< sum of per-session peaks
   Seconds horizon = 0;
@@ -149,6 +159,9 @@ class MemsPipelineServer {
   obs::Counter* starved_metric_ = nullptr;
   std::vector<obs::TimeWeightedGauge*> dram_occupancy_;  ///< per stream
   std::vector<obs::TimeWeightedGauge*> mems_occupancy_;  ///< per device
+  // Timeline handles (null when config_.timelines is null).
+  std::vector<obs::TimelineSeries*> dram_series_;  ///< per stream
+  std::vector<obs::TimelineSeries*> mems_series_;  ///< per device
 };
 
 }  // namespace memstream::server

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/logging.h"
 #include "obs/exporters.h"
 
 namespace memstream::server {
@@ -28,6 +29,11 @@ Result<DirectStreamingServer> DirectStreamingServer::Create(
     if (s.bit_rate * config.cycle > s.extent) {
       return Status::InvalidArgument("extent smaller than one IO");
     }
+  }
+  if (config.auditor != nullptr &&
+      config.auditor->num_streams() != streams.size()) {
+    return Status::InvalidArgument(
+        "auditor stream registration does not match the stream set");
   }
   return DirectStreamingServer(disk, std::move(streams), config, trace);
 }
@@ -77,6 +83,19 @@ DirectStreamingServer::DirectStreamingServer(device::DiskDrive* disk,
           ".staging_bytes");
     }
   }
+  play_series_.assign(streams_.size(), nullptr);
+  if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const char* kind = streams_[i].direction == StreamDirection::kRead
+                             ? ".dram_bytes"
+                             : ".staging_bytes";
+      play_series_[i] = tl->AddSeries(
+          "stream." + std::to_string(streams_[i].id) + kind, "bytes");
+    }
+    disk_util_series_ =
+        tl->AddSeries("device." + disk_->name() + ".cycle_utilization",
+                      "fraction");
+  }
 }
 
 void DirectStreamingServer::RunCycle(Seconds deadline) {
@@ -117,15 +136,20 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
     last_head_offset_ = batch[idx].offset;
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
+    obs::RecordIo(config_.auditor, idx, batch[idx].bytes);
     const Bytes bytes = batch[idx].bytes;
 
     if (streams_[idx].direction == StreamDirection::kWrite) {
       auto* recording = &record_sessions_[session_index_[idx]];
       auto* staging_tw = staging_occupancy_[session_index_[idx]];
-      sim_.ScheduleAt(done, [this, recording, staging_tw, bytes, done,
-                             service]() {
+      auto* staging_series = play_series_[idx];
+      sim_.ScheduleAt(done, [this, recording, staging_tw, staging_series, idx,
+                             bytes, done, service]() {
         recording->Drain(done, bytes);
-        obs::Update(staging_tw, done, recording->LevelAt(done));
+        const Bytes level = recording->LevelAt(done);
+        obs::Update(staging_tw, done, level);
+        obs::Record(staging_series, done, level);
+        obs::RecordDramLevel(config_.auditor, idx, done, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           disk_->name(), recording->id(), bytes,
@@ -137,15 +161,18 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
 
     auto* session = &play_sessions_[session_index_[idx]];
     auto* occupancy_tw = play_occupancy_[session_index_[idx]];
+    auto* occupancy_series = play_series_[idx];
     // Double-buffered start: data fetched during cycle c is consumed from
     // the next cycle boundary on, so jitter-freedom only requires that
     // every cycle's batch finishes within T.
     const Seconds boundary = t0 + config_.cycle;
-    sim_.ScheduleAt(done, [this, session, occupancy_tw, bytes, done,
-                           boundary, service]() {
+    sim_.ScheduleAt(done, [this, session, occupancy_tw, occupancy_series,
+                           idx, bytes, done, boundary, service]() {
       session->Deposit(done, bytes);
       const Bytes level = session->LevelAt(done);
       obs::Update(occupancy_tw, done, level);
+      obs::Record(occupancy_series, done, level);
+      obs::RecordDramLevel(config_.auditor, idx, done, level);
       if (trace_ != nullptr) {
         trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
                         session->id(), bytes, "", service});
@@ -191,6 +218,8 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
   ++report_.cycles;
   obs::Increment(cycles_metric_);
   obs::Observe(slack_hist_, (config_.cycle - busy) / kMillisecond);
+  obs::EndDiskCycle(config_.auditor, t0, busy);
+  obs::Record(disk_util_series_, t0 + config_.cycle, busy / config_.cycle);
   if (trace_ != nullptr && busy > 0) {
     // Scheduled so the record lands in time order among the IO records.
     const Seconds end = t0 + busy;
@@ -225,8 +254,7 @@ Status DirectStreamingServer::Run(Seconds duration) {
       duration > 0 ? std::min(report_.total_busy, duration) / duration : 0;
   for (auto& session : play_sessions_) {
     session.LevelAt(duration);  // accrue trailing underflow time
-    report_.underflow_events += session.underflow_events();
-    report_.underflow_time += session.underflow_time();
+    report_.qos.AbsorbPlayback(session);
     report_.peak_buffer_demand += session.peak_level();
     if (trace_ != nullptr && session.underflow_events() > 0) {
       trace_->Append({duration, sim::TraceKind::kUnderflow, "report",
@@ -236,8 +264,7 @@ Status DirectStreamingServer::Run(Seconds duration) {
   }
   for (auto& recording : record_sessions_) {
     recording.LevelAt(duration);
-    report_.overflow_events += recording.overflow_events();
-    report_.overflow_time += recording.overflow_time();
+    report_.qos.AbsorbRecording(recording);
     report_.peak_buffer_demand += recording.peak_level();
     if (trace_ != nullptr && recording.overflow_events() > 0) {
       trace_->Append({duration, sim::TraceKind::kOverflow, "report",
@@ -246,14 +273,22 @@ Status DirectStreamingServer::Run(Seconds duration) {
                           std::to_string(recording.overflow_events())});
     }
   }
+  if (config_.auditor != nullptr) {
+    report_.qos.violations = config_.auditor->total_violations();
+  }
+  if (trace_ != nullptr && trace_->dropped_records() > 0) {
+    MEMSTREAM_LOG(kWarning)
+        << "trace ring buffer dropped " << trace_->dropped_records()
+        << " records; raise the TraceLog capacity to keep the full window";
+  }
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.direct.underflow_events")
-        ->Set(static_cast<double>(report_.underflow_events));
+        ->Set(static_cast<double>(report_.qos.underflow_events));
     metrics->gauge("server.direct.underflow_time_s")
-        ->Set(report_.underflow_time);
+        ->Set(report_.qos.underflow_time);
     metrics->gauge("server.direct.overflow_events")
-        ->Set(static_cast<double>(report_.overflow_events));
+        ->Set(static_cast<double>(report_.qos.overflow_events));
     metrics->gauge("server.direct.utilization")
         ->Set(report_.device_utilization);
     metrics->gauge("server.direct.peak_dram_bytes")

@@ -19,6 +19,9 @@
 #include "device/disk.h"
 #include "device/disk_scheduler.h"
 #include "obs/metrics.h"
+#include "obs/qos_auditor.h"
+#include "obs/timeline.h"
+#include "server/qos_counters.h"
 #include "server/stream_session.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -64,6 +67,15 @@ struct DirectServerConfig {
   /// run summary gauges. Null (the default) compiles the hooks down to a
   /// pointer test per site. Not owned; must outlive the server.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional online QoS auditor. Register the streams (spec order, read
+  /// streams domain kDisk) and Seal() before Run(); the server drives the
+  /// per-cycle hooks. Null costs one pointer test per hook site. Not
+  /// owned.
+  obs::QosAuditor* auditor = nullptr;
+  /// Optional timeline recorder: per-stream DRAM occupancy and disk
+  /// cycle-utilization series. Null costs one pointer test per sample.
+  /// Not owned.
+  obs::TimelineRecorder* timelines = nullptr;
 };
 
 /// Post-run statistics common to all the simulated servers.
@@ -74,10 +86,7 @@ struct ServerReport {
   Seconds max_cycle_busy = 0;
   Seconds total_busy = 0;            ///< device busy time (for utilization)
   Seconds horizon = 0;               ///< simulated duration
-  std::int64_t underflow_events = 0;
-  Seconds underflow_time = 0;        ///< summed across read streams
-  std::int64_t overflow_events = 0;  ///< write-side staging overflows
-  Seconds overflow_time = 0;
+  QosCounters qos;                   ///< underflows/overflows/violations
   Bytes peak_buffer_demand = 0;      ///< sum of per-session peak levels
   double device_utilization = 0;     ///< total_busy / horizon
   std::int64_t best_effort_ios = 0;  ///< slack-filling IOs serviced
@@ -138,6 +147,9 @@ class DirectStreamingServer {
   obs::Counter* ios_metric_ = nullptr;
   std::vector<obs::TimeWeightedGauge*> play_occupancy_;  ///< per session
   std::vector<obs::TimeWeightedGauge*> staging_occupancy_;
+  // Timeline handles (null when config_.timelines is null).
+  std::vector<obs::TimelineSeries*> play_series_;  ///< per session
+  obs::TimelineSeries* disk_util_series_ = nullptr;
 };
 
 }  // namespace memstream::server

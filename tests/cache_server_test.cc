@@ -95,8 +95,8 @@ TEST_P(CachePolicyTest, AnalyticSizingJitterFree) {
   ASSERT_TRUE(server.value().Run(30.0).ok());
 
   const CacheServerReport& report = server.value().report();
-  EXPECT_EQ(report.underflow_events, 0);
-  EXPECT_DOUBLE_EQ(report.underflow_time, 0.0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
+  EXPECT_DOUBLE_EQ(report.qos.underflow_time, 0.0);
   EXPECT_EQ(report.disk_overruns, 0);
   EXPECT_EQ(report.mems_overruns, 0);
   EXPECT_GT(report.disk_cycles, 0);
@@ -131,7 +131,7 @@ TEST(CacheServerTest, CacheOnlyWorkloadNeedsNoDisk) {
       CacheStreamingServer::Create(nullptr, G3Bank(2), w.streams, w.config);
   ASSERT_TRUE(server.ok()) << server.status().ToString();
   ASSERT_TRUE(server.value().Run(20.0).ok());
-  EXPECT_EQ(server.value().report().underflow_events, 0);
+  EXPECT_EQ(server.value().report().qos.underflow_events, 0);
   EXPECT_EQ(server.value().report().disk_cycles, 0);
 }
 

@@ -222,5 +222,65 @@ TEST(ChromeTraceTest, MemsBufferRunExportsOneTrackPerDeviceAndStream) {
   EXPECT_GT(spans, 0);
 }
 
+TEST(ChromeTraceTest, TimelineSeriesExportAsCounterTracksOnPid3) {
+  sim::TraceLog log;
+  TimelineRecorder timelines;
+  TimelineSeries* dram = timelines.AddSeries("stream.0.dram_bytes", "bytes");
+  TimelineSeries* util =
+      timelines.AddSeries("device.disk.cycle_utilization", "fraction");
+  dram->Record(0.5, 4096.0);
+  dram->Record(1.0, 8192.0);
+  util->Record(1.0, 0.75);
+
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log, &timelines));
+
+  std::string process_name;
+  std::map<double, std::string> tracks;  // tid -> series name, pid 3
+  std::vector<const JsonValue*> counters;
+  for (const auto& e : Events(doc)) {
+    if (e.Num("pid") != 3) continue;
+    if (e.Str("ph") == "M" && e.Str("name") == "process_name") {
+      process_name = e.Find("args")->Str("name");
+    }
+    if (e.Str("ph") == "M" && e.Str("name") == "thread_name") {
+      tracks[e.Num("tid")] = e.Find("args")->Str("name");
+    }
+    if (e.Str("ph") == "C") counters.push_back(&e);
+  }
+  EXPECT_EQ(process_name, "timelines");
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_EQ(tracks[1], "stream.0.dram_bytes");
+  EXPECT_EQ(tracks[2], "device.disk.cycle_utilization");
+  ASSERT_EQ(counters.size(), 3u);
+  // Counter value is keyed by the series unit; ts is in microseconds.
+  EXPECT_EQ(counters[0]->Str("name"), "stream.0.dram_bytes");
+  EXPECT_DOUBLE_EQ(counters[0]->Num("ts"), 500000.0);
+  EXPECT_DOUBLE_EQ(counters[0]->Find("args")->Num("bytes"), 4096.0);
+  EXPECT_DOUBLE_EQ(counters[2]->Find("args")->Num("fraction"), 0.75);
+}
+
+TEST(ChromeTraceTest, FacadeRunExportsTimelineCounterTracks) {
+  sim::TraceLog log;
+  TimelineRecorder timelines;
+  server::MediaServerConfig config;
+  config.num_streams = 4;
+  config.sim_duration = 5;
+  config.trace = &log;
+  config.timelines = &timelines;
+  auto result = server::RunMediaServer(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(timelines.size(), 0u);
+  ASSERT_GT(timelines.total_points(), 0u);
+
+  ChromeTraceExporter exporter;
+  const JsonValue doc = ParseOrFail(exporter.ToJson(log, &timelines));
+  int pid3_counters = 0;
+  for (const auto& e : Events(doc)) {
+    if (e.Num("pid") == 3 && e.Str("ph") == "C") ++pid3_counters;
+  }
+  EXPECT_GT(pid3_counters, 0);
+}
+
 }  // namespace
 }  // namespace memstream::obs

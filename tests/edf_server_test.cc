@@ -40,7 +40,7 @@ TEST(EdfServerTest, LightLoadJitterFree) {
   ASSERT_TRUE(server.value().Run(60.0).ok());
 
   const EdfServerReport& report = server.value().report();
-  EXPECT_EQ(report.underflow_events, 0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
   EXPECT_EQ(report.deadline_misses, 0);
   EXPECT_GT(report.ios_completed, n * 50);
   for (std::size_t i = 0; i < server.value().num_streams(); ++i) {
@@ -59,7 +59,7 @@ TEST(EdfServerTest, IdlesWhenBuffersFull) {
   ASSERT_TRUE(server.value().Run(60.0).ok());
   EXPECT_GT(server.value().report().idle_time, 30.0);
   EXPECT_LT(server.value().report().device_utilization, 0.1);
-  EXPECT_EQ(server.value().report().underflow_events, 0);
+  EXPECT_EQ(server.value().report().qos.underflow_events, 0);
 }
 
 TEST(EdfServerTest, OverloadMissesDeadlines) {
@@ -73,7 +73,7 @@ TEST(EdfServerTest, OverloadMissesDeadlines) {
       &disk, Spread(n, 1 * kMBps, disk.Capacity(), 1 * kMB), config);
   ASSERT_TRUE(server.ok());
   ASSERT_TRUE(server.value().Run(30.0).ok());
-  EXPECT_GT(server.value().report().underflow_events, 0);
+  EXPECT_GT(server.value().report().qos.underflow_events, 0);
   EXPECT_GT(server.value().report().deadline_misses, 0);
 }
 
@@ -96,7 +96,7 @@ TEST(EdfServerTest, TimeCycleBeatsEdfAtEqualBuffering) {
       tc_config);
   ASSERT_TRUE(tc_server.ok());
   ASSERT_TRUE(tc_server.value().Run(30.0).ok());
-  EXPECT_EQ(tc_server.value().report().underflow_events, 0);
+  EXPECT_EQ(tc_server.value().report().qos.underflow_events, 0);
 
   // EDF with the same IO size (same DRAM) on the same load.
   device::DiskDrive disk_edf = UniformFutureDisk();

@@ -43,7 +43,7 @@ TEST(FarmTest, PlannedFarmRunsJitterFree) {
   config.duration = 20;
   auto report = RunFarm(config);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_EQ(report.value().underflow_events, 0);
+  EXPECT_EQ(report.value().qos.underflow_events, 0);
   EXPECT_EQ(report.value().cycle_overruns, 0);
   EXPECT_EQ(report.value().total_streams,
             plan.value().total_streams);
@@ -71,7 +71,7 @@ TEST(FarmTest, ThroughputScalesWithDisks) {
     config.duration = 10;
     auto report = RunFarm(config);
     ASSERT_TRUE(report.ok());
-    EXPECT_EQ(report.value().underflow_events, 0);
+    EXPECT_EQ(report.value().qos.underflow_events, 0);
     EXPECT_GT(report.value().ios_completed, prev_ios);
     prev_ios = report.value().ios_completed;
   }

@@ -73,7 +73,7 @@ TEST(IntegrationTest, AllModesJitterFreeAndOrdered) {
     auto result = server::RunMediaServer(config);
     ASSERT_TRUE(result.ok())
         << ServerModeName(mode) << ": " << result.status().ToString();
-    EXPECT_EQ(result.value().underflow_events, 0) << ServerModeName(mode);
+    EXPECT_EQ(result.value().qos.underflow_events, 0) << ServerModeName(mode);
     dram[idx++] = result.value().analytic_dram_total;
   }
   EXPECT_LT(dram[1], dram[0]);  // buffer mode cheaper than direct
@@ -161,7 +161,7 @@ TEST(IntegrationTest, AdmittedLoadRunsJitterFree) {
   config.sim_duration = 20;
   auto result = server::RunMediaServer(config);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_EQ(result.value().qos.underflow_events, 0);
 }
 
 }  // namespace

@@ -1,233 +1,21 @@
-// Minimal JSON parser for test assertions: enough of RFC 8259 to verify
-// that exporter output is well-formed and to poke at its structure.
-// Header-only; test-only (production code never parses JSON).
+// Test shim over obs/json_parser.h (the parser used to live here; it was
+// promoted into src/obs so the report-aggregation CLI can share it).
+// Keeps the memstream::testutil names the existing tests use and adds the
+// gtest-flavored ParseOrFail helper.
 
 #ifndef MEMSTREAM_TESTS_JSON_TEST_UTIL_H_
 #define MEMSTREAM_TESTS_JSON_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <map>
 #include <string>
-#include <vector>
+
+#include "obs/json_parser.h"
 
 namespace memstream::testutil {
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  bool is_object() const { return type == Type::kObject; }
-  bool is_array() const { return type == Type::kArray; }
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-  double Num(const std::string& key) const {
-    const JsonValue* v = Find(key);
-    return v != nullptr ? v->number : -1;
-  }
-  std::string Str(const std::string& key) const {
-    const JsonValue* v = Find(key);
-    return v != nullptr ? v->string : "";
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  /// Parses the whole document; ok() reports success and full consumption.
-  JsonValue Parse() {
-    JsonValue v = ParseValue();
-    SkipSpace();
-    ok_ = ok_ && pos_ == text_.size();
-    return v;
-  }
-  bool ok() const { return ok_; }
-  std::size_t error_pos() const { return pos_; }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool ConsumeLiteral(const std::string& lit) {
-    if (text_.compare(pos_, lit.size(), lit) == 0) {
-      pos_ += lit.size();
-      return true;
-    }
-    ok_ = false;
-    return false;
-  }
-
-  JsonValue ParseValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) {
-      ok_ = false;
-      return {};
-    }
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
-      case '"':
-        return ParseString();
-      case 't': {
-        JsonValue v;
-        v.type = JsonValue::Type::kBool;
-        v.boolean = true;
-        ConsumeLiteral("true");
-        return v;
-      }
-      case 'f': {
-        JsonValue v;
-        v.type = JsonValue::Type::kBool;
-        ConsumeLiteral("false");
-        return v;
-      }
-      case 'n':
-        ConsumeLiteral("null");
-        return {};
-      default:
-        return ParseNumber();
-    }
-  }
-
-  JsonValue ParseObject() {
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (!Consume('{')) {
-      ok_ = false;
-      return v;
-    }
-    SkipSpace();
-    if (Consume('}')) return v;
-    while (ok_) {
-      SkipSpace();
-      JsonValue key = ParseString();
-      if (!ok_ || !Consume(':')) {
-        ok_ = false;
-        return v;
-      }
-      v.object.emplace(key.string, ParseValue());
-      if (Consume(',')) continue;
-      if (Consume('}')) return v;
-      ok_ = false;
-    }
-    return v;
-  }
-
-  JsonValue ParseArray() {
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (!Consume('[')) {
-      ok_ = false;
-      return v;
-    }
-    SkipSpace();
-    if (Consume(']')) return v;
-    while (ok_) {
-      v.array.push_back(ParseValue());
-      if (Consume(',')) continue;
-      if (Consume(']')) return v;
-      ok_ = false;
-    }
-    return v;
-  }
-
-  JsonValue ParseString() {
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      ok_ = false;
-      return v;
-    }
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_];
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_];
-        switch (esc) {
-          case '"': v.string.push_back('"'); break;
-          case '\\': v.string.push_back('\\'); break;
-          case '/': v.string.push_back('/'); break;
-          case 'b': v.string.push_back('\b'); break;
-          case 'f': v.string.push_back('\f'); break;
-          case 'n': v.string.push_back('\n'); break;
-          case 'r': v.string.push_back('\r'); break;
-          case 't': v.string.push_back('\t'); break;
-          case 'u':
-            // Keep the escape opaque; structure checks don't need it.
-            pos_ += 4;
-            v.string.push_back('?');
-            break;
-          default:
-            ok_ = false;
-            return v;
-        }
-        ++pos_;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        ok_ = false;  // raw control characters are invalid inside strings
-        return v;
-      } else {
-        v.string.push_back(c);
-        ++pos_;
-      }
-    }
-    if (pos_ >= text_.size()) {
-      ok_ = false;
-      return v;
-    }
-    ++pos_;  // closing quote
-    return v;
-  }
-
-  JsonValue ParseNumber() {
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (start == pos_) {
-      ok_ = false;
-      return v;
-    }
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (...) {
-      ok_ = false;
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
+using JsonValue = obs::JsonValue;
+using JsonParser = obs::JsonParser;
 
 inline JsonValue ParseOrFail(const std::string& json) {
   JsonParser parser(json);

@@ -23,7 +23,7 @@ TEST(MediaServerTest, DirectModeJitterFree) {
   config.sim_duration = 30;
   auto result = RunMediaServer(config);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_EQ(result.value().qos.underflow_events, 0);
   EXPECT_EQ(result.value().cycle_overruns, 0);
   EXPECT_GT(result.value().analytic_dram_total, 0.0);
   EXPECT_GT(result.value().ios_completed, 0);
@@ -39,7 +39,7 @@ TEST(MediaServerTest, BufferModeJitterFree) {
   config.sim_duration = 30;
   auto result = RunMediaServer(config);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_EQ(result.value().qos.underflow_events, 0);
   EXPECT_GT(result.value().mems_cycle, 0.0);
   EXPECT_LT(result.value().mems_cycle, result.value().disk_cycle);
   EXPECT_GT(result.value().mems_utilization, 0.0);
@@ -57,7 +57,7 @@ TEST(MediaServerTest, CacheModeJitterFree) {
   config.sim_duration = 30;
   auto result = RunMediaServer(config);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_EQ(result.value().qos.underflow_events, 0);
   EXPECT_GT(result.value().mems_utilization, 0.0);
   EXPECT_GT(result.value().disk_utilization, 0.0);
 }
@@ -94,7 +94,7 @@ TEST(MediaServerTest, ZonedDiskWithConservativeSizingStillJitterFree) {
   config.sim_duration = 20;
   auto result = RunMediaServer(config);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().underflow_events, 0);
+  EXPECT_EQ(result.value().qos.underflow_events, 0);
   EXPECT_EQ(result.value().cycle_overruns, 0);
 }
 

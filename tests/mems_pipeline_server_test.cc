@@ -89,8 +89,8 @@ TEST(PipelineTest, Fig4SingleDeviceTenStreams) {
   ASSERT_TRUE(server.value().Run(60.0).ok());
 
   const MemsPipelineReport& report = server.value().report();
-  EXPECT_EQ(report.underflow_events, 0);
-  EXPECT_DOUBLE_EQ(report.underflow_time, 0.0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
+  EXPECT_DOUBLE_EQ(report.qos.underflow_time, 0.0);
   EXPECT_EQ(report.disk_overruns, 0);
   EXPECT_EQ(report.mems_overruns, 0);
   EXPECT_GT(report.disk_cycles, 3);
@@ -110,8 +110,8 @@ TEST(PipelineTest, Fig5ThreeDeviceBank) {
   ASSERT_TRUE(server.value().Run(60.0).ok());
 
   const MemsPipelineReport& report = server.value().report();
-  EXPECT_EQ(report.underflow_events, 0);
-  EXPECT_DOUBLE_EQ(report.underflow_time, 0.0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
+  EXPECT_DOUBLE_EQ(report.qos.underflow_time, 0.0);
   EXPECT_EQ(report.mems_overruns, 0);
   // All 45 streams play.
   for (std::size_t i = 0; i < server.value().num_streams(); ++i) {
@@ -170,7 +170,7 @@ TEST(PipelineTest, UndersizedMemsCycleUnderflows) {
   ASSERT_TRUE(server.ok());
   ASSERT_TRUE(server.value().Run(60.0).ok());
   EXPECT_GT(server.value().report().mems_overruns +
-                server.value().report().underflow_events,
+                server.value().report().qos.underflow_events,
             0);
 }
 
@@ -271,7 +271,7 @@ TEST(PipelineTest, StripedPlacementJitterFreeAtItsOwnSizing) {
   ASSERT_TRUE(server.value().Run(60.0).ok());
 
   const MemsPipelineReport& report = server.value().report();
-  EXPECT_EQ(report.underflow_events, 0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
   EXPECT_EQ(report.mems_overruns, 0);
   EXPECT_GT(report.mems_cycles, 0);
   for (std::size_t i = 0; i < server.value().num_streams(); ++i) {

@@ -188,5 +188,54 @@ TEST(MetricsRegistryTest, NullTolerantHelpersNoOpOnNull) {
   EXPECT_DOUBLE_EQ(c->value(), 3);
 }
 
+// Exposition-format regression: hostile help strings and label values
+// (backslashes, newlines, quotes) must come out escaped, and hostile
+// metric/label names must be rewritten into the legal charset.
+TEST(MetricsRegistryTest, PrometheusEscapesHostileHelpAndLabels) {
+  MetricsRegistry registry;
+  registry.counter("evil.metric")->Increment();
+  registry.SetHelp("evil.metric",
+                   "line one\nline two with \\backslash\\ and \"quotes\"");
+  registry.SetLabel("evil.metric", "path", "C:\\tmp\\run \"A\"\nnext");
+  registry.SetLabel("evil.metric", "host name!", "plain");
+
+  const std::string text = registry.ToPrometheusText();
+  // Help: backslash doubled, newline as literal \n, quotes untouched.
+  EXPECT_NE(text.find("# HELP evil_metric line one\\nline two with "
+                      "\\\\backslash\\\\ and \"quotes\""),
+            std::string::npos);
+  // Label value: backslash doubled, quote escaped, newline as \n; the
+  // label name is rewritten to the legal charset.
+  EXPECT_NE(
+      text.find("path=\"C:\\\\tmp\\\\run \\\"A\\\"\\nnext\""),
+      std::string::npos);
+  EXPECT_NE(text.find("host_name_=\"plain\""), std::string::npos);
+  // No raw newline may survive inside any emitted line.
+  for (std::size_t pos = text.find('\n'); pos != std::string::npos;
+       pos = text.find('\n', pos + 1)) {
+    // Every newline must terminate a complete line: the next char starts
+    // a new sample or comment, never a continuation of a quoted string.
+    if (pos + 1 < text.size()) {
+      EXPECT_NE(text[pos + 1], '"');
+    }
+  }
+  // The sample line itself is present and parseable-looking.
+  EXPECT_NE(text.find("evil_metric{"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramQuantilesKeepExtraLabels) {
+  MetricsRegistry registry;
+  auto* h = registry.histogram("lat.ms", {0, 10, 10});
+  for (int i = 0; i < 100; ++i) h->Observe(i % 10);
+  registry.SetLabel("lat.ms", "device", "disk\\0 \"primary\"");
+
+  const std::string text = registry.ToPrometheusText();
+  // Quantile lines must merge the constant label with the quantile label.
+  EXPECT_NE(text.find("lat_ms{device=\"disk\\\\0 \\\"primary\\\"\","
+                      "quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count{device="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace memstream::obs

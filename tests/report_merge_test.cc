@@ -1,0 +1,217 @@
+#include "obs/report_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/qos_auditor.h"
+#include "obs/run_report.h"
+#include "obs/timeline.h"
+
+namespace memstream::obs {
+namespace {
+
+std::string BenchSweepsJson() {
+  return R"([
+    {"bench":"sim_validation","tasks":7,"threads":4,
+     "wall_seconds":12.5,"events":100000,"events_per_sec":8000},
+    {"bench":"sim_validation","tasks":7,"threads":4,
+     "wall_seconds":11.0,"events":100000,"events_per_sec":9090.9},
+    {"bench":"ablation_edf","tasks":3,"threads":4,
+     "wall_seconds":4.25,"events":5000,"events_per_sec":1176.4}
+  ])";
+}
+
+/// A run report built through the real RunReport/QosAuditor/Timeline
+/// classes, so the test exercises the actual JSON round trip.
+std::string MakeRunReportJson(const std::string& title, bool violate) {
+  QosAuditorConfig qc;
+  qc.disk_cycle = 1.0;
+  QosAuditor auditor(qc);
+  auditor.AddStream(3, 1 * kMBps, 2 * kMB, QosDomain::kDisk);
+  auditor.Seal();
+  auditor.RecordIo(0, 1 * kMB);
+  auditor.EndDiskCycle(0, violate ? 1.5 : 0.5);
+
+  TimelineRecorder timelines;
+  TimelineSeries* s = timelines.AddSeries("stream.3.dram_bytes", "bytes");
+  for (int i = 0; i < 8; ++i) s->Record(i * 0.5, 1000.0 * i);
+
+  RunReport report;
+  report.title = title;
+  report.AddConfig("mode", "direct");
+  report.AddAnalytic("dram_total_mb", 20.0);
+  report.AddSimulated("dram_total_mb", 21.0);
+  report.AddSimulated("qos_violations",
+                      static_cast<double>(auditor.total_violations()));
+  report.qos = &auditor;
+  report.timelines = &timelines;
+  report.trace_dropped_records = violate ? 17 : 0;
+  return report.ToJson();
+}
+
+TEST(ReportMergeTest, ClassifiesInputsByContent) {
+  EXPECT_EQ(ClassifyReportInput(MakeRunReportJson("r", false)),
+            ReportInputKind::kRunReport);
+  EXPECT_EQ(ClassifyReportInput(BenchSweepsJson()),
+            ReportInputKind::kBenchSweeps);
+  EXPECT_EQ(ClassifyReportInput("[]"), ReportInputKind::kBenchSweeps);
+  EXPECT_EQ(ClassifyReportInput("not json at all"),
+            ReportInputKind::kUnknown);
+  EXPECT_EQ(ClassifyReportInput("{\"foo\":1}"), ReportInputKind::kUnknown);
+}
+
+TEST(ReportMergeTest, MergesRunsAndBenchRecordsIntoOneBundle) {
+  ReportBundle bundle;
+  ASSERT_TRUE(
+      AddReportInput("a.json", MakeRunReportJson("run A", true), &bundle)
+          .ok());
+  ASSERT_TRUE(
+      AddReportInput("b.json", MakeRunReportJson("run B", false), &bundle)
+          .ok());
+  ASSERT_TRUE(
+      AddReportInput("BENCH_sweeps.json", BenchSweepsJson(), &bundle).ok());
+
+  ASSERT_EQ(bundle.runs.size(), 2u);
+  EXPECT_EQ(bundle.runs[0].title, "run A");
+  EXPECT_EQ(bundle.runs[0].schema_version, kRunReportSchemaVersion);
+  EXPECT_TRUE(bundle.runs[0].has_qos);
+  EXPECT_EQ(bundle.runs[0].total_violations, 1);
+  EXPECT_EQ(bundle.runs[0].trace_dropped_records, 17);
+  ASSERT_EQ(bundle.runs[0].violations.size(), 1u);
+  EXPECT_EQ(bundle.runs[0].violations[0].invariant, "disk_cycle_overrun");
+  EXPECT_EQ(bundle.runs[1].total_violations, 0);
+  ASSERT_EQ(bundle.runs[0].timelines.size(), 1u);
+  EXPECT_EQ(bundle.runs[0].timelines[0].name, "stream.3.dram_bytes");
+  EXPECT_EQ(bundle.runs[0].timelines[0].points.size(), 8u);
+  EXPECT_EQ(bundle.bench.size(), 3u);
+  EXPECT_EQ(bundle.bench[2].bench, "ablation_edf");
+  EXPECT_DOUBLE_EQ(bundle.bench[1].wall_seconds, 11.0);
+
+  const auto violations = bundle.AllViolations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].first, "run A");
+
+  // Analytic-vs-simulated delta for the shared key.
+  const auto deltas = bundle.runs[0].Deltas();
+  ASSERT_GE(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].key, "dram_total_mb");
+  EXPECT_DOUBLE_EQ(deltas[0].delta, 1.0);
+  EXPECT_NEAR(deltas[0].rel, 0.05, 1e-12);
+}
+
+TEST(ReportMergeTest, MalformedInputIsAnErrorButKeepsTheBundle) {
+  ReportBundle bundle;
+  EXPECT_FALSE(AddReportInput("junk.txt", "not json", &bundle).ok());
+  ASSERT_EQ(bundle.errors.size(), 1u);
+  EXPECT_NE(bundle.errors[0].find("junk.txt"), std::string::npos);
+  EXPECT_TRUE(
+      AddReportInput("ok.json", MakeRunReportJson("ok", false), &bundle)
+          .ok());
+  EXPECT_EQ(bundle.runs.size(), 1u);
+}
+
+TEST(ReportMergeTest, MarkdownHasViolationAndBenchSections) {
+  ReportBundle bundle;
+  ASSERT_TRUE(
+      AddReportInput("a.json", MakeRunReportJson("run A", true), &bundle)
+          .ok());
+  ASSERT_TRUE(
+      AddReportInput("BENCH_sweeps.json", BenchSweepsJson(), &bundle).ok());
+
+  const std::string md = RenderMarkdownReport(bundle, "nightly");
+  EXPECT_NE(md.find("## Violations"), std::string::npos);
+  EXPECT_NE(md.find("disk_cycle_overrun"), std::string::npos);
+  EXPECT_NE(md.find("## Bench trajectory"), std::string::npos);
+  EXPECT_NE(md.find("sim_validation"), std::string::npos);
+}
+
+TEST(ReportMergeTest, HtmlDashboardIsStandaloneWithAllSections) {
+  ReportBundle bundle;
+  ASSERT_TRUE(
+      AddReportInput("a.json", MakeRunReportJson("run A", true), &bundle)
+          .ok());
+  ASSERT_TRUE(
+      AddReportInput("b.json", MakeRunReportJson("run B", false), &bundle)
+          .ok());
+  ASSERT_TRUE(
+      AddReportInput("BENCH_sweeps.json", BenchSweepsJson(), &bundle).ok());
+
+  const std::string html = RenderHtmlDashboard(bundle, "nightly <&>");
+  EXPECT_NE(html.find("<h2>Violations</h2>"), std::string::npos);
+  EXPECT_NE(html.find("disk_cycle_overrun"), std::string::npos);
+  EXPECT_NE(html.find("<h2>Bench trajectory</h2>"), std::string::npos);
+  EXPECT_NE(html.find("run B"), std::string::npos);
+  // Title is escaped.
+  EXPECT_NE(html.find("nightly &lt;&amp;&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("nightly <&>"), std::string::npos);
+  // Standalone: no scripts, stylesheets, images, or remote fetches.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("<img"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// End-to-end through the installed CLI binary.
+// -------------------------------------------------------------------
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary);
+  EXPECT_TRUE(out.good());
+  out << content;
+  out.close();
+  return path;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(MemstreamReportCliTest, MergesReportsIntoOneHtmlDashboard) {
+  const std::string a =
+      WriteTempFile("cli_a.report.json", MakeRunReportJson("run A", true));
+  const std::string b =
+      WriteTempFile("cli_b.report.json", MakeRunReportJson("run B", false));
+  const std::string sweeps =
+      WriteTempFile("cli_sweeps.json", BenchSweepsJson());
+  const std::string html = ::testing::TempDir() + "cli_dashboard.html";
+  const std::string md = ::testing::TempDir() + "cli_report.md";
+
+  const std::string cmd = std::string(MEMSTREAM_REPORT_BIN) + " " + a +
+                          " " + b + " " + sweeps + " -o " + html + " --md " +
+                          md + " --title nightly";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string dashboard = Slurp(html);
+  ASSERT_FALSE(dashboard.empty());
+  EXPECT_NE(dashboard.find("<h2>Violations</h2>"), std::string::npos);
+  EXPECT_NE(dashboard.find("disk_cycle_overrun"), std::string::npos);
+  EXPECT_NE(dashboard.find("<h2>Bench trajectory</h2>"), std::string::npos);
+  EXPECT_NE(dashboard.find("run A"), std::string::npos);
+  EXPECT_NE(dashboard.find("run B"), std::string::npos);
+  EXPECT_EQ(dashboard.find("<script"), std::string::npos);
+
+  const std::string markdown = Slurp(md);
+  EXPECT_NE(markdown.find("## Violations"), std::string::npos);
+  EXPECT_NE(markdown.find("## Bench trajectory"), std::string::npos);
+}
+
+TEST(MemstreamReportCliTest, FailsWhenNoInputLoads) {
+  const std::string missing = ::testing::TempDir() + "cli_does_not_exist";
+  const std::string cmd =
+      std::string(MEMSTREAM_REPORT_BIN) + " " + missing + " 2>/dev/null";
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace memstream::obs

@@ -78,8 +78,8 @@ TEST_P(ServerSweep, AnalyticSizingExecutesJitterFree) {
 
   auto result = RunMediaServer(config);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result.value().underflow_events, 0);
-  EXPECT_DOUBLE_EQ(result.value().underflow_time, 0.0);
+  EXPECT_EQ(result.value().qos.underflow_events, 0);
+  EXPECT_DOUBLE_EQ(result.value().qos.underflow_time, 0.0);
   EXPECT_EQ(result.value().cycle_overruns, 0);
   EXPECT_GT(result.value().ios_completed, 0);
   // Double-buffered execution uses at most ~2x the analytic DRAM (plus

@@ -55,8 +55,8 @@ TEST(DirectServerTest, AnalyticSizingYieldsJitterFreePlayback) {
   const ServerReport& report = server.value().report();
   EXPECT_GT(report.cycles, 50);
   EXPECT_EQ(report.cycle_overruns, 0);
-  EXPECT_EQ(report.underflow_events, 0);
-  EXPECT_DOUBLE_EQ(report.underflow_time, 0.0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
+  EXPECT_DOUBLE_EQ(report.qos.underflow_time, 0.0);
   // Double-buffered operation needs at most two cycles of data resident.
   EXPECT_LE(report.peak_buffer_demand,
             2.0 * static_cast<double>(n) * b * cycle.value() * 1.01);
@@ -80,8 +80,8 @@ TEST(DirectServerTest, UndersizedCycleCausesOverrunsAndUnderflow) {
 
   const ServerReport& report = server.value().report();
   EXPECT_GT(report.cycle_overruns, 0);
-  EXPECT_GT(report.underflow_events, 0);
-  EXPECT_GT(report.underflow_time, 0.0);
+  EXPECT_GT(report.qos.underflow_events, 0);
+  EXPECT_GT(report.qos.underflow_time, 0.0);
 }
 
 TEST(DirectServerTest, UtilizationNearBandwidthShare) {
@@ -168,7 +168,7 @@ TEST(DirectServerTest, BestEffortFillsSlackWithoutJitter) {
   EXPECT_GT(report.best_effort_bytes, 0.0);
   // The slack filler must not disturb the real-time schedule.
   EXPECT_EQ(report.cycle_overruns, 0);
-  EXPECT_EQ(report.underflow_events, 0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
   // It should push utilization well above the real-time-only level.
   EXPECT_GT(report.device_utilization, 0.8);
 }
@@ -189,7 +189,7 @@ TEST(DirectServerTest, BestEffortStarvedAtSaturation) {
   ASSERT_TRUE(server.value().Run(30.0).ok());
 
   const ServerReport& report = server.value().report();
-  EXPECT_EQ(report.underflow_events, 0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
   // Real-time traffic claims ~90% of the cycle; best-effort gets scraps
   // relative to the real-time volume.
   EXPECT_LT(report.best_effort_bytes,
@@ -230,7 +230,7 @@ TEST(DirectServerTest, MixedBitRatePopulationJitterFree) {
   auto server = DirectStreamingServer::Create(&disk, streams, config);
   ASSERT_TRUE(server.ok()) << server.status().ToString();
   ASSERT_TRUE(server.value().Run(30.0).ok());
-  EXPECT_EQ(server.value().report().underflow_events, 0);
+  EXPECT_EQ(server.value().report().qos.underflow_events, 0);
   EXPECT_EQ(server.value().report().cycle_overruns, 0);
 }
 
@@ -255,9 +255,9 @@ TEST(DirectServerTest, MixedReadWriteWorkloadJitterAndOverflowFree) {
 
   const ServerReport& report = server.value().report();
   EXPECT_EQ(report.cycle_overruns, 0);
-  EXPECT_EQ(report.underflow_events, 0);
-  EXPECT_EQ(report.overflow_events, 0);
-  EXPECT_DOUBLE_EQ(report.overflow_time, 0.0);
+  EXPECT_EQ(report.qos.underflow_events, 0);
+  EXPECT_EQ(report.qos.overflow_events, 0);
+  EXPECT_DOUBLE_EQ(report.qos.overflow_time, 0.0);
   ASSERT_EQ(server.value().record_sessions().size(), 20u);
   ASSERT_EQ(server.value().play_sessions().size(), 20u);
   for (const auto& recording : server.value().record_sessions()) {
@@ -282,8 +282,8 @@ TEST(DirectServerTest, UndersizedCycleOverflowsRecorders) {
   auto server = DirectStreamingServer::Create(&disk, streams, config);
   ASSERT_TRUE(server.ok());
   ASSERT_TRUE(server.value().Run(60.0).ok());
-  EXPECT_GT(server.value().report().overflow_events, 0);
-  EXPECT_GT(server.value().report().overflow_time, 0.0);
+  EXPECT_GT(server.value().report().qos.overflow_events, 0);
+  EXPECT_GT(server.value().report().qos.overflow_time, 0.0);
 }
 
 TEST(DirectServerTest, CreateValidatesInputs) {

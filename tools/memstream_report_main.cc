@@ -1,0 +1,109 @@
+// memstream-report: merges one-or-many run.report.json documents,
+// metrics CSV snapshots, and BENCH_sweeps.json files into a combined
+// Markdown report and/or a standalone single-file HTML dashboard.
+//
+//   memstream-report run1.json run2.json BENCH_sweeps.json
+//       -o dashboard.html --md report.md --title "nightly"
+//
+// Inputs are classified by content, not filename. With no -o/--md the
+// Markdown report goes to stdout. Exit status: 0 on success, 1 on usage
+// errors, 2 when every input failed to load.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report_merge.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input>... [-o out.html] [--md out.md] "
+               "[--title <title>]\n"
+               "  inputs: run.report.json / metrics CSV / "
+               "BENCH_sweeps.json (content-sniffed)\n",
+               argv0);
+  return 1;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string html_path;
+  std::string md_path;
+  std::string title = "memstream run report";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" || arg == "--html") {
+      if (++i >= argc) return Usage(argv[0]);
+      html_path = argv[i];
+    } else if (arg == "--md" || arg == "--markdown") {
+      if (++i >= argc) return Usage(argv[0]);
+      md_path = argv[i];
+    } else if (arg == "--title") {
+      if (++i >= argc) return Usage(argv[0]);
+      title = argv[i];
+    } else if (arg == "-h" || arg == "--help") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage(argv[0]);
+
+  memstream::obs::ReportBundle bundle;
+  std::size_t loaded = 0;
+  for (const auto& path : inputs) {
+    const auto status = memstream::obs::LoadReportInput(path, &bundle);
+    if (status.ok()) {
+      ++loaded;
+    } else {
+      std::fprintf(stderr, "warning: %s: %s\n", path.c_str(),
+                   status.message().c_str());
+    }
+  }
+  if (loaded == 0) {
+    std::fprintf(stderr, "error: no input could be loaded\n");
+    return 2;
+  }
+
+  if (!html_path.empty()) {
+    const std::string html =
+        memstream::obs::RenderHtmlDashboard(bundle, title);
+    if (!WriteFile(html_path, html)) {
+      std::fprintf(stderr, "error: cannot write %s\n", html_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", html_path.c_str(),
+                 html.size());
+  }
+  const std::string markdown =
+      memstream::obs::RenderMarkdownReport(bundle, title);
+  if (!md_path.empty()) {
+    if (!WriteFile(md_path, markdown)) {
+      std::fprintf(stderr, "error: cannot write %s\n", md_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", md_path.c_str(),
+                 markdown.size());
+  } else if (html_path.empty()) {
+    std::cout << markdown;
+  }
+  return 0;
+}
