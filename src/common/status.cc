@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,///< object not in the required state for the call
   kNotFound,          ///< lookup missed (catalog title, cached stream, ...)
   kAlreadyExists,     ///< duplicate insert (stream id, event id, ...)
+  kUnavailable,       ///< component is down (failed device, offline bank)
   kInternal,          ///< invariant violation; indicates a library bug
 };
 
@@ -60,6 +61,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -64,16 +64,43 @@ Result<std::size_t> DeviceBank::NextRoundRobinDevice() {
   return idx;
 }
 
+Status DeviceBank::SetDeviceFailed(std::size_t i, bool failed) {
+  if (i >= devices_.size()) {
+    return Status::OutOfRange("device index beyond bank size");
+  }
+  failed_[i] = failed;
+  return Status::OK();
+}
+
+std::int64_t DeviceBank::alive_count() const {
+  std::int64_t alive = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!failed_[i]) ++alive;
+  }
+  return alive;
+}
+
+BytesPerSecond DeviceBank::DegradedTransferRate() const {
+  return static_cast<double>(alive_count()) * devices_[0]->MaxTransferRate();
+}
+
 Result<Seconds> DeviceBank::Service(const IoSpan& io, Rng* rng) {
   if (io.offset < 0 ||
       static_cast<Bytes>(io.offset) + io.bytes > EffectiveCapacity()) {
     return Status::OutOfRange("IO beyond bank capacity");
   }
+  if (alive_count() == 0) {
+    return Status::Unavailable("no alive device in bank");
+  }
   const auto k = static_cast<double>(size());
   switch (mode_) {
     case BankMode::kRoundRobin: {
-      // Whole IO to the next device; map the bank offset into the device
-      // by modulo (streams are placed per-device by the buffer manager).
+      // Whole IO to the next alive device; map the bank offset into the
+      // device by modulo (streams are placed per-device by the buffer
+      // manager).
+      while (failed_[rr_cursor_]) {
+        rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
+      }
       const std::size_t idx = rr_cursor_;
       rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
       IoSpan local = io;
@@ -84,7 +111,11 @@ Result<Seconds> DeviceBank::Service(const IoSpan& io, Rng* rng) {
     case BankMode::kStriped: {
       // Lock-step: every device transfers bytes/k at offset/k. All devices
       // move identically, so the elapsed time is any device's time; we
-      // still advance every device's position.
+      // still advance every device's position. A single failed device
+      // takes every stripe with it.
+      if (alive_count() < size()) {
+        return Status::Unavailable("striped bank lost a device");
+      }
       IoSpan local;
       local.offset = io.offset / static_cast<std::int64_t>(size());
       local.bytes = io.bytes / k;
@@ -97,7 +128,11 @@ Result<Seconds> DeviceBank::Service(const IoSpan& io, Rng* rng) {
       return elapsed;
     }
     case BankMode::kReplicated: {
-      // Every device holds the full content; rotate for load balance.
+      // Every device holds the full content; rotate over alive devices
+      // for load balance (survivors absorb a failed peer's share).
+      while (failed_[rr_cursor_]) {
+        rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
+      }
       const std::size_t idx = rr_cursor_;
       rr_cursor_ = (rr_cursor_ + 1) % devices_.size();
       return devices_[idx]->Service(io, rng);

@@ -71,8 +71,27 @@ class DeviceBank {
   ///    offset on every device, serviced lock-step (time = max over
   ///    devices = the common device time);
   ///  - replicated: the IO is serviced by the least-recently-used device.
-  /// Offsets are interpreted against EffectiveCapacity().
+  /// Offsets are interpreted against EffectiveCapacity(). Failed devices
+  /// are skipped in round-robin/replicated rotation; a striped bank with
+  /// any failed device refuses with Unavailable (every stripe needs all k
+  /// devices — Corollary 3's lock-step access).
   Result<Seconds> Service(const IoSpan& io, Rng* rng);
+
+  // --- failure hooks (src/fault/) ---
+
+  /// Marks device `i` failed or repaired. Failure survives Reset(): a
+  /// repair is an explicit event, not a simulation restart artifact.
+  Status SetDeviceFailed(std::size_t i, bool failed);
+
+  bool device_failed(std::size_t i) const { return failed_[i]; }
+
+  /// Devices currently serving (k minus failed). A replicated bank keeps
+  /// serving at alive_count()/k of its throughput; a striped bank needs
+  /// alive_count() == size().
+  std::int64_t alive_count() const;
+
+  /// AggregateTransferRate restricted to surviving devices.
+  BytesPerSecond DegradedTransferRate() const;
 
   /// Resets every device and the routing cursors.
   void Reset();
@@ -80,9 +99,12 @@ class DeviceBank {
  private:
   DeviceBank(std::vector<std::unique_ptr<BlockDevice>> devices,
              BankMode mode)
-      : devices_(std::move(devices)), mode_(mode) {}
+      : devices_(std::move(devices)),
+        failed_(devices_.size(), false),
+        mode_(mode) {}
 
   std::vector<std::unique_ptr<BlockDevice>> devices_;
+  std::vector<bool> failed_;
   BankMode mode_;
   std::size_t rr_cursor_ = 0;
 };

@@ -87,7 +87,14 @@ Result<Seconds> MemsDevice::SeekTimeTo(Bytes offset) const {
                   target.value().y);
 }
 
+void MemsDevice::ApplyTipLoss(double fraction) {
+  if (fraction < 0) fraction = 0;
+  if (fraction >= 1) fraction = 1 - 1e-9;  // a device never quite hits 0
+  rate_scale_ *= 1.0 - fraction;
+}
+
 Result<Seconds> MemsDevice::Service(const IoSpan& io, Rng* /*rng*/) {
+  if (failed_) return Status::Unavailable(name() + " is failed");
   if (io.bytes < 0) return Status::InvalidArgument("negative IO size");
   if (io.offset < 0 ||
       static_cast<Bytes>(io.offset) + io.bytes > params_.capacity) {
@@ -100,7 +107,7 @@ Result<Seconds> MemsDevice::Service(const IoSpan& io, Rng* /*rng*/) {
 
   const Seconds seek = SeekTime(current_region_, current_y_,
                                 start.value().region, start.value().y);
-  const Seconds transfer = io.bytes / params_.transfer_rate;
+  const Seconds transfer = io.bytes / EffectiveTransferRate();
   current_region_ = end.value().region;
   current_y_ = end.value().y;
   const Seconds service = seek + transfer;

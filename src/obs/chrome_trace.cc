@@ -63,6 +63,8 @@ std::string ChromeTraceExporter::ToJson(
       case sim::TraceKind::kCycleEnd:
       case sim::TraceKind::kIoIssued:
       case sim::TraceKind::kIoCompleted:
+      case sim::TraceKind::kFaultStart:
+      case sim::TraceKind::kFaultEnd:
         if (!r.actor.empty() && device_tid.find(r.actor) == device_tid.end()) {
           const auto tid = static_cast<std::int64_t>(device_tid.size()) + 1;
           device_tid[r.actor] = tid;
@@ -199,6 +201,39 @@ std::string ChromeTraceExporter::ToJson(
         w.BeginObject();
         w.Key("bytes");
         w.Number(r.bytes);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case sim::TraceKind::kFaultStart:
+      case sim::TraceKind::kFaultEnd: {
+        // Fault activations are full-height markers on the affected
+        // device track; a kFaultEnd carrying a duration doubles as a span
+        // covering the whole degraded window.
+        const std::int64_t tid =
+            device_tid.count(r.actor) ? device_tid[r.actor] : 0;
+        const std::string name = r.detail.empty()
+                                     ? std::string(TraceKindName(r.kind))
+                                     : r.detail;
+        w.BeginObject();
+        if (r.kind == sim::TraceKind::kFaultEnd && r.duration > 0) {
+          EventHeader(w, name, "X", ts - r.duration * kMicrosPerSecond,
+                      kDevicesPid, tid);
+          w.Key("dur");
+          w.Number(r.duration * kMicrosPerSecond);
+        } else {
+          EventHeader(w, name, "i", ts, kDevicesPid, tid);
+          w.Key("s");
+          w.String("g");  // global scope: faults are run-wide landmarks
+        }
+        w.Key("args");
+        w.BeginObject();
+        w.Key("actor");
+        w.String(r.actor);
+        if (r.stream_id >= 0) {
+          w.Key("stream");
+          w.Int(r.stream_id);
+        }
         w.EndObject();
         w.EndObject();
         break;

@@ -159,11 +159,44 @@ void QosAuditor::Report(QosInvariant invariant, std::int64_t stream_id,
   }
 }
 
+void QosAuditor::SetStreamActive(std::size_t index, bool active) {
+  if (index >= streams_.size()) return;
+  StreamState& st = streams_[index];
+  if (!st.active && active) st.grace = true;  // rejoin at the next boundary
+  st.active = active;
+  st.ios_in_cycle = 0;
+}
+
+void QosAuditor::SetStreamDomain(std::size_t index, QosDomain domain,
+                                 std::int64_t device) {
+  if (index >= streams_.size()) return;
+  StreamState& st = streams_[index];
+  st.domain = domain;
+  st.device = device < 0 ? 0 : device;
+  st.grace = true;  // mid-cycle switch: the old domain owes no IO
+  st.ios_in_cycle = 0;
+}
+
+void QosAuditor::SetStreamDramBound(std::size_t index, Bytes dram_bound) {
+  if (index >= streams_.size()) return;
+  streams_[index].dram_bound = dram_bound;
+  streams_[index].over_bound = false;
+}
+
 void QosAuditor::CloseCycle(QosDomain domain, std::int64_t device,
                             std::int64_t cycle_index, Seconds time) {
   for (auto& st : streams_) {
     if (st.domain != domain) continue;
     if (domain == QosDomain::kMems && device >= 0 && st.device != device) {
+      continue;
+    }
+    if (!st.active) {
+      st.ios_in_cycle = 0;
+      continue;
+    }
+    if (st.grace) {
+      st.grace = false;
+      st.ios_in_cycle = 0;
       continue;
     }
     if (st.ios_in_cycle != 1) {

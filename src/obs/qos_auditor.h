@@ -138,6 +138,43 @@ class QosAuditor {
   /// Stream `index`'s DRAM buffer level observed at `now`.
   void RecordDramLevel(std::size_t index, Seconds now, Bytes level);
 
+  // --- online re-planning hooks (src/fault/ degradation) ---
+  //
+  // A degradation re-plan changes the run shape mid-flight: cycles get a
+  // new length, shed streams stop receiving IOs, fallback streams switch
+  // domains. The auditor keeps auditing the *new* plan instead of
+  // reporting the old one as violated.
+
+  /// Replaces the disk-side cycle length the invariants check against.
+  /// Call at a cycle boundary (the in-flight cycle is judged by the new
+  /// length).
+  void SetDiskCycle(Seconds cycle) { config_.disk_cycle = cycle; }
+
+  /// Replaces the MEMS-side cycle length.
+  void SetMemsCycle(Seconds cycle) { config_.mems_cycle = cycle; }
+
+  /// Marks stream `index` shed (inactive) or re-admitted. Inactive
+  /// streams are exempt from the one-IO-per-cycle check; a re-admitted
+  /// stream gets one grace cycle to rejoin the schedule.
+  void SetStreamActive(std::size_t index, bool active);
+
+  /// Moves stream `index` to a new cycle domain (e.g. kMems -> kDisk on
+  /// cache fallback) with one grace cycle before the IO-count check
+  /// re-arms.
+  void SetStreamDomain(std::size_t index, QosDomain domain,
+                       std::int64_t device = 0);
+
+  /// Replaces stream `index`'s per-stream DRAM sizing (a re-plan resizes
+  /// buffers; 0 disables the check for that stream).
+  void SetStreamDramBound(std::size_t index, Bytes dram_bound);
+
+  /// Replaces the total DRAM budget (a re-plan that resizes per-stream
+  /// buffers moves the summed budget with them; 0 disables the check).
+  void SetDramTotalBound(Bytes bound) {
+    config_.dram_total_bound = bound;
+    over_total_ = false;
+  }
+
   // --- results ---
 
   /// All violations seen, including ones past the retention cap.
@@ -160,6 +197,8 @@ class QosAuditor {
     std::int64_t ios_in_cycle = 0;
     Bytes last_level = 0;
     bool over_bound = false;  ///< hysteresis: inside a DRAM excursion
+    bool active = true;       ///< false while shed by degradation
+    bool grace = false;       ///< skip one CloseCycle after a re-plan
   };
 
   void Report(QosInvariant invariant, std::int64_t stream_id,

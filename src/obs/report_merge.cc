@@ -157,6 +157,40 @@ Status ParseRunReport(const std::string& path, const JsonValue& doc,
       }
     }
   }
+  if (const JsonValue* f = doc.Find("faults"); f != nullptr && f->is_object()) {
+    run.has_faults = true;
+    run.faults.events = static_cast<std::int64_t>(f->Num("events", 0));
+    run.faults.repairs = static_cast<std::int64_t>(f->Num("repairs", 0));
+    run.faults.replans = static_cast<std::int64_t>(f->Num("replans", 0));
+    run.faults.sheds = static_cast<std::int64_t>(f->Num("sheds", 0));
+    run.faults.readmits = static_cast<std::int64_t>(f->Num("readmits", 0));
+    run.faults.dropped_during_burst =
+        static_cast<std::int64_t>(f->Num("dropped_during_burst", 0));
+    run.faults.total_shed_time = f->Num("total_shed_time", 0);
+    if (const JsonValue* tl = f->Find("timeline");
+        tl != nullptr && tl->is_array()) {
+      for (const auto& e : tl->array) {
+        LoadedFaultEntry entry;
+        entry.time = e.Num("time", 0);
+        entry.kind = e.Str("kind");
+        entry.device = static_cast<std::int64_t>(e.Num("device", -1));
+        entry.magnitude = e.Num("magnitude", 0);
+        entry.action = e.Str("action");
+        run.faults.timeline.push_back(std::move(entry));
+      }
+    }
+    if (const JsonValue* ss = f->Find("shed_streams");
+        ss != nullptr && ss->is_array()) {
+      for (const auto& s : ss->array) {
+        LoadedShedRecord rec;
+        rec.stream_id = static_cast<std::int64_t>(s.Num("stream_id", -1));
+        rec.shed_time = s.Num("shed_time", 0);
+        rec.shed_cycle = static_cast<std::int64_t>(s.Num("shed_cycle", -1));
+        rec.readmit_time = s.Num("readmit_time", -1);
+        run.faults.shed_streams.push_back(std::move(rec));
+      }
+    }
+  }
   if (const JsonValue* ts = doc.Find("timelines");
       ts != nullptr && ts->is_array()) {
     for (const auto& s : ts->array) {
@@ -411,6 +445,40 @@ std::string RenderMarkdownReport(const ReportBundle& bundle,
           << run.disk_cycles_audited << " disk + " << run.mems_cycles_audited
           << " MEMS audited cycles\n\n";
     }
+    if (run.has_faults) {
+      const LoadedFaults& f = run.faults;
+      out << "### Faults\n\n";
+      out << f.events << " fault(s), " << f.repairs << " repair(s), "
+          << f.replans << " re-plan(s); " << f.sheds << " stream(s) shed ("
+          << f.readmits << " re-admitted, " << FormatDouble(f.total_shed_time)
+          << " s total shed time)\n\n";
+      if (f.dropped_during_burst > 0) {
+        out << "> warning: trace dropped " << f.dropped_during_burst
+            << " records during fault bursts\n\n";
+      }
+      if (!f.timeline.empty()) {
+        out << "| t (s) | fault | device | magnitude | action |\n"
+            << "|---|---|---|---|---|\n";
+        for (const auto& e : f.timeline) {
+          out << "| " << FormatDouble(e.time) << " | " << MdEscape(e.kind)
+              << " | " << e.device << " | " << FormatDouble(e.magnitude)
+              << " | " << MdEscape(e.action) << " |\n";
+        }
+        out << "\n";
+      }
+      if (!f.shed_streams.empty()) {
+        out << "| shed stream | shed at (s) | cycle | re-admitted at (s) |\n"
+            << "|---|---|---|---|\n";
+        for (const auto& s : f.shed_streams) {
+          out << "| " << s.stream_id << " | " << FormatDouble(s.shed_time)
+              << " | " << s.shed_cycle << " | "
+              << (s.readmit_time < 0 ? std::string("never")
+                                     : FormatDouble(s.readmit_time))
+              << " |\n";
+        }
+        out << "\n";
+      }
+    }
     if (run.trace_dropped_records > 0) {
       out << "> warning: trace ring buffer dropped "
           << run.trace_dropped_records << " records\n\n";
@@ -530,6 +598,42 @@ std::string RenderHtmlDashboard(const ReportBundle& bundle,
             << "</td></tr>\n";
       }
       out << "</table>\n";
+    }
+    if (run.has_faults) {
+      const LoadedFaults& f = run.faults;
+      out << "<h3>Faults</h3>\n<p>" << f.events << " fault(s), " << f.repairs
+          << " repair(s), " << f.replans << " re-plan(s); <span class=\""
+          << (f.sheds == 0 ? "ok" : "bad") << "\">" << f.sheds
+          << " stream(s) shed</span> (" << f.readmits << " re-admitted, "
+          << FormatDouble(f.total_shed_time) << " s total shed time)</p>\n";
+      if (f.dropped_during_burst > 0) {
+        out << "<p class=\"warn\">trace dropped " << f.dropped_during_burst
+            << " records during fault bursts</p>\n";
+      }
+      if (!f.timeline.empty()) {
+        out << "<table><tr><th>t (s)</th><th>fault</th><th>device</th>"
+            << "<th>magnitude</th><th>action</th></tr>\n";
+        for (const auto& e : f.timeline) {
+          out << "<tr><td>" << FormatDouble(e.time) << "</td><td>"
+              << HtmlEscape(e.kind) << "</td><td>" << e.device << "</td><td>"
+              << FormatDouble(e.magnitude) << "</td><td>"
+              << HtmlEscape(e.action) << "</td></tr>\n";
+        }
+        out << "</table>\n";
+      }
+      if (!f.shed_streams.empty()) {
+        out << "<table><tr><th>shed stream</th><th>shed at (s)</th>"
+            << "<th>cycle</th><th>re-admitted at (s)</th></tr>\n";
+        for (const auto& s : f.shed_streams) {
+          out << "<tr><td>" << s.stream_id << "</td><td>"
+              << FormatDouble(s.shed_time) << "</td><td>" << s.shed_cycle
+              << "</td><td>"
+              << (s.readmit_time < 0 ? std::string("never")
+                                     : FormatDouble(s.readmit_time))
+              << "</td></tr>\n";
+        }
+        out << "</table>\n";
+      }
     }
     if (!run.timelines.empty()) {
       out << "<h3>Timelines</h3>\n<table><tr><th>series</th>"

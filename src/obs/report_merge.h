@@ -47,6 +47,36 @@ struct LoadedSeries {
   std::vector<TimelinePoint> points;
 };
 
+/// One fault timeline entry as read back from a report's "faults" block.
+struct LoadedFaultEntry {
+  double time = 0;
+  std::string kind;
+  std::int64_t device = -1;
+  double magnitude = 0;
+  std::string action;  ///< re-plan applied / "cleared"; "" = none
+};
+
+/// One shed/re-admit ledger row from the "faults" block.
+struct LoadedShedRecord {
+  std::int64_t stream_id = -1;
+  double shed_time = 0;
+  std::int64_t shed_cycle = -1;
+  double readmit_time = -1;  ///< -1 = never re-admitted
+};
+
+/// The "faults" block of one run, loaded.
+struct LoadedFaults {
+  std::int64_t events = 0;
+  std::int64_t repairs = 0;
+  std::int64_t replans = 0;
+  std::int64_t sheds = 0;
+  std::int64_t readmits = 0;
+  std::int64_t dropped_during_burst = 0;
+  double total_shed_time = 0;
+  std::vector<LoadedFaultEntry> timeline;
+  std::vector<LoadedShedRecord> shed_streams;
+};
+
 /// One run.report.json, loaded.
 struct LoadedRunReport {
   std::string path;
@@ -62,6 +92,9 @@ struct LoadedRunReport {
   std::int64_t disk_cycles_audited = 0;
   std::int64_t mems_cycles_audited = 0;
   std::vector<LoadedViolation> violations;
+
+  bool has_faults = false;
+  LoadedFaults faults;
 
   std::int64_t trace_dropped_records = -1;
   std::vector<LoadedSeries> timelines;

@@ -78,6 +78,58 @@ std::string RunReport::ToJson() const {
     w.EndObject();
   }
 
+  if (faults != nullptr) {
+    w.Key("faults");
+    w.BeginObject();
+    w.Key("events");
+    w.Int(faults->events);
+    w.Key("repairs");
+    w.Int(faults->repairs);
+    w.Key("replans");
+    w.Int(faults->replans);
+    w.Key("sheds");
+    w.Int(faults->sheds);
+    w.Key("readmits");
+    w.Int(faults->readmits);
+    w.Key("dropped_during_burst");
+    w.Int(faults->dropped_during_burst);
+    w.Key("total_shed_time");
+    w.Number(faults->total_shed_time);
+    w.Key("timeline");
+    w.BeginArray();
+    for (const auto& e : faults->timeline) {
+      w.BeginObject();
+      w.Key("time");
+      w.Number(e.time);
+      w.Key("kind");
+      w.String(e.kind);
+      w.Key("device");
+      w.Int(e.device);
+      w.Key("magnitude");
+      w.Number(e.magnitude);
+      w.Key("action");
+      w.String(e.action);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("shed_streams");
+    w.BeginArray();
+    for (const auto& s : faults->shed_streams) {
+      w.BeginObject();
+      w.Key("stream_id");
+      w.Int(s.stream_id);
+      w.Key("shed_time");
+      w.Number(s.shed_time);
+      w.Key("shed_cycle");
+      w.Int(s.shed_cycle);
+      w.Key("readmit_time");
+      w.Number(s.readmit_time);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
   if (timelines != nullptr && timelines->size() > 0) {
     w.Key("timelines");
     w.BeginArray();

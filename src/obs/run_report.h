@@ -21,8 +21,46 @@ namespace memstream::obs {
 
 /// Schema version of the emitted JSON; bump on breaking layout changes.
 /// v2 adds "qos", "timelines" and "trace_dropped_records" (all optional,
-/// so v1 consumers keep working on v2 documents).
-inline constexpr std::int64_t kRunReportSchemaVersion = 2;
+/// so v1 consumers keep working on v2 documents). v3 adds the optional
+/// "faults" block (injected-fault timeline, shed/re-admit records and
+/// degradation counters).
+inline constexpr std::int64_t kRunReportSchemaVersion = 3;
+
+/// One entry of the injected-fault timeline: what happened, when, to
+/// which device, and what the degradation manager did about it.
+struct FaultTimelineEntry {
+  Seconds time = 0;
+  std::string kind;            ///< FaultKindName of the injected fault
+  std::int64_t device = -1;    ///< affected MEMS device; -1 = not device-scoped
+  double magnitude = 0;        ///< tip-loss fraction, latency factor, ...
+  std::string action;          ///< re-plan outcome ("reshape", "shed 2", ...)
+};
+
+/// One stream the degradation manager shed, and when (if ever) it was
+/// re-admitted. `readmit_time` < 0 means still shed at run end.
+struct ShedRecord {
+  std::int64_t stream_id = -1;
+  Seconds shed_time = 0;
+  std::int64_t shed_cycle = -1;  ///< cycle index the shed took effect in
+  Seconds readmit_time = -1;
+};
+
+/// Fault-injection summary embedded in the run report ("faults" block).
+/// Plain data: filled by the fault layer (which depends on obs, not the
+/// other way around).
+struct FaultsBlock {
+  std::int64_t events = 0;    ///< faults that became active
+  std::int64_t repairs = 0;   ///< faults that cleared
+  std::int64_t replans = 0;   ///< degradation re-plans applied
+  std::int64_t sheds = 0;     ///< stream shed actions
+  std::int64_t readmits = 0;  ///< re-admissions after repair
+  /// TraceLog records evicted while >= 1 fault was active (satellite for
+  /// "did the burst outrun the ring buffer").
+  std::int64_t dropped_during_burst = 0;
+  Seconds total_shed_time = 0;  ///< summed shed duration across streams
+  std::vector<FaultTimelineEntry> timeline;
+  std::vector<ShedRecord> shed_streams;
+};
 
 /// One run's worth of side-by-side analytic and simulated quantities.
 /// `config` echoes the knobs as strings; `analytic` and `simulated` are
@@ -45,6 +83,9 @@ struct RunReport {
   /// Optional: embedded as a "timelines" array (downsampled series) when
   /// set. Not owned.
   const TimelineRecorder* timelines = nullptr;
+
+  /// Optional: embedded as a "faults" object when set. Not owned.
+  const FaultsBlock* faults = nullptr;
 
   /// TraceLog records evicted by the bounded ring buffer; surfaced so
   /// truncation is no longer silent. -1 = no trace attached to the run.

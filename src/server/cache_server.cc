@@ -47,6 +47,18 @@ Result<CacheStreamingServer> CacheStreamingServer::Create(
         return Status::InvalidArgument("extent smaller than one disk IO");
       }
     }
+    if (s.cached && s.backing_extent > 0) {
+      if (disk == nullptr) {
+        return Status::InvalidArgument("backing copy but no disk");
+      }
+      if (s.backing_offset + s.backing_extent > disk->Capacity()) {
+        return Status::OutOfRange("backing copy beyond disk capacity");
+      }
+      if (s.bit_rate * config.disk_cycle > s.backing_extent) {
+        return Status::InvalidArgument(
+            "backing copy smaller than one disk IO");
+      }
+    }
   }
   (void)any_disk;
   if (config.auditor != nullptr &&
@@ -78,6 +90,15 @@ CacheStreamingServer::CacheStreamingServer(
     } else {
       disk_streams_.push_back(i);
     }
+  }
+  device_alive_.assign(bank_.size(), true);
+  placement_.assign(streams_.size(), Placement::kCache);
+  device_cycle_running_.assign(bank_.size(), false);
+  // Replicated assignment: device j services every (j + i*k)-th cached
+  // stream (rebuilt over alive devices whenever degradation re-plans).
+  replicated_assign_.assign(bank_.size(), {});
+  for (std::size_t j = 0; j < cache_streams_.size(); ++j) {
+    replicated_assign_[j % bank_.size()].push_back(cache_streams_[j]);
   }
 
   // Resolve telemetry handles once; hot-path updates are null-guarded.
@@ -128,29 +149,57 @@ void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
       trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
                       session->id(), level, ""});
     }
-    if (!session->playing()) {
+    if (!session->playing() && placement_[stream] != Placement::kShed) {
       const Seconds start = std::max(done, boundary);
-      sim_.ScheduleAt(start, [session, start]() {
-        if (!session->playing()) session->StartPlayback(start);
+      sim_.ScheduleAt(start, [this, session, stream, start]() {
+        // Re-check: the stream may have been shed between the deposit
+        // and the playback boundary.
+        if (!session->playing() && placement_[stream] != Placement::kShed) {
+          session->StartPlayback(start);
+        }
       });
     }
   });
 }
 
+Bytes CacheStreamingServer::EffOffset(std::size_t i) const {
+  return placement_[i] == Placement::kDisk && streams_[i].cached
+             ? streams_[i].backing_offset
+             : streams_[i].offset;
+}
+
+Bytes CacheStreamingServer::EffExtent(std::size_t i) const {
+  return placement_[i] == Placement::kDisk && streams_[i].cached
+             ? streams_[i].backing_extent
+             : streams_[i].extent;
+}
+
 void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
   const Seconds t0 = sim_.Now();
-  if (t0 >= deadline || disk_streams_.empty()) return;
+  if (t0 >= deadline || disk_streams_.empty()) {
+    disk_running_ = false;
+    return;
+  }
 
   std::vector<device::IoSpan> batch;
+  std::vector<std::size_t> serviced;  ///< stream index per batch entry
   batch.reserve(disk_streams_.size());
+  serviced.reserve(disk_streams_.size());
   for (std::size_t i : disk_streams_) {
+    if (placement_[i] == Placement::kShed) continue;
     const auto& s = streams_[i];
     const Bytes io_bytes = s.bit_rate * config_.disk_cycle;
+    const Bytes extent = EffExtent(i);
     Bytes cursor = play_cursor_[i];
-    if (cursor + io_bytes > s.extent) cursor = 0;
+    if (cursor + io_bytes > extent) cursor = 0;
     play_cursor_[i] = cursor + io_bytes;
     batch.push_back(device::IoSpan{
-        static_cast<std::int64_t>(s.offset + cursor), io_bytes});
+        static_cast<std::int64_t>(EffOffset(i) + cursor), io_bytes});
+    serviced.push_back(i);
+  }
+  if (batch.empty()) {
+    disk_running_ = false;
+    return;
   }
 
   const auto order =
@@ -160,13 +209,18 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
     auto st = disk_->Service(batch[pos],
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: validated in Create
-    busy += st.value();
+    Seconds service = st.value();
+    if (config_.faults != nullptr) {
+      // Latency-spike fault: every disk IO in the window pays the extra.
+      service += config_.faults->DiskIoPenalty(t0 + busy);
+    }
+    busy += service;
     last_head_offset_ = batch[pos].offset;
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
-    obs::RecordIo(config_.auditor, disk_streams_[pos], batch[pos].bytes);
-    ScheduleDeposit(disk_streams_[pos], batch[pos].bytes, t0 + busy,
-                    t0 + config_.disk_cycle, disk_->name(), st.value());
+    obs::RecordIo(config_.auditor, serviced[pos], batch[pos].bytes);
+    ScheduleDeposit(serviced[pos], batch[pos].bytes, t0 + busy,
+                    t0 + config_.disk_cycle, disk_->name(), service);
   }
 
   report_.disk_busy += busy;
@@ -186,17 +240,26 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
 
   const Seconds next = t0 + std::max(config_.disk_cycle, busy);
   if (next < deadline) {
+    disk_running_ = true;
     sim_.ScheduleAt(next, [this, deadline]() { RunDiskCycle(deadline); });
+  } else {
+    disk_running_ = false;
   }
 }
 
 void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
   const Seconds t0 = sim_.Now();
-  if (t0 >= deadline || cache_streams_.empty()) return;
+  if (t0 >= deadline || cache_streams_.empty() || cache_halted_) {
+    striped_running_ = false;
+    return;
+  }
 
   const auto k = static_cast<double>(bank_.size());
   Seconds busy = 0;
+  bool any = false;
   for (std::size_t i : cache_streams_) {
+    if (placement_[i] != Placement::kCache) continue;
+    any = true;
     const auto& s = streams_[i];
     const Bytes io_bytes = s.bit_rate * config_.mems_cycle;
     Bytes cursor = play_cursor_[i];
@@ -204,21 +267,33 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
     play_cursor_[i] = cursor + io_bytes;
 
     // Lock-step: every device transfers io_bytes/k at the same relative
-    // location; the elapsed time is the common per-device time.
+    // location; the elapsed time is the common per-device time. Every
+    // stripe needs all k devices (Corollary 3) — with any of them failed
+    // the read yields nothing, so the stream starves unless a
+    // DegradationManager halted the cache and re-planned.
     const device::IoSpan local{
         static_cast<std::int64_t>((s.offset + cursor) / k), io_bytes / k};
     Seconds op_time = 0;
+    bool stripe_ok = true;
     for (auto& dev : bank_) {
       auto st = dev.Service(local, nullptr);
-      if (!st.ok()) continue;  // unreachable: validated in Create
+      if (!st.ok()) {
+        stripe_ok = false;
+        continue;
+      }
       op_time = std::max(op_time, st.value());
     }
     busy += op_time;
+    if (!stripe_ok) continue;
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
     obs::RecordIo(config_.auditor, i, io_bytes);
     ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
                     "mems-striped", op_time);
+  }
+  if (!any) {
+    striped_running_ = false;
+    return;
   }
 
   for (auto& b : device_busy_) b += busy;  // all devices move together
@@ -238,21 +313,28 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
 
   const Seconds next = t0 + std::max(config_.mems_cycle, busy);
   if (next < deadline) {
+    striped_running_ = true;
     sim_.ScheduleAt(next, [this, deadline]() { RunStripedCycle(deadline); });
+  } else {
+    striped_running_ = false;
   }
 }
 
 void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
                                               Seconds deadline) {
   const Seconds t0 = sim_.Now();
-  if (t0 >= deadline) return;
+  if (t0 >= deadline || !device_alive_[dev]) {
+    device_cycle_running_[dev] = false;
+    return;
+  }
 
-  // Device `dev` services every (dev + j*k)-th cached stream.
+  // Device `dev` services its assigned cached streams (initially every
+  // (dev + j*k)-th; rebuilt over alive devices after degradation).
   Seconds busy = 0;
   bool any = false;
-  for (std::size_t j = dev; j < cache_streams_.size(); j += bank_.size()) {
+  for (std::size_t i : replicated_assign_[dev]) {
+    if (placement_[i] != Placement::kCache) continue;
     any = true;
-    const std::size_t i = cache_streams_[j];
     const auto& s = streams_[i];
     const Bytes io_bytes = s.bit_rate * config_.mems_cycle;
     Bytes cursor = play_cursor_[i];
@@ -263,7 +345,7 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
         device::IoSpan{static_cast<std::int64_t>(s.offset + cursor),
                        io_bytes},
         nullptr);
-    if (!st.ok()) continue;  // unreachable: validated in Create
+    if (!st.ok()) continue;  // failed device: loop exits via device_alive_
     busy += st.value();
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
@@ -271,7 +353,10 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
     ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
                     bank_[dev].name(), st.value());
   }
-  if (!any) return;
+  if (!any) {
+    device_cycle_running_[dev] = false;
+    return;
+  }
 
   device_busy_[dev] += busy;
   report_.mems_busy += busy;
@@ -292,9 +377,263 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
 
   const Seconds next = t0 + std::max(config_.mems_cycle, busy);
   if (next < deadline) {
+    device_cycle_running_[dev] = true;
     sim_.ScheduleAt(next, [this, dev, deadline]() {
       RunReplicatedCycle(dev, deadline);
     });
+  } else {
+    device_cycle_running_[dev] = false;
+  }
+}
+
+void CacheStreamingServer::CushionDeposit(std::size_t i, Bytes target_level) {
+  const Seconds now = sim_.Now();
+  const Bytes level = sessions_[i].LevelAt(now);
+  if (level >= target_level) return;
+  const Bytes bytes = target_level - level;
+  sessions_[i].Deposit(now, bytes);
+  if (trace_ != nullptr) {
+    trace_->Append({now, sim::TraceKind::kNote, "degradation",
+                    sessions_[i].id(), bytes, "transition prefetch"});
+  }
+}
+
+void CacheStreamingServer::TransitionStream(std::size_t i, Placement target) {
+  const Placement from = placement_[i];
+  if (from == target) return;
+  const Seconds now = sim_.Now();
+  placement_[i] = target;
+  fault::FaultInjector* faults = config_.faults;
+
+  if (target == Placement::kShed) {
+    sessions_[i].PausePlayback(now);
+    if (config_.auditor != nullptr) config_.auditor->SetStreamActive(i, false);
+    if (faults != nullptr) {
+      faults->RecordShed(sessions_[i].id(), now, report_.mems_cycles);
+    }
+    if (from == Placement::kDisk) {
+      disk_streams_.erase(
+          std::remove(disk_streams_.begin(), disk_streams_.end(), i),
+          disk_streams_.end());
+    }
+    return;
+  }
+
+  if (from == Placement::kShed) {
+    if (config_.auditor != nullptr) config_.auditor->SetStreamActive(i, true);
+    if (faults != nullptr) faults->RecordReadmit(sessions_[i].id(), now);
+  }
+
+  if (target == Placement::kDisk) {
+    disk_streams_.push_back(i);
+    if (config_.auditor != nullptr) {
+      config_.auditor->SetStreamDomain(i, obs::QosDomain::kDisk);
+    }
+    // The stream keeps playing across the switch; bridge the gap until
+    // its first disk-cycle deposit (up to one full boundary + batch).
+    if (sessions_[i].playing()) {
+      CushionDeposit(i, config_.dram_bound_factor * streams_[i].bit_rate *
+                            config_.disk_cycle);
+    }
+  } else {  // back to the cache path
+    if (from == Placement::kDisk) {
+      disk_streams_.erase(
+          std::remove(disk_streams_.begin(), disk_streams_.end(), i),
+          disk_streams_.end());
+    }
+    if (config_.auditor != nullptr) {
+      config_.auditor->SetStreamDomain(i, obs::QosDomain::kMems, 0);
+    }
+  }
+}
+
+void CacheStreamingServer::RestartServiceLoops() {
+  const Seconds now = sim_.Now();
+  if (now >= horizon_) return;
+  bool any_cached = false;
+  for (std::size_t i : cache_streams_) {
+    if (placement_[i] == Placement::kCache) any_cached = true;
+  }
+  if (config_.policy == model::CachePolicy::kReplicated) {
+    // Re-spread the active cached streams round-robin over alive devices
+    // (the paper's load balance, applied to the surviving bank).
+    for (auto& a : replicated_assign_) a.clear();
+    std::vector<std::size_t> alive;
+    for (std::size_t d = 0; d < bank_.size(); ++d) {
+      if (device_alive_[d]) alive.push_back(d);
+    }
+    if (!alive.empty()) {
+      std::size_t next = 0;
+      for (std::size_t i : cache_streams_) {
+        if (placement_[i] != Placement::kCache) continue;
+        const std::size_t dev = alive[next % alive.size()];
+        replicated_assign_[dev].push_back(i);
+        if (config_.auditor != nullptr) {
+          config_.auditor->SetStreamDomain(
+              i, obs::QosDomain::kMems, static_cast<std::int64_t>(dev));
+        }
+        ++next;
+      }
+      for (std::size_t dev : alive) {
+        if (!replicated_assign_[dev].empty() &&
+            !device_cycle_running_[dev]) {
+          device_cycle_running_[dev] = true;
+          sim_.ScheduleAt(now, [this, dev]() {
+            RunReplicatedCycle(dev, horizon_);
+          });
+        }
+      }
+    }
+  } else if (any_cached && !cache_halted_ && !striped_running_) {
+    striped_running_ = true;
+    sim_.ScheduleAt(now, [this]() { RunStripedCycle(horizon_); });
+  }
+  if (!disk_streams_.empty() && !disk_running_) {
+    disk_running_ = true;
+    sim_.ScheduleAt(now, [this]() { RunDiskCycle(horizon_); });
+  }
+}
+
+void CacheStreamingServer::ApplyReplan(const fault::FaultEvent& cause) {
+  if (config_.degradation == nullptr) return;
+  const Seconds now = sim_.Now();
+
+  std::int64_t alive = 0;
+  double rate_scale = 1.0;
+  for (std::size_t d = 0; d < bank_.size(); ++d) {
+    if (!device_alive_[d]) continue;
+    ++alive;
+    rate_scale = std::min(rate_scale, bank_[d].rate_scale());
+  }
+  const fault::CacheReplan plan =
+      config_.degradation->Replan(alive, rate_scale);
+  if (config_.faults != nullptr) {
+    config_.faults->RecordReplan(cause, now, plan.action);
+  }
+  cache_halted_ = plan.cache_down;
+
+  const Seconds old_mems_cycle = config_.mems_cycle;
+  const Seconds old_disk_cycle = config_.disk_cycle;
+  if (plan.retained > 0 && plan.mems_cycle > 0) {
+    config_.mems_cycle = plan.mems_cycle;
+    if (config_.auditor != nullptr) {
+      config_.auditor->SetMemsCycle(plan.mems_cycle);
+    }
+  }
+  if (plan.to_disk > 0 && plan.disk_cycle > 0) {
+    config_.disk_cycle = plan.disk_cycle;
+    if (config_.auditor != nullptr) {
+      config_.auditor->SetDiskCycle(plan.disk_cycle);
+    }
+    if (config_.disk_cycle > old_disk_cycle) {
+      // The longer degraded disk cycle also stretches the deposit gap of
+      // the streams already on the disk path; bridge it and let their
+      // audited bound track the cushioned level.
+      for (std::size_t i = 0; i < streams_.size(); ++i) {
+        if (streams_[i].cached) continue;
+        if (sessions_[i].playing()) {
+          CushionDeposit(i, config_.dram_bound_factor *
+                                streams_[i].bit_rate * config_.disk_cycle);
+        }
+        SetTransitionBound(i, config_.disk_cycle, old_disk_cycle);
+      }
+    }
+  }
+
+  // Place each cached stream: the first `retained` stay on the cache,
+  // the next `to_disk` with a disk-resident copy fall back, the rest are
+  // shed (deterministic: spec order, so the highest-indexed cached
+  // streams are shed first when the plan keeps a prefix).
+  std::int64_t cache_quota = plan.retained;
+  std::int64_t disk_quota = plan.to_disk;
+  for (std::size_t i : cache_streams_) {
+    // One deposit of the stream's pre-plan schedule may still be in
+    // flight; its cycle length feeds the transition bound below.
+    const Seconds carry = placement_[i] == Placement::kCache
+                              ? old_mems_cycle
+                              : placement_[i] == Placement::kDisk
+                                    ? old_disk_cycle
+                                    : 0;
+    if (cache_quota > 0) {
+      --cache_quota;
+      TransitionStream(i, Placement::kCache);
+      // Longer degraded cycles leave a deposit gap at the switch; the
+      // re-plan bridges it with the slack-funded prefetch.
+      if (config_.mems_cycle > old_mems_cycle && sessions_[i].playing()) {
+        CushionDeposit(i, streams_[i].bit_rate * config_.mems_cycle);
+      }
+      SetTransitionBound(i, config_.mems_cycle, carry);
+    } else if (disk_quota > 0 && streams_[i].backing_extent > 0) {
+      --disk_quota;
+      TransitionStream(i, Placement::kDisk);
+      SetTransitionBound(i, config_.disk_cycle, carry);
+    } else {
+      TransitionStream(i, Placement::kShed);
+    }
+  }
+
+  // The re-plan just re-sized per-stream buffers; the audited total
+  // budget is their sum (shed streams keep their frozen sizing).
+  if (config_.auditor != nullptr) {
+    Bytes total = 0;
+    for (Bytes b : audited_bound_) total += b;
+    config_.auditor->SetDramTotalBound(total);
+  }
+
+  RestartServiceLoops();
+}
+
+void CacheStreamingServer::SetTransitionBound(std::size_t i, Seconds cycle,
+                                              Seconds carry_cycle) {
+  if (config_.auditor == nullptr || config_.dram_bound_factor <= 0) return;
+  // Double-buffer bound on top of whatever the transition left in the
+  // buffer (cushions + old-cycle deposits). Deposits land at IO
+  // completion, so the old schedule can still deliver one
+  // carry_cycle-sized batch after this re-plan ran; the bound admits it
+  // and converges back to factor * B̄ * T once the carried bytes drain.
+  const Bytes bound = sessions_[i].LevelAt(sim_.Now()) +
+                      config_.dram_bound_factor * streams_[i].bit_rate * cycle +
+                      streams_[i].bit_rate * carry_cycle;
+  audited_bound_[i] = bound;
+  config_.auditor->SetStreamDramBound(i, bound);
+}
+
+void CacheStreamingServer::ApplyFaultEvent(const fault::FaultEvent& e) {
+  const auto dev = static_cast<std::size_t>(e.device < 0 ? 0 : e.device);
+  switch (e.kind) {
+    case fault::FaultKind::kMemsTipLoss:
+      if (dev < bank_.size()) bank_[dev].ApplyTipLoss(e.magnitude);
+      ApplyReplan(e);
+      break;
+    case fault::FaultKind::kMemsDeviceFail:
+      if (dev < bank_.size()) {
+        bank_[dev].SetFailed(true);
+        device_alive_[dev] = false;
+      }
+      ApplyReplan(e);
+      break;
+    case fault::FaultKind::kMemsDeviceRepair: {
+      if (dev < bank_.size()) {
+        bank_[dev].SetFailed(false);
+        device_alive_[dev] = true;
+      }
+      if (config_.policy == model::CachePolicy::kStriped &&
+          config_.degradation != nullptr) {
+        // Striped content was lost with the device: the stripes must be
+        // refilled from disk before cache service resumes.
+        const Seconds ready =
+            sim_.Now() + config_.degradation->config().refill_delay;
+        if (ready < horizon_) {
+          sim_.ScheduleAt(ready, [this, e]() { ApplyReplan(e); });
+        }
+      } else {
+        ApplyReplan(e);
+      }
+      break;
+    }
+    case fault::FaultKind::kDiskLatencySpike:
+    case fault::FaultKind::kDramPressure:
+      break;  // window faults act through the injector's time queries
   }
 }
 
@@ -302,24 +641,43 @@ Status CacheStreamingServer::Run(Seconds duration) {
   if (ran_) return Status::FailedPrecondition("Run() may be called once");
   if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
   ran_ = true;
+  horizon_ = duration;
+  // Mirror the auditor's initial per-stream sizings (media_server seeds
+  // them as factor * B̄ * T of each stream's domain) so re-plans can
+  // re-derive the total DRAM budget from the bounds they install.
+  audited_bound_.resize(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    audited_bound_[i] =
+        config_.dram_bound_factor * streams_[i].bit_rate *
+        (streams_[i].cached ? config_.mems_cycle : config_.disk_cycle);
+  }
 
   if (!disk_streams_.empty()) {
+    disk_running_ = true;
     MEMSTREAM_RETURN_IF_ERROR(
         sim_.Schedule(0, [this, duration]() { RunDiskCycle(duration); }));
   }
   if (!cache_streams_.empty()) {
     if (config_.policy == model::CachePolicy::kStriped) {
+      striped_running_ = true;
       MEMSTREAM_RETURN_IF_ERROR(sim_.Schedule(
           0, [this, duration]() { RunStripedCycle(duration); }));
     } else {
       for (std::size_t d = 0; d < bank_.size(); ++d) {
+        if (replicated_assign_[d].empty()) continue;
+        device_cycle_running_[d] = true;
         MEMSTREAM_RETURN_IF_ERROR(sim_.Schedule(
             0, [this, d, duration]() { RunReplicatedCycle(d, duration); }));
       }
     }
   }
+  if (config_.faults != nullptr) {
+    MEMSTREAM_RETURN_IF_ERROR(config_.faults->ScheduleIn(
+        sim_, [this](const fault::FaultEvent& e) { ApplyFaultEvent(e); }));
+  }
   auto processed = sim_.Run(duration);
   MEMSTREAM_RETURN_IF_ERROR(processed.status());
+  if (config_.faults != nullptr) config_.faults->Finalize(duration);
 
   report_.horizon = duration;
   report_.disk_utilization =

@@ -15,6 +15,8 @@
 #include "device/disk.h"
 #include "device/disk_scheduler.h"
 #include "device/mems_device.h"
+#include "fault/degradation.h"
+#include "fault/fault_injector.h"
 #include "model/mems_cache.h"
 #include "obs/metrics.h"
 #include "obs/qos_auditor.h"
@@ -36,6 +38,12 @@ struct CacheStreamSpec {
   bool cached = false;
   Bytes offset = 0;
   Bytes extent = 0;
+  /// Disk-resident copy of a cached stream's content, used when
+  /// degradation falls the stream back to the disk path (striped bank
+  /// lost a device). backing_extent == 0 means no disk copy: the stream
+  /// must be shed instead of falling back. Ignored for uncached streams.
+  Bytes backing_offset = 0;
+  Bytes backing_extent = 0;
 };
 
 /// Knobs of the cache server. Obtain the cycles from model::IoCycleLength
@@ -60,6 +68,21 @@ struct CacheServerConfig {
   obs::QosAuditor* auditor = nullptr;
   /// Optional timeline recorder: per-stream DRAM occupancy. Not owned.
   obs::TimelineRecorder* timelines = nullptr;
+  /// Optional fault injection: the plan's device faults are applied to
+  /// the bank (tip loss, fail, repair) and disk IOs pay the spike
+  /// penalty. Not owned; must outlive the server.
+  fault::FaultInjector* faults = nullptr;
+  /// Optional graceful degradation: on every device fault the manager
+  /// re-solves the Theorem 3/4 sizing for the degraded bank and the
+  /// server applies the verdict — reshape the MEMS cycle, shed the
+  /// fewest streams (re-admitting them on repair), or fall cached
+  /// streams back to the disk path. Null = faults hit an unmanaged
+  /// server (the ablation baseline). Not owned.
+  const fault::DegradationManager* degradation = nullptr;
+  /// DRAM-bound factor the auditor was registered with (bound =
+  /// factor * B̄ * cycle); re-plans resize the audited bounds with the
+  /// same factor. 0 disables bound updates.
+  double dram_bound_factor = 2.0;
 };
 
 /// Post-run statistics, split by side.
@@ -109,6 +132,33 @@ class CacheStreamingServer {
                        Seconds boundary, const std::string& actor,
                        Seconds service);
 
+  // --- fault / degradation machinery ---
+
+  /// Where degradation placed a cached stream.
+  enum class Placement { kCache, kDisk, kShed };
+
+  /// Reacts to one device-scoped fault event at its simulated time.
+  void ApplyFaultEvent(const fault::FaultEvent& e);
+  /// Re-solves the plan for the current bank state and applies it.
+  void ApplyReplan(const fault::FaultEvent& cause);
+  /// Moves cached stream `i` to `target`, with ledger + auditor updates.
+  void TransitionStream(std::size_t i, Placement target);
+  /// Tops stream `i`'s buffer up to `target_level` (emergency prefetch
+  /// from the degraded plan's slack; not an audited scheduled IO).
+  void CushionDeposit(std::size_t i, Bytes target_level);
+  /// Re-arms stream `i`'s audited DRAM bound for its new cycle domain:
+  /// the current level, plus the new double-buffer allowance, plus one
+  /// `carry_cycle`-sized deposit the old schedule may still have in
+  /// flight (deposits land at IO completion, after the re-plan ran).
+  void SetTransitionBound(std::size_t i, Seconds cycle, Seconds carry_cycle);
+  /// Rebuilds the per-device replicated assignment over alive devices
+  /// and restarts any cycle loop that went idle.
+  void RestartServiceLoops();
+  /// Offset/extent of stream `i`'s current content location (backing
+  /// copy while a cached stream is disk-fallback placed).
+  Bytes EffOffset(std::size_t i) const;
+  Bytes EffExtent(std::size_t i) const;
+
   device::DiskDrive* disk_;
   std::vector<device::MemsDevice> bank_;
   std::vector<CacheStreamSpec> streams_;
@@ -124,6 +174,18 @@ class CacheStreamingServer {
   std::int64_t last_head_offset_ = 0;
   CacheServerReport report_;
   bool ran_ = false;
+  // Degradation state (all no-ops when config_.faults is null).
+  std::vector<bool> device_alive_;      ///< per MEMS device
+  std::vector<Placement> placement_;    ///< per stream (kCache if cached)
+  std::vector<std::vector<std::size_t>> replicated_assign_;  ///< per device
+  std::vector<bool> device_cycle_running_;  ///< replicated loop active
+  bool striped_running_ = false;
+  bool disk_running_ = false;
+  bool cache_halted_ = false;  ///< striped content lost / bank dead
+  Seconds horizon_ = 0;
+  /// Per-stream audited DRAM bound mirror: re-plans re-derive the total
+  /// budget as the sum of the per-stream sizings they just installed.
+  std::vector<Bytes> audited_bound_;
   // Telemetry handles (null when config_.metrics is null).
   obs::HistogramMetric* disk_slack_hist_ = nullptr;
   obs::HistogramMetric* mems_slack_hist_ = nullptr;

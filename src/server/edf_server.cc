@@ -131,8 +131,12 @@ void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
       config_.deterministic ? nullptr : &rng_);
   if (!service.ok()) return;  // unreachable: validated in Create
   busy_ = true;
-  const Seconds done = now + service.value();
-  report_.total_busy += service.value();
+  Seconds service_time = service.value();
+  if (config_.faults != nullptr) {
+    service_time += config_.faults->DiskIoPenalty(now);
+  }
+  const Seconds done = now + service_time;
+  report_.total_busy += service_time;
   ++report_.ios_completed;
   obs::Increment(ios_metric_);
   obs::RecordIo(config_.auditor, chosen, io_bytes);
@@ -177,8 +181,12 @@ Status EdfStreamingServer::Run(Seconds duration) {
 
   MEMSTREAM_RETURN_IF_ERROR(
       sim_.Schedule(0, [this, duration]() { ServiceNext(duration); }));
+  if (config_.faults != nullptr) {
+    MEMSTREAM_RETURN_IF_ERROR(config_.faults->ScheduleIn(sim_, nullptr));
+  }
   auto processed = sim_.Run(duration);
   MEMSTREAM_RETURN_IF_ERROR(processed.status());
+  if (config_.faults != nullptr) config_.faults->Finalize(duration);
 
   report_.horizon = duration;
   report_.device_utilization =

@@ -21,6 +21,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "device/disk.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/qos_auditor.h"
 #include "obs/timeline.h"
@@ -48,6 +49,9 @@ struct EdfServerConfig {
   obs::QosAuditor* auditor = nullptr;
   /// Optional timeline recorder: per-stream DRAM occupancy. Not owned.
   obs::TimelineRecorder* timelines = nullptr;
+  /// Optional fault injection: disk IOs pay the plan's latency-spike
+  /// penalty; device-scoped faults are observed only. Not owned.
+  fault::FaultInjector* faults = nullptr;
 };
 
 /// EDF statistics (a ServerReport subset plus scheduling counters).

@@ -70,6 +70,17 @@ std::shared_ptr<obs::QosAuditor> MakeAuditor(const MediaServerConfig& config,
   return std::make_shared<obs::QosAuditor>(qc);
 }
 
+/// Builds the run's injector when the config schedules faults.
+std::shared_ptr<fault::FaultInjector> MakeInjector(
+    const MediaServerConfig& config) {
+  if (config.fault_plan.empty()) return nullptr;
+  fault::FaultInjectorConfig fc;
+  fc.metrics = config.metrics;
+  fc.trace = config.trace;
+  fc.warn_stream = config.fault_warn_stream;
+  return std::make_shared<fault::FaultInjector>(config.fault_plan, fc);
+}
+
 Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
   auto disk = device::DiskDrive::Create(config.disk);
   MEMSTREAM_RETURN_IF_ERROR(disk.status());
@@ -103,6 +114,8 @@ Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
     auditor->Seal();
   }
   server_config.auditor = auditor.get();
+  auto faults = MakeInjector(config);
+  server_config.faults = faults.get();
   auto server = DirectStreamingServer::Create(&disk.value(),
                                               std::move(streams),
                                               server_config, config.trace);
@@ -119,6 +132,7 @@ Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
   out.disk_utilization = report.device_utilization;
   out.ios_completed = report.ios_completed;
   out.auditor = std::move(auditor);
+  out.faults = std::move(faults);
   return out;
 }
 
@@ -180,6 +194,8 @@ Result<MediaServerResult> RunBuffer(const MediaServerConfig& config) {
     auditor->Seal();
   }
   server_config.auditor = auditor.get();
+  auto faults = MakeInjector(config);
+  server_config.faults = faults.get();
   auto server = MemsPipelineServer::Create(&disk.value(), std::move(bank),
                                            std::move(streams), server_config,
                                            config.trace);
@@ -200,6 +216,7 @@ Result<MediaServerResult> RunBuffer(const MediaServerConfig& config) {
   out.mems_utilization = report.mems_utilization;
   out.ios_completed = report.ios_completed;
   out.auditor = std::move(auditor);
+  out.faults = std::move(faults);
   return out;
 }
 
@@ -284,6 +301,38 @@ Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
     }
   }
 
+  auto faults = MakeInjector(config);
+  std::shared_ptr<fault::DegradationManager> degradation;
+  if (faults != nullptr && config.degrade) {
+    // Cached content also lives on disk (it was staged from there), so
+    // degradation can fall cached streams back to the Theorem 1 path.
+    if (n_cache > 0) {
+      const Seconds eff_disk_cycle = disk_cycle > 0 ? disk_cycle : 1.0;
+      const Bytes io = config.bit_rate * eff_disk_cycle;
+      auto backing = PlaceStreams(n_cache, config.bit_rate,
+                                  disk.value().Capacity(), 2 * io);
+      for (std::int64_t j = 0; j < n_cache; ++j) {
+        auto& spec = streams[static_cast<std::size_t>(n_disk + j)];
+        spec.backing_offset = backing[static_cast<std::size_t>(j)].disk_offset;
+        spec.backing_extent = backing[static_cast<std::size_t>(j)].extent;
+      }
+    }
+    fault::DegradationConfig dc;
+    dc.policy = config.cache_policy;
+    dc.k = config.k;
+    dc.bit_rate = config.bit_rate;
+    dc.mems = mems_profile;
+    // Size the fallback against the worst case: every stream on disk.
+    dc.disk = model::DiskProfileConservative(disk.value(), config.num_streams);
+    dc.n_disk = n_disk;
+    dc.n_cache = n_cache;
+    dc.refill_delay = config.fault_refill_delay;
+    auto dm = fault::DegradationManager::Create(dc);
+    MEMSTREAM_RETURN_IF_ERROR(dm.status());
+    degradation =
+        std::make_shared<fault::DegradationManager>(std::move(dm).value());
+  }
+
   CacheServerConfig server_config;
   server_config.disk_cycle = disk_cycle > 0 ? disk_cycle : 1.0;
   server_config.mems_cycle = mems_cycle > 0 ? mems_cycle : 1.0;
@@ -321,6 +370,8 @@ Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
     auditor->Seal();
   }
   server_config.auditor = auditor.get();
+  server_config.faults = faults.get();
+  server_config.degradation = degradation.get();
   auto server = CacheStreamingServer::Create(
       &disk.value(), std::move(bank), std::move(streams), server_config,
       config.trace);
@@ -332,6 +383,7 @@ Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
   out.mems_cycle = mems_cycle;
   out.qos = report.qos;
   out.auditor = std::move(auditor);
+  out.faults = std::move(faults);
   out.cycle_overruns = report.disk_overruns + report.mems_overruns;
   out.sim_peak_dram = report.peak_dram_demand;
   out.disk_utilization = report.disk_utilization;
@@ -398,6 +450,7 @@ obs::RunReport BuildRunReport(const MediaServerConfig& config,
   report.metrics = metrics;
   report.qos = result.auditor.get();
   report.timelines = config.timelines;
+  if (result.faults != nullptr) report.faults = &result.faults->block();
   if (config.trace != nullptr) {
     report.trace_dropped_records = config.trace->dropped_records();
   }

@@ -12,6 +12,9 @@
 
 #include "common/status.h"
 #include "device/device_catalog.h"
+#include "fault/degradation.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "model/mems_buffer.h"
 #include "model/mems_cache.h"
 #include "obs/metrics.h"
@@ -69,6 +72,22 @@ struct MediaServerConfig {
   /// DRAM occupancy (and device series where it has them). Not owned;
   /// must outlive the call.
   obs::TimelineRecorder* timelines = nullptr;
+  /// Optional fault schedule (empty = fault-free run). The facade builds
+  /// a fault::FaultInjector over it and wires it through the chosen
+  /// server; the result carries the injector (and its report block).
+  fault::FaultPlan fault_plan;
+  /// kMemsCache only: when true (the default) a DegradationManager is
+  /// built from the run's own analytic sizing, so device faults trigger
+  /// online re-planning (reshape / shed-fewest / disk-fallback) and
+  /// cached streams get disk-resident backing copies. False = faults
+  /// strike an unmanaged server (the ablation baseline).
+  bool degrade = true;
+  /// Striped repair-to-service delay: time to refill the stripes from
+  /// disk after a repair, before cache service resumes.
+  Seconds fault_refill_delay = 1.0;
+  /// Stream for the injector's structured burst-drop warning (null =
+  /// std::cerr). Not owned.
+  std::ostream* fault_warn_stream = nullptr;
 };
 
 /// Analytic sizing and simulated outcome of one run.
@@ -89,6 +108,11 @@ struct MediaServerResult {
   /// tallies, Summary(). Shared so the result stays copyable and
   /// BuildRunReport can embed it.
   std::shared_ptr<obs::QosAuditor> auditor;
+  /// The fault injector the run was wired through (null when
+  /// config.fault_plan was empty): the finalized faults block —
+  /// timeline, re-plans, shed/re-admit ledger, burst-drop accounting —
+  /// for BuildRunReport's "faults" object.
+  std::shared_ptr<fault::FaultInjector> faults;
 };
 
 /// Sizes, builds, simulates, reports. Returns the first infeasibility the

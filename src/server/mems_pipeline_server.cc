@@ -170,8 +170,11 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
     auto st = disk_->Service(batch[idx],
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: validated in Create
-    busy += st.value();
-    const Seconds service = st.value();
+    Seconds service = st.value();
+    if (config_.faults != nullptr) {
+      service += config_.faults->DiskIoPenalty(t0 + busy);
+    }
+    busy += service;
     last_head_offset_ = batch[idx].offset;
     const Seconds done = t0 + busy;
     const Bytes bytes = batch[idx].bytes;
@@ -528,8 +531,34 @@ Status MemsPipelineServer::Run(Seconds duration) {
           [this, d, duration]() { RunMemsCycle(d, duration); }));
     }
   }
+  if (config_.faults != nullptr) {
+    // Device faults act directly on the bank: tip loss slows the device,
+    // fail makes Service() return Unavailable until the paired repair.
+    MEMSTREAM_RETURN_IF_ERROR(config_.faults->ScheduleIn(
+        sim_, [this](const fault::FaultEvent& e) {
+          if (e.device < 0 ||
+              static_cast<std::size_t>(e.device) >= bank_.size()) {
+            return;
+          }
+          auto& dev = bank_[static_cast<std::size_t>(e.device)];
+          switch (e.kind) {
+            case fault::FaultKind::kMemsTipLoss:
+              dev.ApplyTipLoss(e.magnitude);
+              break;
+            case fault::FaultKind::kMemsDeviceFail:
+              dev.SetFailed(true);
+              break;
+            case fault::FaultKind::kMemsDeviceRepair:
+              dev.SetFailed(false);
+              break;
+            default:
+              break;
+          }
+        }));
+  }
   auto processed = sim_.Run(duration);
   MEMSTREAM_RETURN_IF_ERROR(processed.status());
+  if (config_.faults != nullptr) config_.faults->Finalize(duration);
 
   report_.horizon = duration;
   report_.disk_utilization =

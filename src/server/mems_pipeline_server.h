@@ -27,6 +27,7 @@
 #include "device/disk.h"
 #include "device/disk_scheduler.h"
 #include "device/mems_device.h"
+#include "fault/fault_injector.h"
 #include "model/mems_buffer.h"
 #include "obs/metrics.h"
 #include "obs/qos_auditor.h"
@@ -66,6 +67,11 @@ struct MemsPipelineConfig {
   /// Optional timeline recorder: per-stream DRAM occupancy and
   /// per-device MEMS occupancy series. Not owned.
   obs::TimelineRecorder* timelines = nullptr;
+  /// Optional fault injection: disk IOs pay the latency-spike penalty,
+  /// MEMS tip loss slows the affected device, and a failed device stops
+  /// servicing until its repair (its streams starve — the pipeline has
+  /// no degradation manager; that is the cache server's job). Not owned.
+  fault::FaultInjector* faults = nullptr;
 };
 
 /// Post-run statistics of the pipeline.

@@ -38,6 +38,13 @@ void StreamSession::StartPlayback(Seconds now) {
   playing_ = true;
 }
 
+void StreamSession::PausePlayback(Seconds now) {
+  Advance(now);
+  playing_ = false;
+  dry_ = false;  // a pause ends any dry excursion; shed time is accounted
+                 // separately by the fault layer
+}
+
 Bytes StreamSession::LevelAt(Seconds now) {
   Advance(now);
   return level_;

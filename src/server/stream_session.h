@@ -29,6 +29,12 @@ class StreamSession {
   /// Starts the consumption clock (idempotent).
   void StartPlayback(Seconds now);
 
+  /// Stops the consumption clock after draining up to `now` — used when
+  /// degradation sheds the stream. The viewer is told to rebuffer, so
+  /// time spent paused does not accrue underflow; playback resumes via
+  /// StartPlayback() (normally at the re-admission deposit boundary).
+  void PausePlayback(Seconds now);
+
   /// Buffer level after draining up to `now` (also advances the lazy
   /// state and accrues underflow time).
   Bytes LevelAt(Seconds now);

@@ -130,8 +130,11 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
     auto st = disk_->Service(batch[idx],
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: offsets validated in Create
-    busy += st.value();
-    const Seconds service = st.value();
+    Seconds service = st.value();
+    if (config_.faults != nullptr) {
+      service += config_.faults->DiskIoPenalty(t0 + busy);
+    }
+    busy += service;
     const Seconds done = t0 + busy;
     last_head_offset_ = batch[idx].offset;
     ++report_.ios_completed;
@@ -244,8 +247,14 @@ Status DirectStreamingServer::Run(Seconds duration) {
   for (auto& recording : record_sessions_) recording.StartRecording(0);
   MEMSTREAM_RETURN_IF_ERROR(
       sim_.Schedule(0, [this, duration]() { RunCycle(duration); }));
+  if (config_.faults != nullptr) {
+    // No MEMS bank here: device-scoped faults are observed (trace +
+    // metrics) but only the disk-spike windows change behaviour.
+    MEMSTREAM_RETURN_IF_ERROR(config_.faults->ScheduleIn(sim_, nullptr));
+  }
   auto processed = sim_.Run(duration);
   MEMSTREAM_RETURN_IF_ERROR(processed.status());
+  if (config_.faults != nullptr) config_.faults->Finalize(duration);
 
   report_.horizon = duration;
   // The final cycle's batch may finish past the horizon; clamp so the

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "device/disk.h"
 #include "device/disk_scheduler.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/qos_auditor.h"
 #include "obs/timeline.h"
@@ -76,6 +77,10 @@ struct DirectServerConfig {
   /// cycle-utilization series. Null costs one pointer test per sample.
   /// Not owned.
   obs::TimelineRecorder* timelines = nullptr;
+  /// Optional fault injection: disk IOs pay the plan's latency-spike
+  /// penalty; device-scoped faults are observed only (no MEMS bank).
+  /// Not owned; must outlive the server.
+  fault::FaultInjector* faults = nullptr;
 };
 
 /// Post-run statistics common to all the simulated servers.

@@ -22,6 +22,10 @@ const char* TraceKindName(TraceKind kind) {
       return "buffer-level";
     case TraceKind::kNote:
       return "note";
+    case TraceKind::kFaultStart:
+      return "fault-start";
+    case TraceKind::kFaultEnd:
+      return "fault-end";
   }
   return "?";
 }

@@ -30,6 +30,8 @@ enum class TraceKind {
   kOverflow,      ///< a buffer exceeded its capacity
   kBufferLevel,   ///< per-stream buffer occupancy sample (bytes = level)
   kNote,          ///< free-form annotation
+  kFaultStart,    ///< an injected fault became active (actor = component)
+  kFaultEnd,      ///< a fault cleared / was repaired (duration = window)
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -53,6 +53,31 @@ std::string MakeRunReportJson(const std::string& title, bool violate) {
   return report.ToJson();
 }
 
+/// A run report carrying a "faults" block (a striped outage with one
+/// shed-then-readmitted stream and one still-shed stream).
+std::string MakeFaultyRunReportJson() {
+  FaultsBlock faults;
+  faults.events = 2;
+  faults.repairs = 1;
+  faults.replans = 2;
+  faults.sheds = 2;
+  faults.readmits = 1;
+  faults.dropped_during_burst = 5;
+  faults.total_shed_time = 14.5;
+  faults.timeline.push_back(
+      {10.0, "mems-device-fail", 1, 0.0, "cache down: shed 2"});
+  faults.timeline.push_back({18.0, "mems-device-repair", 1, 0.0, "cleared"});
+  faults.shed_streams.push_back({28, 10.0, 700, 18.5});
+  faults.shed_streams.push_back({29, 10.0, 700, -1.0});
+
+  RunReport report;
+  report.title = "faulty run";
+  report.AddConfig("mode", "mems_cache");
+  report.AddSimulated("underflow_events", 0);
+  report.faults = &faults;
+  return report.ToJson();
+}
+
 TEST(ReportMergeTest, ClassifiesInputsByContent) {
   EXPECT_EQ(ClassifyReportInput(MakeRunReportJson("r", false)),
             ReportInputKind::kRunReport);
@@ -101,6 +126,53 @@ TEST(ReportMergeTest, MergesRunsAndBenchRecordsIntoOneBundle) {
   EXPECT_EQ(deltas[0].key, "dram_total_mb");
   EXPECT_DOUBLE_EQ(deltas[0].delta, 1.0);
   EXPECT_NEAR(deltas[0].rel, 0.05, 1e-12);
+}
+
+TEST(ReportMergeTest, LoadsFaultsBlockAndRendersIt) {
+  ReportBundle bundle;
+  ASSERT_TRUE(
+      AddReportInput("f.json", MakeFaultyRunReportJson(), &bundle).ok());
+  ASSERT_EQ(bundle.runs.size(), 1u);
+  const LoadedRunReport& run = bundle.runs[0];
+  ASSERT_TRUE(run.has_faults);
+  EXPECT_EQ(run.faults.events, 2);
+  EXPECT_EQ(run.faults.repairs, 1);
+  EXPECT_EQ(run.faults.replans, 2);
+  EXPECT_EQ(run.faults.sheds, 2);
+  EXPECT_EQ(run.faults.readmits, 1);
+  EXPECT_EQ(run.faults.dropped_during_burst, 5);
+  EXPECT_DOUBLE_EQ(run.faults.total_shed_time, 14.5);
+  ASSERT_EQ(run.faults.timeline.size(), 2u);
+  EXPECT_EQ(run.faults.timeline[0].kind, "mems-device-fail");
+  EXPECT_EQ(run.faults.timeline[0].device, 1);
+  EXPECT_EQ(run.faults.timeline[0].action, "cache down: shed 2");
+  ASSERT_EQ(run.faults.shed_streams.size(), 2u);
+  EXPECT_EQ(run.faults.shed_streams[0].stream_id, 28);
+  EXPECT_DOUBLE_EQ(run.faults.shed_streams[0].readmit_time, 18.5);
+  EXPECT_LT(run.faults.shed_streams[1].readmit_time, 0);
+
+  const std::string md = RenderMarkdownReport(bundle, "faults");
+  EXPECT_NE(md.find("### Faults"), std::string::npos);
+  EXPECT_NE(md.find("mems-device-fail"), std::string::npos);
+  EXPECT_NE(md.find("cache down: shed 2"), std::string::npos);
+  EXPECT_NE(md.find("| 28 | 10 | 700 | 18.5 |"), std::string::npos);
+  EXPECT_NE(md.find("never"), std::string::npos);
+  EXPECT_NE(md.find("dropped 5 records during fault bursts"),
+            std::string::npos);
+
+  const std::string html = RenderHtmlDashboard(bundle, "faults");
+  EXPECT_NE(html.find("<h3>Faults</h3>"), std::string::npos);
+  EXPECT_NE(html.find("mems-device-fail"), std::string::npos);
+  EXPECT_NE(html.find("2 stream(s) shed"), std::string::npos);
+  EXPECT_NE(html.find("never"), std::string::npos);
+  // Runs without a faults block render no faults section.
+  ReportBundle clean;
+  ASSERT_TRUE(
+      AddReportInput("c.json", MakeRunReportJson("clean", false), &clean)
+          .ok());
+  EXPECT_FALSE(clean.runs[0].has_faults);
+  EXPECT_EQ(RenderMarkdownReport(clean, "t").find("### Faults"),
+            std::string::npos);
 }
 
 TEST(ReportMergeTest, MalformedInputIsAnErrorButKeepsTheBundle) {
