@@ -4,10 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "common/move_only_function.h"
+#include "common/profiler.h"
 #include "common/random.h"
 #include "device/device_catalog.h"
 #include "device/disk_scheduler.h"
@@ -21,6 +27,20 @@
 
 namespace memstream {
 namespace {
+
+/// Heap allocations since process start (global operator new below).
+std::atomic<std::int64_t> g_allocations{0};
+
+/// Attaches an "allocs_per_op" counter to `state`: heap allocations per
+/// loop iteration, measured from `allocs_before`. The perf-trajectory
+/// harness reads this straight out of the --benchmark_out JSON.
+void ReportAllocsPerOp(benchmark::State& state, std::int64_t allocs_before) {
+  const auto delta = static_cast<double>(
+      g_allocations.load(std::memory_order_relaxed) - allocs_before);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(iters > 0 ? delta / iters : 0);
+}
 
 void BM_Theorem1Sizing(benchmark::State& state) {
   model::DeviceProfile disk;
@@ -119,6 +139,8 @@ void BM_EventQueuePushPop(benchmark::State& state) {
     queue.Push(rng.NextDouble(), [&fired] { ++fired; });
   }
   double horizon = 1.0;
+  const std::int64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
   for (auto _ : state) {
     Seconds when = 0;
     auto cb = queue.Pop(&when);
@@ -128,6 +150,7 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(fired);
   state.SetItemsProcessed(state.iterations());
+  ReportAllocsPerOp(state, allocs_before);
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(4096);
 
@@ -280,6 +303,32 @@ void BM_DirectServerAudit(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectServerAudit)->Arg(0)->Arg(1);
 
+// Cost of one PROF_SCOPE region: Arg(0) = profiler disabled (the null
+// sink — one thread-local load and a branch), Arg(1) = enabled (clock
+// reads + node lookup + relaxed counter updates). The disabled arm is
+// what every instrumented hot path pays when nobody asked for a profile.
+void BM_ProfilerScope(benchmark::State& state) {
+  auto& profiler = prof::Profiler::Global();
+  const bool enabled = state.range(0) != 0;
+  profiler.Reset();
+  if (enabled) {
+    profiler.Enable();
+  } else {
+    profiler.Disable();
+  }
+  const std::int64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    PROF_SCOPE("bench.profiler_scope");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportAllocsPerOp(state, allocs_before);
+  profiler.Disable();
+  profiler.Reset();
+}
+BENCHMARK(BM_ProfilerScope)->Arg(0)->Arg(1);
+
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution dist(10000, 1.0);
   Rng rng(3);
@@ -292,4 +341,67 @@ BENCHMARK(BM_ZipfSample);
 }  // namespace
 }  // namespace memstream
 
-BENCHMARK_MAIN();
+// Counting global operator new: the per-op allocation counters above are
+// the same technique the event-core tests use to assert the zero-alloc
+// steady state, promoted to a continuously-tracked bench counter.
+
+// GCC pairs `new` expressions with the free() inside these replaced
+// operators and warns about the malloc/free crossing; it is intentional
+// here — the replacement is malloc-backed on both sides.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  memstream::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  memstream::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+// MEMSTREAM_SMOKE trims this binary the same way it trims the sweep
+// benches: unless the caller already picked a filter/repetition count,
+// run only the event-core + profiler benchmarks once each. ctest's
+// bench-smoke label and memstream-perf both lean on this, so the
+// trimming lives here instead of being duplicated at every call site.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string smoke_filter =
+      "--benchmark_filter=EventQueue|MoveOnlyFunction|ProfilerScope";
+  std::string smoke_reps = "--benchmark_repetitions=1";
+  if (std::getenv("MEMSTREAM_SMOKE") != nullptr) {
+    bool has_filter = false;
+    bool has_reps = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) {
+        has_filter = true;
+      }
+      if (std::strncmp(argv[i], "--benchmark_repetitions", 23) == 0) {
+        has_reps = true;
+      }
+    }
+    if (!has_filter) args.push_back(smoke_filter.data());
+    if (!has_reps) args.push_back(smoke_reps.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

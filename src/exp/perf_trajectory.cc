@@ -1,0 +1,210 @@
+#include "exp/perf_trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_parser.h"
+#include "obs/json_writer.h"
+
+namespace memstream::exp {
+
+namespace {
+
+/// The (bench, kind, smoke) logical key as one comparable string.
+std::string RecordKey(const PerfRecord& r) {
+  return r.bench + "\x1f" + r.kind + (r.smoke ? "\x1f" "s" : "\x1f" "f");
+}
+
+PerfRecord RecordFromJson(const obs::JsonValue& v) {
+  PerfRecord r;
+  r.schema_version =
+      static_cast<std::int64_t>(v.Num("schema_version", kPerfSchemaVersion));
+  r.bench = v.Str("bench");
+  if (const obs::JsonValue* kind = v.Find("kind"); kind != nullptr) {
+    r.kind = kind->string;
+  }
+  if (const obs::JsonValue* smoke = v.Find("smoke"); smoke != nullptr) {
+    r.smoke = smoke->boolean;
+  }
+  r.run = static_cast<std::int64_t>(v.Num("run", 0));
+  r.unix_time = v.Num("unix_time", 0);
+  r.repeats = static_cast<std::int64_t>(v.Num("repeats", 1));
+  r.wall_seconds = v.Num("wall_seconds", 0);
+  r.wall_p50 = v.Num("wall_p50", 0);
+  r.wall_p99 = v.Num("wall_p99", 0);
+  r.events_per_sec = v.Num("events_per_sec", 0);
+  r.allocs_per_event = v.Num("allocs_per_event", -1);
+  return r;
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 0.5);
+}
+
+std::string PerfRecordJson(const PerfRecord& record) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(record.schema_version);
+  w.Key("bench");
+  w.String(record.bench);
+  w.Key("kind");
+  w.String(record.kind);
+  w.Key("smoke");
+  w.Bool(record.smoke);
+  w.Key("run");
+  w.Int(record.run);
+  w.Key("unix_time");
+  w.Number(record.unix_time);
+  w.Key("repeats");
+  w.Int(record.repeats);
+  w.Key("wall_seconds");
+  w.Number(record.wall_seconds);
+  w.Key("wall_p50");
+  w.Number(record.wall_p50);
+  w.Key("wall_p99");
+  w.Number(record.wall_p99);
+  w.Key("events_per_sec");
+  w.Number(record.events_per_sec);
+  w.Key("allocs_per_event");
+  w.Number(record.allocs_per_event);
+  w.EndObject();
+  return w.str();
+}
+
+std::string PerfRecordsJson(const std::vector<PerfRecord>& records) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out += PerfRecordJson(records[i]);
+    if (i + 1 < records.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+Result<std::vector<PerfRecord>> ParsePerfRecords(const std::string& text) {
+  bool ok = false;
+  const obs::JsonValue doc = obs::ParseJson(text, &ok);
+  if (!ok || !doc.is_array()) {
+    return Status::InvalidArgument("not a JSON array of perf records");
+  }
+  std::vector<PerfRecord> records;
+  records.reserve(doc.array.size());
+  for (const auto& v : doc.array) {
+    if (!v.is_object()) {
+      return Status::InvalidArgument("perf record is not an object");
+    }
+    PerfRecord r = RecordFromJson(v);
+    if (r.schema_version > kPerfSchemaVersion) {
+      return Status::InvalidArgument(
+          "perf record schema v" + std::to_string(r.schema_version) +
+          " is newer than this build (v" +
+          std::to_string(kPerfSchemaVersion) + ")");
+    }
+    if (r.bench.empty()) {
+      return Status::InvalidArgument("perf record without a bench name");
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<std::vector<PerfRecord>> LoadPerfRecords(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::vector<PerfRecord>{};
+  std::ostringstream content;
+  content << in.rdbuf();
+  auto parsed = ParsePerfRecords(content.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Status WritePerfRecords(const std::string& path,
+                        const std::vector<PerfRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::Internal("cannot write " + path);
+  out << PerfRecordsJson(records);
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Status AppendPerfRecords(const std::string& path,
+                         std::vector<PerfRecord> records) {
+  auto existing = LoadPerfRecords(path);
+  MEMSTREAM_RETURN_IF_ERROR(existing.status());
+  std::vector<PerfRecord> all = std::move(existing).value();
+  std::int64_t next_run = 1;
+  for (const auto& r : all) next_run = std::max(next_run, r.run + 1);
+  for (auto& r : records) {
+    r.run = next_run;
+    all.push_back(std::move(r));
+  }
+  return WritePerfRecords(path, all);
+}
+
+std::vector<PerfCheck> CheckAgainstBaseline(
+    const std::vector<PerfRecord>& current,
+    const std::vector<PerfRecord>& baseline, double tolerance) {
+  std::vector<PerfCheck> checks;
+  checks.reserve(current.size());
+  for (const auto& cur : current) {
+    PerfCheck check;
+    check.bench = cur.bench;
+    check.kind = cur.kind;
+    check.smoke = cur.smoke;
+    // Latest baseline record for this key (file order = append order).
+    const PerfRecord* base = nullptr;
+    for (const auto& b : baseline) {
+      if (RecordKey(b) == RecordKey(cur)) base = &b;
+    }
+    if (base == nullptr) {
+      check.detail = "no baseline";
+      checks.push_back(std::move(check));
+      continue;
+    }
+    check.found_baseline = true;
+    if (cur.events_per_sec > 0 && base->events_per_sec > 0) {
+      check.metric = "events_per_sec";
+      check.baseline = base->events_per_sec;
+      check.current = cur.events_per_sec;
+      check.ratio = base->events_per_sec / cur.events_per_sec;
+    } else if (cur.wall_seconds > 0 && base->wall_seconds > 0) {
+      check.metric = "wall_seconds";
+      check.baseline = base->wall_seconds;
+      check.current = cur.wall_seconds;
+      check.ratio = cur.wall_seconds / base->wall_seconds;
+    } else {
+      check.detail = "no comparable metric";
+      checks.push_back(std::move(check));
+      continue;
+    }
+    check.ok = check.ratio <= tolerance;
+    std::ostringstream detail;
+    detail << check.metric << " " << check.current << " vs baseline "
+           << check.baseline << " (x" << check.ratio << " slowdown, limit x"
+           << tolerance << ")";
+    check.detail = detail.str();
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+}  // namespace memstream::exp

@@ -1,0 +1,99 @@
+// Perf-trajectory records: the schema behind tools/memstream-perf and
+// bench_results/BENCH_trajectory.json. Each harness invocation appends
+// one record per bench (median-of-K wall clock, events/s, percentiles,
+// allocs/event when measured), so the file accumulates a perf history
+// across PRs; committed baselines (bench/baselines/*.json) reuse the
+// same record format and CheckAgainstBaseline() turns the comparison
+// into a CI gate.
+
+#ifndef MEMSTREAM_EXP_PERF_TRAJECTORY_H_
+#define MEMSTREAM_EXP_PERF_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace memstream::exp {
+
+/// Bump when the record layout changes incompatibly. Readers reject
+/// records from a NEWER schema; older records load with defaults for
+/// fields they predate.
+inline constexpr std::int64_t kPerfSchemaVersion = 1;
+
+/// One bench's cost from one harness invocation. The logical key is
+/// (bench, kind, smoke): smoke runs are not comparable to full runs, so
+/// they carry their own baselines.
+struct PerfRecord {
+  std::int64_t schema_version = kPerfSchemaVersion;
+  std::string bench;           ///< bench binary or micro-benchmark name
+  std::string kind = "sweep";  ///< "sweep" | "micro"
+  bool smoke = false;          ///< ran under MEMSTREAM_SMOKE trimming
+  std::int64_t run = 0;        ///< harness invocation number (stamped on append)
+  double unix_time = 0;        ///< seconds since epoch; 0 = unknown
+  std::int64_t repeats = 1;    ///< K in median-of-K
+  double wall_seconds = 0;     ///< median of the K walls
+  double wall_p50 = 0;
+  double wall_p99 = 0;
+  double events_per_sec = 0;     ///< median of K; 0 = not measured
+  double allocs_per_event = -1;  ///< heap allocations per event; -1 = n/a
+};
+
+/// Linear-interpolation percentile of `values` at q in [0, 1]; 0 for an
+/// empty input. Takes a copy because it sorts.
+double Percentile(std::vector<double> values, double q);
+
+/// Percentile(values, 0.5).
+double Median(std::vector<double> values);
+
+/// One record as a single-line JSON object.
+std::string PerfRecordJson(const PerfRecord& record);
+
+/// All records as a JSON array, one record per line.
+std::string PerfRecordsJson(const std::vector<PerfRecord>& records);
+
+/// Parses a JSON-array document of records. Records with a newer
+/// schema_version than this build understands are an error; missing
+/// fields default.
+Result<std::vector<PerfRecord>> ParsePerfRecords(const std::string& text);
+
+/// Loads the JSON array at `path`. A missing file is an empty history.
+Result<std::vector<PerfRecord>> LoadPerfRecords(const std::string& path);
+
+/// Overwrites `path` with `records` (baseline updates).
+Status WritePerfRecords(const std::string& path,
+                        const std::vector<PerfRecord>& records);
+
+/// Appends `records` to the trajectory file at `path` (created when
+/// absent), stamping each with run = (max run already on file) + 1.
+Status AppendPerfRecords(const std::string& path,
+                         std::vector<PerfRecord> records);
+
+/// One current record's verdict against the baseline set.
+struct PerfCheck {
+  std::string bench;
+  std::string kind;
+  bool smoke = false;
+  bool found_baseline = false;  ///< false = nothing to compare against
+  bool ok = true;               ///< false = regression beyond tolerance
+  std::string metric;           ///< "events_per_sec" | "wall_seconds"
+  double baseline = 0;
+  double current = 0;
+  double ratio = 1;  ///< slowdown factor; > 1 means slower than baseline
+  std::string detail;
+};
+
+/// Compares each record in `current` against `baseline`, matching on
+/// (bench, kind, smoke) and taking the latest baseline record per key.
+/// Throughput (events_per_sec) is compared when both sides measured it,
+/// wall clock otherwise; a record fails when its slowdown ratio exceeds
+/// `tolerance` (e.g. 1.25 = up to 25% slower passes). Records without a
+/// baseline come back found_baseline=false and ok=true.
+std::vector<PerfCheck> CheckAgainstBaseline(
+    const std::vector<PerfRecord>& current,
+    const std::vector<PerfRecord>& baseline, double tolerance);
+
+}  // namespace memstream::exp
+
+#endif  // MEMSTREAM_EXP_PERF_TRAJECTORY_H_

@@ -6,6 +6,7 @@
 #include <string>
 #include <thread>
 
+#include "common/profiler.h"
 #include "exp/thread_pool.h"
 
 namespace memstream::exp {
@@ -53,6 +54,7 @@ void SweepRunner::RunIndexed(
   }
 
   auto run_one = [&](std::int64_t index) {
+    PROF_SCOPE("exp.sweep.task");
     TaskContext ctx(
         index, TaskSeed(options_.base_seed, index),
         registries.empty() ? nullptr

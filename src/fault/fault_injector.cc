@@ -4,6 +4,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/profiler.h"
+
 namespace memstream::fault {
 
 FaultInjector::FaultInjector(const FaultPlan& plan,
@@ -235,7 +237,8 @@ void FaultInjector::Finalize(Seconds horizon) {
           config_.warn_stream != nullptr ? *config_.warn_stream : std::cerr;
       out << "warning: trace.dropped_records="
           << config_.trace->dropped_records() << " dropped_during_burst="
-          << block_.dropped_during_burst
+          << block_.dropped_during_burst << " profiler_dropped_samples="
+          << prof::Profiler::Global().dropped_samples()
           << " — the trace ring buffer evicted records while a fault was "
              "active; raise the trace capacity to keep the degraded "
              "window's evidence\n";

@@ -13,6 +13,7 @@ namespace {
 constexpr std::int64_t kDevicesPid = 1;
 constexpr std::int64_t kStreamsPid = 2;
 constexpr std::int64_t kTimelinesPid = 3;
+constexpr std::int64_t kProfilerPid = 4;
 
 constexpr double kMicrosPerSecond = 1e6;
 
@@ -49,10 +50,40 @@ void EventHeader(JsonWriter& w, const std::string& name, const char* phase,
   w.Int(tid);
 }
 
+/// Lays one merged profiler region out as an "X" span starting at
+/// `offset_ns` (children packed sequentially inside the parent) and
+/// recurses. Durations are inclusive ns rendered as microseconds.
+void ProfileSpan(JsonWriter& w, const prof::ProfileNode& node,
+                 std::int64_t offset_ns) {
+  w.BeginObject();
+  EventHeader(w, node.name, "X", static_cast<double>(offset_ns) / 1e3,
+              kProfilerPid, 1);
+  w.Key("dur");
+  w.Number(static_cast<double>(node.inclusive_ns) / 1e3);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("count");
+  w.Int(node.count);
+  w.Key("exclusive_ns");
+  w.Int(node.exclusive_ns);
+  if (node.alloc_delta != 0) {
+    w.Key("alloc_delta");
+    w.Int(node.alloc_delta);
+  }
+  w.EndObject();
+  w.EndObject();
+  std::int64_t child_offset = offset_ns;
+  for (const auto& c : node.children) {
+    ProfileSpan(w, c, child_offset);
+    child_offset += c.inclusive_ns;
+  }
+}
+
 }  // namespace
 
 std::string ChromeTraceExporter::ToJson(
-    const sim::TraceLog& log, const TimelineRecorder* timelines) const {
+    const sim::TraceLog& log, const TimelineRecorder* timelines,
+    const prof::ProfileSnapshot* profile) const {
   // First pass: assign device tids in order of first appearance and
   // collect the stream-id set, so metadata can label every track.
   std::map<std::string, std::int64_t> device_tid;
@@ -277,6 +308,17 @@ std::string ChromeTraceExporter::ToJson(
     }
   }
 
+  if (profile != nullptr && !profile->roots.empty()) {
+    MetadataEvent(w, "process_name", kProfilerPid, 0, "profiler");
+    MetadataEvent(w, "thread_name", kProfilerPid, 1,
+                  "merged profile (CPU ns)");
+    std::int64_t offset_ns = 0;
+    for (const auto& r : profile->roots) {
+      ProfileSpan(w, r, offset_ns);
+      offset_ns += r.inclusive_ns;
+    }
+  }
+
   w.EndArray();
   if (log.dropped_records() > 0) {
     w.Key("otherData");
@@ -289,14 +331,15 @@ std::string ChromeTraceExporter::ToJson(
   return w.str();
 }
 
-Status ChromeTraceExporter::WriteFile(const sim::TraceLog& log,
-                                      const std::string& path,
-                                      const TimelineRecorder* timelines) const {
+Status ChromeTraceExporter::WriteFile(
+    const sim::TraceLog& log, const std::string& path,
+    const TimelineRecorder* timelines,
+    const prof::ProfileSnapshot* profile) const {
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::NotFound("cannot open " + path + " for writing");
   }
-  out << ToJson(log, timelines);
+  out << ToJson(log, timelines, profile);
   out.close();
   if (!out.good()) return Status::Internal("write to " + path + " failed");
   return Status::OK();

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "common/profiler.h"
 #include "common/status.h"
 #include "obs/timeline.h"
 #include "sim/trace.h"
@@ -42,12 +43,18 @@ class ChromeTraceExporter {
   /// `timelines` is non-null its series are appended as counter ("C")
   /// tracks under pid 3 "timelines", one tid per series, so recorder
   /// signals (occupancy, utilization) render next to the event tracks.
+  /// When `profile` is non-null the merged profiler tree is appended as
+  /// pid 4 "profiler": nested complete ("X") spans laid out from t=0
+  /// with durations equal to each region's inclusive CPU time — a
+  /// static flamegraph track beside the simulated timeline.
   std::string ToJson(const sim::TraceLog& log,
-                     const TimelineRecorder* timelines = nullptr) const;
+                     const TimelineRecorder* timelines = nullptr,
+                     const prof::ProfileSnapshot* profile = nullptr) const;
 
   /// Writes ToJson() to `path` (conventionally <name>.trace.json).
   Status WriteFile(const sim::TraceLog& log, const std::string& path,
-                   const TimelineRecorder* timelines = nullptr) const;
+                   const TimelineRecorder* timelines = nullptr,
+                   const prof::ProfileSnapshot* profile = nullptr) const;
 
  private:
   ChromeTraceOptions options_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "common/profiler.h"
+
 namespace memstream::obs {
 
 void ExportDeviceStats(MetricsRegistry* metrics,
@@ -28,6 +31,23 @@ void ExportSimulatorStats(MetricsRegistry* metrics,
   metrics->gauge("sim.wall_seconds")->Set(sim.last_run_wall_seconds());
   metrics->gauge("sim.events_per_sec_wall")
       ->Set(sim.last_run_events_per_sec());
+}
+
+std::int64_t WarnDroppedTelemetry(const sim::TraceLog* trace,
+                                  const char* context) {
+  const std::int64_t trace_drops =
+      trace != nullptr ? trace->dropped_records() : 0;
+  const std::int64_t prof_drops = prof::Profiler::Global().dropped_samples();
+  const std::int64_t total = trace_drops + prof_drops;
+  if (total > 0) {
+    MEMSTREAM_LOG(kWarning)
+        << context << ": dropped telemetry: trace_records=" << trace_drops
+        << " profiler_samples=" << prof_drops
+        << "; raise the TraceLog capacity (and, for profiler drops, reduce "
+           "the number of distinct PROF_SCOPE names per thread) to keep the "
+           "full window";
+  }
+  return total;
 }
 
 }  // namespace memstream::obs

@@ -6,9 +6,12 @@
 #ifndef MEMSTREAM_OBS_EXPORTERS_H_
 #define MEMSTREAM_OBS_EXPORTERS_H_
 
+#include <cstdint>
+
 #include "device/device.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 
 namespace memstream::obs {
 
@@ -21,6 +24,14 @@ void ExportDeviceStats(MetricsRegistry* metrics,
 /// events_per_sec_wall" gauges from the engine's built-in run telemetry.
 void ExportSimulatorStats(MetricsRegistry* metrics,
                           const sim::Simulator& sim);
+
+/// End-of-run check that no telemetry fell on the floor. Emits ONE
+/// structured MEMSTREAM_LOG(kWarning) line covering both trace
+/// ring-buffer evictions (when `trace` is non-null) and profiler sample
+/// drops (node-table overflow in prof::Profiler::Global()); silent when
+/// nothing was dropped. Returns trace drops + profiler drops.
+std::int64_t WarnDroppedTelemetry(const sim::TraceLog* trace,
+                                  const char* context);
 
 }  // namespace memstream::obs
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/csv_writer.h"
+#include "common/profiler.h"
 
 namespace memstream::obs {
 
@@ -219,6 +220,7 @@ std::string PrometheusEscapeLabelValue(const std::string& text) {
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
+  PROF_SCOPE("obs.metrics.export");
   std::ostringstream out;
   for (const auto& [name, entry] : metrics_) {
     const std::string prom = PrometheusName(name);
@@ -275,6 +277,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
 }
 
 std::string MetricsRegistry::ToCsvText() const {
+  PROF_SCOPE("obs.metrics.export");
   std::ostringstream out;
   out << "name,kind,value,count,min,max,mean,p50,p95,p99\n";
   for (const auto& s : Snapshot()) {

@@ -1,0 +1,222 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/profiler.h"
+#include "obs/profiler_export.h"
+
+namespace memstream::obs {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Path of "GET /metrics HTTP/1.1"; "" when the request line is not a GET.
+std::string RequestPath(const std::string& request) {
+  if (request.compare(0, 4, "GET ") != 0) return "";
+  const std::size_t start = 4;
+  const std::size_t end = request.find(' ', start);
+  if (end == std::string::npos) return "";
+  return request.substr(start, end - start);
+}
+
+void SendResponse(int fd, const char* status_line,
+                  const std::string& content_type,
+                  const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 160);
+  out += "HTTP/1.1 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; nothing to recover
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsHttpOptions options)
+    : options_(std::move(options)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::SetMetricsProvider(Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_provider_ = std::move(provider);
+}
+
+void MetricsHttpServer::SetProfileProvider(Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profile_provider_ = std::move(provider);
+}
+
+Status MetricsHttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status st = ErrnoStatus("bind " + options_.bind_address + ":" +
+                                  std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const Status st = ErrnoStatus("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::pipe(wake_fds_) != 0) {
+    const Status st = ErrnoStatus("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the poll loop so the thread notices running_ == false.
+  const char byte = 'q';
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  for (int* fd : {&listen_fd_, &wake_fds_[0], &wake_fds_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void MetricsHttpServer::Loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (!running_.load(std::memory_order_acquire)) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request headers (or a size cap — the
+  // endpoints take no bodies, so 8 KB is generous).
+  std::string request;
+  char buf[2048];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string path = RequestPath(request);
+  if (path.empty()) {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain",
+                 "only GET is supported\n");
+    return;
+  }
+  if (path == "/metrics") {
+    Provider provider;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      provider = metrics_provider_;
+    }
+    if (!provider) {
+      SendResponse(fd, "503 Service Unavailable", "text/plain",
+                   "no metrics provider installed\n");
+      return;
+    }
+    SendResponse(fd, "200 OK", "text/plain; version=0.0.4", provider());
+    return;
+  }
+  if (path == "/profilez") {
+    Provider provider;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      provider = profile_provider_;
+    }
+    const std::string body =
+        provider ? provider()
+                 : ProfileJson(prof::Profiler::Global().Snapshot());
+    SendResponse(fd, "200 OK", "application/json", body);
+    return;
+  }
+  if (path == "/healthz") {
+    SendResponse(fd, "200 OK", "text/plain", "ok\n");
+    return;
+  }
+  if (path == "/") {
+    SendResponse(fd, "200 OK", "text/plain",
+                 "memstream live observability\n"
+                 "  /metrics   Prometheus text exposition\n"
+                 "  /profilez  profiler tree (JSON)\n"
+                 "  /healthz   liveness\n");
+    return;
+  }
+  SendResponse(fd, "404 Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace memstream::obs

@@ -1,0 +1,96 @@
+// A tiny dependency-free HTTP/1.1 server exposing live observability
+// endpoints for long-running sim/farm runs — the first concrete step of
+// the ROADMAP's "simulator to service" item:
+//
+//   GET /          -> text index of the endpoints
+//   GET /metrics   -> Prometheus text exposition (the metrics provider)
+//   GET /profilez  -> current profiler tree as JSON (see ProfileJson)
+//   GET /healthz   -> "ok"
+//
+// Design rules:
+//  - POSIX sockets only, one background thread, sequential request
+//    handling (responses are small text documents; no keep-alive). The
+//    accept loop multiplexes the listen socket against a self-pipe so
+//    Stop() wakes it immediately.
+//  - Content is produced by caller-supplied provider callbacks invoked
+//    on the server thread per request. MetricsRegistry is not itself
+//    thread-safe, so providers must do their own synchronization — e.g.
+//    snapshot under the mutex that also guards registry writers. The
+//    default /profilez provider reads prof::Profiler::Global(), whose
+//    Snapshot() is safe against live instrumented threads.
+//  - Bind to 127.0.0.1 by default; port 0 picks an ephemeral port
+//    (read it back with port() after Start()).
+
+#ifndef MEMSTREAM_OBS_METRICS_HTTP_H_
+#define MEMSTREAM_OBS_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace memstream::obs {
+
+struct MetricsHttpOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read back via port()
+};
+
+class MetricsHttpServer {
+ public:
+  /// Returns a response body; invoked on the server thread per request.
+  using Provider = std::function<std::string()>;
+
+  explicit MetricsHttpServer(MetricsHttpOptions options = {});
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Provider for /metrics (served as text/plain; version=0.0.4, the
+  /// Prometheus exposition content type). Unset -> 503 on /metrics.
+  void SetMetricsProvider(Provider provider);
+
+  /// Provider for /profilez (served as application/json). Defaults to a
+  /// JSON dump of prof::Profiler::Global()'s current snapshot.
+  void SetProfileProvider(Provider provider);
+
+  /// Binds, listens, and starts the server thread. FailedPrecondition
+  /// when already started; Internal with errno detail on socket errors.
+  Status Start();
+
+  /// Stops the server thread and closes the socket. Idempotent.
+  void Stop();
+
+  /// The bound port (resolved after Start()); 0 before Start().
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Requests served since Start(); for tests and idle-telemetry.
+  std::int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void HandleConnection(int fd);
+
+  MetricsHttpOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: Stop() writes, Loop() wakes
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> requests_served_{0};
+  std::mutex mu_;  ///< guards the providers
+  Provider metrics_provider_;
+  Provider profile_provider_;
+};
+
+}  // namespace memstream::obs
+
+#endif  // MEMSTREAM_OBS_METRICS_HTTP_H_

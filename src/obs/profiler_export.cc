@@ -1,0 +1,67 @@
+#include "obs/profiler_export.h"
+
+#include "obs/json_writer.h"
+
+namespace memstream::obs {
+
+namespace {
+
+void WriteNode(JsonWriter* w, const prof::ProfileNode& node) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(node.name);
+  w->Key("count");
+  w->Int(node.count);
+  w->Key("inclusive_ns");
+  w->Int(node.inclusive_ns);
+  w->Key("exclusive_ns");
+  w->Int(node.exclusive_ns);
+  w->Key("alloc_delta");
+  w->Int(node.alloc_delta);
+  w->Key("children");
+  w->BeginArray();
+  for (const auto& c : node.children) WriteNode(w, c);
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ProfileJson(const prof::ProfileSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("threads");
+  w.Int(snapshot.threads);
+  w.Key("dropped_samples");
+  w.Int(snapshot.dropped_samples);
+  w.Key("total_inclusive_ns");
+  w.Int(snapshot.total_inclusive_ns());
+  w.Key("roots");
+  w.BeginArray();
+  for (const auto& r : snapshot.roots) WriteNode(&w, r);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+void ExportProfilerStats(MetricsRegistry* metrics,
+                         const prof::ProfileSnapshot& snapshot) {
+  if (metrics == nullptr) return;
+  std::int64_t regions = 0;
+  // Count every node in the merged tree iteratively (depth via stack).
+  std::vector<const prof::ProfileNode*> stack;
+  for (const auto& r : snapshot.roots) stack.push_back(&r);
+  while (!stack.empty()) {
+    const prof::ProfileNode* n = stack.back();
+    stack.pop_back();
+    ++regions;
+    for (const auto& c : n->children) stack.push_back(&c);
+  }
+  metrics->gauge("prof.regions")->Set(static_cast<double>(regions));
+  metrics->gauge("prof.dropped_samples")
+      ->Set(static_cast<double>(snapshot.dropped_samples));
+  metrics->gauge("prof.total_inclusive_ms")
+      ->Set(static_cast<double>(snapshot.total_inclusive_ns()) / 1e6);
+}
+
+}  // namespace memstream::obs

@@ -1,0 +1,32 @@
+// Exporters for prof::ProfileSnapshot beyond the collapsed-stack text
+// that lives with the core (common/profiler.h): a JSON document for the
+// /profilez endpoint and a Chrome trace-event "profiler" track that
+// renders the merged tree as a static flamegraph next to the simulation
+// timeline (see ChromeTraceExporter).
+
+#ifndef MEMSTREAM_OBS_PROFILER_EXPORT_H_
+#define MEMSTREAM_OBS_PROFILER_EXPORT_H_
+
+#include <string>
+
+#include "common/profiler.h"
+#include "obs/metrics.h"
+
+namespace memstream::obs {
+
+/// Renders `snapshot` as a JSON document:
+///   {"threads": N, "dropped_samples": D, "total_inclusive_ns": T,
+///    "roots": [{"name": ..., "count": ..., "inclusive_ns": ...,
+///               "exclusive_ns": ..., "alloc_delta": ...,
+///               "children": [...]}, ...]}
+std::string ProfileJson(const prof::ProfileSnapshot& snapshot);
+
+/// Exports "prof.regions", "prof.dropped_samples", and
+/// "prof.total_inclusive_ms" gauges from `snapshot`. No-op when
+/// `metrics` is null.
+void ExportProfilerStats(MetricsRegistry* metrics,
+                         const prof::ProfileSnapshot& snapshot);
+
+}  // namespace memstream::obs
+
+#endif  // MEMSTREAM_OBS_PROFILER_EXPORT_H_

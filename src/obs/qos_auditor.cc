@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/profiler.h"
+
 namespace memstream::obs {
 
 namespace {
@@ -209,6 +211,7 @@ void QosAuditor::CloseCycle(QosDomain domain, std::int64_t device,
 }
 
 void QosAuditor::EndDiskCycle(Seconds t0, Seconds busy) {
+  PROF_SCOPE("obs.qos.disk_cycle_audit");
   if (!sealed_ || config_.disk_cycle <= 0) return;
   Increment(cycles_metric_);
   Observe(disk_slack_hist_, (config_.disk_cycle - busy) / kMillisecond);
@@ -221,6 +224,7 @@ void QosAuditor::EndDiskCycle(Seconds t0, Seconds busy) {
 }
 
 void QosAuditor::EndMemsCycle(std::int64_t device, Seconds t0, Seconds busy) {
+  PROF_SCOPE("obs.qos.mems_cycle_audit");
   if (!sealed_ || config_.mems_cycle <= 0) return;
   Increment(cycles_metric_);
   Observe(mems_slack_hist_, (config_.mems_cycle - busy) / kMillisecond);

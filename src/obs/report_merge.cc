@@ -213,6 +213,27 @@ Status ParseRunReport(const std::string& path, const JsonValue& doc,
   return Status::OK();
 }
 
+Status ParsePerfTrajectory(const JsonValue& doc, ReportBundle* bundle) {
+  for (const auto& r : doc.array) {
+    if (!r.is_object()) continue;
+    LoadedPerfRecord rec;
+    rec.bench = r.Str("bench");
+    rec.kind = r.Str("kind");
+    if (const JsonValue* smoke = r.Find("smoke"); smoke != nullptr) {
+      rec.smoke = smoke->boolean;
+    }
+    rec.run = static_cast<std::int64_t>(r.Num("run", 0));
+    rec.repeats = static_cast<std::int64_t>(r.Num("repeats", 1));
+    rec.wall_seconds = r.Num("wall_seconds", 0);
+    rec.wall_p50 = r.Num("wall_p50", 0);
+    rec.wall_p99 = r.Num("wall_p99", 0);
+    rec.events_per_sec = r.Num("events_per_sec", 0);
+    rec.allocs_per_event = r.Num("allocs_per_event", -1);
+    bundle->perf.push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
 Status ParseBenchSweeps(const JsonValue& doc, ReportBundle* bundle) {
   for (const auto& r : doc.array) {
     if (!r.is_object()) continue;
@@ -292,6 +313,76 @@ std::string SvgSparkline(const std::vector<TimelinePoint>& pts, int width,
   return out.str();
 }
 
+/// Text sparkline over the eight block-element glyphs, scaled to the
+/// data range ("▁▄█"); "" for an empty input.
+std::string UnicodeSparkline(const std::vector<double>& values) {
+  static const char* const kBars[] = {"▁", "▂", "▃", "▄",
+                                      "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = values.front(), hi = values.front();
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo > 0 ? hi - lo : 1;
+  std::string out;
+  for (double v : values) {
+    const int idx = std::min(7, static_cast<int>((v - lo) / span * 8));
+    out += kBars[std::max(0, idx)];
+  }
+  return out;
+}
+
+/// One bench's perf history: records of a (bench, kind, smoke) key in
+/// run order, plus the series the sparkline plots.
+struct PerfGroup {
+  const LoadedPerfRecord* latest = nullptr;
+  std::string metric;          ///< "events/s" | "wall (s)"
+  std::vector<double> series;  ///< metric value per run, run order
+};
+
+/// Groups trajectory records by key, in first-appearance order.
+std::vector<PerfGroup> GroupPerfRecords(
+    const std::vector<LoadedPerfRecord>& perf) {
+  std::vector<std::vector<const LoadedPerfRecord*>> groups;
+  auto key_of = [](const LoadedPerfRecord& r) {
+    return r.bench + "\x1f" + r.kind + (r.smoke ? "\x1f" "s" : "\x1f" "f");
+  };
+  std::vector<std::string> keys;
+  for (const auto& r : perf) {
+    const std::string key = key_of(r);
+    std::size_t idx = keys.size();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == keys.size()) {
+      keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[idx].push_back(&r);
+  }
+  std::vector<PerfGroup> out;
+  out.reserve(groups.size());
+  for (auto& g : groups) {
+    std::stable_sort(g.begin(), g.end(),
+                     [](const LoadedPerfRecord* a,
+                        const LoadedPerfRecord* b) { return a->run < b->run; });
+    PerfGroup group;
+    group.latest = g.back();
+    bool has_eps = false;
+    for (const auto* r : g) has_eps = has_eps || r->events_per_sec > 0;
+    group.metric = has_eps ? "events/s" : "wall (s)";
+    for (const auto* r : g) {
+      group.series.push_back(has_eps ? r->events_per_sec : r->wall_seconds);
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<LoadedRunReport::Delta> LoadedRunReport::Deltas() const {
@@ -362,9 +453,16 @@ ReportInputKind ClassifyReportInput(const std::string& content) {
   if (doc.is_array()) {
     // Empty arrays count: an empty BENCH_sweeps.json merges to nothing.
     if (doc.array.empty()) return ReportInputKind::kBenchSweeps;
-    if (doc.array.front().is_object() &&
-        doc.array.front().Find("bench") != nullptr) {
-      return ReportInputKind::kBenchSweeps;
+    if (doc.array.front().is_object()) {
+      // Trajectory records are schema-versioned; plain sweep records
+      // carry only the bench key. Check the version first — trajectory
+      // records have both.
+      if (doc.array.front().Find("schema_version") != nullptr) {
+        return ReportInputKind::kPerfTrajectory;
+      }
+      if (doc.array.front().Find("bench") != nullptr) {
+        return ReportInputKind::kBenchSweeps;
+      }
     }
   }
   return ReportInputKind::kUnknown;
@@ -386,13 +484,19 @@ Status AddReportInput(const std::string& path, const std::string& content,
       if (!ok) break;
       return ParseBenchSweeps(doc, bundle);
     }
+    case ReportInputKind::kPerfTrajectory: {
+      bool ok = false;
+      const JsonValue doc = ParseJson(content, &ok);
+      if (!ok) break;
+      return ParsePerfTrajectory(doc, bundle);
+    }
     case ReportInputKind::kMetricsCsv:
       return ParseMetricsCsv(path, content, bundle);
     case ReportInputKind::kUnknown:
       break;
   }
-  bundle->errors.push_back(path + ": not a run report, metrics CSV, or "
-                           "BENCH_sweeps.json");
+  bundle->errors.push_back(path + ": not a run report, metrics CSV, "
+                           "BENCH_sweeps.json, or BENCH_trajectory.json");
   return Status::InvalidArgument(bundle->errors.back());
 }
 
@@ -412,8 +516,8 @@ std::string RenderMarkdownReport(const ReportBundle& bundle,
   std::ostringstream out;
   out << "# " << title << "\n\n";
   out << bundle.runs.size() << " run report(s), " << bundle.csvs.size()
-      << " metrics CSV(s), " << bundle.bench.size()
-      << " bench record(s)\n\n";
+      << " metrics CSV(s), " << bundle.bench.size() << " bench record(s), "
+      << bundle.perf.size() << " perf record(s)\n\n";
   for (const auto& err : bundle.errors) out << "> warning: " << err << "\n\n";
 
   for (const auto& run : bundle.runs) {
@@ -531,6 +635,22 @@ std::string RenderMarkdownReport(const ReportBundle& bundle,
     }
     out << "\n";
   }
+
+  out << "## Perf trajectory\n\n";
+  if (bundle.perf.empty()) {
+    out << "No perf-trajectory records found.\n\n";
+  } else {
+    out << "| bench | kind | smoke | runs | metric | latest | trend |\n"
+        << "|---|---|---|---|---|---|---|\n";
+    for (const auto& g : GroupPerfRecords(bundle.perf)) {
+      const LoadedPerfRecord& r = *g.latest;
+      out << "| " << MdEscape(r.bench) << " | " << MdEscape(r.kind) << " | "
+          << (r.smoke ? "yes" : "no") << " | " << g.series.size() << " | "
+          << g.metric << " | " << FormatDouble(g.series.back()) << " | "
+          << UnicodeSparkline(g.series) << " |\n";
+    }
+    out << "\n";
+  }
   return out.str();
 }
 
@@ -555,7 +675,8 @@ std::string RenderHtmlDashboard(const ReportBundle& bundle,
   out << "<h1>" << HtmlEscape(title) << "</h1>\n";
   out << "<p class=\"src\">" << bundle.runs.size() << " run report(s), "
       << bundle.csvs.size() << " metrics CSV(s), " << bundle.bench.size()
-      << " bench record(s)</p>\n";
+      << " bench record(s), " << bundle.perf.size()
+      << " perf record(s)</p>\n";
   for (const auto& err : bundle.errors) {
     out << "<p class=\"warn\">" << HtmlEscape(err) << "</p>\n";
   }
@@ -713,6 +834,33 @@ std::string RenderHtmlDashboard(const ReportBundle& bundle,
     if (!spark.empty()) {
       out << "<p>wall-clock across records: " << spark << "</p>\n";
     }
+  }
+
+  // Perf trajectory: one row per (bench, kind, smoke) key with an SVG
+  // sparkline of its metric across harness runs.
+  out << "<h2>Perf trajectory</h2>\n";
+  if (bundle.perf.empty()) {
+    out << "<p class=\"src\">No perf-trajectory records found.</p>\n";
+  } else {
+    out << "<table><tr><th>bench</th><th>kind</th><th>smoke</th>"
+        << "<th>runs</th><th>metric</th><th>latest</th>"
+        << "<th>wall p99 (s)</th><th>allocs/op</th><th>trend</th></tr>\n";
+    for (const auto& g : GroupPerfRecords(bundle.perf)) {
+      const LoadedPerfRecord& r = *g.latest;
+      std::vector<TimelinePoint> pts;
+      for (std::size_t i = 0; i < g.series.size(); ++i) {
+        pts.push_back(TimelinePoint{static_cast<double>(i), g.series[i]});
+      }
+      out << "<tr><td>" << HtmlEscape(r.bench) << "</td><td>"
+          << HtmlEscape(r.kind) << "</td><td>" << (r.smoke ? "yes" : "no")
+          << "</td><td>" << g.series.size() << "</td><td>" << g.metric
+          << "</td><td>" << FormatDouble(g.series.back()) << "</td><td>"
+          << FormatDouble(r.wall_p99) << "</td><td>"
+          << (r.allocs_per_event >= 0 ? FormatDouble(r.allocs_per_event)
+                                      : std::string("-"))
+          << "</td><td>" << SvgSparkline(pts, 160, 36) << "</td></tr>\n";
+    }
+    out << "</table>\n";
   }
 
   out << "</body>\n</html>\n";

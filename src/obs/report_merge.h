@@ -21,9 +21,10 @@ namespace memstream::obs {
 
 /// What a given input file parsed as.
 enum class ReportInputKind {
-  kRunReport,   ///< a RunReport JSON document (schema v1 or v2)
-  kBenchSweeps, ///< a BENCH_sweeps.json array of bench cost records
-  kMetricsCsv,  ///< a MetricsRegistry::ToCsvText() snapshot
+  kRunReport,       ///< a RunReport JSON document (schema v1 or v2)
+  kBenchSweeps,     ///< a BENCH_sweeps.json array of bench cost records
+  kPerfTrajectory,  ///< a BENCH_trajectory.json array of perf records
+  kMetricsCsv,      ///< a MetricsRegistry::ToCsvText() snapshot
   kUnknown,
 };
 
@@ -121,12 +122,28 @@ struct LoadedBenchRecord {
   double events_per_sec = 0;
 };
 
+/// One perf-trajectory record from BENCH_trajectory.json (mirrors
+/// exp::PerfRecord without the exp dependency).
+struct LoadedPerfRecord {
+  std::string bench;
+  std::string kind;  ///< "sweep" | "micro"
+  bool smoke = false;
+  std::int64_t run = 0;
+  std::int64_t repeats = 1;
+  double wall_seconds = 0;
+  double wall_p50 = 0;
+  double wall_p99 = 0;
+  double events_per_sec = 0;
+  double allocs_per_event = -1;
+};
+
 /// Everything the dashboard renders, merged across input files.
 struct ReportBundle {
   std::vector<LoadedRunReport> runs;
   /// Metrics CSV snapshots: (source path, parsed rows).
   std::vector<std::pair<std::string, std::vector<MetricSample>>> csvs;
   std::vector<LoadedBenchRecord> bench;
+  std::vector<LoadedPerfRecord> perf;
   /// Per-file load problems (file kept out of the bundle).
   std::vector<std::string> errors;
 
@@ -139,7 +156,8 @@ struct ReportBundle {
 };
 
 /// Sniffs content (not filename): JSON object with "schema_version" ->
-/// run report; JSON array of objects with "bench" -> bench sweeps; text
+/// run report; JSON array of objects with "schema_version" -> perf
+/// trajectory; JSON array of objects with "bench" -> bench sweeps; text
 /// starting with the metrics CSV header -> metrics CSV.
 ReportInputKind ClassifyReportInput(const std::string& content);
 

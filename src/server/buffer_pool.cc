@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/profiler.h"
+
 namespace memstream::server {
 
 void BufferPool::AttachMetrics(obs::MetricsRegistry* metrics,
@@ -21,6 +23,7 @@ void BufferPool::AttachMetrics(obs::MetricsRegistry* metrics,
 }
 
 Status BufferPool::Reserve(Bytes bytes) {
+  PROF_SCOPE("server.buffer_pool.reserve");
   if (bytes < 0) return Status::InvalidArgument("negative reservation");
   if (used_ + bytes > capacity_ * (1.0 + 1e-9)) {
     obs::Increment(exhausted_metric_);
@@ -34,6 +37,7 @@ Status BufferPool::Reserve(Bytes bytes) {
 }
 
 Status BufferPool::Release(Bytes bytes) {
+  PROF_SCOPE("server.buffer_pool.release");
   if (bytes < 0) return Status::InvalidArgument("negative release");
   if (bytes > used_ + 1e-6) {
     return Status::InvalidArgument("releasing more than reserved");

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "obs/exporters.h"
 
 namespace memstream::server {
@@ -175,6 +176,7 @@ Bytes CacheStreamingServer::EffExtent(std::size_t i) const {
 }
 
 void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
+  PROF_SCOPE("server.cache.disk_cycle");
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline || disk_streams_.empty()) {
     disk_running_ = false;
@@ -248,6 +250,7 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
 }
 
 void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
+  PROF_SCOPE("server.cache.striped_mems_cycle");
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline || cache_streams_.empty() || cache_halted_) {
     striped_running_ = false;
@@ -322,6 +325,7 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
 
 void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
                                               Seconds deadline) {
+  PROF_SCOPE("server.cache.replicated_mems_cycle");
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline || !device_alive_[dev]) {
     device_cycle_running_[dev] = false;
@@ -696,11 +700,7 @@ Status CacheStreamingServer::Run(Seconds duration) {
   if (config_.auditor != nullptr) {
     report_.qos.violations = config_.auditor->total_violations();
   }
-  if (trace_ != nullptr && trace_->dropped_records() > 0) {
-    MEMSTREAM_LOG(kWarning)
-        << "trace ring buffer dropped " << trace_->dropped_records()
-        << " records; raise the TraceLog capacity to keep the full window";
-  }
+  obs::WarnDroppedTelemetry(trace_, "cache server");
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.cache.underflow_events")

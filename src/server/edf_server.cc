@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/profiler.h"
+#include "obs/exporters.h"
 
 namespace memstream::server {
 
@@ -81,6 +83,7 @@ Seconds EdfStreamingServer::DeadlineOf(std::size_t i) {
 }
 
 void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
+  PROF_SCOPE("server.edf.service");
   const Seconds now = sim_.Now();
   if (now >= deadline_time) return;
   if (busy_) return;  // an IO is in flight; its completion re-enters
@@ -199,11 +202,7 @@ Status EdfStreamingServer::Run(Seconds duration) {
   if (config_.auditor != nullptr) {
     report_.qos.violations = config_.auditor->total_violations();
   }
-  if (trace_ != nullptr && trace_->dropped_records() > 0) {
-    MEMSTREAM_LOG(kWarning)
-        << "trace ring buffer dropped " << trace_->dropped_records()
-        << " records; raise the TraceLog capacity to keep the full window";
-  }
+  obs::WarnDroppedTelemetry(trace_, "edf server");
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.edf.underflow_events")
         ->Set(static_cast<double>(report_.qos.underflow_events));

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "obs/exporters.h"
 
 namespace memstream::server {
@@ -143,6 +144,7 @@ MemsPipelineServer::MemsPipelineServer(device::DiskDrive* disk,
 }
 
 void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
+  PROF_SCOPE("server.pipeline.disk_cycle");
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline) return;
 
@@ -212,6 +214,7 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
 }
 
 void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
+  PROF_SCOPE("server.pipeline.mems_cycle");
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline) return;
 
@@ -371,6 +374,7 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
 }
 
 void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
+  PROF_SCOPE("server.pipeline.striped_mems_cycle");
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline) return;
 
@@ -577,11 +581,7 @@ Status MemsPipelineServer::Run(Seconds duration) {
   if (config_.auditor != nullptr) {
     report_.qos.violations = config_.auditor->total_violations();
   }
-  if (trace_ != nullptr && trace_->dropped_records() > 0) {
-    MEMSTREAM_LOG(kWarning)
-        << "trace ring buffer dropped " << trace_->dropped_records()
-        << " records; raise the TraceLog capacity to keep the full window";
-  }
+  obs::WarnDroppedTelemetry(trace_, "mems pipeline server");
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.pipeline.underflow_events")

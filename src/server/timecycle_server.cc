@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "obs/exporters.h"
 
 namespace memstream::server {
@@ -99,6 +100,7 @@ DirectStreamingServer::DirectStreamingServer(device::DiskDrive* disk,
 }
 
 void DirectStreamingServer::RunCycle(Seconds deadline) {
+  PROF_SCOPE("server.direct.cycle");
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline) return;
 
@@ -285,11 +287,7 @@ Status DirectStreamingServer::Run(Seconds duration) {
   if (config_.auditor != nullptr) {
     report_.qos.violations = config_.auditor->total_violations();
   }
-  if (trace_ != nullptr && trace_->dropped_records() > 0) {
-    MEMSTREAM_LOG(kWarning)
-        << "trace ring buffer dropped " << trace_->dropped_records()
-        << " records; raise the TraceLog capacity to keep the full window";
-  }
+  obs::WarnDroppedTelemetry(trace_, "timecycle server");
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.direct.underflow_events")

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "common/profiler.h"
+
 namespace memstream::sim {
 
 Status Simulator::Schedule(Seconds delay, EventCallback cb) {
@@ -23,11 +25,16 @@ Result<std::int64_t> Simulator::Run(Seconds until) {
   stopped_ = false;
   const auto wall_start = std::chrono::steady_clock::now();
   std::int64_t processed = 0;
+  PROF_SCOPE("sim.run");
   while (!queue_.empty() && !stopped_) {
     if (queue_.NextTime() > until) break;
     if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
     Seconds when = 0;
-    EventCallback cb = queue_.Pop(&when);
+    PROF_SCOPE("sim.event.dispatch");
+    EventCallback cb = [&] {
+      PROF_SCOPE("sim.queue.pop");
+      return queue_.Pop(&when);
+    }();
     now_ = when;
     cb();
     ++processed;

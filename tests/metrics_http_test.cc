@@ -1,0 +1,151 @@
+// End-to-end smoke tests for the live observability endpoint: start the
+// server on an ephemeral port, issue raw-socket HTTP requests, and
+// check the Prometheus /metrics and JSON /profilez responses plus the
+// 404/405/503 error paths.
+
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/profiler.h"
+#include "obs/json_parser.h"
+#include "obs/metrics.h"
+
+namespace memstream {
+namespace {
+
+/// One blocking HTTP exchange against 127.0.0.1:`port`; returns the raw
+/// response (status line + headers + body) or "" on connect failure.
+std::string HttpRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return HttpRequest(port, "GET " + path +
+                               " HTTP/1.1\r\nHost: localhost\r\n"
+                               "Connection: close\r\n\r\n");
+}
+
+TEST(MetricsHttpTest, ServesPrometheusMetricsFromRegistry) {
+  obs::MetricsRegistry registry;
+  registry.counter("sim.events_dispatched")->Increment(42);
+  registry.gauge("server.active_streams")->Set(7);
+
+  obs::MetricsHttpServer server;
+  server.SetMetricsProvider(
+      [&registry] { return registry.ToPrometheusText(); });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = Get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("sim_events_dispatched 42"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("server_active_streams 7"), std::string::npos)
+      << response;
+  EXPECT_GE(server.requests_served(), 1);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(MetricsHttpTest, MetricsWithoutProviderIs503) {
+  obs::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, ProfilezServesProfilerTreeAsJson) {
+  auto& profiler = prof::Profiler::Global();
+  profiler.Reset();
+  profiler.Enable();
+  {
+    PROF_SCOPE("http_test.region");
+  }
+  obs::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/profilez");
+  profiler.Disable();
+  profiler.Reset();
+
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos) << response;
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  bool ok = false;
+  const obs::JsonValue doc = obs::ParseJson(response.substr(body_at + 4), &ok);
+  ASSERT_TRUE(ok) << response;
+  ASSERT_NE(doc.Find("roots"), nullptr);
+#if MEMSTREAM_PROFILE_ENABLED
+  EXPECT_NE(response.find("http_test.region"), std::string::npos) << response;
+#endif
+}
+
+TEST(MetricsHttpTest, HealthzAndIndexRespond) {
+  obs::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Get(server.port(), "/healthz").find("ok"), std::string::npos);
+  EXPECT_NE(Get(server.port(), "/").find("HTTP/1.1 200"), std::string::npos);
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, UnknownPathIs404AndNonGetIs405) {
+  obs::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  const std::string post = HttpRequest(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Length: 0\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, StartTwiceFailsAndStopIsIdempotent) {
+  obs::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());
+  server.Stop();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace memstream
