@@ -21,6 +21,7 @@
 #include "model/planner.h"
 #include "model/timecycle.h"
 #include "obs/metrics.h"
+#include "server/admission.h"
 #include "server/timecycle_server.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -243,6 +244,64 @@ void BM_DirectServerTelemetry(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DirectServerTelemetry)->Arg(0)->Arg(1);
+
+// Whole scheduling rounds per second through the batched SoA cycle
+// engine (items = cycles, the tentpole target): each iteration runs a
+// fresh direct server for 20 simulated seconds at a 0.5 s cycle on the
+// allocation-free fast path. Arg = stream count, so the two arms bound
+// the per-cycle and per-stream shares of the cost.
+void BM_DirectServerCycles(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    auto disk = device::DiskDrive::Create(device::FutureDisk2007()).value();
+    server::DirectServerConfig config;
+    config.cycle = 0.5;
+    std::vector<server::StreamSpec> streams;
+    for (std::int64_t i = 0; i < n; ++i) {
+      server::StreamSpec s;
+      s.id = i;
+      s.bit_rate = 1 * kMBps;
+      s.disk_offset = static_cast<double>(i) * 10 * kGB;
+      s.extent = 5 * kGB;
+      streams.push_back(s);
+    }
+    auto srv = server::DirectStreamingServer::Create(&disk, streams, config);
+    (void)srv.value().Run(20.0);
+    cycles += srv.value().report().cycles;
+  }
+  state.SetItemsProcessed(cycles);
+}
+BENCHMARK(BM_DirectServerCycles)->Arg(8)->Arg(64);
+
+// Admission decisions per second (items = admitted streams) under the
+// churny admit/release pattern that keeps returning to recently seen
+// (n, B̄) loads — the case the controller's re-solve memo turns into a
+// hash probe. Arg = buffer_k: 0 prices against Theorem 1 directly, 2
+// against the Theorem 2 MEMS-buffer solve.
+void BM_AdmissionChurn(benchmark::State& state) {
+  auto disk = device::DiskDrive::Create(device::FutureDisk2007()).value();
+  server::AdmissionConfig config;
+  config.dram_budget = 4 * kGB;
+  config.disk_rate = 300 * kMBps;
+  config.disk_latency = model::DiskLatencyFn(disk);
+  config.buffer_k = state.range(0);
+  config.mems.rate = 320 * kMBps;
+  config.mems.latency = 0.86 * kMillisecond;
+  config.mems.capacity = 10 * kGB;
+  auto ctrl = server::AdmissionController::Create(config);
+  for (int i = 0; i < 64; ++i) {
+    (void)ctrl.value().TryAdmit(1 * kMBps);
+  }
+  std::int64_t admitted = 0;
+  for (auto _ : state) {
+    admitted += ctrl.value().TryAdmit(1 * kMBps).admitted ? 1 : 0;
+    (void)ctrl.value().Release(1 * kMBps);
+  }
+  benchmark::DoNotOptimize(ctrl.value().memo_stats().hits);
+  state.SetItemsProcessed(admitted);
+}
+BENCHMARK(BM_AdmissionChurn)->Arg(0)->Arg(2);
 
 // Cost of one auditor/timeline sample through the null-tolerant helpers:
 // Arg(0) = disabled (null sink: one pointer test per site), Arg(1) = a

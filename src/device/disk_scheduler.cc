@@ -22,85 +22,94 @@ const char* SchedulerPolicyName(SchedulerPolicy policy) {
 
 namespace {
 
-std::vector<std::size_t> SortedByOffset(const std::vector<IoSpan>& batch) {
-  std::vector<std::size_t> order(batch.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return batch[a].offset < batch[b].offset;
-                   });
-  return order;
-}
-
-std::vector<std::size_t> SstfOrder(std::int64_t head,
-                                   const std::vector<IoSpan>& batch) {
-  std::vector<std::size_t> remaining(batch.size());
-  std::iota(remaining.begin(), remaining.end(), 0);
-  std::vector<std::size_t> order;
-  order.reserve(batch.size());
+void SstfOrderInto(std::int64_t head, const IoSpan* batch, std::size_t n,
+                   std::size_t* order, std::size_t* remaining) {
+  std::iota(remaining, remaining + n, std::size_t{0});
+  std::size_t left = n;
   std::int64_t pos = head;
-  while (!remaining.empty()) {
-    auto best = remaining.begin();
-    std::int64_t best_dist = std::llabs(batch[*best].offset - pos);
-    for (auto it = std::next(remaining.begin()); it != remaining.end();
-         ++it) {
-      const std::int64_t dist = std::llabs(batch[*it].offset - pos);
+  for (std::size_t out = 0; out < n; ++out) {
+    std::size_t best = 0;
+    std::int64_t best_dist = std::llabs(batch[remaining[0]].offset - pos);
+    for (std::size_t j = 1; j < left; ++j) {
+      const std::int64_t dist = std::llabs(batch[remaining[j]].offset - pos);
       if (dist < best_dist) {
-        best = it;
+        best = j;
         best_dist = dist;
       }
     }
-    pos = batch[*best].offset;
-    order.push_back(*best);
-    remaining.erase(best);
+    pos = batch[remaining[best]].offset;
+    order[out] = remaining[best];
+    // Shift-erase keeps the scan order of the survivors, matching the
+    // vector::erase the original implementation used (ties break the
+    // same way).
+    for (std::size_t j = best + 1; j < left; ++j) {
+      remaining[j - 1] = remaining[j];
+    }
+    --left;
   }
-  return order;
 }
 
-std::vector<std::size_t> ScanOrder(std::int64_t head,
-                                   const std::vector<IoSpan>& batch,
-                                   bool circular) {
-  const auto sorted = SortedByOffset(batch);
+void ScanOrderInto(std::int64_t head, const IoSpan* batch, std::size_t n,
+                   bool circular, std::size_t* order, std::size_t* scratch) {
+  std::iota(scratch, scratch + n, std::size_t{0});
+  // Equal offsets tie-break on the index, which reproduces stable_sort's
+  // order over the iota input without its temporary merge buffer — the
+  // cycle engines call this once per cycle and must stay allocation-free.
+  std::sort(scratch, scratch + n, [&](std::size_t a, std::size_t b) {
+    const std::int64_t oa = batch[a].offset;
+    const std::int64_t ob = batch[b].offset;
+    return oa != ob ? oa < ob : a < b;
+  });
   // Split into requests at/above the head (serviced on the upward sweep)
   // and below it.
-  std::vector<std::size_t> up, down;
-  for (std::size_t idx : sorted) {
-    if (batch[idx].offset >= head) {
-      up.push_back(idx);
-    } else {
-      down.push_back(idx);
-    }
+  std::size_t out = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (batch[scratch[j]].offset >= head) order[out++] = scratch[j];
   }
-  std::vector<std::size_t> order = up;
   if (circular) {
     // C-LOOK: jump back to the lowest pending offset, sweep up again.
-    order.insert(order.end(), down.begin(), down.end());
+    for (std::size_t j = 0; j < n; ++j) {
+      if (batch[scratch[j]].offset < head) order[out++] = scratch[j];
+    }
   } else {
     // SCAN: reverse direction and sweep down.
-    order.insert(order.end(), down.rbegin(), down.rend());
+    for (std::size_t j = n; j-- > 0;) {
+      if (batch[scratch[j]].offset < head) order[out++] = scratch[j];
+    }
   }
-  return order;
 }
 
 }  // namespace
 
+void ScheduleOrderInto(SchedulerPolicy policy, std::int64_t head_offset,
+                       const IoSpan* batch, std::size_t n,
+                       std::size_t* order, std::size_t* scratch) {
+  switch (policy) {
+    case SchedulerPolicy::kFcfs:
+      std::iota(order, order + n, std::size_t{0});
+      return;
+    case SchedulerPolicy::kSstf:
+      SstfOrderInto(head_offset, batch, n, order, scratch);
+      return;
+    case SchedulerPolicy::kScan:
+      ScanOrderInto(head_offset, batch, n, /*circular=*/false, order,
+                    scratch);
+      return;
+    case SchedulerPolicy::kCLook:
+      ScanOrderInto(head_offset, batch, n, /*circular=*/true, order,
+                    scratch);
+      return;
+  }
+}
+
 std::vector<std::size_t> ScheduleOrder(SchedulerPolicy policy,
                                        std::int64_t head_offset,
                                        const std::vector<IoSpan>& batch) {
-  switch (policy) {
-    case SchedulerPolicy::kFcfs: {
-      std::vector<std::size_t> order(batch.size());
-      std::iota(order.begin(), order.end(), 0);
-      return order;
-    }
-    case SchedulerPolicy::kSstf:
-      return SstfOrder(head_offset, batch);
-    case SchedulerPolicy::kScan:
-      return ScanOrder(head_offset, batch, /*circular=*/false);
-    case SchedulerPolicy::kCLook:
-      return ScanOrder(head_offset, batch, /*circular=*/true);
-  }
-  return {};
+  std::vector<std::size_t> order(batch.size());
+  std::vector<std::size_t> scratch(batch.size());
+  ScheduleOrderInto(policy, head_offset, batch.data(), batch.size(),
+                    order.data(), scratch.data());
+  return order;
 }
 
 Result<Seconds> ServiceBatch(BlockDevice& device, SchedulerPolicy policy,

@@ -31,6 +31,14 @@ std::vector<std::size_t> ScheduleOrder(SchedulerPolicy policy,
                                        std::int64_t head_offset,
                                        const std::vector<IoSpan>& batch);
 
+/// Allocation-free variant for the batched cycle engine: writes the
+/// service order of `batch[0..n)` into `order[0..n)` using
+/// `scratch[0..n)` as working space (both caller-provided, typically
+/// arena-backed). Produces exactly the order ScheduleOrder returns.
+void ScheduleOrderInto(SchedulerPolicy policy, std::int64_t head_offset,
+                       const IoSpan* batch, std::size_t n,
+                       std::size_t* order, std::size_t* scratch);
+
 /// Services a whole batch on `device` in the order chosen by `policy`
 /// (starting from `head_offset`, normally the offset of the last serviced
 /// IO) and returns the total busy time (sum of per-IO service times).

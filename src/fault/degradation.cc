@@ -1,8 +1,10 @@
 #include "fault/degradation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "model/incremental.h"
 #include "model/timecycle.h"
 
 namespace memstream::fault {
@@ -38,8 +40,8 @@ Result<DegradationManager> DegradationManager::Create(
   return DegradationManager(config);
 }
 
-std::int64_t DegradationManager::MaxSustainable(std::int64_t alive,
-                                                double rate_scale) const {
+std::int64_t DegradationManager::MaxSustainableFull(std::int64_t alive,
+                                                    double rate_scale) const {
   if (alive <= 0 || rate_scale <= 0) return 0;
   const model::DeviceProfile degraded = ScaleRate(config_.mems, rate_scale);
   std::int64_t n = model::MaxCacheStreamsBandwidthBound(
@@ -47,14 +49,23 @@ std::int64_t DegradationManager::MaxSustainable(std::int64_t alive,
   n = std::min(n, config_.n_cache);
   // The bandwidth bound is necessary, not sufficient: near it the
   // Theorem 3/4 buffer diverges. Walk down to the largest n whose sizing
-  // is finite and positive.
+  // is finite and positive (probe kernel: the infeasible steps of this
+  // walk would otherwise each allocate an Infeasible message).
   while (n > 0) {
-    auto buf = model::CachePerStreamBuffer(n, config_.bit_rate, alive,
-                                           degraded, config_.policy);
-    if (buf.ok()) break;
+    const double buf = model::ProbeCachePerStream(
+        n, config_.bit_rate, alive, degraded, config_.policy);
+    if (!std::isnan(buf)) break;
     --n;
   }
   return n;
+}
+
+std::int64_t DegradationManager::MaxSustainable(std::int64_t alive,
+                                                double rate_scale) const {
+  const model::SolveKey key{alive, model::DoubleBits(rate_scale), 1};
+  return sustain_memo_.Lookup(
+      key, [&] { return MaxSustainableFull(alive, rate_scale); },
+      [](std::int64_t a, std::int64_t b) { return a == b; });
 }
 
 bool DegradationManager::DiskCanAbsorb(std::int64_t extra) const {
@@ -65,8 +76,8 @@ bool DegradationManager::DiskCanAbsorb(std::int64_t extra) const {
       .ok();
 }
 
-CacheReplan DegradationManager::Replan(std::int64_t alive,
-                                       double rate_scale) const {
+CacheReplan DegradationManager::ReplanFull(std::int64_t alive,
+                                           double rate_scale) const {
   CacheReplan plan;
   std::ostringstream action;
 
@@ -78,7 +89,7 @@ CacheReplan DegradationManager::Replan(std::int64_t alive,
     const model::DeviceProfile degraded =
         ScaleRate(config_.mems, rate_scale);
     const std::int64_t sustainable =
-        config_.allow_shed ? MaxSustainable(alive, rate_scale)
+        config_.allow_shed ? MaxSustainableFull(alive, rate_scale)
                            : config_.n_cache;
     const std::int64_t keep = std::min(config_.n_cache, sustainable);
     auto buf = model::CachePerStreamBuffer(keep, config_.bit_rate, alive,
@@ -106,18 +117,18 @@ CacheReplan DegradationManager::Replan(std::int64_t alive,
 
   // Cache path unusable. Move what the disk can absorb, shed the rest.
   std::int64_t to_disk = 0;
-  if (config_.allow_disk_fallback) {
-    std::int64_t lo = 0;
-    std::int64_t hi = config_.n_cache;
-    while (lo < hi) {  // largest extra with a feasible Theorem 1 sizing
-      const std::int64_t mid = (lo + hi + 1) / 2;
-      if (DiskCanAbsorb(mid)) {
-        lo = mid;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    to_disk = lo;
+  if (config_.allow_disk_fallback && config_.disk.rate > 0) {
+    // Largest extra with a feasible Theorem 1 sizing (probe kernel: the
+    // bisection's infeasible probes are free of Status allocation).
+    to_disk = std::max<std::int64_t>(
+        model::LargestTrueInline(
+            [&](std::int64_t extra) {
+              return !std::isnan(model::ProbeTheorem1PerStream(
+                  config_.n_disk + extra, config_.bit_rate,
+                  config_.disk.rate, config_.disk.latency));
+            },
+            1, config_.n_cache),
+        0);
   }
   plan.to_disk = to_disk;
   plan.shed = config_.n_cache - to_disk;
@@ -133,6 +144,14 @@ CacheReplan DegradationManager::Replan(std::int64_t alive,
   action << "cache down: " << to_disk << " to disk, shed " << plan.shed;
   plan.action = action.str();
   return plan;
+}
+
+const CacheReplan& DegradationManager::Replan(std::int64_t alive,
+                                              double rate_scale) const {
+  const model::SolveKey key{alive, model::DoubleBits(rate_scale), 0};
+  return replan_memo_.Lookup(
+      key, [&] { return ReplanFull(alive, rate_scale); },
+      [](const CacheReplan& a, const CacheReplan& b) { return a == b; });
 }
 
 }  // namespace memstream::fault

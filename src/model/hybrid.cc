@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/math_utils.h"
+#include "model/incremental.h"
 
 namespace memstream::model {
 
@@ -49,16 +50,19 @@ Result<CacheSystemThroughput> EvaluateHybridSplit(const HybridConfig& config,
     const std::int64_t n_disk = total - n_cache;
     Bytes used = 0;
     if (n_disk > 0) {
-      DeviceProfile disk;
-      disk.rate = base.disk_rate;
-      disk.latency = base.disk_latency(n_disk);
-      auto direct = TotalBufferSize(n_disk, b, disk);
-      if (!direct.ok()) return kInf;
-      Bytes disk_side = direct.value();
-      if (k_buffer > 0 && n_disk >= 2) {
+      const Seconds latency = base.disk_latency(n_disk);
+      Bytes disk_side =
+          ProbeTheorem1Total(n_disk, b, base.disk_rate, latency);
+      if (std::isnan(disk_side)) return kInf;
+      // The buffered sizing is only reachable past the Eq. 5 bandwidth
+      // domain; gating on it keeps the search's infeasible probes free of
+      // Status allocation (SolveMemsBuffer would reject them anyway).
+      if (k_buffer > 0 && n_disk >= 2 &&
+          MemsBankCanBuffer(n_disk, b, k_buffer, base.mems.rate)) {
         MemsBufferParams buffer;
         buffer.k = k_buffer;
-        buffer.disk = disk;
+        buffer.disk.rate = base.disk_rate;
+        buffer.disk.latency = latency;
         buffer.mems = base.mems;
         buffer.mems_capacity_override = config.mems_buffer_capacity;
         auto sized = SolveMemsBuffer(n_disk, b, buffer);
@@ -71,10 +75,10 @@ Result<CacheSystemThroughput> EvaluateHybridSplit(const HybridConfig& config,
       used += disk_side;
     }
     if (n_cache > 0) {
-      auto cache_side =
-          CacheTotalBuffer(n_cache, b, k_cache, base.mems, base.policy);
-      if (!cache_side.ok()) return kInf;
-      used += cache_side.value();
+      const Bytes cache_side =
+          ProbeCacheTotal(n_cache, b, k_cache, base.mems, base.policy);
+      if (std::isnan(cache_side)) return kInf;
+      used += cache_side;
     }
     return used;
   };
@@ -88,10 +92,11 @@ Result<CacheSystemThroughput> EvaluateHybridSplit(const HybridConfig& config,
   auto feasible = [&](std::int64_t total) {
     return dram_needed(total) <= out.dram_bytes;
   };
-  auto best = LargestTrue(feasible, 1, disk_cap + cache_cap + 2);
-  if (!best.ok()) return out;
+  const std::int64_t best =
+      LargestTrueInline(feasible, 1, disk_cap + cache_cap + 2);
+  if (best < 1) return out;
 
-  out.total_streams = best.value();
+  out.total_streams = best;
   out.cache_streams = static_cast<std::int64_t>(
       std::llround(h * static_cast<double>(out.total_streams)));
   out.disk_streams = out.total_streams - out.cache_streams;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/math_utils.h"
+#include "model/incremental.h"
 
 namespace memstream::model {
 
@@ -82,25 +83,27 @@ Result<CacheSystemThroughput> MaxCacheSystemThroughput(
 
   // The DRAM actually needed for a total of `total` streams, split h:1-h
   // between the cache and the disk; infinity when either side is over
-  // its bandwidth bound.
+  // its bandwidth bound. Evaluated through the NaN-based probe kernels:
+  // the feasibility search below probes this O(log n) times per solve
+  // and the Result-returning solvers would heap-allocate an Infeasible
+  // message on every miss (the probes are bit-identical on hits, so the
+  // reported dram_used does not change).
   auto dram_needed = [&](std::int64_t total) -> Bytes {
     const auto n_cache =
         static_cast<std::int64_t>(std::llround(h * static_cast<double>(total)));
     const std::int64_t n_disk = total - n_cache;
     Bytes used = 0;
     if (n_disk > 0) {
-      DeviceProfile disk;
-      disk.rate = config.disk_rate;
-      disk.latency = config.disk_latency(n_disk);
-      auto total_disk = TotalBufferSize(n_disk, b, disk);
-      if (!total_disk.ok()) return kInf;
-      used += total_disk.value();
+      const double total_disk = ProbeTheorem1Total(
+          n_disk, b, config.disk_rate, config.disk_latency(n_disk));
+      if (std::isnan(total_disk)) return kInf;
+      used += total_disk;
     }
     if (n_cache > 0) {
-      auto total_cache = CacheTotalBuffer(n_cache, b, config.k, config.mems,
-                                          config.policy);
-      if (!total_cache.ok()) return kInf;
-      used += total_cache.value();
+      const double total_cache =
+          ProbeCacheTotal(n_cache, b, config.k, config.mems, config.policy);
+      if (std::isnan(total_cache)) return kInf;
+      used += total_cache;
     }
     return used;
   };
@@ -117,10 +120,10 @@ Result<CacheSystemThroughput> MaxCacheSystemThroughput(
   auto feasible = [&](std::int64_t total) {
     return dram_needed(total) <= out.dram_bytes;
   };
-  auto best = LargestTrue(feasible, 1, hi);
-  if (!best.ok()) return out;  // zero streams is a valid answer
+  const std::int64_t best = LargestTrueInline(feasible, 1, hi);
+  if (best < 1) return out;  // zero streams is a valid answer
 
-  out.total_streams = best.value();
+  out.total_streams = best;
   out.cache_streams = static_cast<std::int64_t>(
       std::llround(h * static_cast<double>(out.total_streams)));
   out.disk_streams = out.total_streams - out.cache_streams;

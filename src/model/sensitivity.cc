@@ -2,34 +2,64 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/math_utils.h"
 #include "model/cost.h"
 
 namespace memstream::model {
 
-Result<SensitivityOutcome> EvaluateSensitivity(
-    const SensitivityInputs& inputs, double cost_factor,
-    double bandwidth_factor) {
+namespace {
+
+/// The cost-factor-independent part of EvaluateSensitivity: the
+/// throughput target n, the DRAM-only cost, and every candidate bank
+/// sizing that fits the DRAM ceiling. Only the device price
+/// (dram_per_byte / cost_factor) moves between evaluations at different
+/// factors, so BreakEvenCostFactor's bisection re-prices these cached
+/// candidates instead of re-running the Theorem 2 solves on every probe.
+struct SensitivitySolve {
+  Status status = Status::OK();  ///< why the evaluation is infeasible
+  std::int64_t n = 0;
+  Dollars cost_without = 0;
+  /// (k, dram_total) for each bank size with a feasible sizing under the
+  /// DRAM cap, in ascending k (the tie-break order of the k scan).
+  struct Candidate {
+    std::int64_t k = 0;
+    Bytes dram_total = 0;
+  };
+  std::vector<Candidate> candidates;
+};
+
+SensitivitySolve SolveOnce(const SensitivityInputs& inputs,
+                           double bandwidth_factor) {
+  SensitivitySolve solve;
   if (!inputs.disk_latency) {
-    return Status::InvalidArgument("disk_latency function is required");
+    solve.status =
+        Status::InvalidArgument("disk_latency function is required");
+    return solve;
   }
-  if (cost_factor <= 0 || bandwidth_factor <= 0) {
-    return Status::InvalidArgument("factors must be > 0");
+  if (bandwidth_factor <= 0) {
+    solve.status = Status::InvalidArgument("factors must be > 0");
+    return solve;
   }
 
-  SensitivityOutcome out;
   // Throughput target: what the MEMS-less box supports.
-  out.n = MaxStreamsWithBuffer(inputs.dram_cap, inputs.bit_rate,
-                               inputs.disk_rate, inputs.disk_latency);
-  if (out.n < 2) return Status::Infeasible("fewer than two streams fit");
+  solve.n = MaxStreamsWithBuffer(inputs.dram_cap, inputs.bit_rate,
+                                 inputs.disk_rate, inputs.disk_latency);
+  if (solve.n < 2) {
+    solve.status = Status::Infeasible("fewer than two streams fit");
+    return solve;
+  }
 
   DeviceProfile disk;
   disk.rate = inputs.disk_rate;
-  disk.latency = inputs.disk_latency(out.n);
-  auto without = TotalBufferSize(out.n, inputs.bit_rate, disk);
-  MEMSTREAM_RETURN_IF_ERROR(without.status());
-  out.cost_without = without.value() * inputs.dram_per_byte;
+  disk.latency = inputs.disk_latency(solve.n);
+  auto without = TotalBufferSize(solve.n, inputs.bit_rate, disk);
+  if (!without.ok()) {
+    solve.status = without.status();
+    return solve;
+  }
+  solve.cost_without = without.value() * inputs.dram_per_byte;
 
   // Bank: start from the smallest k that sustains twice the disk
   // bandwidth (§3.1) and the doubled stream load, then keep adding
@@ -40,15 +70,14 @@ Result<SensitivityOutcome> EvaluateSensitivity(
   std::int64_t k_min = std::max<std::int64_t>(
       DevicesForFullDiskUtilization(inputs.disk_rate, mems_rate), 1);
   while (k_min <= 4096 &&
-         !MemsBankCanBuffer(out.n, inputs.bit_rate, k_min, mems_rate)) {
+         !MemsBankCanBuffer(solve.n, inputs.bit_rate, k_min, mems_rate)) {
     ++k_min;
   }
   if (k_min > 4096) {
-    return Status::Infeasible("no bank size sustains the stream load");
+    solve.status = Status::Infeasible("no bank size sustains the stream load");
+    return solve;
   }
 
-  const DollarsPerByte mems_per_byte = inputs.dram_per_byte / cost_factor;
-  bool found = false;
   for (std::int64_t k = k_min; k <= k_min + 16; ++k) {
     MemsBufferParams params;
     params.k = k;
@@ -56,36 +85,76 @@ Result<SensitivityOutcome> EvaluateSensitivity(
     params.mems.rate = mems_rate;
     params.mems.latency = inputs.mems_latency;
     params.mems.capacity = inputs.mems_capacity;
-    auto sized = SolveMemsBuffer(out.n, inputs.bit_rate, params);
+    auto sized = SolveMemsBuffer(solve.n, inputs.bit_rate, params);
     if (!sized.ok()) continue;
     if (sized.value().dram_total > inputs.dram_cap) continue;
+    solve.candidates.push_back({k, sized.value().dram_total});
+  }
+  if (solve.candidates.empty()) {
+    solve.status = Status::Infeasible(
+        "no bank size fits the DRAM ceiling and the storage bound");
+  }
+  return solve;
+}
+
+/// Prices the cached candidates at one cost factor and fills the
+/// factor-dependent outcome fields. Mirrors the original scan exactly:
+/// ascending k with a strict-less update keeps the first minimal k.
+void PriceAtFactor(const SensitivitySolve& solve,
+                   const SensitivityInputs& inputs, double cost_factor,
+                   SensitivityOutcome* out) {
+  const DollarsPerByte mems_per_byte = inputs.dram_per_byte / cost_factor;
+  bool found = false;
+  for (const auto& cand : solve.candidates) {
     const Dollars cost =
-        static_cast<double>(k) * mems_per_byte * inputs.mems_capacity +
-        sized.value().dram_total * inputs.dram_per_byte;
-    if (!found || cost < out.cost_with) {
-      out.cost_with = cost;
-      out.k = k;
+        static_cast<double>(cand.k) * mems_per_byte * inputs.mems_capacity +
+        cand.dram_total * inputs.dram_per_byte;
+    if (!found || cost < out->cost_with) {
+      out->cost_with = cost;
+      out->k = cand.k;
       found = true;
     }
   }
-  if (!found) {
-    return Status::Infeasible(
-        "no bank size fits the DRAM ceiling and the storage bound");
+  out->percent_reduction = PercentReduction(out->cost_without, out->cost_with);
+  out->mems_wins = out->cost_with < out->cost_without;
+}
+
+}  // namespace
+
+Result<SensitivityOutcome> EvaluateSensitivity(
+    const SensitivityInputs& inputs, double cost_factor,
+    double bandwidth_factor) {
+  if (cost_factor <= 0) {
+    return Status::InvalidArgument("factors must be > 0");
   }
-  out.percent_reduction = PercentReduction(out.cost_without, out.cost_with);
-  out.mems_wins = out.cost_with < out.cost_without;
+  const SensitivitySolve solve = SolveOnce(inputs, bandwidth_factor);
+  if (!solve.status.ok()) return solve.status;
+
+  SensitivityOutcome out;
+  out.n = solve.n;
+  out.cost_without = solve.cost_without;
+  PriceAtFactor(solve, inputs, cost_factor, &out);
   return out;
 }
 
 Result<double> BreakEvenCostFactor(const SensitivityInputs& inputs,
                                    double bandwidth_factor,
                                    double max_factor) {
+  // Incremental re-solve: everything expensive about EvaluateSensitivity
+  // (the throughput search and the 17 Theorem 2 sizings) is independent
+  // of the cost factor, so solve once and let the bisection's ~30 probes
+  // re-price the cached candidates — identical margins to calling the
+  // full evaluation at every probe (incremental_model_test checks this).
+  const SensitivitySolve solve = SolveOnce(inputs, bandwidth_factor);
+
   // cost_with is strictly decreasing in the cost factor (only the device
   // term depends on it), so the win condition is monotone: bisect.
   auto margin = [&](double factor) -> double {
-    auto outcome = EvaluateSensitivity(inputs, factor, bandwidth_factor);
-    if (!outcome.ok()) return -1.0;  // infeasible counts as "not winning"
-    return outcome.value().cost_without - outcome.value().cost_with;
+    if (!solve.status.ok()) return -1.0;  // infeasible = "not winning"
+    SensitivityOutcome out;
+    out.cost_without = solve.cost_without;
+    PriceAtFactor(solve, inputs, factor, &out);
+    return out.cost_without - out.cost_with;
   };
   const double at_min = margin(1.0);
   const double at_max = margin(max_factor);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "model/incremental.h"
 
 namespace memstream::model {
 
@@ -70,15 +71,16 @@ std::int64_t MaxStreamsWithBuffer(Bytes buffer_budget,
       MaxStreamsBandwidthBound(device_rate, bit_rate);
   if (hard_cap < 1) return 0;
 
+  // Probe kernel instead of TotalBufferSize: the binary search hits the
+  // infeasible side on about half its probes, and each such Result would
+  // heap-allocate its Infeasible message.
   auto fits = [&](std::int64_t n) {
-    DeviceProfile dev;
-    dev.rate = device_rate;
-    dev.latency = latency_of_n(n);
-    auto total = TotalBufferSize(n, bit_rate, dev);
-    return total.ok() && total.value() <= buffer_budget;
+    const double total =
+        ProbeTheorem1Total(n, bit_rate, device_rate, latency_of_n(n));
+    return !std::isnan(total) && total <= buffer_budget;
   };
-  auto best = LargestTrue(fits, 1, hard_cap);
-  return best.ok() ? best.value() : 0;
+  const std::int64_t best = LargestTrueInline(fits, 1, hard_cap);
+  return best >= 1 ? best : 0;
 }
 
 }  // namespace memstream::model

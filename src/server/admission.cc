@@ -53,6 +53,22 @@ Bytes AdmissionController::DramFor(std::int64_t n, BytesPerSecond avg,
   return kInf;
 }
 
+const AdmissionController::DramSolve& AdmissionController::DramForCached(
+    std::int64_t n, BytesPerSecond avg) const {
+  const model::SolveKey key{n, model::DoubleBits(avg), 0};
+  return memo_.Lookup(
+      key,
+      [&] {
+        DramSolve solve;
+        solve.dram = DramFor(n, avg, &solve.reason);
+        return solve;
+      },
+      [](const DramSolve& a, const DramSolve& b) {
+        return model::DoubleBits(a.dram) == model::DoubleBits(b.dram) &&
+               a.reason == b.reason;
+      });
+}
+
 AdmissionDecision AdmissionController::TryAdmit(BytesPerSecond bit_rate) {
   AdmissionDecision decision;
   decision.streams_after = admitted_count() + 1;
@@ -62,12 +78,11 @@ AdmissionDecision AdmissionController::TryAdmit(BytesPerSecond bit_rate) {
   }
   const BytesPerSecond avg =
       (total_rate_ + bit_rate) / static_cast<double>(decision.streams_after);
-  std::string reason;
-  const Bytes needed = DramFor(decision.streams_after, avg, &reason);
-  decision.dram_required = needed;
-  if (needed > config_.dram_budget) {
-    decision.reason = needed == kInf
-                          ? reason
+  const DramSolve& solve = DramForCached(decision.streams_after, avg);
+  decision.dram_required = solve.dram;
+  if (solve.dram > config_.dram_budget) {
+    decision.reason = solve.dram == kInf
+                          ? solve.reason
                           : "DRAM budget exceeded";
     decision.streams_after = admitted_count();
     return decision;
@@ -91,7 +106,7 @@ Status AdmissionController::Release(BytesPerSecond bit_rate) {
 Bytes AdmissionController::CurrentDramRequirement() const {
   if (admitted_.empty()) return 0;
   const auto n = static_cast<std::int64_t>(admitted_.size());
-  return DramFor(n, total_rate_ / static_cast<double>(n), nullptr);
+  return DramForCached(n, total_rate_ / static_cast<double>(n)).dram;
 }
 
 }  // namespace memstream::server

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "model/incremental.h"
 #include "model/mems_buffer.h"
 #include "model/profiles.h"
 #include "model/timecycle.h"
@@ -37,6 +38,13 @@ struct AdmissionDecision {
 };
 
 /// Tracks the admitted set and enforces the model's feasibility bounds.
+///
+/// The sizing is a pure function of (n, B̄): the controller maintains the
+/// aggregate terms (stream count, summed bit-rate) by O(1) deltas on
+/// admit/release and memoizes the solver outcome on the bit-exact
+/// (n, B̄) key, so churny admit/depart sequences — which keep returning
+/// to recently seen loads — skip the full Theorem 1/2 re-derivation.
+/// Debug builds cross-check every memo hit against the full solver.
 class AdmissionController {
  public:
   /// Requires a disk_latency function.
@@ -56,7 +64,19 @@ class AdmissionController {
   /// DRAM the current admitted set needs (0 when empty).
   Bytes CurrentDramRequirement() const;
 
+  /// Re-solve memo accounting (hits/misses/cross-check mismatches).
+  const model::SolveMemoStats& memo_stats() const { return memo_.stats(); }
+  /// Forces (or disables) the hit-time cross-check against the full
+  /// solver; defaults to on in debug builds only.
+  void set_cross_check(bool on) { memo_.set_cross_check(on); }
+
  private:
+  /// Memoized outcome of one (n, B̄) sizing.
+  struct DramSolve {
+    Bytes dram = 0;
+    std::string reason;  ///< set when dram is infinite
+  };
+
   explicit AdmissionController(AdmissionConfig config)
       : config_(std::move(config)) {}
 
@@ -65,9 +85,13 @@ class AdmissionController {
   Bytes DramFor(std::int64_t n, BytesPerSecond avg,
                 std::string* reason) const;
 
+  /// DramFor through the (n, B̄) memo.
+  const DramSolve& DramForCached(std::int64_t n, BytesPerSecond avg) const;
+
   AdmissionConfig config_;
   std::vector<BytesPerSecond> admitted_;
   BytesPerSecond total_rate_ = 0;
+  mutable model::SolveMemo<DramSolve> memo_;
 };
 
 }  // namespace memstream::server

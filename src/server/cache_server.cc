@@ -83,9 +83,8 @@ CacheStreamingServer::CacheStreamingServer(
       rng_(config.seed) {
   play_cursor_.assign(streams_.size(), 0);
   device_busy_.assign(bank_.size(), 0);
-  sessions_.reserve(streams_.size());
   for (std::size_t i = 0; i < streams_.size(); ++i) {
-    sessions_.emplace_back(streams_[i].id, streams_[i].bit_rate);
+    play_.Add(streams_[i].id, streams_[i].bit_rate);
     if (streams_[i].cached) {
       cache_streams_.push_back(i);
     } else {
@@ -104,7 +103,7 @@ CacheStreamingServer::CacheStreamingServer(
 
   // Resolve telemetry handles once; hot-path updates are null-guarded.
   obs::MetricsRegistry* metrics = config_.metrics;
-  dram_occupancy_.assign(sessions_.size(), nullptr);
+  dram_occupancy_.assign(play_.size(), nullptr);
   if (metrics != nullptr) {
     const double disk_ms = config_.disk_cycle / kMillisecond;
     const double mems_ms = config_.mems_cycle / kMillisecond;
@@ -115,16 +114,16 @@ CacheStreamingServer::CacheStreamingServer(
     disk_cycles_metric_ = metrics->counter("server.cache.disk.cycles");
     mems_cycles_metric_ = metrics->counter("server.cache.mems.cycles");
     ios_metric_ = metrics->counter("server.cache.ios");
-    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    for (std::size_t i = 0; i < play_.size(); ++i) {
       dram_occupancy_[i] = metrics->time_weighted(
-          "stream." + std::to_string(sessions_[i].id()) + ".dram_bytes");
+          "stream." + std::to_string(play_.id(i)) + ".dram_bytes");
     }
   }
-  dram_series_.assign(sessions_.size(), nullptr);
+  dram_series_.assign(play_.size(), nullptr);
   if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
-    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    for (std::size_t i = 0; i < play_.size(); ++i) {
       dram_series_[i] = tl->AddSeries(
-          "stream." + std::to_string(sessions_[i].id()) + ".dram_bytes",
+          "stream." + std::to_string(play_.id(i)) + ".dram_bytes",
           "bytes");
     }
   }
@@ -134,29 +133,45 @@ void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
                                            Seconds done, Seconds boundary,
                                            const std::string& actor,
                                            Seconds service) {
-  auto* session = &sessions_[stream];
-  auto* occupancy_tw = dram_occupancy_[stream];
-  auto* occupancy_series = dram_series_[stream];
-  sim_.ScheduleAt(done, [this, session, occupancy_tw, occupancy_series,
-                         stream, bytes, done, boundary, actor, service]() {
-    session->Deposit(done, bytes);
-    const Bytes level = session->LevelAt(done);
-    obs::Update(occupancy_tw, done, level);
-    obs::Record(occupancy_series, done, level);
+  if (eager_) {
+    // Inline completion: with no trace and no faults the scheduled event
+    // would have fired at `done` with exactly this state (deposit times
+    // are monotone per stream and no re-plan can intervene); effects past
+    // the horizon never fire, matching the simulator's drop of events
+    // beyond Run(until).
+    if (done > horizon_) return;
+    play_.Deposit(stream, done, bytes);
+    const Bytes level = play_.LevelAt(stream, done);
+    obs::Update(dram_occupancy_[stream], done, level);
+    obs::Record(dram_series_[stream], done, level);
+    obs::RecordDramLevel(config_.auditor, stream, done, level);
+    if (!play_.playing(stream) && placement_[stream] != Placement::kShed) {
+      const Seconds start = std::max(done, boundary);
+      if (start <= horizon_) play_.StartPlayback(stream, start);
+    }
+    return;
+  }
+  sim_.ScheduleAt(done, [this, stream, bytes, done, boundary, actor,
+                         service]() {
+    play_.Deposit(stream, done, bytes);
+    const Bytes level = play_.LevelAt(stream, done);
+    obs::Update(dram_occupancy_[stream], done, level);
+    obs::Record(dram_series_[stream], done, level);
     obs::RecordDramLevel(config_.auditor, stream, done, level);
     if (trace_ != nullptr) {
       trace_->Append({done, sim::TraceKind::kIoCompleted, actor,
-                      session->id(), bytes, "", service});
+                      play_.id(stream), bytes, "", service});
       trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
-                      session->id(), level, ""});
+                      play_.id(stream), level, ""});
     }
-    if (!session->playing() && placement_[stream] != Placement::kShed) {
+    if (!play_.playing(stream) && placement_[stream] != Placement::kShed) {
       const Seconds start = std::max(done, boundary);
-      sim_.ScheduleAt(start, [this, session, stream, start]() {
+      sim_.ScheduleAt(start, [this, stream, start]() {
         // Re-check: the stream may have been shed between the deposit
         // and the playback boundary.
-        if (!session->playing() && placement_[stream] != Placement::kShed) {
-          session->StartPlayback(start);
+        if (!play_.playing(stream) &&
+            placement_[stream] != Placement::kShed) {
+          play_.StartPlayback(stream, start);
         }
       });
     }
@@ -183,10 +198,14 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
     return;
   }
 
-  std::vector<device::IoSpan> batch;
-  std::vector<std::size_t> serviced;  ///< stream index per batch entry
-  batch.reserve(disk_streams_.size());
-  serviced.reserve(disk_streams_.size());
+  // Batch scratch lives in the arena: one IoSpan + serviced index per
+  // active disk stream, recycled every cycle (zero steady-state heap
+  // traffic).
+  arena_.Reset();
+  auto* batch = arena_.Alloc<device::IoSpan>(disk_streams_.size());
+  auto* serviced =
+      arena_.Alloc<std::size_t>(disk_streams_.size());  ///< stream index
+  std::size_t n = 0;
   for (std::size_t i : disk_streams_) {
     if (placement_[i] == Placement::kShed) continue;
     const auto& s = streams_[i];
@@ -195,19 +214,26 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
     Bytes cursor = play_cursor_[i];
     if (cursor + io_bytes > extent) cursor = 0;
     play_cursor_[i] = cursor + io_bytes;
-    batch.push_back(device::IoSpan{
-        static_cast<std::int64_t>(EffOffset(i) + cursor), io_bytes});
-    serviced.push_back(i);
+    batch[n] = device::IoSpan{
+        static_cast<std::int64_t>(EffOffset(i) + cursor), io_bytes};
+    serviced[n] = i;
+    ++n;
   }
-  if (batch.empty()) {
+  if (n == 0) {
     disk_running_ = false;
     return;
   }
 
-  const auto order =
-      device::ScheduleOrder(config_.disk_policy, last_head_offset_, batch);
+  auto* order = arena_.Alloc<std::size_t>(n);
+  auto* scratch = arena_.Alloc<std::size_t>(n);
+  device::ScheduleOrderInto(config_.disk_policy, last_head_offset_, batch,
+                            n, order, scratch);
+  // The actor label only reaches trace records; skip the per-cycle
+  // string on the eager path (which never traces).
+  const std::string actor = eager_ ? std::string() : disk_->name();
   Seconds busy = 0;
-  for (std::size_t pos : order) {
+  for (std::size_t oi = 0; oi < n; ++oi) {
+    const std::size_t pos = order[oi];
     auto st = disk_->Service(batch[pos],
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: validated in Create
@@ -222,7 +248,7 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
     obs::Increment(ios_metric_);
     obs::RecordIo(config_.auditor, serviced[pos], batch[pos].bytes);
     ScheduleDeposit(serviced[pos], batch[pos].bytes, t0 + busy,
-                    t0 + config_.disk_cycle, disk_->name(), service);
+                    t0 + config_.disk_cycle, actor, service);
   }
 
   report_.disk_busy += busy;
@@ -257,6 +283,7 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
     return;
   }
 
+  static const std::string kStripedActor = "mems-striped";
   const auto k = static_cast<double>(bank_.size());
   Seconds busy = 0;
   bool any = false;
@@ -292,7 +319,7 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
     obs::Increment(ios_metric_);
     obs::RecordIo(config_.auditor, i, io_bytes);
     ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
-                    "mems-striped", op_time);
+                    kStripedActor, op_time);
   }
   if (!any) {
     striped_running_ = false;
@@ -334,6 +361,7 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
 
   // Device `dev` services its assigned cached streams (initially every
   // (dev + j*k)-th; rebuilt over alive devices after degradation).
+  const std::string actor = eager_ ? std::string() : bank_[dev].name();
   Seconds busy = 0;
   bool any = false;
   for (std::size_t i : replicated_assign_[dev]) {
@@ -355,7 +383,7 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
     obs::Increment(ios_metric_);
     obs::RecordIo(config_.auditor, i, io_bytes);
     ScheduleDeposit(i, io_bytes, t0 + busy, t0 + config_.mems_cycle,
-                    bank_[dev].name(), st.value());
+                    actor, st.value());
   }
   if (!any) {
     device_cycle_running_[dev] = false;
@@ -371,7 +399,6 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
   obs::EndMemsCycle(config_.auditor, static_cast<std::int64_t>(dev), t0,
                     busy);
   if (trace_ != nullptr && busy > 0) {
-    const std::string actor = bank_[dev].name();
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, actor, end, busy]() {
       trace_->Append({end, sim::TraceKind::kCycleEnd, actor, -1, 0, "",
@@ -392,13 +419,13 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
 
 void CacheStreamingServer::CushionDeposit(std::size_t i, Bytes target_level) {
   const Seconds now = sim_.Now();
-  const Bytes level = sessions_[i].LevelAt(now);
+  const Bytes level = play_.LevelAt(i, now);
   if (level >= target_level) return;
   const Bytes bytes = target_level - level;
-  sessions_[i].Deposit(now, bytes);
+  play_.Deposit(i, now, bytes);
   if (trace_ != nullptr) {
     trace_->Append({now, sim::TraceKind::kNote, "degradation",
-                    sessions_[i].id(), bytes, "transition prefetch"});
+                    play_.id(i), bytes, "transition prefetch"});
   }
 }
 
@@ -410,10 +437,10 @@ void CacheStreamingServer::TransitionStream(std::size_t i, Placement target) {
   fault::FaultInjector* faults = config_.faults;
 
   if (target == Placement::kShed) {
-    sessions_[i].PausePlayback(now);
+    play_.PausePlayback(i, now);
     if (config_.auditor != nullptr) config_.auditor->SetStreamActive(i, false);
     if (faults != nullptr) {
-      faults->RecordShed(sessions_[i].id(), now, report_.mems_cycles);
+      faults->RecordShed(play_.id(i), now, report_.mems_cycles);
     }
     if (from == Placement::kDisk) {
       disk_streams_.erase(
@@ -425,7 +452,7 @@ void CacheStreamingServer::TransitionStream(std::size_t i, Placement target) {
 
   if (from == Placement::kShed) {
     if (config_.auditor != nullptr) config_.auditor->SetStreamActive(i, true);
-    if (faults != nullptr) faults->RecordReadmit(sessions_[i].id(), now);
+    if (faults != nullptr) faults->RecordReadmit(play_.id(i), now);
   }
 
   if (target == Placement::kDisk) {
@@ -435,7 +462,7 @@ void CacheStreamingServer::TransitionStream(std::size_t i, Placement target) {
     }
     // The stream keeps playing across the switch; bridge the gap until
     // its first disk-cycle deposit (up to one full boundary + batch).
-    if (sessions_[i].playing()) {
+    if (play_.playing(i)) {
       CushionDeposit(i, config_.dram_bound_factor * streams_[i].bit_rate *
                             config_.disk_cycle);
     }
@@ -535,7 +562,7 @@ void CacheStreamingServer::ApplyReplan(const fault::FaultEvent& cause) {
       // audited bound track the cushioned level.
       for (std::size_t i = 0; i < streams_.size(); ++i) {
         if (streams_[i].cached) continue;
-        if (sessions_[i].playing()) {
+        if (play_.playing(i)) {
           CushionDeposit(i, config_.dram_bound_factor *
                                 streams_[i].bit_rate * config_.disk_cycle);
         }
@@ -563,7 +590,7 @@ void CacheStreamingServer::ApplyReplan(const fault::FaultEvent& cause) {
       TransitionStream(i, Placement::kCache);
       // Longer degraded cycles leave a deposit gap at the switch; the
       // re-plan bridges it with the slack-funded prefetch.
-      if (config_.mems_cycle > old_mems_cycle && sessions_[i].playing()) {
+      if (config_.mems_cycle > old_mems_cycle && play_.playing(i)) {
         CushionDeposit(i, streams_[i].bit_rate * config_.mems_cycle);
       }
       SetTransitionBound(i, config_.mems_cycle, carry);
@@ -595,7 +622,7 @@ void CacheStreamingServer::SetTransitionBound(std::size_t i, Seconds cycle,
   // completion, so the old schedule can still deliver one
   // carry_cycle-sized batch after this re-plan ran; the bound admits it
   // and converges back to factor * B̄ * T once the carried bytes drain.
-  const Bytes bound = sessions_[i].LevelAt(sim_.Now()) +
+  const Bytes bound = play_.LevelAt(i, sim_.Now()) +
                       config_.dram_bound_factor * streams_[i].bit_rate * cycle +
                       streams_[i].bit_rate * carry_cycle;
   audited_bound_[i] = bound;
@@ -646,6 +673,11 @@ Status CacheStreamingServer::Run(Seconds duration) {
   if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
   ran_ = true;
   horizon_ = duration;
+  // Trace records must interleave in exact time order, and fault-driven
+  // re-plans (shed re-checks, cushions, transitions) must observe
+  // deposits at their true event times — both force the event-queue
+  // path. Clean untraced runs take the inline fast path.
+  eager_ = trace_ == nullptr && config_.faults == nullptr;
   // Mirror the auditor's initial per-stream sizings (media_server seeds
   // them as factor * B̄ * T of each stream's domain) so re-plans can
   // re-derive the total DRAM budget from the bounds they install.
@@ -692,10 +724,10 @@ Status CacheStreamingServer::Run(Seconds duration) {
       duration > 0
           ? busy_sum / (duration * static_cast<double>(bank_.size()))
           : 0;
-  for (auto& session : sessions_) {
-    session.LevelAt(duration);
-    report_.qos.AbsorbPlayback(session);
-    report_.peak_dram_demand += session.peak_level();
+  for (std::size_t i = 0; i < play_.size(); ++i) {
+    play_.LevelAt(i, duration);
+    report_.qos.AbsorbPlayback(play_.view(i));
+    report_.peak_dram_demand += play_.peak_level(i);
   }
   if (config_.auditor != nullptr) {
     report_.qos.violations = config_.auditor->total_violations();
@@ -717,6 +749,17 @@ Status CacheStreamingServer::Run(Seconds duration) {
         ->Set(report_.mems_utilization);
     metrics->gauge("server.cache.peak_dram_bytes")
         ->Set(report_.peak_dram_demand);
+    metrics->gauge("prof.server.cache.arena_high_water_bytes")
+        ->Set(static_cast<double>(arena_.high_water()));
+    if (config_.degradation != nullptr) {
+      const model::SolveMemoStats& memo = config_.degradation->replan_stats();
+      metrics->gauge("prof.server.cache.replan_memo_hits")
+          ->Set(static_cast<double>(memo.hits));
+      metrics->gauge("prof.server.cache.replan_memo_misses")
+          ->Set(static_cast<double>(memo.misses));
+      metrics->gauge("prof.server.cache.replan_memo_mismatches")
+          ->Set(static_cast<double>(memo.mismatches));
+    }
     if (disk_ != nullptr) obs::ExportDeviceStats(metrics, *disk_, duration);
     for (const auto& dev : bank_) {
       obs::ExportDeviceStats(metrics, dev, duration);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "device/disk.h"
@@ -22,7 +23,7 @@
 #include "obs/qos_auditor.h"
 #include "obs/timeline.h"
 #include "server/qos_counters.h"
-#include "server/stream_session.h"
+#include "server/stream_batch.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -114,8 +115,9 @@ class CacheStreamingServer {
   Status Run(Seconds duration);
 
   const CacheServerReport& report() const { return report_; }
-  const StreamSession& session(std::size_t i) const { return sessions_[i]; }
-  std::size_t num_streams() const { return sessions_.size(); }
+  /// Playout session of the i-th stream (spec order).
+  StreamView session(std::size_t i) const { return play_.view(i); }
+  std::size_t num_streams() const { return play_.size(); }
 
  private:
   CacheStreamingServer(device::DiskDrive* disk,
@@ -128,6 +130,9 @@ class CacheStreamingServer {
   void RunStripedCycle(Seconds deadline);
   void RunReplicatedCycle(std::size_t dev, Seconds deadline);
 
+  /// Applies an IO-completion deposit: inline on the eager fast path (no
+  /// trace, no faults), otherwise through the event queue so trace
+  /// records and degradation re-checks interleave in exact time order.
   void ScheduleDeposit(std::size_t stream, Bytes bytes, Seconds done,
                        Seconds boundary, const std::string& actor,
                        Seconds service);
@@ -166,12 +171,17 @@ class CacheStreamingServer {
   sim::TraceLog* trace_;
   sim::Simulator sim_;
   Rng rng_;
-  std::vector<StreamSession> sessions_;
+  PlaybackBatch play_;  ///< SoA session state, index == stream index
   std::vector<std::size_t> disk_streams_;   ///< indices into streams_
   std::vector<std::size_t> cache_streams_;  ///< indices into streams_
   std::vector<Bytes> play_cursor_;
   std::vector<Seconds> device_busy_;  ///< per MEMS device
   std::int64_t last_head_offset_ = 0;
+  CycleArena arena_;  ///< per-disk-cycle scratch (batch + order)
+  /// Fast path: with no TraceLog and no fault injector, IO completion
+  /// deposits are applied inline in the cycle loops (same order the
+  /// scheduled events would have fired) instead of via the event queue.
+  bool eager_ = false;
   CacheServerReport report_;
   bool ran_ = false;
   // Degradation state (all no-ops when config_.faults is null).

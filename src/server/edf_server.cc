@@ -56,8 +56,7 @@ EdfStreamingServer::EdfStreamingServer(device::DiskDrive* disk,
       trace_(trace),
       rng_(config.seed) {
   play_cursor_.assign(streams_.size(), 0);
-  sessions_.reserve(streams_.size());
-  for (const auto& s : streams_) sessions_.emplace_back(s.id, s.bit_rate);
+  for (const auto& s : streams_) play_.Add(s.id, s.bit_rate);
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     ios_metric_ = metrics->counter("server.edf.ios");
@@ -74,12 +73,11 @@ EdfStreamingServer::EdfStreamingServer(device::DiskDrive* disk,
 }
 
 Seconds EdfStreamingServer::DeadlineOf(std::size_t i) {
-  StreamSession& session = sessions_[i];
-  if (!session.playing()) {
+  if (!play_.playing(i)) {
     // Bootstrap: unstarted streams are the most urgent, oldest first.
     return -1.0 - 1.0 / (1.0 + static_cast<double>(i));
   }
-  return sim_.Now() + session.LevelAt(sim_.Now()) / session.bit_rate();
+  return sim_.Now() + play_.LevelAt(i, sim_.Now()) / play_.bit_rate(i);
 }
 
 void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
@@ -97,14 +95,14 @@ void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     const Bytes io = streams_[i].bit_rate * config_.io_playback;
     const Bytes cap = 2 * io;
-    const Bytes level = sessions_[i].LevelAt(now);
+    const Bytes level = play_.LevelAt(i, now);
     if (level + io <= cap * (1 + 1e-9)) {
       const Seconds deadline = DeadlineOf(i);
       if (deadline < best_deadline) {
         best_deadline = deadline;
         chosen = i;
       }
-    } else if (sessions_[i].playing()) {
+    } else if (play_.playing(i)) {
       next_eligible = std::min(
           next_eligible, now + (level + io - cap) / streams_[i].bit_rate);
     }
@@ -143,32 +141,30 @@ void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
   ++report_.ios_completed;
   obs::Increment(ios_metric_);
   obs::RecordIo(config_.auditor, chosen, io_bytes);
-  if (sessions_[chosen].playing() && done > best_deadline) {
+  if (play_.playing(chosen) && done > best_deadline) {
     ++report_.deadline_misses;
     obs::Increment(misses_metric_);
   }
 
-  auto* session = &sessions_[chosen];
-  auto* occupancy_series = occupancy_series_[chosen];
-  const std::size_t audit_index = chosen;
-  const Seconds playback_delay = config_.io_playback;
-  sim_.ScheduleAt(done, [this, session, occupancy_series, audit_index,
-                         io_bytes, done, playback_delay, deadline_time]() {
-    session->Deposit(done, io_bytes);
-    const Bytes level = session->LevelAt(done);
-    obs::Record(occupancy_series, done, level);
-    obs::RecordDramLevel(config_.auditor, audit_index, done, level);
+  // The capture fits MoveOnlyFunction's inline buffer; the timeline
+  // series, auditor index and playback delay are reachable via
+  // this/chosen, so the per-IO event never heap-allocates.
+  sim_.ScheduleAt(done, [this, chosen, io_bytes, done, deadline_time]() {
+    play_.Deposit(chosen, done, io_bytes);
+    const Bytes level = play_.LevelAt(chosen, done);
+    obs::Record(occupancy_series_[chosen], done, level);
+    obs::RecordDramLevel(config_.auditor, chosen, done, level);
     if (trace_ != nullptr) {
       trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
-                      session->id(), io_bytes, "edf"});
+                      play_.id(chosen), io_bytes, "edf"});
     }
-    if (!session->playing()) {
+    if (!play_.playing(chosen)) {
       // Double-buffered start, mirroring the time-cycle server. The
       // start event also re-enters the service loop: a full pipeline
       // may have gone idle waiting for consumption to begin.
-      const Seconds start = done + playback_delay;
-      sim_.ScheduleAt(start, [this, session, start, deadline_time]() {
-        if (!session->playing()) session->StartPlayback(start);
+      const Seconds start = done + config_.io_playback;
+      sim_.ScheduleAt(start, [this, chosen, start, deadline_time]() {
+        if (!play_.playing(chosen)) play_.StartPlayback(chosen, start);
         ServiceNext(deadline_time);
       });
     }
@@ -194,10 +190,10 @@ Status EdfStreamingServer::Run(Seconds duration) {
   report_.horizon = duration;
   report_.device_utilization =
       duration > 0 ? std::min(report_.total_busy, duration) / duration : 0;
-  for (auto& session : sessions_) {
-    session.LevelAt(duration);
-    report_.qos.AbsorbPlayback(session);
-    report_.peak_buffer_demand += session.peak_level();
+  for (std::size_t i = 0; i < play_.size(); ++i) {
+    play_.LevelAt(i, duration);
+    report_.qos.AbsorbPlayback(play_.view(i));
+    report_.peak_buffer_demand += play_.peak_level(i);
   }
   if (config_.auditor != nullptr) {
     report_.qos.violations = config_.auditor->total_violations();

@@ -26,7 +26,7 @@
 #include "obs/qos_auditor.h"
 #include "obs/timeline.h"
 #include "server/qos_counters.h"
-#include "server/stream_session.h"
+#include "server/stream_batch.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -77,8 +77,9 @@ class EdfStreamingServer {
   Status Run(Seconds duration);
 
   const EdfServerReport& report() const { return report_; }
-  const StreamSession& session(std::size_t i) const { return sessions_[i]; }
-  std::size_t num_streams() const { return sessions_.size(); }
+  /// Playout session of the i-th stream (spec order).
+  StreamView session(std::size_t i) const { return play_.view(i); }
+  std::size_t num_streams() const { return play_.size(); }
 
  private:
   EdfStreamingServer(device::DiskDrive* disk,
@@ -98,7 +99,7 @@ class EdfStreamingServer {
   sim::TraceLog* trace_;
   sim::Simulator sim_;
   Rng rng_;
-  std::vector<StreamSession> sessions_;
+  PlaybackBatch play_;  ///< SoA session state, index == stream index
   std::vector<Bytes> play_cursor_;
   EdfServerReport report_;
   bool busy_ = false;  ///< an IO is in flight on the disk

@@ -81,8 +81,14 @@ MemsPipelineServer::MemsPipelineServer(device::DiskDrive* disk,
   occupancy_.assign(k, 0);
   device_busy_.assign(k, 0);
   play_cursor_.assign(streams_.size(), 0);
-  sessions_.reserve(streams_.size());
-  state_.resize(streams_.size());
+  device_.assign(streams_.size(), 0);
+  slot_base_.assign(streams_.size(), 0);
+  slot_size_.assign(streams_.size(), 0);
+  write_cursor_.assign(streams_.size(), 0);
+  read_cursor_.assign(streams_.size(), 0);
+  resident_.assign(streams_.size(), 0);
+  read_deficit_.assign(streams_.size(), 0);
+  first_write_done_.assign(streams_.size(), 0);
 
   const bool striped =
       config_.placement == model::BufferPlacement::kStripedIos;
@@ -92,16 +98,15 @@ MemsPipelineServer::MemsPipelineServer(device::DiskDrive* disk,
   }
   std::vector<std::size_t> slot_index(k, 0);
   for (std::size_t i = 0; i < streams_.size(); ++i) {
-    sessions_.emplace_back(streams_[i].id, streams_[i].bit_rate);
-    StreamState& st = state_[i];
+    play_.Add(streams_[i].id, streams_[i].bit_rate);
     // Striping: the same 1/k-sized slot exists on every device; device 0
     // stands in for the lock-step group (all writes/reads route through
     // the shared pending queue and the single striped cycle).
-    st.device = striped ? 0 : i % k;
-    st.slot_size = bank_[st.device].Capacity() /
-                   static_cast<double>(assigned[st.device]);
-    st.slot_base =
-        st.slot_size * static_cast<double>(slot_index[st.device]++);
+    const std::size_t dev = striped ? 0 : i % k;
+    device_[i] = dev;
+    slot_size_[i] =
+        bank_[dev].Capacity() / static_cast<double>(assigned[dev]);
+    slot_base_[i] = slot_size_[i] * static_cast<double>(slot_index[dev]++);
   }
 
   // Resolve telemetry handles once; hot-path updates are null-guarded.
@@ -148,16 +153,20 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline) return;
 
-  std::vector<device::IoSpan> batch;
-  batch.reserve(streams_.size());
-  for (std::size_t i = 0; i < streams_.size(); ++i) {
+  // Batch scratch lives in the arena, recycled every cycle (the arena is
+  // shared with the MEMS cycles — each cycle body runs to completion
+  // before the next event fires, so Reset() here is safe).
+  arena_.Reset();
+  const std::size_t n = streams_.size();
+  auto* batch = arena_.Alloc<device::IoSpan>(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const auto& s = streams_[i];
     const Bytes io_bytes = s.bit_rate * config_.t_disk;
     Bytes cursor = play_cursor_[i];
     if (cursor + io_bytes > s.extent) cursor = 0;
     play_cursor_[i] = cursor + io_bytes;
-    batch.push_back(device::IoSpan{
-        static_cast<std::int64_t>(s.disk_offset + cursor), io_bytes});
+    batch[i] = device::IoSpan{
+        static_cast<std::int64_t>(s.disk_offset + cursor), io_bytes};
   }
 
   if (trace_ != nullptr) {
@@ -165,10 +174,13 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
                     "disk cycle " + std::to_string(report_.disk_cycles)});
   }
 
-  const auto order =
-      device::ScheduleOrder(config_.disk_policy, last_head_offset_, batch);
+  auto* order = arena_.Alloc<std::size_t>(n);
+  auto* scratch = arena_.Alloc<std::size_t>(n);
+  device::ScheduleOrderInto(config_.disk_policy, last_head_offset_, batch,
+                            n, order, scratch);
   Seconds busy = 0;
-  for (std::size_t idx : order) {
+  for (std::size_t oi = 0; oi < n; ++oi) {
+    const std::size_t idx = order[oi];
     auto st = disk_->Service(batch[idx],
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: validated in Create
@@ -181,11 +193,15 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
     const Seconds done = t0 + busy;
     const Bytes bytes = batch[idx].bytes;
     obs::RecordIo(config_.auditor, idx, bytes);
+    // The push stays event-scheduled even on the eager path: the MEMS
+    // cycles must see exactly the writes whose completion time precedes
+    // their cycle start, which only the event queue's time ordering
+    // guarantees. The capture fits MoveOnlyFunction's inline buffer.
     sim_.ScheduleAt(done, [this, idx, bytes, done, service]() {
-      pending_[state_[idx].device].push_back(PendingWrite{idx, bytes});
+      pending_[device_[idx]].push_back(PendingWrite{idx, bytes});
       if (trace_ != nullptr) {
         trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
-                        sessions_[idx].id(), bytes, "-> mems pending",
+                        play_.id(idx), bytes, "-> mems pending",
                         service});
       }
     });
@@ -194,9 +210,9 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
   report_.disk_busy += busy;
   if (busy > config_.t_disk * (1.0 + 1e-9)) ++report_.disk_overruns;
   ++report_.disk_cycles;
-  report_.ios_completed += static_cast<std::int64_t>(order.size());
+  report_.ios_completed += static_cast<std::int64_t>(n);
   obs::Increment(disk_cycles_metric_);
-  obs::Increment(ios_metric_, static_cast<double>(order.size()));
+  obs::Increment(ios_metric_, static_cast<double>(n));
   obs::Observe(disk_slack_hist_, (config_.t_disk - busy) / kMillisecond);
   obs::EndDiskCycle(config_.auditor, t0, busy);
   if (trace_ != nullptr && busy > 0) {
@@ -230,7 +246,6 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
     Bytes offset;  ///< device-local
     bool is_write;
   };
-  std::vector<Op> ops;
 
   // Drain the disk writes that arrived before this cycle, capped at the
   // steady-state share per cycle (M/k writes, Eq. 8) plus one: without
@@ -243,17 +258,19 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
   const auto write_cap = static_cast<std::size_t>(
       std::ceil(static_cast<double>(assigned) * config_.t_mems /
                 config_.t_disk)) + 1;
-  std::deque<PendingWrite> writes;
+  arena_.Reset();
+  auto* ops = arena_.Alloc<Op>(write_cap + assigned);
+  std::size_t num_ops = 0;
   for (std::size_t i = 0; i < write_cap && !pending_[dev].empty(); ++i) {
-    writes.push_back(pending_[dev].front());
+    const PendingWrite w = pending_[dev].front();
     pending_[dev].pop_front();
-  }
-  for (const auto& w : writes) {
-    StreamState& st = state_[w.stream];
-    Bytes cursor = st.write_cursor;
-    if (cursor + w.bytes > st.slot_size) cursor = 0;  // wrap within slot
-    ops.push_back(Op{w.stream, w.bytes, st.slot_base + cursor, true});
-    st.write_cursor = cursor + w.bytes;
+    Bytes cursor = write_cursor_[w.stream];
+    if (cursor + w.bytes > slot_size_[w.stream]) {
+      cursor = 0;  // wrap within slot
+    }
+    ops[num_ops++] = Op{w.stream, w.bytes, slot_base_[w.stream] + cursor,
+                        true};
+    write_cursor_[w.stream] = cursor + w.bytes;
   }
 
   // One DRAM transfer per assigned stream whose data is resident
@@ -262,28 +279,28 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
   // cycle late, the stream reads whatever is resident rather than
   // skipping — partial reads keep the playout fed through drain jitter.
   for (std::size_t i = dev; i < streams_.size(); i += bank_.size()) {
-    StreamState& st = state_[i];
     const Bytes read_bytes = streams_[i].bit_rate * config_.t_mems;
-    if (!st.first_write_done) continue;  // stream not started yet
-    if (st.resident <= 0) {
+    if (!first_write_done_[i]) continue;  // stream not started yet
+    if (resident_[i] <= 0) {
       ++report_.starved_reads;
       obs::Increment(starved_metric_);
-      st.read_deficit += read_bytes;
+      read_deficit_[i] += read_bytes;
       continue;
     }
     // Catch-up: repay any shortfall from earlier partial/skipped reads.
-    const Bytes wanted = read_bytes + st.read_deficit;
-    const Bytes amount = std::min(wanted, st.resident);
-    st.read_deficit = std::max(0.0, wanted - amount);
-    Bytes cursor = st.read_cursor;
-    if (cursor + amount > st.slot_size) cursor = 0;
-    ops.push_back(Op{i, amount, st.slot_base + cursor, false});
-    st.read_cursor = cursor + amount;
-    st.resident -= amount;  // claimed by this cycle's schedule
+    const Bytes wanted = read_bytes + read_deficit_[i];
+    const Bytes amount = std::min(wanted, resident_[i]);
+    read_deficit_[i] = std::max(0.0, wanted - amount);
+    Bytes cursor = read_cursor_[i];
+    if (cursor + amount > slot_size_[i]) cursor = 0;
+    ops[num_ops++] = Op{i, amount, slot_base_[i] + cursor, false};
+    read_cursor_[i] = cursor + amount;
+    resident_[i] -= amount;  // claimed by this cycle's schedule
   }
 
   Seconds busy = 0;
-  for (const auto& op : ops) {
+  for (std::size_t oi = 0; oi < num_ops; ++oi) {
+    const Op& op = ops[oi];
     auto st = device.Service(
         device::IoSpan{static_cast<std::int64_t>(op.offset), op.bytes},
         nullptr);
@@ -293,13 +310,28 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
     const Seconds done = t0 + busy;
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
+    const std::size_t stream = op.stream;
+    const Bytes bytes = op.bytes;
     if (op.is_write) {
-      const std::size_t stream = op.stream;
-      const Bytes bytes = op.bytes;
+      if (eager_) {
+        // Inline completion: the event would fire at `done` with this
+        // exact state (completions apply in done order; the next cycle
+        // of this device starts after every done of this one). Effects
+        // past the horizon never fire, like dropped events.
+        if (done <= horizon_) {
+          resident_[stream] += bytes;
+          first_write_done_[stream] = 1;
+          occupancy_[dev] += bytes;
+          report_.peak_mems_occupancy =
+              std::max(report_.peak_mems_occupancy, occupancy_[dev]);
+          obs::Update(mems_occupancy_[dev], done, occupancy_[dev]);
+          obs::Record(mems_series_[dev], done, occupancy_[dev]);
+        }
+        continue;
+      }
       sim_.ScheduleAt(done, [this, dev, stream, bytes, done, service]() {
-        StreamState& s = state_[stream];
-        s.resident += bytes;
-        s.first_write_done = true;
+        resident_[stream] += bytes;
+        first_write_done_[stream] = 1;
         occupancy_[dev] += bytes;
         report_.peak_mems_occupancy =
             std::max(report_.peak_mems_occupancy, occupancy_[dev]);
@@ -307,42 +339,56 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
         obs::Record(mems_series_[dev], done, occupancy_[dev]);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
-                          bank_[dev].name(), sessions_[stream].id(), bytes,
+                          bank_[dev].name(), play_.id(stream), bytes,
                           "disk->MEMS write", service});
           if (occupancy_[dev] > bank_[dev].Capacity()) {
             trace_->Append({done, sim::TraceKind::kOverflow,
-                            bank_[dev].name(), sessions_[stream].id(),
+                            bank_[dev].name(), play_.id(stream),
                             occupancy_[dev],
                             "mems occupancy over capacity"});
           }
         }
       });
     } else {
-      const std::size_t stream = op.stream;
-      const Bytes bytes = op.bytes;
       const Seconds boundary = t0 + config_.t_mems;
+      if (eager_) {
+        if (done <= horizon_) {
+          occupancy_[dev] = std::max(0.0, occupancy_[dev] - bytes);
+          obs::Update(mems_occupancy_[dev], done, occupancy_[dev]);
+          obs::Record(mems_series_[dev], done, occupancy_[dev]);
+          play_.Deposit(stream, done, bytes);
+          const Bytes level = play_.LevelAt(stream, done);
+          obs::Update(dram_occupancy_[stream], done, level);
+          obs::Record(dram_series_[stream], done, level);
+          obs::RecordDramLevel(config_.auditor, stream, done, level);
+          if (!play_.playing(stream)) {
+            const Seconds start = std::max(done, boundary);
+            if (start <= horizon_) play_.StartPlayback(stream, start);
+          }
+        }
+        continue;
+      }
       sim_.ScheduleAt(done, [this, dev, stream, bytes, done, boundary,
                              service]() {
         occupancy_[dev] = std::max(0.0, occupancy_[dev] - bytes);
         obs::Update(mems_occupancy_[dev], done, occupancy_[dev]);
         obs::Record(mems_series_[dev], done, occupancy_[dev]);
-        auto* session = &sessions_[stream];
-        session->Deposit(done, bytes);
-        const Bytes level = session->LevelAt(done);
+        play_.Deposit(stream, done, bytes);
+        const Bytes level = play_.LevelAt(stream, done);
         obs::Update(dram_occupancy_[stream], done, level);
         obs::Record(dram_series_[stream], done, level);
         obs::RecordDramLevel(config_.auditor, stream, done, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
-                          bank_[dev].name(), session->id(), bytes,
+                          bank_[dev].name(), play_.id(stream), bytes,
                           "MEMS->DRAM read", service});
           trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
-                          session->id(), level, ""});
+                          play_.id(stream), level, ""});
         }
-        if (!session->playing()) {
+        if (!play_.playing(stream)) {
           const Seconds start = std::max(done, boundary);
-          sim_.ScheduleAt(start, [session, start]() {
-            if (!session->playing()) session->StartPlayback(start);
+          sim_.ScheduleAt(start, [this, stream, start]() {
+            if (!play_.playing(stream)) play_.StartPlayback(stream, start);
           });
         }
       });
@@ -390,7 +436,6 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
     Bytes device_offset;  ///< local offset, identical on every device
     bool is_write;
   };
-  std::vector<Op> ops;
 
   // Drain pending writes (all routed to queue 0), burst-capped as in the
   // round-robin cycle.
@@ -400,47 +445,47 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
   const auto write_cap = static_cast<std::size_t>(
       std::ceil(static_cast<double>(streams_.size()) * config_.t_mems /
                 config_.t_disk)) + 2;
-  std::deque<PendingWrite> writes;
+  arena_.Reset();
+  auto* ops = arena_.Alloc<Op>(write_cap + streams_.size());
+  std::size_t num_ops = 0;
   for (std::size_t i = 0; i < write_cap && !pending_[0].empty(); ++i) {
-    writes.push_back(pending_[0].front());
+    const PendingWrite w = pending_[0].front();
     pending_[0].pop_front();
-  }
-  for (const auto& w : writes) {
-    StreamState& st = state_[w.stream];
     const Bytes local = w.bytes / k;
-    Bytes cursor = st.write_cursor;
-    if (cursor + local > st.slot_size) cursor = 0;
-    ops.push_back(Op{w.stream, w.bytes, st.slot_base + cursor, true});
-    st.write_cursor = cursor + local;
+    Bytes cursor = write_cursor_[w.stream];
+    if (cursor + local > slot_size_[w.stream]) cursor = 0;
+    ops[num_ops++] = Op{w.stream, w.bytes, slot_base_[w.stream] + cursor,
+                        true};
+    write_cursor_[w.stream] = cursor + local;
   }
 
   // One DRAM transfer per stream whose data is resident (partial when a
   // write was drained a cycle late, as in the round-robin cycle).
   for (std::size_t i = 0; i < streams_.size(); ++i) {
-    StreamState& st = state_[i];
     const Bytes read_bytes = streams_[i].bit_rate * config_.t_mems;
-    if (!st.first_write_done) continue;
-    if (st.resident <= 0) {
+    if (!first_write_done_[i]) continue;
+    if (resident_[i] <= 0) {
       ++report_.starved_reads;
       obs::Increment(starved_metric_);
-      st.read_deficit += read_bytes;
+      read_deficit_[i] += read_bytes;
       continue;
     }
-    const Bytes wanted = read_bytes + st.read_deficit;
-    const Bytes amount = std::min(wanted, st.resident);
-    st.read_deficit = std::max(0.0, wanted - amount);
+    const Bytes wanted = read_bytes + read_deficit_[i];
+    const Bytes amount = std::min(wanted, resident_[i]);
+    read_deficit_[i] = std::max(0.0, wanted - amount);
     const Bytes local = amount / k;
-    Bytes cursor = st.read_cursor;
-    if (cursor + local > st.slot_size) cursor = 0;
-    ops.push_back(Op{i, amount, st.slot_base + cursor, false});
-    st.read_cursor = cursor + local;
-    st.resident -= amount;
+    Bytes cursor = read_cursor_[i];
+    if (cursor + local > slot_size_[i]) cursor = 0;
+    ops[num_ops++] = Op{i, amount, slot_base_[i] + cursor, false};
+    read_cursor_[i] = cursor + local;
+    resident_[i] -= amount;
   }
 
   // Lock-step service: every device transfers its 1/k share at the same
   // local offset; the elapsed time is the slowest (= common) device.
   Seconds busy = 0;
-  for (const auto& op : ops) {
+  for (std::size_t oi = 0; oi < num_ops; ++oi) {
+    const Op& op = ops[oi];
     Seconds op_time = 0;
     for (auto& dev : bank_) {
       auto t = dev.Service(
@@ -454,12 +499,24 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
     ++report_.ios_completed;
     obs::Increment(ios_metric_);
     const Seconds done = t0 + busy;
+    const std::size_t stream = op.stream;
+    const Bytes bytes = op.bytes;
     if (op.is_write) {
-      const std::size_t stream = op.stream;
-      const Bytes bytes = op.bytes;
+      if (eager_) {
+        if (done <= horizon_) {
+          resident_[stream] += bytes;
+          first_write_done_[stream] = 1;
+          occupancy_[0] += bytes;
+          report_.peak_mems_occupancy =
+              std::max(report_.peak_mems_occupancy, occupancy_[0]);
+          obs::Update(mems_occupancy_[0], done, occupancy_[0]);
+          obs::Record(mems_series_[0], done, occupancy_[0]);
+        }
+        continue;
+      }
       sim_.ScheduleAt(done, [this, stream, bytes, done]() {
-        state_[stream].resident += bytes;
-        state_[stream].first_write_done = true;
+        resident_[stream] += bytes;
+        first_write_done_[stream] = 1;
         occupancy_[0] += bytes;
         report_.peak_mems_occupancy =
             std::max(report_.peak_mems_occupancy, occupancy_[0]);
@@ -467,27 +524,41 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
         obs::Record(mems_series_[0], done, occupancy_[0]);
       });
     } else {
-      const std::size_t stream = op.stream;
-      const Bytes bytes = op.bytes;
       const Seconds boundary = t0 + config_.t_mems;
+      if (eager_) {
+        if (done <= horizon_) {
+          occupancy_[0] = std::max(0.0, occupancy_[0] - bytes);
+          obs::Update(mems_occupancy_[0], done, occupancy_[0]);
+          obs::Record(mems_series_[0], done, occupancy_[0]);
+          play_.Deposit(stream, done, bytes);
+          const Bytes level = play_.LevelAt(stream, done);
+          obs::Update(dram_occupancy_[stream], done, level);
+          obs::Record(dram_series_[stream], done, level);
+          obs::RecordDramLevel(config_.auditor, stream, done, level);
+          if (!play_.playing(stream)) {
+            const Seconds start = std::max(done, boundary);
+            if (start <= horizon_) play_.StartPlayback(stream, start);
+          }
+        }
+        continue;
+      }
       sim_.ScheduleAt(done, [this, stream, bytes, done, boundary]() {
         occupancy_[0] = std::max(0.0, occupancy_[0] - bytes);
         obs::Update(mems_occupancy_[0], done, occupancy_[0]);
         obs::Record(mems_series_[0], done, occupancy_[0]);
-        auto* session = &sessions_[stream];
-        session->Deposit(done, bytes);
-        const Bytes level = session->LevelAt(done);
+        play_.Deposit(stream, done, bytes);
+        const Bytes level = play_.LevelAt(stream, done);
         obs::Update(dram_occupancy_[stream], done, level);
         obs::Record(dram_series_[stream], done, level);
         obs::RecordDramLevel(config_.auditor, stream, done, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
-                          session->id(), level, ""});
+                          play_.id(stream), level, ""});
         }
-        if (!session->playing()) {
+        if (!play_.playing(stream)) {
           const Seconds start = std::max(done, boundary);
-          sim_.ScheduleAt(start, [session, start]() {
-            if (!session->playing()) session->StartPlayback(start);
+          sim_.ScheduleAt(start, [this, stream, start]() {
+            if (!play_.playing(stream)) play_.StartPlayback(stream, start);
           });
         }
       });
@@ -520,6 +591,12 @@ Status MemsPipelineServer::Run(Seconds duration) {
   if (ran_) return Status::FailedPrecondition("Run() may be called once");
   if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
   ran_ = true;
+  horizon_ = duration;
+  // With a TraceLog attached the MEMS-op completions stay
+  // event-scheduled so trace records interleave in exact time order;
+  // otherwise each cycle applies them inline. Faults don't force the
+  // slow path here: they act synchronously on the bank devices.
+  eager_ = trace_ == nullptr;
 
   MEMSTREAM_RETURN_IF_ERROR(
       sim_.Schedule(0, [this, duration]() { RunDiskCycle(duration); }));
@@ -573,10 +650,10 @@ Status MemsPipelineServer::Run(Seconds duration) {
       duration > 0
           ? busy_sum / (duration * static_cast<double>(bank_.size()))
           : 0;
-  for (auto& session : sessions_) {
-    session.LevelAt(duration);
-    report_.qos.AbsorbPlayback(session);
-    report_.peak_dram_demand += session.peak_level();
+  for (std::size_t i = 0; i < play_.size(); ++i) {
+    play_.LevelAt(i, duration);
+    report_.qos.AbsorbPlayback(play_.view(i));
+    report_.peak_dram_demand += play_.peak_level(i);
   }
   if (config_.auditor != nullptr) {
     report_.qos.violations = config_.auditor->total_violations();
@@ -600,6 +677,8 @@ Status MemsPipelineServer::Run(Seconds duration) {
         ->Set(report_.peak_dram_demand);
     metrics->gauge("server.pipeline.peak_mems_bytes")
         ->Set(report_.peak_mems_occupancy);
+    metrics->gauge("prof.server.pipeline.arena_high_water_bytes")
+        ->Set(static_cast<double>(arena_.high_water()));
     obs::ExportDeviceStats(metrics, *disk_, duration);
     for (const auto& dev : bank_) {
       obs::ExportDeviceStats(metrics, dev, duration);

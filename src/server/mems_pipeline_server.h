@@ -22,6 +22,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "device/disk.h"
@@ -33,7 +34,7 @@
 #include "obs/qos_auditor.h"
 #include "obs/timeline.h"
 #include "server/qos_counters.h"
-#include "server/stream_session.h"
+#include "server/stream_batch.h"
 #include "server/timecycle_server.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -107,8 +108,9 @@ class MemsPipelineServer {
   Status Run(Seconds duration);
 
   const MemsPipelineReport& report() const { return report_; }
-  const StreamSession& session(std::size_t i) const { return sessions_[i]; }
-  std::size_t num_streams() const { return sessions_.size(); }
+  /// Playout session of the i-th stream (spec order).
+  StreamView session(std::size_t i) const { return play_.view(i); }
+  std::size_t num_streams() const { return play_.size(); }
   std::size_t bank_size() const { return bank_.size(); }
 
  private:
@@ -127,19 +129,6 @@ class MemsPipelineServer {
     Bytes bytes;
   };
 
-  /// Per-stream pipeline state.
-  struct StreamState {
-    std::size_t device = 0;      ///< assigned MEMS device
-    Bytes slot_base = 0;         ///< slot start offset on the device
-    Bytes slot_size = 0;
-    Bytes write_cursor = 0;      ///< within the slot
-    Bytes read_cursor = 0;
-    Bytes resident = 0;          ///< bytes on MEMS, written and unread
-    Bytes read_deficit = 0;      ///< shortfall from past partial reads,
-                                 ///< repaid by catch-up reads
-    bool first_write_done = false;
-  };
-
   device::DiskDrive* disk_;
   std::vector<device::MemsDevice> bank_;
   std::vector<StreamSpec> streams_;
@@ -147,13 +136,30 @@ class MemsPipelineServer {
   sim::TraceLog* trace_;
   sim::Simulator sim_;
   Rng rng_;
-  std::vector<StreamSession> sessions_;
-  std::vector<StreamState> state_;
+  PlaybackBatch play_;  ///< SoA session state, index == stream index
+  // Per-stream pipeline state, structure-of-arrays (hot cycle loops walk
+  // one array at a time).
+  std::vector<std::size_t> device_;       ///< assigned MEMS device
+  std::vector<Bytes> slot_base_;          ///< slot start on the device
+  std::vector<Bytes> slot_size_;
+  std::vector<Bytes> write_cursor_;       ///< within the slot
+  std::vector<Bytes> read_cursor_;
+  std::vector<Bytes> resident_;           ///< on MEMS, written and unread
+  std::vector<Bytes> read_deficit_;       ///< shortfall from partial reads,
+                                          ///< repaid by catch-up reads
+  std::vector<std::uint8_t> first_write_done_;
   std::vector<std::deque<PendingWrite>> pending_;   ///< per device
   std::vector<Bytes> occupancy_;                    ///< per device
   std::vector<Seconds> device_busy_;                ///< per device
   std::vector<Bytes> play_cursor_;                  ///< disk-side cursor
   std::int64_t last_head_offset_ = 0;
+  CycleArena arena_;     ///< per-cycle scratch (batch, order, ops)
+  Seconds horizon_ = 0;  ///< Run() duration; bounds eager effects
+  /// Fast path: with no TraceLog attached, MEMS-op completion effects are
+  /// applied inline in the cycle loop (same order the scheduled events
+  /// would have fired). Disk->pending pushes stay event-scheduled in both
+  /// modes so the MEMS cycles' view of the pending queues is identical.
+  bool eager_ = false;
   MemsPipelineReport report_;
   bool ran_ = false;
   // Telemetry handles (null when config_.metrics is null).

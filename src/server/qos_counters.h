@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/units.h"
+#include "server/stream_batch.h"
 #include "server/stream_session.h"
 
 namespace memstream::server {
@@ -34,6 +35,16 @@ struct QosCounters {
   void AbsorbRecording(const RecordingSession& session) {
     overflow_events += session.overflow_events();
     overflow_time += session.overflow_time();
+  }
+
+  /// SoA-batch overloads (servers on the batched cycle engine).
+  void AbsorbPlayback(const StreamView& view) {
+    underflow_events += view.underflow_events();
+    underflow_time += view.underflow_time();
+  }
+  void AbsorbRecording(const RecordingView& view) {
+    overflow_events += view.overflow_events();
+    overflow_time += view.overflow_time();
   }
 
   /// Farm/facade aggregation across per-server reports.

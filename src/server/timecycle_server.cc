@@ -52,20 +52,18 @@ DirectStreamingServer::DirectStreamingServer(device::DiskDrive* disk,
   session_index_.reserve(streams_.size());
   for (const auto& s : streams_) {
     if (s.direction == StreamDirection::kRead) {
-      session_index_.push_back(play_sessions_.size());
-      play_sessions_.emplace_back(s.id, s.bit_rate);
+      session_index_.push_back(play_.Add(s.id, s.bit_rate));
     } else {
-      session_index_.push_back(record_sessions_.size());
       const Bytes staging =
           config_.staging_ios * s.bit_rate * config_.cycle;
-      record_sessions_.emplace_back(s.id, s.bit_rate, staging);
+      session_index_.push_back(record_.Add(s.id, s.bit_rate, staging));
     }
   }
 
   // Resolve telemetry handles once; hot-path updates are null-guarded.
   obs::MetricsRegistry* metrics = config_.metrics;
-  play_occupancy_.assign(play_sessions_.size(), nullptr);
-  staging_occupancy_.assign(record_sessions_.size(), nullptr);
+  play_occupancy_.assign(play_.size(), nullptr);
+  staging_occupancy_.assign(record_.size(), nullptr);
   if (metrics != nullptr) {
     const double cycle_ms = config_.cycle / kMillisecond;
     slack_hist_ = metrics->histogram("server.direct.cycle_slack_ms",
@@ -73,15 +71,13 @@ DirectStreamingServer::DirectStreamingServer(device::DiskDrive* disk,
     cycles_metric_ = metrics->counter("server.direct.cycles");
     overruns_metric_ = metrics->counter("server.direct.cycle_overruns");
     ios_metric_ = metrics->counter("server.direct.ios");
-    for (std::size_t i = 0; i < play_sessions_.size(); ++i) {
+    for (std::size_t i = 0; i < play_.size(); ++i) {
       play_occupancy_[i] = metrics->time_weighted(
-          "stream." + std::to_string(play_sessions_[i].id()) +
-          ".dram_bytes");
+          "stream." + std::to_string(play_.id(i)) + ".dram_bytes");
     }
-    for (std::size_t i = 0; i < record_sessions_.size(); ++i) {
+    for (std::size_t i = 0; i < record_.size(); ++i) {
       staging_occupancy_[i] = metrics->time_weighted(
-          "stream." + std::to_string(record_sessions_[i].id()) +
-          ".staging_bytes");
+          "stream." + std::to_string(record_.id(i)) + ".staging_bytes");
     }
   }
   play_series_.assign(streams_.size(), nullptr);
@@ -104,18 +100,21 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
   const Seconds t0 = sim_.Now();
   if (t0 >= deadline) return;
 
-  // Build this cycle's batch: one IO per stream at its playback cursor.
-  std::vector<device::IoSpan> batch;
-  batch.reserve(streams_.size());
-  for (std::size_t i = 0; i < streams_.size(); ++i) {
+  // Build this cycle's batch in arena scratch: one IO per stream at its
+  // playback cursor. The arena recycles last cycle's scratch, so the
+  // steady-state cycle performs zero heap allocations.
+  arena_.Reset();
+  const std::size_t n = streams_.size();
+  auto* batch = arena_.Alloc<device::IoSpan>(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const auto& s = streams_[i];
     const Bytes io_bytes = s.bit_rate * config_.cycle;
     Bytes cursor = play_cursor_[i];
     // Wrap within the extent so long runs keep streaming.
     if (cursor + io_bytes > s.extent) cursor = 0;
     play_cursor_[i] = cursor + io_bytes;
-    batch.push_back(device::IoSpan{
-        static_cast<std::int64_t>(s.disk_offset + cursor), io_bytes});
+    batch[i] = device::IoSpan{
+        static_cast<std::int64_t>(s.disk_offset + cursor), io_bytes};
   }
 
   if (trace_ != nullptr) {
@@ -125,10 +124,13 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
 
   // Service the batch in scheduler order; completions are deposits
   // (reads) or staging drains (writes).
-  const auto order =
-      device::ScheduleOrder(config_.policy, last_head_offset_, batch);
+  auto* order = arena_.Alloc<std::size_t>(n);
+  auto* scratch = arena_.Alloc<std::size_t>(n);
+  device::ScheduleOrderInto(config_.policy, last_head_offset_, batch, n,
+                            order, scratch);
   Seconds busy = 0;
-  for (std::size_t idx : order) {
+  for (std::size_t oi = 0; oi < n; ++oi) {
+    const std::size_t idx = order[oi];
     auto st = disk_->Service(batch[idx],
                              config_.deterministic ? nullptr : &rng_);
     if (!st.ok()) continue;  // unreachable: offsets validated in Create
@@ -143,51 +145,73 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
     obs::Increment(ios_metric_);
     obs::RecordIo(config_.auditor, idx, batch[idx].bytes);
     const Bytes bytes = batch[idx].bytes;
+    const std::size_t si = session_index_[idx];
 
     if (streams_[idx].direction == StreamDirection::kWrite) {
-      auto* recording = &record_sessions_[session_index_[idx]];
-      auto* staging_tw = staging_occupancy_[session_index_[idx]];
-      auto* staging_series = play_series_[idx];
-      sim_.ScheduleAt(done, [this, recording, staging_tw, staging_series, idx,
-                             bytes, done, service]() {
-        recording->Drain(done, bytes);
-        const Bytes level = recording->LevelAt(done);
-        obs::Update(staging_tw, done, level);
-        obs::Record(staging_series, done, level);
+      if (eager_) {
+        // Inline completion: the scheduled event would have fired at
+        // `done` with exactly this state (drain times are monotone per
+        // stream); effects past the horizon never fire, matching the
+        // simulator's drop of events beyond Run(until).
+        if (done <= horizon_) {
+          record_.Drain(si, done, bytes);
+          const Bytes level = record_.LevelAt(si, done);
+          obs::Update(staging_occupancy_[si], done, level);
+          obs::Record(play_series_[idx], done, level);
+          obs::RecordDramLevel(config_.auditor, idx, done, level);
+        }
+        continue;
+      }
+      sim_.ScheduleAt(done, [this, idx, si, bytes, done, service]() {
+        record_.Drain(si, done, bytes);
+        const Bytes level = record_.LevelAt(si, done);
+        obs::Update(staging_occupancy_[si], done, level);
+        obs::Record(play_series_[idx], done, level);
         obs::RecordDramLevel(config_.auditor, idx, done, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
-                          disk_->name(), recording->id(), bytes,
+                          disk_->name(), record_.id(si), bytes,
                           "recorded", service});
         }
       });
       continue;
     }
 
-    auto* session = &play_sessions_[session_index_[idx]];
-    auto* occupancy_tw = play_occupancy_[session_index_[idx]];
-    auto* occupancy_series = play_series_[idx];
     // Double-buffered start: data fetched during cycle c is consumed from
     // the next cycle boundary on, so jitter-freedom only requires that
     // every cycle's batch finishes within T.
     const Seconds boundary = t0 + config_.cycle;
-    sim_.ScheduleAt(done, [this, session, occupancy_tw, occupancy_series,
-                           idx, bytes, done, boundary, service]() {
-      session->Deposit(done, bytes);
-      const Bytes level = session->LevelAt(done);
-      obs::Update(occupancy_tw, done, level);
-      obs::Record(occupancy_series, done, level);
+    if (eager_) {
+      if (done <= horizon_) {
+        play_.Deposit(si, done, bytes);
+        const Bytes level = play_.LevelAt(si, done);
+        obs::Update(play_occupancy_[si], done, level);
+        obs::Record(play_series_[idx], done, level);
+        obs::RecordDramLevel(config_.auditor, idx, done, level);
+        if (!play_.playing(si)) {
+          const Seconds start = std::max(done, boundary);
+          if (start <= horizon_) play_.StartPlayback(si, start);
+        }
+      }
+      continue;
+    }
+    sim_.ScheduleAt(done, [this, idx, si, bytes, done, boundary,
+                           service]() {
+      play_.Deposit(si, done, bytes);
+      const Bytes level = play_.LevelAt(si, done);
+      obs::Update(play_occupancy_[si], done, level);
+      obs::Record(play_series_[idx], done, level);
       obs::RecordDramLevel(config_.auditor, idx, done, level);
       if (trace_ != nullptr) {
         trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
-                        session->id(), bytes, "", service});
+                        play_.id(si), bytes, "", service});
         trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
-                        session->id(), level, ""});
+                        play_.id(si), level, ""});
       }
-      if (!session->playing()) {
+      if (!play_.playing(si)) {
         const Seconds start = std::max(done, boundary);
-        sim_.ScheduleAt(start, [session, start]() {
-          if (!session->playing()) session->StartPlayback(start);
+        sim_.ScheduleAt(start, [this, si, start]() {
+          if (!play_.playing(si)) play_.StartPlayback(si, start);
         });
       }
     });
@@ -245,8 +269,15 @@ Status DirectStreamingServer::Run(Seconds duration) {
   if (ran_) return Status::FailedPrecondition("Run() may be called once");
   if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
   ran_ = true;
+  horizon_ = duration;
+  // With a TraceLog attached the per-IO completions stay event-scheduled
+  // so trace records interleave in exact time order; otherwise the cycle
+  // loop applies them inline (byte-identical results, no queue traffic).
+  eager_ = trace_ == nullptr;
 
-  for (auto& recording : record_sessions_) recording.StartRecording(0);
+  for (std::size_t i = 0; i < record_.size(); ++i) {
+    record_.StartRecording(i, 0);
+  }
   MEMSTREAM_RETURN_IF_ERROR(
       sim_.Schedule(0, [this, duration]() { RunCycle(duration); }));
   if (config_.faults != nullptr) {
@@ -263,25 +294,25 @@ Status DirectStreamingServer::Run(Seconds duration) {
   // utilization reads as a fraction of the observed window.
   report_.device_utilization =
       duration > 0 ? std::min(report_.total_busy, duration) / duration : 0;
-  for (auto& session : play_sessions_) {
-    session.LevelAt(duration);  // accrue trailing underflow time
-    report_.qos.AbsorbPlayback(session);
-    report_.peak_buffer_demand += session.peak_level();
-    if (trace_ != nullptr && session.underflow_events() > 0) {
+  for (std::size_t i = 0; i < play_.size(); ++i) {
+    play_.LevelAt(i, duration);  // accrue trailing underflow time
+    report_.qos.AbsorbPlayback(play_.view(i));
+    report_.peak_buffer_demand += play_.peak_level(i);
+    if (trace_ != nullptr && play_.underflow_events(i) > 0) {
       trace_->Append({duration, sim::TraceKind::kUnderflow, "report",
-                      session.id(), 0,
-                      "events=" + std::to_string(session.underflow_events())});
+                      play_.id(i), 0,
+                      "events=" + std::to_string(play_.underflow_events(i))});
     }
   }
-  for (auto& recording : record_sessions_) {
-    recording.LevelAt(duration);
-    report_.qos.AbsorbRecording(recording);
-    report_.peak_buffer_demand += recording.peak_level();
-    if (trace_ != nullptr && recording.overflow_events() > 0) {
+  for (std::size_t i = 0; i < record_.size(); ++i) {
+    record_.LevelAt(i, duration);
+    report_.qos.AbsorbRecording(record_.view(i));
+    report_.peak_buffer_demand += record_.peak_level(i);
+    if (trace_ != nullptr && record_.overflow_events(i) > 0) {
       trace_->Append({duration, sim::TraceKind::kOverflow, "report",
-                      recording.id(), 0,
+                      record_.id(i), 0,
                       "events=" +
-                          std::to_string(recording.overflow_events())});
+                          std::to_string(record_.overflow_events(i))});
     }
   }
   if (config_.auditor != nullptr) {
@@ -302,6 +333,8 @@ Status DirectStreamingServer::Run(Seconds duration) {
         ->Set(report_.peak_buffer_demand);
     metrics->gauge("server.direct.max_cycle_busy_ms")
         ->Set(report_.max_cycle_busy / kMillisecond);
+    metrics->gauge("prof.server.direct.arena_high_water_bytes")
+        ->Set(static_cast<double>(arena_.high_water()));
     obs::ExportDeviceStats(metrics, *disk_, duration);
     obs::ExportSimulatorStats(metrics, sim_);
   }

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "device/disk.h"
@@ -23,7 +24,7 @@
 #include "obs/qos_auditor.h"
 #include "obs/timeline.h"
 #include "server/qos_counters.h"
-#include "server/stream_session.h"
+#include "server/stream_batch.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -112,14 +113,10 @@ class DirectStreamingServer {
   const ServerReport& report() const { return report_; }
 
   /// Playout session of the i-th *read* stream (in spec order).
-  const StreamSession& session(std::size_t i) const {
-    return play_sessions_[i];
-  }
-  const std::vector<StreamSession>& play_sessions() const {
-    return play_sessions_;
-  }
-  const std::vector<RecordingSession>& record_sessions() const {
-    return record_sessions_;
+  StreamView session(std::size_t i) const { return play_.view(i); }
+  std::vector<StreamView> play_sessions() const { return play_.views(); }
+  std::vector<RecordingView> record_sessions() const {
+    return record_.views();
   }
   std::size_t num_streams() const { return streams_.size(); }
 
@@ -137,12 +134,18 @@ class DirectStreamingServer {
   sim::TraceLog* trace_;
   sim::Simulator sim_;
   Rng rng_;
-  std::vector<StreamSession> play_sessions_;
-  std::vector<RecordingSession> record_sessions_;
-  /// Per stream: index into play_sessions_ or record_sessions_.
+  PlaybackBatch play_;     ///< SoA state of the read streams
+  RecordingBatch record_;  ///< SoA state of the write streams
+  /// Per stream: index into play_ or record_.
   std::vector<std::size_t> session_index_;
   std::vector<Bytes> play_cursor_;  ///< per-stream offset within extent
   std::int64_t last_head_offset_ = 0;
+  CycleArena arena_;        ///< per-cycle scratch (batch + order)
+  Seconds horizon_ = 0;     ///< Run() duration; bounds eager effects
+  /// Fast path: with no TraceLog attached, IO completion effects are
+  /// applied inline in the cycle loop (in the same order the scheduled
+  /// events would have fired) instead of through the event queue.
+  bool eager_ = false;
   ServerReport report_;
   bool ran_ = false;
   // Telemetry handles (null when config_.metrics is null).
