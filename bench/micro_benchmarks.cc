@@ -21,6 +21,8 @@
 #include "model/planner.h"
 #include "model/timecycle.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/stream_journal.h"
 #include "server/admission.h"
 #include "server/timecycle_server.h"
 #include "sim/event_queue.h"
@@ -387,6 +389,38 @@ void BM_ProfilerScope(benchmark::State& state) {
   profiler.Reset();
 }
 BENCHMARK(BM_ProfilerScope)->Arg(0)->Arg(1);
+
+// Cost of one stream-journal IO sample plus an SLO record through the
+// null-tolerant helpers: Arg(0) = disabled (null journal/slo — a
+// pointer test per site, the price every server pays when nobody wired
+// the observers), Arg(1) = a live journal slot and a live SLO. The
+// null arm should price like the disabled BM_ProfilerScope arm, and
+// the live arm's allocs_per_op must be zero — registration allocates,
+// the steady state never does.
+void BM_StreamJournalHooks(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::StreamJournal journal;
+  obs::SloMonitor monitor;
+  const std::size_t live_slot = journal.EnsureStream(0, 1 * kMBps, 1 * kMB, 0.0);
+  obs::StreamJournal* j = enabled ? &journal : nullptr;
+  const std::ptrdiff_t slot =
+      enabled ? static_cast<std::ptrdiff_t>(live_slot) : -1;
+  obs::Slo* slo =
+      enabled ? monitor.Add(obs::StandardCycleSlackSlo()) : nullptr;
+  double now = 0;
+  const std::int64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    now += 0.5;
+    obs::JournalIo(j, slot, now, 1 * kMB, 2 * kMB);
+    obs::JournalUnderflows(j, slot, now, 0);
+    obs::SloRecord(slo, now, 1, 0);
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+  ReportAllocsPerOp(state, allocs_before);
+}
+BENCHMARK(BM_StreamJournalHooks)->Arg(0)->Arg(1);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution dist(10000, 1.0);

@@ -84,6 +84,12 @@ double Histogram::BucketLow(std::size_t i) const {
 double Histogram::Quantile(double q) const {
   assert(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return lo_;
+  // Clamping to the observed sample range keeps the edges well-defined:
+  // bucket interpolation alone would report values past the max for
+  // all-equal samples (e.g. p95 of {5,5,5} landing at 5.475) and bucket
+  // lows below the min at small q.
+  const double clamp_lo = stats_.min();
+  const double clamp_hi = stats_.max();
   const double target = q * static_cast<double>(total_);
   double acc = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -91,11 +97,12 @@ double Histogram::Quantile(double q) const {
     if (next >= target) {
       const double frac =
           counts_[i] ? (target - acc) / static_cast<double>(counts_[i]) : 0.0;
-      return BucketLow(i) + frac * bucket_width_;
+      return std::clamp(BucketLow(i) + frac * bucket_width_, clamp_lo,
+                        clamp_hi);
     }
     acc = next;
   }
-  return hi_;
+  return clamp_hi;
 }
 
 std::string Histogram::ToAscii(int width) const {

@@ -61,7 +61,11 @@ class Histogram {
   double BucketLow(std::size_t i) const;
 
   /// Value below which `q` (in [0,1]) of the samples fall, interpolated
-  /// within the containing bucket.
+  /// within the containing bucket. Well-defined at the edges: an empty
+  /// histogram returns `lo`, and any non-empty result is clamped to the
+  /// observed [min, max] — so a single sample (or all-equal samples)
+  /// yields exactly that value at every q, and q=0 / q=1 return the
+  /// true min / max rather than a bucket boundary.
   double Quantile(double q) const;
 
   const RunningStats& stats() const { return stats_; }

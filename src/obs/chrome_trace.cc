@@ -14,6 +14,7 @@ constexpr std::int64_t kDevicesPid = 1;
 constexpr std::int64_t kStreamsPid = 2;
 constexpr std::int64_t kTimelinesPid = 3;
 constexpr std::int64_t kProfilerPid = 4;
+constexpr std::int64_t kLifecyclePid = 5;
 
 constexpr double kMicrosPerSecond = 1e6;
 
@@ -83,7 +84,7 @@ void ProfileSpan(JsonWriter& w, const prof::ProfileNode& node,
 
 std::string ChromeTraceExporter::ToJson(
     const sim::TraceLog& log, const TimelineRecorder* timelines,
-    const prof::ProfileSnapshot* profile) const {
+    const prof::ProfileSnapshot* profile, const StreamJournal* journal) const {
   // First pass: assign device tids in order of first appearance and
   // collect the stream-id set, so metadata can label every track.
   std::map<std::string, std::int64_t> device_tid;
@@ -308,6 +309,37 @@ std::string ChromeTraceExporter::ToJson(
     }
   }
 
+  if (journal != nullptr && journal->size() > 0) {
+    MetadataEvent(w, "process_name", kLifecyclePid, 0, "lifecycle");
+    for (std::size_t slot = 0; slot < journal->size(); ++slot) {
+      const StreamJournalEntry& e = journal->entry(slot);
+      const auto tid = static_cast<std::int64_t>(slot) + 1;
+      MetadataEvent(w, "thread_name", kLifecyclePid, tid,
+                    "stream " + std::to_string(e.stream_id) + " lifecycle");
+      for (const StreamEvent& ev : e.events) {
+        w.BeginObject();
+        EventHeader(w, StreamEventKindName(ev.kind), "i",
+                    ev.t * kMicrosPerSecond, kLifecyclePid, tid);
+        w.Key("s");
+        // Shed/re-admit are run-level landmarks; the rest stay local.
+        w.String(ev.kind == StreamEventKind::kShed ||
+                         ev.kind == StreamEventKind::kReadmitted
+                     ? "g"
+                     : "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Key("stream");
+        w.Int(e.stream_id);
+        if (ev.kind == StreamEventKind::kDegraded) {
+          w.Key("detail");
+          w.String(ev.detail == 1 ? "disk fallback" : "reshaped cycle");
+        }
+        w.EndObject();
+        w.EndObject();
+      }
+    }
+  }
+
   if (profile != nullptr && !profile->roots.empty()) {
     MetadataEvent(w, "process_name", kProfilerPid, 0, "profiler");
     MetadataEvent(w, "thread_name", kProfilerPid, 1,
@@ -334,12 +366,12 @@ std::string ChromeTraceExporter::ToJson(
 Status ChromeTraceExporter::WriteFile(
     const sim::TraceLog& log, const std::string& path,
     const TimelineRecorder* timelines,
-    const prof::ProfileSnapshot* profile) const {
+    const prof::ProfileSnapshot* profile, const StreamJournal* journal) const {
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::NotFound("cannot open " + path + " for writing");
   }
-  out << ToJson(log, timelines, profile);
+  out << ToJson(log, timelines, profile, journal);
   out.close();
   if (!out.good()) return Status::Internal("write to " + path + " failed");
   return Status::OK();

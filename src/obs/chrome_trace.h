@@ -23,6 +23,7 @@
 
 #include "common/profiler.h"
 #include "common/status.h"
+#include "obs/stream_journal.h"
 #include "obs/timeline.h"
 #include "sim/trace.h"
 
@@ -47,14 +48,21 @@ class ChromeTraceExporter {
   /// pid 4 "profiler": nested complete ("X") spans laid out from t=0
   /// with durations equal to each region's inclusive CPU time — a
   /// static flamegraph track beside the simulated timeline.
+  /// When `journal` is non-null its per-stream lifecycle records are
+  /// appended as pid 5 "lifecycle": one tid per journaled stream, each
+  /// transition (admitted, playing, degraded, shed, readmitted,
+  /// departed) an instant on that stream's track, so shed/re-admit
+  /// windows line up against the device cycles and fault spans above.
   std::string ToJson(const sim::TraceLog& log,
                      const TimelineRecorder* timelines = nullptr,
-                     const prof::ProfileSnapshot* profile = nullptr) const;
+                     const prof::ProfileSnapshot* profile = nullptr,
+                     const StreamJournal* journal = nullptr) const;
 
   /// Writes ToJson() to `path` (conventionally <name>.trace.json).
   Status WriteFile(const sim::TraceLog& log, const std::string& path,
                    const TimelineRecorder* timelines = nullptr,
-                   const prof::ProfileSnapshot* profile = nullptr) const;
+                   const prof::ProfileSnapshot* profile = nullptr,
+                   const StreamJournal* journal = nullptr) const;
 
  private:
   ChromeTraceOptions options_;

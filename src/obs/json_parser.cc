@@ -44,10 +44,28 @@ JsonValue JsonParser::ParseValue() {
     return {};
   }
   switch (text_[pos_]) {
-    case '{':
-      return ParseObject();
-    case '[':
-      return ParseArray();
+    case '{': {
+      // Bound the recursion: hostile deep nesting must fail, not smash
+      // the stack.
+      if (depth_ >= kMaxDepth) {
+        ok_ = false;
+        return {};
+      }
+      ++depth_;
+      JsonValue v = ParseObject();
+      --depth_;
+      return v;
+    }
+    case '[': {
+      if (depth_ >= kMaxDepth) {
+        ok_ = false;
+        return {};
+      }
+      ++depth_;
+      JsonValue v = ParseArray();
+      --depth_;
+      return v;
+    }
     case '"':
       return ParseString();
     case 't': {
@@ -138,6 +156,20 @@ JsonValue JsonParser::ParseString() {
         case 't': v.string.push_back('\t'); break;
         case 'u':
           // Keep the escape opaque; the tooling never needs the glyph.
+          // The four hex digits must actually be present and valid — a
+          // truncated or malformed escape used to skip blindly past the
+          // end of the document.
+          if (pos_ + 4 >= text_.size()) {
+            ok_ = false;
+            return v;
+          }
+          for (std::size_t i = 1; i <= 4; ++i) {
+            if (!std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_ + i]))) {
+              ok_ = false;
+              return v;
+            }
+          }
           pos_ += 4;
           v.string.push_back('?');
           break;

@@ -4,7 +4,13 @@
 // so production tools and tests share one implementation.
 //
 // Not a general-purpose parser: \uXXXX escapes are kept opaque (replaced
-// by '?'), numbers are doubles, duplicate object keys keep the first.
+// by '?'), numbers are doubles (out-of-range magnitudes saturate to
+// +/-inf the way strtod does), duplicate object keys keep the first.
+//
+// Hardened against hostile input: nesting deeper than kMaxDepth is
+// rejected (bounds the recursion, so no stack overflow), \uXXXX escapes
+// must carry exactly four hex digits, and truncated documents fail
+// cleanly with ok() == false.
 
 #ifndef MEMSTREAM_OBS_JSON_PARSER_H_
 #define MEMSTREAM_OBS_JSON_PARSER_H_
@@ -51,6 +57,10 @@ struct JsonValue {
 /// Single-use recursive-descent parser over a borrowed string.
 class JsonParser {
  public:
+  /// Deepest accepted object/array nesting; deeper input is rejected
+  /// (ok() == false) instead of recursing without bound.
+  static constexpr std::size_t kMaxDepth = 200;
+
   /// `text` must outlive the parser.
   explicit JsonParser(const std::string& text) : text_(text) {}
 
@@ -72,6 +82,7 @@ class JsonParser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   bool ok_ = true;
 };
 

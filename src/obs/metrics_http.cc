@@ -74,6 +74,16 @@ void MetricsHttpServer::SetProfileProvider(Provider provider) {
   profile_provider_ = std::move(provider);
 }
 
+void MetricsHttpServer::SetSloProvider(Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slo_provider_ = std::move(provider);
+}
+
+void MetricsHttpServer::SetHealthProvider(HealthProvider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_provider_ = std::move(provider);
+}
+
 Status MetricsHttpServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already started");
@@ -204,7 +214,32 @@ void MetricsHttpServer::HandleConnection(int fd) {
     SendResponse(fd, "200 OK", "application/json", body);
     return;
   }
+  if (path == "/slostatus") {
+    Provider provider;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      provider = slo_provider_;
+    }
+    if (!provider) {
+      SendResponse(fd, "503 Service Unavailable", "text/plain",
+                   "no SLO provider installed\n");
+      return;
+    }
+    SendResponse(fd, "200 OK", "application/json", provider());
+    return;
+  }
   if (path == "/healthz") {
+    HealthProvider provider;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      provider = health_provider_;
+    }
+    std::string detail;
+    if (provider && !provider(&detail)) {
+      SendResponse(fd, "503 Service Unavailable", "text/plain",
+                   "degraded: " + detail + "\n");
+      return;
+    }
     SendResponse(fd, "200 OK", "text/plain", "ok\n");
     return;
   }
@@ -213,7 +248,8 @@ void MetricsHttpServer::HandleConnection(int fd) {
                  "memstream live observability\n"
                  "  /metrics   Prometheus text exposition\n"
                  "  /profilez  profiler tree (JSON)\n"
-                 "  /healthz   liveness\n");
+                 "  /slostatus SLO attainment + error budgets (JSON)\n"
+                 "  /healthz   liveness (503 when a budget is exhausted)\n");
     return;
   }
   SendResponse(fd, "404 Not Found", "text/plain", "not found\n");

@@ -5,7 +5,9 @@
 //   GET /          -> text index of the endpoints
 //   GET /metrics   -> Prometheus text exposition (the metrics provider)
 //   GET /profilez  -> current profiler tree as JSON (see ProfileJson)
-//   GET /healthz   -> "ok"
+//   GET /slostatus -> SLO attainment/error-budget JSON (the SLO provider)
+//   GET /healthz   -> "ok", or 503 "degraded: ..." when the health
+//                     provider reports an exhausted error budget
 //
 // Design rules:
 //  - POSIX sockets only, one background thread, sequential request
@@ -59,6 +61,16 @@ class MetricsHttpServer {
   /// JSON dump of prof::Profiler::Global()'s current snapshot.
   void SetProfileProvider(Provider provider);
 
+  /// Provider for /slostatus (served as application/json; conventionally
+  /// SloMonitor::StatusJson). Unset -> 503 on /slostatus.
+  void SetSloProvider(Provider provider);
+
+  /// Returns liveness; a false return (with optional detail) turns
+  /// /healthz into "503 degraded: <detail>". Conventionally bound to
+  /// SloMonitor::healthy. Unset -> /healthz always "ok".
+  using HealthProvider = std::function<bool(std::string* detail)>;
+  void SetHealthProvider(HealthProvider provider);
+
   /// Binds, listens, and starts the server thread. FailedPrecondition
   /// when already started; Internal with errno detail on socket errors.
   Status Start();
@@ -89,6 +101,8 @@ class MetricsHttpServer {
   std::mutex mu_;  ///< guards the providers
   Provider metrics_provider_;
   Provider profile_provider_;
+  Provider slo_provider_;
+  HealthProvider health_provider_;
 };
 
 }  // namespace memstream::obs

@@ -191,6 +191,65 @@ Status ParseRunReport(const std::string& path, const JsonValue& doc,
       }
     }
   }
+  if (const JsonValue* st = doc.Find("streams");
+      st != nullptr && st->is_object()) {
+    run.has_streams = true;
+    run.streams.count = static_cast<std::int64_t>(st->Num("count", 0));
+    run.streams.departed = static_cast<std::int64_t>(st->Num("departed", 0));
+    run.streams.shed = static_cast<std::int64_t>(st->Num("shed", 0));
+    run.streams.still_shed =
+        static_cast<std::int64_t>(st->Num("still_shed", 0));
+    run.streams.readmitted =
+        static_cast<std::int64_t>(st->Num("readmitted", 0));
+    run.streams.degraded = static_cast<std::int64_t>(st->Num("degraded", 0));
+    run.streams.underflow_streams =
+        static_cast<std::int64_t>(st->Num("underflow_streams", 0));
+    run.streams.total_ios =
+        static_cast<std::int64_t>(st->Num("total_ios", 0));
+    run.streams.total_underflows =
+        static_cast<std::int64_t>(st->Num("total_underflows", 0));
+    run.streams.min_headroom = st->Num("min_headroom", 1.0);
+    if (const JsonValue* ps = st->Find("per_stream");
+        ps != nullptr && ps->is_array()) {
+      for (const auto& e : ps->array) {
+        LoadedStreamEntry entry;
+        entry.id = static_cast<std::int64_t>(e.Num("id", -1));
+        entry.phase = e.Str("phase");
+        entry.ios = static_cast<std::int64_t>(e.Num("ios", 0));
+        entry.underflows =
+            static_cast<std::int64_t>(e.Num("underflows", 0));
+        entry.sheds = static_cast<std::int64_t>(e.Num("sheds", 0));
+        entry.readmits = static_cast<std::int64_t>(e.Num("readmits", 0));
+        entry.degrades = static_cast<std::int64_t>(e.Num("degrades", 0));
+        entry.headroom = e.Num("headroom", 1.0);
+        entry.occ_p95 = e.Num("occ_p95", 0);
+        run.streams.per_stream.push_back(std::move(entry));
+      }
+    }
+  }
+  if (const JsonValue* sl = doc.Find("slo"); sl != nullptr && sl->is_object()) {
+    run.has_slo = true;
+    if (const JsonValue* h = sl->Find("healthy"); h != nullptr) {
+      run.slo_healthy = h->boolean;
+    }
+    if (const JsonValue* arr = sl->Find("slos");
+        arr != nullptr && arr->is_array()) {
+      for (const auto& s : arr->array) {
+        LoadedSlo slo;
+        slo.name = s.Str("name");
+        slo.objective = s.Num("objective", 0);
+        slo.good = static_cast<std::int64_t>(s.Num("good", 0));
+        slo.bad = static_cast<std::int64_t>(s.Num("bad", 0));
+        slo.attainment = s.Num("attainment", 1.0);
+        slo.budget_remaining = s.Num("budget_remaining", 1.0);
+        slo.burn_rate = s.Num("burn_rate", 0);
+        if (const JsonValue* ex = s.Find("exhausted"); ex != nullptr) {
+          slo.exhausted = ex->boolean;
+        }
+        run.slos.push_back(std::move(slo));
+      }
+    }
+  }
   if (const JsonValue* ts = doc.Find("timelines");
       ts != nullptr && ts->is_array()) {
     for (const auto& s : ts->array) {
@@ -583,6 +642,60 @@ std::string RenderMarkdownReport(const ReportBundle& bundle,
         out << "\n";
       }
     }
+    if (run.has_streams) {
+      const LoadedStreams& st = run.streams;
+      out << "### Streams\n\n";
+      out << st.count << " stream(s): " << st.shed << " shed ("
+          << st.readmitted << " re-admitted, " << st.still_shed
+          << " still shed at end), " << st.degraded << " degraded, "
+          << st.underflow_streams << " with underflows; min envelope "
+          << "headroom " << FormatDouble(st.min_headroom) << "\n\n";
+      // Only the interesting rows: anything shed/degraded/underflowed or
+      // envelope-tight. Clean steady-state streams stay in the JSON.
+      std::vector<const LoadedStreamEntry*> interesting;
+      for (const auto& e : st.per_stream) {
+        if (e.sheds > 0 || e.degrades > 0 || e.underflows > 0 ||
+            e.headroom < 0.05) {
+          interesting.push_back(&e);
+        }
+      }
+      if (!interesting.empty()) {
+        constexpr std::size_t kMaxRows = 20;
+        out << "| stream | phase | ios | underflows | sheds | readmits | "
+               "degrades | headroom |\n|---|---|---|---|---|---|---|---|\n";
+        for (std::size_t i = 0;
+             i < interesting.size() && i < kMaxRows; ++i) {
+          const LoadedStreamEntry& e = *interesting[i];
+          out << "| " << e.id << " | " << MdEscape(e.phase) << " | " << e.ios
+              << " | " << e.underflows << " | " << e.sheds << " | "
+              << e.readmits << " | " << e.degrades << " | "
+              << FormatDouble(e.headroom) << " |\n";
+        }
+        if (interesting.size() > kMaxRows) {
+          out << "\n(" << (interesting.size() - kMaxRows)
+              << " more affected stream(s) in the JSON)\n";
+        }
+        out << "\n";
+      }
+    }
+    if (run.has_slo) {
+      out << "### SLOs\n\n";
+      out << (run.slo_healthy
+                  ? "All error budgets healthy.\n\n"
+                  : "**At least one error budget exhausted.**\n\n");
+      if (!run.slos.empty()) {
+        out << "| slo | objective | good | bad | attainment | "
+               "budget left | burn rate |\n|---|---|---|---|---|---|---|\n";
+        for (const auto& s : run.slos) {
+          out << "| " << MdEscape(s.name) << (s.exhausted ? " ⚠" : "")
+              << " | " << FormatDouble(s.objective) << " | " << s.good
+              << " | " << s.bad << " | " << FormatDouble(s.attainment)
+              << " | " << FormatDouble(s.budget_remaining) << " | "
+              << FormatDouble(s.burn_rate) << " |\n";
+        }
+        out << "\n";
+      }
+    }
     if (run.trace_dropped_records > 0) {
       out << "> warning: trace ring buffer dropped "
           << run.trace_dropped_records << " records\n\n";
@@ -756,6 +869,65 @@ std::string RenderHtmlDashboard(const ReportBundle& bundle,
         out << "</table>\n";
       }
     }
+    if (run.has_streams) {
+      const LoadedStreams& st = run.streams;
+      out << "<h3>Streams</h3>\n<p>" << st.count << " stream(s): "
+          << "<span class=\"" << (st.shed == 0 ? "ok" : "bad") << "\">"
+          << st.shed << " shed</span> (" << st.readmitted
+          << " re-admitted, " << st.still_shed << " still shed), "
+          << st.degraded << " degraded, " << st.underflow_streams
+          << " with underflows; min envelope headroom "
+          << FormatDouble(st.min_headroom) << "</p>\n";
+      std::vector<const LoadedStreamEntry*> interesting;
+      for (const auto& e : st.per_stream) {
+        if (e.sheds > 0 || e.degrades > 0 || e.underflows > 0 ||
+            e.headroom < 0.05) {
+          interesting.push_back(&e);
+        }
+      }
+      if (!interesting.empty()) {
+        constexpr std::size_t kMaxRows = 20;
+        out << "<table><tr><th>stream</th><th>phase</th><th>ios</th>"
+            << "<th>underflows</th><th>sheds</th><th>readmits</th>"
+            << "<th>degrades</th><th>headroom</th></tr>\n";
+        for (std::size_t i = 0;
+             i < interesting.size() && i < kMaxRows; ++i) {
+          const LoadedStreamEntry& e = *interesting[i];
+          out << "<tr><td>" << e.id << "</td><td>" << HtmlEscape(e.phase)
+              << "</td><td>" << e.ios << "</td><td>" << e.underflows
+              << "</td><td>" << e.sheds << "</td><td>" << e.readmits
+              << "</td><td>" << e.degrades << "</td><td>"
+              << FormatDouble(e.headroom) << "</td></tr>\n";
+        }
+        out << "</table>\n";
+        if (interesting.size() > kMaxRows) {
+          out << "<p class=\"src\">" << (interesting.size() - kMaxRows)
+              << " more affected stream(s) in the JSON</p>\n";
+        }
+      }
+    }
+    if (run.has_slo) {
+      out << "<h3>SLOs</h3>\n<p class=\""
+          << (run.slo_healthy ? "ok" : "bad") << "\">"
+          << (run.slo_healthy ? "All error budgets healthy."
+                              : "At least one error budget exhausted.")
+          << "</p>\n";
+      if (!run.slos.empty()) {
+        out << "<table><tr><th>slo</th><th>objective</th><th>good</th>"
+            << "<th>bad</th><th>attainment</th><th>budget left</th>"
+            << "<th>burn rate</th></tr>\n";
+        for (const auto& s : run.slos) {
+          out << "<tr><td" << (s.exhausted ? " class=\"bad\"" : "") << ">"
+              << HtmlEscape(s.name) << "</td><td>"
+              << FormatDouble(s.objective) << "</td><td>" << s.good
+              << "</td><td>" << s.bad << "</td><td>"
+              << FormatDouble(s.attainment) << "</td><td>"
+              << FormatDouble(s.budget_remaining) << "</td><td>"
+              << FormatDouble(s.burn_rate) << "</td></tr>\n";
+        }
+        out << "</table>\n";
+      }
+    }
     if (!run.timelines.empty()) {
       out << "<h3>Timelines</h3>\n<table><tr><th>series</th>"
           << "<th>unit</th><th>points</th><th>shape</th></tr>\n";
@@ -863,6 +1035,393 @@ std::string RenderHtmlDashboard(const ReportBundle& bundle,
     out << "</table>\n";
   }
 
+  out << "</body>\n</html>\n";
+  return out.str();
+}
+
+// --- differential run comparison ---
+
+namespace {
+
+using KeyValues = std::vector<std::pair<std::string, double>>;
+
+/// Matches two key/value lists into diff rows: keys in `a`'s order, then
+/// `b`-only keys in `b`'s order. First occurrence wins on duplicates.
+std::vector<DiffRow> DiffKeyValues(const KeyValues& a, const KeyValues& b,
+                                   const DiffOptions& options) {
+  std::vector<DiffRow> out;
+  auto find = [](const KeyValues& kv, const std::string& key) {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return std::make_pair(true, v);
+    }
+    return std::make_pair(false, 0.0);
+  };
+  auto seen = [&out](const std::string& key) {
+    for (const auto& row : out) {
+      if (row.key == key) return true;
+    }
+    return false;
+  };
+  auto classify = [&options](DiffRow* row) {
+    if (row->only_a || row->only_b) {
+      row->significant =
+          std::abs(row->a) + std::abs(row->b) > options.abs_epsilon;
+      return;
+    }
+    row->delta = row->b - row->a;
+    row->rel = row->a != 0 ? row->delta / std::abs(row->a) : 0;
+    row->significant =
+        std::abs(row->delta) > options.abs_epsilon &&
+        (row->a == 0 || std::abs(row->rel) > options.rel_threshold);
+  };
+  for (const auto& [key, va] : a) {
+    if (seen(key)) continue;
+    DiffRow row;
+    row.key = key;
+    row.a = va;
+    const auto [found, vb] = find(b, key);
+    if (found) {
+      row.b = vb;
+    } else {
+      row.only_a = true;
+    }
+    classify(&row);
+    out.push_back(std::move(row));
+  }
+  for (const auto& [key, vb] : b) {
+    if (seen(key)) continue;
+    DiffRow row;
+    row.key = key;
+    row.b = vb;
+    row.only_b = true;
+    classify(&row);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+KeyValues QosKeyValues(const LoadedRunReport& run) {
+  KeyValues kv;
+  if (!run.has_qos) return kv;
+  kv.emplace_back("total_violations",
+                  static_cast<double>(run.total_violations));
+  kv.emplace_back("disk_cycles_audited",
+                  static_cast<double>(run.disk_cycles_audited));
+  kv.emplace_back("mems_cycles_audited",
+                  static_cast<double>(run.mems_cycles_audited));
+  return kv;
+}
+
+KeyValues FaultKeyValues(const LoadedRunReport& run) {
+  KeyValues kv;
+  if (!run.has_faults) return kv;
+  const LoadedFaults& f = run.faults;
+  kv.emplace_back("events", static_cast<double>(f.events));
+  kv.emplace_back("repairs", static_cast<double>(f.repairs));
+  kv.emplace_back("replans", static_cast<double>(f.replans));
+  kv.emplace_back("sheds", static_cast<double>(f.sheds));
+  kv.emplace_back("readmits", static_cast<double>(f.readmits));
+  kv.emplace_back("total_shed_time", f.total_shed_time);
+  return kv;
+}
+
+KeyValues StreamKeyValues(const LoadedRunReport& run) {
+  KeyValues kv;
+  if (!run.has_streams) return kv;
+  const LoadedStreams& s = run.streams;
+  kv.emplace_back("count", static_cast<double>(s.count));
+  kv.emplace_back("shed", static_cast<double>(s.shed));
+  kv.emplace_back("readmitted", static_cast<double>(s.readmitted));
+  kv.emplace_back("still_shed", static_cast<double>(s.still_shed));
+  kv.emplace_back("degraded", static_cast<double>(s.degraded));
+  kv.emplace_back("underflow_streams",
+                  static_cast<double>(s.underflow_streams));
+  kv.emplace_back("total_underflows",
+                  static_cast<double>(s.total_underflows));
+  kv.emplace_back("min_headroom", s.min_headroom);
+  return kv;
+}
+
+KeyValues SloKeyValues(const LoadedRunReport& run) {
+  KeyValues kv;
+  for (const auto& s : run.slos) {
+    kv.emplace_back(s.name + ".attainment", s.attainment);
+    kv.emplace_back(s.name + ".budget_remaining", s.budget_remaining);
+    kv.emplace_back(s.name + ".burn_rate", s.burn_rate);
+  }
+  return kv;
+}
+
+KeyValues MetricKeyValues(const LoadedRunReport& run) {
+  KeyValues kv;
+  for (const auto& m : run.metrics) kv.emplace_back(m.name, m.value);
+  return kv;
+}
+
+/// Wall seconds of the latest perf/bench record per bench key.
+KeyValues PerfKeyValues(const ReportBundle& bundle) {
+  KeyValues kv;
+  auto upsert = [&kv](const std::string& key, double value) {
+    for (auto& [k, v] : kv) {
+      if (k == key) {
+        v = value;  // later records win (run order)
+        return;
+      }
+    }
+    kv.emplace_back(key, value);
+  };
+  for (const auto& b : bundle.bench) {
+    upsert(b.bench + " (sweep wall s)", b.wall_seconds);
+  }
+  for (const auto& p : bundle.perf) {
+    upsert(p.bench + "/" + p.kind + " (wall s)", p.wall_seconds);
+  }
+  return kv;
+}
+
+struct DiffSection {
+  const char* name;
+  const std::vector<DiffRow>* rows;
+  std::size_t elided = 0;
+};
+
+std::vector<DiffSection> Sections(const RunPairDiff& pair) {
+  return {
+      {"analytic", &pair.analytic},
+      {"simulated", &pair.simulated},
+      {"qos", &pair.qos},
+      {"faults", &pair.faults},
+      {"streams", &pair.streams},
+      {"slo", &pair.slo},
+      {"metrics", &pair.metrics, pair.metrics_elided},
+  };
+}
+
+std::size_t CountSignificant(const std::vector<DiffRow>& rows) {
+  std::size_t n = 0;
+  for (const auto& r : rows) n += r.significant ? 1 : 0;
+  return n;
+}
+
+std::string DiffCell(const DiffRow& r) {
+  if (r.only_a) return "only in A";
+  if (r.only_b) return "only in B";
+  return FormatDouble(r.delta) + " (" + FormatDouble(r.rel * 100) + "%)";
+}
+
+}  // namespace
+
+std::size_t BundleDiff::SignificantCount() const {
+  std::size_t n = CountSignificant(perf);
+  for (const auto& pair : pairs) {
+    for (const auto& section : Sections(pair)) {
+      n += CountSignificant(*section.rows);
+    }
+  }
+  return n;
+}
+
+BundleDiff ComputeBundleDiff(const ReportBundle& a, const ReportBundle& b,
+                             const DiffOptions& options,
+                             const std::string& label_a,
+                             const std::string& label_b) {
+  BundleDiff diff;
+  diff.label_a = label_a;
+  diff.label_b = label_b;
+
+  // Match runs by title first; leftovers pair up in input order, so two
+  // single-run bundles always compare even when titled differently.
+  std::vector<const LoadedRunReport*> unmatched_b;
+  for (const auto& run : b.runs) unmatched_b.push_back(&run);
+  std::vector<std::pair<const LoadedRunReport*, const LoadedRunReport*>>
+      matched;
+  std::vector<const LoadedRunReport*> leftover_a;
+  for (const auto& run : a.runs) {
+    bool found = false;
+    for (auto& candidate : unmatched_b) {
+      if (candidate != nullptr && candidate->title == run.title) {
+        matched.emplace_back(&run, candidate);
+        candidate = nullptr;
+        found = true;
+        break;
+      }
+    }
+    if (!found) leftover_a.push_back(&run);
+  }
+  for (const auto* run : leftover_a) {
+    bool found = false;
+    for (auto& candidate : unmatched_b) {
+      if (candidate != nullptr) {
+        matched.emplace_back(run, candidate);
+        candidate = nullptr;
+        found = true;
+        break;
+      }
+    }
+    if (!found) diff.only_in_a.push_back(run->title);
+  }
+  for (const auto* candidate : unmatched_b) {
+    if (candidate != nullptr) diff.only_in_b.push_back(candidate->title);
+  }
+
+  for (const auto& [ra, rb] : matched) {
+    RunPairDiff pair;
+    pair.title = ra->title == rb->title
+                     ? ra->title
+                     : ra->title + " vs " + rb->title;
+    pair.analytic = DiffKeyValues(ra->analytic, rb->analytic, options);
+    pair.simulated = DiffKeyValues(ra->simulated, rb->simulated, options);
+    pair.qos = DiffKeyValues(QosKeyValues(*ra), QosKeyValues(*rb), options);
+    pair.faults =
+        DiffKeyValues(FaultKeyValues(*ra), FaultKeyValues(*rb), options);
+    pair.streams =
+        DiffKeyValues(StreamKeyValues(*ra), StreamKeyValues(*rb), options);
+    pair.slo = DiffKeyValues(SloKeyValues(*ra), SloKeyValues(*rb), options);
+    pair.metrics =
+        DiffKeyValues(MetricKeyValues(*ra), MetricKeyValues(*rb), options);
+    // Metrics arrays are the big section; keep every significant row but
+    // cap the unchanged ones so the diff stays a triage document.
+    std::vector<DiffRow> kept;
+    std::size_t insignificant = 0;
+    for (auto& row : pair.metrics) {
+      if (row.significant ||
+          insignificant < options.max_insignificant_metric_rows) {
+        insignificant += row.significant ? 0 : 1;
+        kept.push_back(std::move(row));
+      } else {
+        ++pair.metrics_elided;
+      }
+    }
+    pair.metrics = std::move(kept);
+    diff.pairs.push_back(std::move(pair));
+  }
+
+  diff.perf = DiffKeyValues(PerfKeyValues(a), PerfKeyValues(b), options);
+  return diff;
+}
+
+std::string RenderMarkdownDiff(const BundleDiff& diff,
+                               const std::string& title) {
+  std::ostringstream out;
+  out << "# " << title << "\n\n";
+  out << "A: `" << diff.label_a << "`\n";
+  out << "B: `" << diff.label_b << "`\n\n";
+  out << diff.SignificantCount() << " significant difference(s)\n\n";
+  for (const auto& t : diff.only_in_a) {
+    out << "> run only in A: " << MdEscape(t) << "\n\n";
+  }
+  for (const auto& t : diff.only_in_b) {
+    out << "> run only in B: " << MdEscape(t) << "\n\n";
+  }
+  for (const auto& pair : diff.pairs) {
+    out << "## " << MdEscape(pair.title) << "\n\n";
+    for (const auto& section : Sections(pair)) {
+      if (section.rows->empty() && section.elided == 0) continue;
+      const std::size_t significant = CountSignificant(*section.rows);
+      out << "### " << section.name << "\n\n";
+      if (significant == 0) {
+        out << "No significant differences ("
+            << section.rows->size() + section.elided
+            << " compared).\n\n";
+        continue;
+      }
+      out << "| key | A | B | delta |\n|---|---|---|---|\n";
+      for (const auto& r : *section.rows) {
+        if (!r.significant) continue;
+        out << "| **" << MdEscape(r.key) << "** | "
+            << (r.only_b ? std::string("-") : FormatDouble(r.a)) << " | "
+            << (r.only_a ? std::string("-") : FormatDouble(r.b)) << " | "
+            << DiffCell(r) << " |\n";
+      }
+      out << "\n("
+          << section.rows->size() + section.elided - significant
+          << " insignificant row(s) elided)\n\n";
+    }
+  }
+  out << "## Perf\n\n";
+  if (diff.perf.empty()) {
+    out << "No perf/bench records on either side.\n\n";
+  } else if (CountSignificant(diff.perf) == 0) {
+    out << "No significant perf differences (" << diff.perf.size()
+        << " compared).\n\n";
+  } else {
+    out << "| bench | A | B | delta |\n|---|---|---|---|\n";
+    for (const auto& r : diff.perf) {
+      if (!r.significant) continue;
+      out << "| **" << MdEscape(r.key) << "** | "
+          << (r.only_b ? std::string("-") : FormatDouble(r.a)) << " | "
+          << (r.only_a ? std::string("-") : FormatDouble(r.b)) << " | "
+          << DiffCell(r) << " |\n";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderHtmlDiff(const BundleDiff& diff, const std::string& title) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+      << "<meta charset=\"utf-8\">\n<title>" << HtmlEscape(title)
+      << "</title>\n<style>\n"
+      << "body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;"
+         "max-width:70em;padding:0 1em;color:#1c2733}\n"
+      << "h1,h2{border-bottom:1px solid #d8dee4;padding-bottom:.2em}\n"
+      << "table{border-collapse:collapse;margin:.8em 0}\n"
+      << "th,td{border:1px solid #d8dee4;padding:.25em .6em;"
+         "text-align:left}\n"
+      << "th{background:#f3f6f9}\n"
+      << "tr.sig td{background:#fff4e8;font-weight:600}\n"
+      << ".src{color:#5a6b7a;font-size:12px}\n"
+      << ".ok{color:#1a6b2f}\n"
+      << "</style>\n</head>\n<body>\n";
+  out << "<h1>" << HtmlEscape(title) << "</h1>\n";
+  out << "<p class=\"src\">A: " << HtmlEscape(diff.label_a) << "<br>B: "
+      << HtmlEscape(diff.label_b) << "</p>\n";
+  out << "<p>" << diff.SignificantCount()
+      << " significant difference(s)</p>\n";
+  for (const auto& t : diff.only_in_a) {
+    out << "<p class=\"src\">run only in A: " << HtmlEscape(t) << "</p>\n";
+  }
+  for (const auto& t : diff.only_in_b) {
+    out << "<p class=\"src\">run only in B: " << HtmlEscape(t) << "</p>\n";
+  }
+  auto render_rows = [&out](const std::vector<DiffRow>& rows) {
+    out << "<table><tr><th>key</th><th>A</th><th>B</th><th>delta</th>"
+        << "</tr>\n";
+    for (const auto& r : rows) {
+      if (!r.significant) continue;
+      out << "<tr class=\"sig\"><td>" << HtmlEscape(r.key) << "</td><td>"
+          << (r.only_b ? std::string("-") : FormatDouble(r.a))
+          << "</td><td>"
+          << (r.only_a ? std::string("-") : FormatDouble(r.b))
+          << "</td><td>" << HtmlEscape(DiffCell(r)) << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  };
+  for (const auto& pair : diff.pairs) {
+    out << "<h2>" << HtmlEscape(pair.title) << "</h2>\n";
+    for (const auto& section : Sections(pair)) {
+      if (section.rows->empty() && section.elided == 0) continue;
+      const std::size_t significant = CountSignificant(*section.rows);
+      out << "<h3>" << section.name << "</h3>\n";
+      if (significant == 0) {
+        out << "<p class=\"ok\">No significant differences ("
+            << section.rows->size() + section.elided << " compared).</p>\n";
+        continue;
+      }
+      render_rows(*section.rows);
+      out << "<p class=\"src\">"
+          << section.rows->size() + section.elided - significant
+          << " insignificant row(s) elided</p>\n";
+    }
+  }
+  out << "<h2>Perf</h2>\n";
+  if (CountSignificant(diff.perf) == 0) {
+    out << "<p class=\"ok\">No significant perf differences ("
+        << diff.perf.size() << " compared).</p>\n";
+  } else {
+    render_rows(diff.perf);
+  }
   out << "</body>\n</html>\n";
   return out.str();
 }

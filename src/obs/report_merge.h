@@ -78,6 +78,46 @@ struct LoadedFaults {
   std::vector<LoadedShedRecord> shed_streams;
 };
 
+/// One per-stream row of a report's "streams" block (schema v4).
+struct LoadedStreamEntry {
+  std::int64_t id = -1;
+  std::string phase;  ///< "admitted"|"playing"|"degraded"|"shed"|"departed"
+  std::int64_t ios = 0;
+  std::int64_t underflows = 0;
+  std::int64_t sheds = 0;
+  std::int64_t readmits = 0;
+  std::int64_t degrades = 0;
+  double headroom = 1.0;
+  double occ_p95 = 0;
+};
+
+/// The "streams" block (per-stream lifecycle journal) of one run.
+struct LoadedStreams {
+  std::int64_t count = 0;
+  std::int64_t departed = 0;
+  std::int64_t shed = 0;
+  std::int64_t still_shed = 0;
+  std::int64_t readmitted = 0;
+  std::int64_t degraded = 0;
+  std::int64_t underflow_streams = 0;
+  std::int64_t total_ios = 0;
+  std::int64_t total_underflows = 0;
+  double min_headroom = 1.0;
+  std::vector<LoadedStreamEntry> per_stream;
+};
+
+/// One SLO row of a report's "slo" block (schema v4).
+struct LoadedSlo {
+  std::string name;
+  double objective = 0;
+  std::int64_t good = 0;
+  std::int64_t bad = 0;
+  double attainment = 1.0;
+  double budget_remaining = 1.0;
+  double burn_rate = 0;
+  bool exhausted = false;
+};
+
 /// One run.report.json, loaded.
 struct LoadedRunReport {
   std::string path;
@@ -96,6 +136,13 @@ struct LoadedRunReport {
 
   bool has_faults = false;
   LoadedFaults faults;
+
+  bool has_streams = false;
+  LoadedStreams streams;
+
+  bool has_slo = false;
+  bool slo_healthy = true;
+  std::vector<LoadedSlo> slos;
 
   std::int64_t trace_dropped_records = -1;
   std::vector<LoadedSeries> timelines;
@@ -178,6 +225,74 @@ std::string RenderMarkdownReport(const ReportBundle& bundle,
 /// SVG sparklines; no scripts, no external assets).
 std::string RenderHtmlDashboard(const ReportBundle& bundle,
                                 const std::string& title);
+
+// --- differential run comparison (memstream-report --diff) ---
+
+/// Significance thresholds for the diff: a row is significant when
+/// |delta| > abs_epsilon AND (|rel| > rel_threshold OR the key exists on
+/// only one side).
+struct DiffOptions {
+  double rel_threshold = 0.02;  ///< 2% relative change
+  double abs_epsilon = 1e-12;   ///< ignore float noise
+  /// Insignificant metric rows beyond this many per run pair are elided
+  /// (metrics arrays can be large); significant rows are always kept.
+  std::size_t max_insignificant_metric_rows = 40;
+};
+
+/// One compared quantity. `only_a`/`only_b` mark keys present on a
+/// single side (the other value is 0 and delta/rel are not meaningful).
+struct DiffRow {
+  std::string key;
+  double a = 0;
+  double b = 0;
+  double delta = 0;  ///< b - a
+  double rel = 0;    ///< delta / |a| (0 when a == 0)
+  bool only_a = false;
+  bool only_b = false;
+  bool significant = false;
+};
+
+/// All compared sections for one pair of runs matched across bundles.
+struct RunPairDiff {
+  std::string title;
+  std::vector<DiffRow> analytic;
+  std::vector<DiffRow> simulated;
+  std::vector<DiffRow> qos;      ///< violation/audit counters
+  std::vector<DiffRow> faults;   ///< fault/shed/availability counters
+  std::vector<DiffRow> streams;  ///< journal outcome counts + headroom
+  std::vector<DiffRow> slo;      ///< per-SLO attainment/budget/burn
+  std::vector<DiffRow> metrics;  ///< embedded metric samples by name
+  std::size_t metrics_elided = 0;  ///< insignificant rows dropped
+};
+
+/// The full comparison of two bundles.
+struct BundleDiff {
+  std::string label_a;
+  std::string label_b;
+  std::vector<RunPairDiff> pairs;
+  std::vector<std::string> only_in_a;  ///< run titles without a partner
+  std::vector<std::string> only_in_b;
+  std::vector<DiffRow> perf;  ///< wall seconds by bench/kind key
+
+  /// Significant rows across every section of every pair (+ perf).
+  std::size_t SignificantCount() const;
+};
+
+/// Aligns the runs of two bundles (by title; unmatched titles pair up in
+/// input order) and compares every section. `label_a`/`label_b` name the
+/// sides in the rendered output (conventionally the input paths).
+BundleDiff ComputeBundleDiff(const ReportBundle& a, const ReportBundle& b,
+                             const DiffOptions& options,
+                             const std::string& label_a,
+                             const std::string& label_b);
+
+/// Renders the diff as Markdown (significant rows bolded).
+std::string RenderMarkdownDiff(const BundleDiff& diff,
+                               const std::string& title);
+
+/// Renders the diff as a standalone single-file HTML page (significant
+/// rows highlighted; improvement/regression colored by sign).
+std::string RenderHtmlDiff(const BundleDiff& diff, const std::string& title);
 
 }  // namespace memstream::obs
 

@@ -130,6 +130,128 @@ std::string RunReport::ToJson() const {
     w.EndObject();
   }
 
+  if (streams != nullptr && streams->size() > 0) {
+    const StreamJournalSummary summary = streams->Summarize();
+    w.Key("streams");
+    w.BeginObject();
+    w.Key("count");
+    w.Int(summary.count);
+    w.Key("departed");
+    w.Int(summary.departed);
+    w.Key("shed");
+    w.Int(summary.shed);
+    w.Key("still_shed");
+    w.Int(summary.still_shed);
+    w.Key("readmitted");
+    w.Int(summary.readmitted);
+    w.Key("degraded");
+    w.Int(summary.degraded);
+    w.Key("underflow_streams");
+    w.Int(summary.underflow_streams);
+    w.Key("total_ios");
+    w.Int(summary.total_ios);
+    w.Key("total_underflows");
+    w.Int(summary.total_underflows);
+    w.Key("events_dropped");
+    w.Int(summary.events_dropped);
+    w.Key("min_headroom");
+    w.Number(summary.min_headroom);
+    w.Key("per_stream");
+    w.BeginArray();
+    for (std::size_t i = 0; i < streams->size(); ++i) {
+      const StreamJournalEntry& e = streams->entry(i);
+      w.BeginObject();
+      w.Key("id");
+      w.Int(e.stream_id);
+      w.Key("bit_rate");
+      w.Number(e.bit_rate);
+      w.Key("phase");
+      w.String(StreamPhaseName(e.phase));
+      w.Key("ios");
+      w.Int(e.ios);
+      w.Key("bytes");
+      w.Number(e.bytes);
+      w.Key("underflows");
+      w.Int(e.underflows);
+      w.Key("sheds");
+      w.Int(e.sheds);
+      w.Key("readmits");
+      w.Int(e.readmits);
+      w.Key("degrades");
+      w.Int(e.degrades);
+      w.Key("envelope_bytes");
+      w.Number(e.envelope_bytes);
+      w.Key("peak_level_bytes");
+      w.Number(e.peak_level_bytes);
+      w.Key("headroom");
+      w.Number(e.headroom());
+      w.Key("occ_p50");
+      w.Number(e.occupancy.Quantile(0.5));
+      w.Key("occ_p95");
+      w.Number(e.occupancy.Quantile(0.95));
+      w.Key("occ_p99");
+      w.Number(e.occupancy.Quantile(0.99));
+      w.Key("events");
+      w.BeginArray();
+      for (const StreamEvent& ev : e.events) {
+        w.BeginObject();
+        w.Key("t");
+        w.Number(ev.t);
+        w.Key("kind");
+        w.String(StreamEventKindName(ev.kind));
+        if (ev.detail != 0) {
+          w.Key("detail");
+          w.Number(ev.detail);
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+      if (e.events_dropped > 0) {
+        w.Key("events_dropped");
+        w.Int(e.events_dropped);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
+  if (slo != nullptr && slo->size() > 0) {
+    w.Key("slo");
+    w.BeginObject();
+    std::string detail;
+    w.Key("healthy");
+    w.Bool(slo->healthy(&detail));
+    w.Key("slos");
+    w.BeginArray();
+    for (const Slo* s : slo->Snapshot()) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(s->spec().name);
+      w.Key("description");
+      w.String(s->spec().description);
+      w.Key("objective");
+      w.Number(s->spec().objective);
+      w.Key("window_seconds");
+      w.Number(s->spec().window_seconds);
+      w.Key("good");
+      w.Int(s->good());
+      w.Key("bad");
+      w.Int(s->bad());
+      w.Key("attainment");
+      w.Number(s->attainment());
+      w.Key("budget_remaining");
+      w.Number(s->budget_remaining());
+      w.Key("burn_rate");
+      w.Number(s->burn_rate());
+      w.Key("exhausted");
+      w.Bool(s->exhausted());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
   if (timelines != nullptr && timelines->size() > 0) {
     w.Key("timelines");
     w.BeginArray();

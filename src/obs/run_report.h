@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/qos_auditor.h"
+#include "obs/slo.h"
+#include "obs/stream_journal.h"
 #include "obs/timeline.h"
 
 namespace memstream::obs {
@@ -23,8 +25,10 @@ namespace memstream::obs {
 /// v2 adds "qos", "timelines" and "trace_dropped_records" (all optional,
 /// so v1 consumers keep working on v2 documents). v3 adds the optional
 /// "faults" block (injected-fault timeline, shed/re-admit records and
-/// degradation counters).
-inline constexpr std::int64_t kRunReportSchemaVersion = 3;
+/// degradation counters). v4 adds the optional "streams" block (per-
+/// stream lifecycle journal) and "slo" block (SLO attainment and error
+/// budgets).
+inline constexpr std::int64_t kRunReportSchemaVersion = 4;
 
 /// One entry of the injected-fault timeline: what happened, when, to
 /// which device, and what the degradation manager did about it.
@@ -86,6 +90,15 @@ struct RunReport {
 
   /// Optional: embedded as a "faults" object when set. Not owned.
   const FaultsBlock* faults = nullptr;
+
+  /// Optional: embedded as a "streams" object (per-stream lifecycle
+  /// journal: phases, outcome counts, occupancy percentiles, envelope
+  /// headroom, first lifecycle events) when set. Not owned.
+  const StreamJournal* streams = nullptr;
+
+  /// Optional: embedded as a "slo" object (per-SLO attainment, error
+  /// budget remaining, burn rate) when set. Not owned.
+  const SloMonitor* slo = nullptr;
 
   /// TraceLog records evicted by the bounded ring buffer; surfaced so
   /// truncation is no longer silent. -1 = no trace attached to the run.

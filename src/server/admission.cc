@@ -1,6 +1,7 @@
 #include "server/admission.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -70,26 +71,47 @@ const AdmissionController::DramSolve& AdmissionController::DramForCached(
 }
 
 AdmissionDecision AdmissionController::TryAdmit(BytesPerSecond bit_rate) {
+  // The wall clock runs only when a latency consumer is installed, so
+  // untelemetered admission stays clock-free (and deterministic tests
+  // see no syscalls).
+  const bool timed = slo_latency_ != nullptr || latency_hist_ != nullptr;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+
   AdmissionDecision decision;
   decision.streams_after = admitted_count() + 1;
   if (bit_rate <= 0) {
     decision.reason = "bit_rate must be > 0";
-    return decision;
+  } else {
+    const BytesPerSecond avg =
+        (total_rate_ + bit_rate) /
+        static_cast<double>(decision.streams_after);
+    const DramSolve& solve = DramForCached(decision.streams_after, avg);
+    decision.dram_required = solve.dram;
+    if (solve.dram > config_.dram_budget) {
+      decision.reason =
+          solve.dram == kInf ? solve.reason : "DRAM budget exceeded";
+    } else {
+      admitted_.push_back(bit_rate);
+      total_rate_ += bit_rate;
+      decision.admitted = true;
+    }
   }
-  const BytesPerSecond avg =
-      (total_rate_ + bit_rate) / static_cast<double>(decision.streams_after);
-  const DramSolve& solve = DramForCached(decision.streams_after, avg);
-  decision.dram_required = solve.dram;
-  if (solve.dram > config_.dram_budget) {
-    decision.reason = solve.dram == kInf
-                          ? solve.reason
-                          : "DRAM budget exceeded";
-    decision.streams_after = admitted_count();
-    return decision;
+  if (!decision.admitted) decision.streams_after = admitted_count();
+
+  obs::Increment(attempts_metric_);
+  obs::Increment(decision.admitted ? admitted_metric_ : rejected_metric_);
+  if (timed) {
+    const auto end = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(end - start).count();
+    obs::Observe(latency_hist_, elapsed * 1e6);
+    if (slo_latency_ != nullptr) {
+      const double now =
+          std::chrono::duration<double>(end.time_since_epoch()).count();
+      const bool good = elapsed <= slo_latency_->spec().threshold;
+      slo_latency_->Record(now, good ? 1 : 0, good ? 0 : 1);
+    }
   }
-  admitted_.push_back(bit_rate);
-  total_rate_ += bit_rate;
-  decision.admitted = true;
   return decision;
 }
 

@@ -16,6 +16,8 @@
 #include "model/mems_buffer.h"
 #include "model/profiles.h"
 #include "model/timecycle.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace memstream::server {
 
@@ -27,6 +29,14 @@ struct AdmissionConfig {
   /// MEMS buffer in front of the disk; 0 disables it (direct streaming).
   std::int64_t buffer_k = 0;
   model::DeviceProfile mems;      ///< used when buffer_k > 0
+  /// Optional telemetry: admission.{attempts,admitted,rejected} counters
+  /// and an admission.latency_us histogram. Null (the default) keeps
+  /// TryAdmit clock-free. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional SLO monitor: each TryAdmit's wall-clock decision latency
+  /// feeds the standard "admission_latency" SLO (good = under the spec's
+  /// threshold). Null keeps TryAdmit clock-free. Not owned.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Outcome of an admission test.
@@ -78,7 +88,18 @@ class AdmissionController {
   };
 
   explicit AdmissionController(AdmissionConfig config)
-      : config_(std::move(config)) {}
+      : config_(std::move(config)) {
+    if (config_.metrics != nullptr) {
+      attempts_metric_ = config_.metrics->counter("admission.attempts");
+      admitted_metric_ = config_.metrics->counter("admission.admitted");
+      rejected_metric_ = config_.metrics->counter("admission.rejected");
+      latency_hist_ = config_.metrics->histogram("admission.latency_us",
+                                                 {0.0, 500.0, 50});
+    }
+    if (config_.slo != nullptr) {
+      slo_latency_ = config_.slo->Add(obs::StandardAdmissionLatencySlo());
+    }
+  }
 
   /// Total DRAM needed for n streams at average rate `avg`; infinity
   /// when infeasible.
@@ -92,6 +113,12 @@ class AdmissionController {
   std::vector<BytesPerSecond> admitted_;
   BytesPerSecond total_rate_ = 0;
   mutable model::SolveMemo<DramSolve> memo_;
+  // Telemetry handles (null when the matching config member is null).
+  obs::Counter* attempts_metric_ = nullptr;
+  obs::Counter* admitted_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+  obs::HistogramMetric* latency_hist_ = nullptr;
+  obs::Slo* slo_latency_ = nullptr;
 };
 
 }  // namespace memstream::server

@@ -119,6 +119,28 @@ CacheStreamingServer::CacheStreamingServer(
           "stream." + std::to_string(play_.id(i)) + ".dram_bytes");
     }
   }
+  journal_ = config_.journal;
+  jslot_.assign(streams_.size(), -1);
+  uf_seen_.assign(streams_.size(), 0);
+  if (journal_ != nullptr) {
+    const double factor =
+        config_.dram_bound_factor > 0 ? config_.dram_bound_factor : 2.0;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const auto& s = streams_[i];
+      // Cached streams live under the Theorem-3/4 MEMS-cycle envelope,
+      // disk streams under Theorem 1's (matching the audited bounds).
+      const Bytes envelope =
+          factor * s.bit_rate *
+          (s.cached ? config_.mems_cycle : config_.disk_cycle);
+      jslot_[i] = static_cast<std::ptrdiff_t>(
+          journal_->EnsureStream(s.id, s.bit_rate, envelope, 0.0));
+    }
+  }
+  if (config_.slo != nullptr) {
+    slo_underflow_ = config_.slo->Add(obs::StandardUnderflowSlo());
+    slo_slack_ = config_.slo->Add(obs::StandardCycleSlackSlo());
+    slo_availability_ = config_.slo->Add(obs::StandardAvailabilitySlo());
+  }
   dram_series_.assign(play_.size(), nullptr);
   if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
     for (std::size_t i = 0; i < play_.size(); ++i) {
@@ -145,6 +167,7 @@ void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
     obs::Update(dram_occupancy_[stream], done, level);
     obs::Record(dram_series_[stream], done, level);
     obs::RecordDramLevel(config_.auditor, stream, done, level);
+    obs::JournalIo(journal_, jslot_[stream], done, bytes, level);
     if (!play_.playing(stream) && placement_[stream] != Placement::kShed) {
       const Seconds start = std::max(done, boundary);
       if (start <= horizon_) play_.StartPlayback(stream, start);
@@ -158,6 +181,7 @@ void CacheStreamingServer::ScheduleDeposit(std::size_t stream, Bytes bytes,
     obs::Update(dram_occupancy_[stream], done, level);
     obs::Record(dram_series_[stream], done, level);
     obs::RecordDramLevel(config_.auditor, stream, done, level);
+    obs::JournalIo(journal_, jslot_[stream], done, bytes, level);
     if (trace_ != nullptr) {
       trace_->Append({done, sim::TraceKind::kIoCompleted, actor,
                       play_.id(stream), bytes, "", service});
@@ -252,11 +276,13 @@ void CacheStreamingServer::RunDiskCycle(Seconds deadline) {
   }
 
   report_.disk_busy += busy;
-  if (busy > config_.disk_cycle * (1.0 + 1e-9)) ++report_.disk_overruns;
+  const bool overrun = busy > config_.disk_cycle * (1.0 + 1e-9);
+  if (overrun) ++report_.disk_overruns;
   ++report_.disk_cycles;
   obs::Increment(disk_cycles_metric_);
   obs::Observe(disk_slack_hist_, (config_.disk_cycle - busy) / kMillisecond);
   obs::EndDiskCycle(config_.auditor, t0, busy);
+  ObserveCycleOutcomes(t0 + busy, overrun);
   if (trace_ != nullptr && busy > 0) {
     // Scheduled so the record lands in time order among the IO records.
     const Seconds end = t0 + busy;
@@ -328,11 +354,13 @@ void CacheStreamingServer::RunStripedCycle(Seconds deadline) {
 
   for (auto& b : device_busy_) b += busy;  // all devices move together
   report_.mems_busy += busy * k;
-  if (busy > config_.mems_cycle * (1.0 + 1e-9)) ++report_.mems_overruns;
+  const bool overrun = busy > config_.mems_cycle * (1.0 + 1e-9);
+  if (overrun) ++report_.mems_overruns;
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.mems_cycle - busy) / kMillisecond);
   obs::EndMemsCycle(config_.auditor, -1, t0, busy);
+  ObserveCycleOutcomes(t0 + busy, overrun);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, end, busy]() {
@@ -392,12 +420,14 @@ void CacheStreamingServer::RunReplicatedCycle(std::size_t dev,
 
   device_busy_[dev] += busy;
   report_.mems_busy += busy;
-  if (busy > config_.mems_cycle * (1.0 + 1e-9)) ++report_.mems_overruns;
+  const bool overrun = busy > config_.mems_cycle * (1.0 + 1e-9);
+  if (overrun) ++report_.mems_overruns;
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.mems_cycle - busy) / kMillisecond);
   obs::EndMemsCycle(config_.auditor, static_cast<std::int64_t>(dev), t0,
                     busy);
+  ObserveCycleOutcomes(t0 + busy, overrun);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, actor, end, busy]() {
@@ -442,6 +472,9 @@ void CacheStreamingServer::TransitionStream(std::size_t i, Placement target) {
     if (faults != nullptr) {
       faults->RecordShed(play_.id(i), now, report_.mems_cycles);
     }
+    if (journal_ != nullptr && jslot_[i] >= 0) {
+      journal_->MarkShed(static_cast<std::size_t>(jslot_[i]), now);
+    }
     if (from == Placement::kDisk) {
       disk_streams_.erase(
           std::remove(disk_streams_.begin(), disk_streams_.end(), i),
@@ -453,10 +486,17 @@ void CacheStreamingServer::TransitionStream(std::size_t i, Placement target) {
   if (from == Placement::kShed) {
     if (config_.auditor != nullptr) config_.auditor->SetStreamActive(i, true);
     if (faults != nullptr) faults->RecordReadmit(play_.id(i), now);
+    if (journal_ != nullptr && jslot_[i] >= 0) {
+      journal_->MarkReadmitted(static_cast<std::size_t>(jslot_[i]), now);
+    }
   }
 
   if (target == Placement::kDisk) {
     disk_streams_.push_back(i);
+    if (journal_ != nullptr && jslot_[i] >= 0 && streams_[i].cached) {
+      // Disk fallback: the cached stream is still served, off its plan.
+      journal_->MarkDegraded(static_cast<std::size_t>(jslot_[i]), now, 1);
+    }
     if (config_.auditor != nullptr) {
       config_.auditor->SetStreamDomain(i, obs::QosDomain::kDisk);
     }
@@ -592,6 +632,11 @@ void CacheStreamingServer::ApplyReplan(const fault::FaultEvent& cause) {
       // re-plan bridges it with the slack-funded prefetch.
       if (config_.mems_cycle > old_mems_cycle && play_.playing(i)) {
         CushionDeposit(i, streams_[i].bit_rate * config_.mems_cycle);
+      }
+      if (config_.mems_cycle > old_mems_cycle && journal_ != nullptr &&
+          jslot_[i] >= 0) {
+        // Reshaped (stretched) MEMS cycle: served, but off the plan.
+        journal_->MarkDegraded(static_cast<std::size_t>(jslot_[i]), now, 0);
       }
       SetTransitionBound(i, config_.mems_cycle, carry);
     } else if (disk_quota > 0 && streams_[i].backing_extent > 0) {
@@ -733,6 +778,17 @@ Status CacheStreamingServer::Run(Seconds duration) {
     report_.qos.violations = config_.auditor->total_violations();
   }
   obs::WarnDroppedTelemetry(trace_, "cache server");
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < play_.size(); ++i) {
+      const std::int64_t delta = play_.underflow_events(i) - uf_seen_[i];
+      uf_seen_[i] += delta;
+      obs::JournalUnderflows(journal_, jslot_[i], duration, delta);
+      if (jslot_[i] >= 0) {
+        journal_->MarkDeparted(static_cast<std::size_t>(jslot_[i]),
+                               duration);
+      }
+    }
+  }
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.cache.underflow_events")
@@ -767,6 +823,35 @@ Status CacheStreamingServer::Run(Seconds duration) {
     obs::ExportSimulatorStats(metrics, sim_);
   }
   return Status::OK();
+}
+
+void CacheStreamingServer::ObserveCycleOutcomes(Seconds now, bool overrun) {
+  obs::SloRecord(slo_slack_, now, overrun ? 0 : 1, overrun ? 1 : 0);
+  if (journal_ == nullptr && slo_underflow_ == nullptr &&
+      slo_availability_ == nullptr) {
+    return;
+  }
+  // Underflow delta scan: the playback batch counts events cumulatively,
+  // so the delta against uf_seen_ attributes new events to this cycle.
+  std::int64_t uf_streams = 0;
+  std::int64_t shed = 0;
+  for (std::size_t i = 0; i < play_.size(); ++i) {
+    const std::int64_t delta = play_.underflow_events(i) - uf_seen_[i];
+    if (delta > 0) {
+      uf_seen_[i] += delta;
+      ++uf_streams;
+      obs::JournalUnderflows(journal_, jslot_[i], now, delta);
+    }
+    if (placement_[i] == Placement::kShed) ++shed;
+  }
+  const auto n = static_cast<std::int64_t>(play_.size());
+  if (slo_underflow_ != nullptr && n > 0) {
+    slo_underflow_->Record(now, n - uf_streams, uf_streams);
+  }
+  // Availability under faults: every shed stream-cycle burns the budget.
+  if (slo_availability_ != nullptr && n > 0) {
+    slo_availability_->Record(now, n - shed, shed);
+  }
 }
 
 }  // namespace memstream::server

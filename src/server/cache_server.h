@@ -84,6 +84,14 @@ struct CacheServerConfig {
   /// factor * B̄ * cycle); re-plans resize the audited bounds with the
   /// same factor. 0 disables bound updates.
   double dram_bound_factor = 2.0;
+  /// Optional per-stream lifecycle journal. Streams self-register at
+  /// Create (cached streams under the Theorem-3/4 MEMS-cycle envelope,
+  /// disk streams under Theorem 1's); degradation verdicts land as
+  /// kShed / kReadmitted / kDegraded transitions. Not owned.
+  obs::StreamJournal* journal = nullptr;
+  /// Optional SLO monitor: "cycle_slack" and "underflow" per cycle plus
+  /// "availability" (shed streams burn the budget). Not owned.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Post-run statistics, split by side.
@@ -205,6 +213,17 @@ class CacheStreamingServer {
   std::vector<obs::TimeWeightedGauge*> dram_occupancy_;  ///< per stream
   // Timeline handles (null when config_.timelines is null).
   std::vector<obs::TimelineSeries*> dram_series_;  ///< per stream
+  // Journal/SLO handles (null / -1 when the hooks are off).
+  obs::StreamJournal* journal_ = nullptr;
+  std::vector<std::ptrdiff_t> jslot_;      ///< per stream
+  std::vector<std::int64_t> uf_seen_;      ///< underflows already journaled
+  obs::Slo* slo_underflow_ = nullptr;
+  obs::Slo* slo_slack_ = nullptr;
+  obs::Slo* slo_availability_ = nullptr;
+
+  /// Cycle-end SLO/journal bookkeeping: slack outcome, underflow delta
+  /// scan, and the availability sample (shed streams burn the budget).
+  void ObserveCycleOutcomes(Seconds now, bool overrun);
 };
 
 }  // namespace memstream::server

@@ -62,6 +62,20 @@ EdfStreamingServer::EdfStreamingServer(device::DiskDrive* disk,
     ios_metric_ = metrics->counter("server.edf.ios");
     misses_metric_ = metrics->counter("server.edf.deadline_misses");
   }
+  journal_ = config_.journal;
+  jslot_.assign(streams_.size(), -1);
+  uf_seen_.assign(streams_.size(), 0);
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const auto& s = streams_[i];
+      jslot_[i] = static_cast<std::ptrdiff_t>(journal_->EnsureStream(
+          s.id, s.bit_rate, 2.0 * s.bit_rate * config_.io_playback, 0.0));
+    }
+  }
+  if (config_.slo != nullptr) {
+    slo_underflow_ = config_.slo->Add(obs::StandardUnderflowSlo());
+    slo_slack_ = config_.slo->Add(obs::StandardCycleSlackSlo());
+  }
   occupancy_series_.assign(streams_.size(), nullptr);
   if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
     for (std::size_t i = 0; i < streams_.size(); ++i) {
@@ -144,6 +158,9 @@ void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
   if (play_.playing(chosen) && done > best_deadline) {
     ++report_.deadline_misses;
     obs::Increment(misses_metric_);
+    obs::SloRecord(slo_slack_, done, 0, 1);
+  } else {
+    obs::SloRecord(slo_slack_, done, 1, 0);
   }
 
   // The capture fits MoveOnlyFunction's inline buffer; the timeline
@@ -154,6 +171,14 @@ void EdfStreamingServer::ServiceNext(Seconds deadline_time) {
     const Bytes level = play_.LevelAt(chosen, done);
     obs::Record(occupancy_series_[chosen], done, level);
     obs::RecordDramLevel(config_.auditor, chosen, done, level);
+    obs::JournalIo(journal_, jslot_[chosen], done, io_bytes, level);
+    const std::int64_t uf =
+        play_.underflow_events(chosen) - uf_seen_[chosen];
+    if (uf > 0) {
+      uf_seen_[chosen] += uf;
+      obs::JournalUnderflows(journal_, jslot_[chosen], done, uf);
+    }
+    obs::SloRecord(slo_underflow_, done, uf > 0 ? 0 : 1, uf > 0 ? 1 : 0);
     if (trace_ != nullptr) {
       trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
                       play_.id(chosen), io_bytes, "edf"});
@@ -199,6 +224,17 @@ Status EdfStreamingServer::Run(Seconds duration) {
     report_.qos.violations = config_.auditor->total_violations();
   }
   obs::WarnDroppedTelemetry(trace_, "edf server");
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < play_.size(); ++i) {
+      const std::int64_t delta = play_.underflow_events(i) - uf_seen_[i];
+      uf_seen_[i] += delta;
+      obs::JournalUnderflows(journal_, jslot_[i], duration, delta);
+      if (jslot_[i] >= 0) {
+        journal_->MarkDeparted(static_cast<std::size_t>(jslot_[i]),
+                               duration);
+      }
+    }
+  }
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.edf.underflow_events")
         ->Set(static_cast<double>(report_.qos.underflow_events));

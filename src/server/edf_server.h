@@ -52,6 +52,13 @@ struct EdfServerConfig {
   /// Optional fault injection: disk IOs pay the plan's latency-spike
   /// penalty; device-scoped faults are observed only. Not owned.
   fault::FaultInjector* faults = nullptr;
+  /// Optional per-stream lifecycle journal; streams self-register at
+  /// Create under the 2x-IO buffer cap as their envelope. Not owned.
+  obs::StreamJournal* journal = nullptr;
+  /// Optional SLO monitor. EDF has no cycles: the "cycle_slack" SLO is
+  /// fed from deadline outcomes (a miss burns the budget) and
+  /// "underflow" per serviced IO. Not owned.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// EDF statistics (a ServerReport subset plus scheduling counters).
@@ -108,6 +115,12 @@ class EdfStreamingServer {
   obs::Counter* ios_metric_ = nullptr;
   obs::Counter* misses_metric_ = nullptr;
   std::vector<obs::TimelineSeries*> occupancy_series_;  ///< per stream
+  // Journal/SLO handles (null / -1 when the hooks are off).
+  obs::StreamJournal* journal_ = nullptr;
+  std::vector<std::ptrdiff_t> jslot_;      ///< per stream
+  std::vector<std::int64_t> uf_seen_;      ///< underflows already journaled
+  obs::Slo* slo_underflow_ = nullptr;
+  obs::Slo* slo_slack_ = nullptr;
 };
 
 }  // namespace memstream::server

@@ -39,6 +39,8 @@ Result<FarmReport> RunFarm(const FarmConfig& config) {
     per_disk.cycle = config.cycle;
     per_disk.deterministic = config.deterministic;
     per_disk.seed = config.seed + static_cast<std::uint64_t>(d);
+    per_disk.journal = config.journal;
+    per_disk.slo = config.slo;
     auto server =
         DirectStreamingServer::Create(&disk.value(), streams, per_disk);
     MEMSTREAM_RETURN_IF_ERROR(server.status());

@@ -25,6 +25,11 @@ struct FarmConfig {
   Seconds duration = 30;
   bool deterministic = true;
   std::uint64_t seed = 42;
+  /// Optional per-stream lifecycle journal shared by every per-disk
+  /// server (stream ids are globally unique across the farm). Not owned.
+  obs::StreamJournal* journal = nullptr;
+  /// Optional SLO monitor shared by every per-disk server. Not owned.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Aggregated farm statistics.

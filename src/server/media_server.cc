@@ -100,6 +100,8 @@ Result<MediaServerResult> RunDirect(const MediaServerConfig& config) {
   server_config.seed = config.seed;
   server_config.metrics = config.metrics;
   server_config.timelines = config.timelines;
+  server_config.journal = config.journal;
+  server_config.slo = config.slo;
   const Bytes io = config.bit_rate * cycle.value();
   auto streams = PlaceStreams(config.num_streams, config.bit_rate,
                               disk.value().Capacity(), 2 * io);
@@ -174,6 +176,8 @@ Result<MediaServerResult> RunBuffer(const MediaServerConfig& config) {
   server_config.seed = config.seed;
   server_config.metrics = config.metrics;
   server_config.timelines = config.timelines;
+  server_config.journal = config.journal;
+  server_config.slo = config.slo;
   const Bytes io = config.bit_rate * server_config.t_disk;
   auto streams = PlaceStreams(config.num_streams, config.bit_rate,
                               disk.value().Capacity(), 2 * io);
@@ -341,6 +345,8 @@ Result<MediaServerResult> RunCache(const MediaServerConfig& config) {
   server_config.seed = config.seed;
   server_config.metrics = config.metrics;
   server_config.timelines = config.timelines;
+  server_config.journal = config.journal;
+  server_config.slo = config.slo;
   // Theorem 3/4 executable bounds: each side's double-buffered schedule
   // holds at most two cycle-sized IOs per stream.
   const Bytes disk_io = config.bit_rate * disk_cycle;
@@ -404,15 +410,27 @@ Result<MediaServerResult> RunMediaServer(const MediaServerConfig& config) {
   if (config.k < 1 && config.mode != ServerMode::kDirect) {
     return Status::InvalidArgument("k must be >= 1 for MEMS modes");
   }
-  switch (config.mode) {
-    case ServerMode::kDirect:
-      return RunDirect(config);
-    case ServerMode::kMemsBuffer:
-      return RunBuffer(config);
-    case ServerMode::kMemsCache:
-      return RunCache(config);
+  auto run = [&]() -> Result<MediaServerResult> {
+    switch (config.mode) {
+      case ServerMode::kDirect:
+        return RunDirect(config);
+      case ServerMode::kMemsBuffer:
+        return RunBuffer(config);
+      case ServerMode::kMemsCache:
+        return RunCache(config);
+    }
+    return Status::InvalidArgument("unknown mode");
+  }();
+  if (run.ok()) {
+    // Servers mark their own departures; Finalize only sweeps up streams
+    // an aborted run never departed, then the summary goes to metrics.
+    if (config.journal != nullptr) {
+      config.journal->Finalize(config.sim_duration);
+      config.journal->PublishSummary(config.metrics);
+    }
+    if (config.slo != nullptr) config.slo->PublishGauges(config.metrics);
   }
-  return Status::InvalidArgument("unknown mode");
+  return run;
 }
 
 obs::RunReport BuildRunReport(const MediaServerConfig& config,
@@ -450,6 +468,8 @@ obs::RunReport BuildRunReport(const MediaServerConfig& config,
   report.metrics = metrics;
   report.qos = result.auditor.get();
   report.timelines = config.timelines;
+  report.streams = config.journal;
+  report.slo = config.slo;
   if (result.faults != nullptr) report.faults = &result.faults->block();
   if (config.trace != nullptr) {
     report.trace_dropped_records = config.trace->dropped_records();

@@ -20,6 +20,8 @@
 #include "obs/metrics.h"
 #include "obs/qos_auditor.h"
 #include "obs/run_report.h"
+#include "obs/slo.h"
+#include "obs/stream_journal.h"
 #include "obs/timeline.h"
 #include "server/cache_server.h"
 #include "server/mems_pipeline_server.h"
@@ -88,6 +90,19 @@ struct MediaServerConfig {
   /// Stream for the injector's structured burst-drop warning (null =
   /// std::cerr). Not owned.
   std::ostream* fault_warn_stream = nullptr;
+  /// Optional per-stream lifecycle journal: the chosen server registers
+  /// every stream under its analytic DRAM envelope and records
+  /// admission, IO deposits, underflows, shed/re-admit verdicts, and
+  /// departure. The facade finalizes it at sim_duration and publishes
+  /// its stream.* summary to `metrics`; BuildRunReport embeds it as the
+  /// "streams" block. Not owned; must outlive the call.
+  obs::StreamJournal* journal = nullptr;
+  /// Optional SLO monitor: the chosen server (and any admission
+  /// controller sharing it) feeds the standard cycle-slack, underflow,
+  /// availability, and admission-latency SLOs. The facade publishes the
+  /// slo.* gauges to `metrics`; BuildRunReport embeds the "slo" block.
+  /// Not owned; must outlive the call.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Analytic sizing and simulated outcome of one run.

@@ -133,6 +133,22 @@ MemsPipelineServer::MemsPipelineServer(device::DiskDrive* disk,
           "device." + bank_[d].name() + ".occupancy_bytes");
     }
   }
+  journal_ = config_.journal;
+  jslot_.assign(streams_.size(), -1);
+  uf_seen_.assign(streams_.size(), 0);
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const auto& s = streams_[i];
+      // Theorem 2: buffering through MEMS shrinks the per-stream DRAM
+      // envelope from 2*B*T_disk to 2*B*T_mems.
+      jslot_[i] = static_cast<std::ptrdiff_t>(journal_->EnsureStream(
+          s.id, s.bit_rate, 2.0 * s.bit_rate * config_.t_mems, 0.0));
+    }
+  }
+  if (config_.slo != nullptr) {
+    slo_underflow_ = config_.slo->Add(obs::StandardUnderflowSlo());
+    slo_slack_ = config_.slo->Add(obs::StandardCycleSlackSlo());
+  }
   dram_series_.assign(streams_.size(), nullptr);
   mems_series_.assign(k, nullptr);
   if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
@@ -208,13 +224,16 @@ void MemsPipelineServer::RunDiskCycle(Seconds deadline) {
   }
 
   report_.disk_busy += busy;
-  if (busy > config_.t_disk * (1.0 + 1e-9)) ++report_.disk_overruns;
+  const bool overrun = busy > config_.t_disk * (1.0 + 1e-9);
+  if (overrun) ++report_.disk_overruns;
   ++report_.disk_cycles;
   report_.ios_completed += static_cast<std::int64_t>(n);
   obs::Increment(disk_cycles_metric_);
   obs::Increment(ios_metric_, static_cast<double>(n));
   obs::Observe(disk_slack_hist_, (config_.t_disk - busy) / kMillisecond);
   obs::EndDiskCycle(config_.auditor, t0, busy);
+  obs::SloRecord(slo_slack_, t0 + busy, overrun ? 0 : 1, overrun ? 1 : 0);
+  ObserveUnderflows(t0 + busy);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, end, busy]() {
@@ -361,6 +380,7 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
           obs::Update(dram_occupancy_[stream], done, level);
           obs::Record(dram_series_[stream], done, level);
           obs::RecordDramLevel(config_.auditor, stream, done, level);
+          obs::JournalIo(journal_, jslot_[stream], done, bytes, level);
           if (!play_.playing(stream)) {
             const Seconds start = std::max(done, boundary);
             if (start <= horizon_) play_.StartPlayback(stream, start);
@@ -378,6 +398,7 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
         obs::Update(dram_occupancy_[stream], done, level);
         obs::Record(dram_series_[stream], done, level);
         obs::RecordDramLevel(config_.auditor, stream, done, level);
+        obs::JournalIo(journal_, jslot_[stream], done, bytes, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           bank_[dev].name(), play_.id(stream), bytes,
@@ -397,12 +418,14 @@ void MemsPipelineServer::RunMemsCycle(std::size_t dev, Seconds deadline) {
 
   device_busy_[dev] += busy;
   report_.mems_busy += busy;
-  if (busy > config_.t_mems * (1.0 + 1e-9)) ++report_.mems_overruns;
+  const bool overrun = busy > config_.t_mems * (1.0 + 1e-9);
+  if (overrun) ++report_.mems_overruns;
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.t_mems - busy) / kMillisecond);
   obs::EndMemsCycle(config_.auditor, static_cast<std::int64_t>(dev), t0,
                     busy);
+  obs::SloRecord(slo_slack_, t0 + busy, overrun ? 0 : 1, overrun ? 1 : 0);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     const std::string actor = device.name();
@@ -535,6 +558,7 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
           obs::Update(dram_occupancy_[stream], done, level);
           obs::Record(dram_series_[stream], done, level);
           obs::RecordDramLevel(config_.auditor, stream, done, level);
+          obs::JournalIo(journal_, jslot_[stream], done, bytes, level);
           if (!play_.playing(stream)) {
             const Seconds start = std::max(done, boundary);
             if (start <= horizon_) play_.StartPlayback(stream, start);
@@ -551,6 +575,7 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
         obs::Update(dram_occupancy_[stream], done, level);
         obs::Record(dram_series_[stream], done, level);
         obs::RecordDramLevel(config_.auditor, stream, done, level);
+        obs::JournalIo(journal_, jslot_[stream], done, bytes, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kBufferLevel, "stream",
                           play_.id(stream), level, ""});
@@ -567,11 +592,13 @@ void MemsPipelineServer::RunStripedMemsCycle(Seconds deadline) {
 
   for (auto& b : device_busy_) b += busy;  // all devices move together
   report_.mems_busy += busy * k;
-  if (busy > config_.t_mems * (1.0 + 1e-9)) ++report_.mems_overruns;
+  const bool overrun = busy > config_.t_mems * (1.0 + 1e-9);
+  if (overrun) ++report_.mems_overruns;
   ++report_.mems_cycles;
   obs::Increment(mems_cycles_metric_);
   obs::Observe(mems_slack_hist_, (config_.t_mems - busy) / kMillisecond);
   obs::EndMemsCycle(config_.auditor, -1, t0, busy);
+  obs::SloRecord(slo_slack_, t0 + busy, overrun ? 0 : 1, overrun ? 1 : 0);
   if (trace_ != nullptr && busy > 0) {
     const Seconds end = t0 + busy;
     sim_.ScheduleAt(end, [this, end, busy]() {
@@ -659,6 +686,17 @@ Status MemsPipelineServer::Run(Seconds duration) {
     report_.qos.violations = config_.auditor->total_violations();
   }
   obs::WarnDroppedTelemetry(trace_, "mems pipeline server");
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < play_.size(); ++i) {
+      const std::int64_t delta = play_.underflow_events(i) - uf_seen_[i];
+      uf_seen_[i] += delta;
+      obs::JournalUnderflows(journal_, jslot_[i], duration, delta);
+      if (jslot_[i] >= 0) {
+        journal_->MarkDeparted(static_cast<std::size_t>(jslot_[i]),
+                               duration);
+      }
+    }
+  }
 
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.pipeline.underflow_events")
@@ -686,6 +724,26 @@ Status MemsPipelineServer::Run(Seconds duration) {
     obs::ExportSimulatorStats(metrics, sim_);
   }
   return Status::OK();
+}
+
+void MemsPipelineServer::ObserveUnderflows(Seconds now) {
+  if (journal_ == nullptr && slo_underflow_ == nullptr) return;
+  // The playback batch counts underflow events cumulatively; the delta
+  // against uf_seen_ attributes new events to this disk cycle without
+  // touching the deposit path.
+  std::int64_t bad_streams = 0;
+  for (std::size_t i = 0; i < play_.size(); ++i) {
+    const std::int64_t delta = play_.underflow_events(i) - uf_seen_[i];
+    if (delta > 0) {
+      uf_seen_[i] += delta;
+      ++bad_streams;
+      obs::JournalUnderflows(journal_, jslot_[i], now, delta);
+    }
+  }
+  if (slo_underflow_ != nullptr && !play_.empty()) {
+    const auto n = static_cast<std::int64_t>(play_.size());
+    slo_underflow_->Record(now, n - bad_streams, bad_streams);
+  }
 }
 
 }  // namespace memstream::server

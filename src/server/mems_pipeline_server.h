@@ -73,6 +73,13 @@ struct MemsPipelineConfig {
   /// servicing until its repair (its streams starve — the pipeline has
   /// no degradation manager; that is the cache server's job). Not owned.
   fault::FaultInjector* faults = nullptr;
+  /// Optional per-stream lifecycle journal; streams self-register at
+  /// Create under the Theorem-2 DRAM envelope (2 * B * T_mems) and IO
+  /// records come from the MEMS->DRAM deposits. Not owned.
+  obs::StreamJournal* journal = nullptr;
+  /// Optional SLO monitor: "cycle_slack" from both disk and MEMS cycle
+  /// outcomes, "underflow" scanned once per disk cycle. Not owned.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Post-run statistics of the pipeline.
@@ -174,6 +181,15 @@ class MemsPipelineServer {
   // Timeline handles (null when config_.timelines is null).
   std::vector<obs::TimelineSeries*> dram_series_;  ///< per stream
   std::vector<obs::TimelineSeries*> mems_series_;  ///< per device
+  // Journal/SLO handles (null / -1 when the hooks are off).
+  obs::StreamJournal* journal_ = nullptr;
+  std::vector<std::ptrdiff_t> jslot_;      ///< per stream
+  std::vector<std::int64_t> uf_seen_;      ///< underflows already journaled
+  obs::Slo* slo_underflow_ = nullptr;
+  obs::Slo* slo_slack_ = nullptr;
+
+  /// Per-disk-cycle underflow delta scan (journal + underflow SLO).
+  void ObserveUnderflows(Seconds now);
 };
 
 }  // namespace memstream::server

@@ -80,6 +80,26 @@ DirectStreamingServer::DirectStreamingServer(device::DiskDrive* disk,
           "stream." + std::to_string(record_.id(i)) + ".staging_bytes");
     }
   }
+  journal_ = config_.journal;
+  jslot_.assign(streams_.size(), -1);
+  uf_seen_.assign(play_.size(), 0);
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const auto& s = streams_[i];
+      // Read streams live under the Theorem-1 double-buffer envelope
+      // (2*B*T); write streams under their staging allocation.
+      const Bytes envelope =
+          s.direction == StreamDirection::kRead
+              ? 2.0 * s.bit_rate * config_.cycle
+              : config_.staging_ios * s.bit_rate * config_.cycle;
+      jslot_[i] = static_cast<std::ptrdiff_t>(
+          journal_->EnsureStream(s.id, s.bit_rate, envelope, 0.0));
+    }
+  }
+  if (config_.slo != nullptr) {
+    slo_underflow_ = config_.slo->Add(obs::StandardUnderflowSlo());
+    slo_slack_ = config_.slo->Add(obs::StandardCycleSlackSlo());
+  }
   play_series_.assign(streams_.size(), nullptr);
   if (obs::TimelineRecorder* tl = config_.timelines; tl != nullptr) {
     for (std::size_t i = 0; i < streams_.size(); ++i) {
@@ -159,6 +179,7 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
           obs::Update(staging_occupancy_[si], done, level);
           obs::Record(play_series_[idx], done, level);
           obs::RecordDramLevel(config_.auditor, idx, done, level);
+          obs::JournalIo(journal_, jslot_[idx], done, bytes, level);
         }
         continue;
       }
@@ -168,6 +189,7 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
         obs::Update(staging_occupancy_[si], done, level);
         obs::Record(play_series_[idx], done, level);
         obs::RecordDramLevel(config_.auditor, idx, done, level);
+        obs::JournalIo(journal_, jslot_[idx], done, bytes, level);
         if (trace_ != nullptr) {
           trace_->Append({done, sim::TraceKind::kIoCompleted,
                           disk_->name(), record_.id(si), bytes,
@@ -188,6 +210,7 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
         obs::Update(play_occupancy_[si], done, level);
         obs::Record(play_series_[idx], done, level);
         obs::RecordDramLevel(config_.auditor, idx, done, level);
+        obs::JournalIo(journal_, jslot_[idx], done, bytes, level);
         if (!play_.playing(si)) {
           const Seconds start = std::max(done, boundary);
           if (start <= horizon_) play_.StartPlayback(si, start);
@@ -202,6 +225,7 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
       obs::Update(play_occupancy_[si], done, level);
       obs::Record(play_series_[idx], done, level);
       obs::RecordDramLevel(config_.auditor, idx, done, level);
+      obs::JournalIo(journal_, jslot_[idx], done, bytes, level);
       if (trace_ != nullptr) {
         trace_->Append({done, sim::TraceKind::kIoCompleted, disk_->name(),
                         play_.id(si), bytes, "", service});
@@ -240,7 +264,8 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
 
   report_.total_busy += busy;
   report_.max_cycle_busy = std::max(report_.max_cycle_busy, busy);
-  if (busy > config_.cycle * (1.0 + 1e-9)) {
+  const bool overrun = busy > config_.cycle * (1.0 + 1e-9);
+  if (overrun) {
     ++report_.cycle_overruns;
     obs::Increment(overruns_metric_);
   }
@@ -248,6 +273,7 @@ void DirectStreamingServer::RunCycle(Seconds deadline) {
   obs::Increment(cycles_metric_);
   obs::Observe(slack_hist_, (config_.cycle - busy) / kMillisecond);
   obs::EndDiskCycle(config_.auditor, t0, busy);
+  ObserveCycleOutcomes(t0 + busy, overrun);
   obs::Record(disk_util_series_, t0 + config_.cycle, busy / config_.cycle);
   if (trace_ != nullptr && busy > 0) {
     // Scheduled so the record lands in time order among the IO records.
@@ -320,6 +346,25 @@ Status DirectStreamingServer::Run(Seconds duration) {
   }
   obs::WarnDroppedTelemetry(trace_, "timecycle server");
 
+  // Trailing underflows (accrued by the LevelAt calls above) go to the
+  // journal, then every stream this server registered departs. Departure
+  // is per-server, not Finalize(): a farm sharing one journal must not
+  // depart other disks' streams.
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (streams_[i].direction == StreamDirection::kRead) {
+        const std::size_t si = session_index_[i];
+        const std::int64_t delta = play_.underflow_events(si) - uf_seen_[si];
+        uf_seen_[si] += delta;
+        obs::JournalUnderflows(journal_, jslot_[i], duration, delta);
+      }
+      if (jslot_[i] >= 0) {
+        journal_->MarkDeparted(static_cast<std::size_t>(jslot_[i]),
+                               duration);
+      }
+    }
+  }
+
   if (obs::MetricsRegistry* metrics = config_.metrics; metrics != nullptr) {
     metrics->gauge("server.direct.underflow_events")
         ->Set(static_cast<double>(report_.qos.underflow_events));
@@ -339,6 +384,29 @@ Status DirectStreamingServer::Run(Seconds duration) {
     obs::ExportSimulatorStats(metrics, sim_);
   }
   return Status::OK();
+}
+
+void DirectStreamingServer::ObserveCycleOutcomes(Seconds now, bool overrun) {
+  obs::SloRecord(slo_slack_, now, overrun ? 0 : 1, overrun ? 1 : 0);
+  if (journal_ == nullptr && slo_underflow_ == nullptr) return;
+  // Per-cycle underflow delta scan: the playback batch counts events
+  // cumulatively, so comparing against uf_seen_ attributes new events to
+  // this cycle without any extra bookkeeping on the deposit path.
+  std::int64_t bad_streams = 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].direction != StreamDirection::kRead) continue;
+    const std::size_t si = session_index_[i];
+    const std::int64_t delta = play_.underflow_events(si) - uf_seen_[si];
+    if (delta > 0) {
+      uf_seen_[si] += delta;
+      ++bad_streams;
+      obs::JournalUnderflows(journal_, jslot_[i], now, delta);
+    }
+  }
+  if (slo_underflow_ != nullptr && !play_.empty()) {
+    const auto nplay = static_cast<std::int64_t>(play_.size());
+    slo_underflow_->Record(now, nplay - bad_streams, bad_streams);
+  }
 }
 
 }  // namespace memstream::server

@@ -22,6 +22,8 @@
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/qos_auditor.h"
+#include "obs/slo.h"
+#include "obs/stream_journal.h"
 #include "obs/timeline.h"
 #include "server/qos_counters.h"
 #include "server/stream_batch.h"
@@ -82,6 +84,16 @@ struct DirectServerConfig {
   /// penalty; device-scoped faults are observed only (no MEMS bank).
   /// Not owned; must outlive the server.
   fault::FaultInjector* faults = nullptr;
+  /// Optional per-stream lifecycle journal. The server self-registers
+  /// its streams at Create (read streams under the Theorem-1 2*B*T
+  /// envelope, write streams under their staging allocation) and feeds
+  /// IO/underflow records from the existing cycle callbacks — no new
+  /// sim events, so event order and bench output are unchanged. Not
+  /// owned; must outlive the server.
+  obs::StreamJournal* journal = nullptr;
+  /// Optional SLO monitor: feeds the standard "underflow" (per
+  /// stream-cycle) and "cycle_slack" (per disk cycle) SLOs. Not owned.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Post-run statistics common to all the simulated servers.
@@ -158,6 +170,16 @@ class DirectStreamingServer {
   // Timeline handles (null when config_.timelines is null).
   std::vector<obs::TimelineSeries*> play_series_;  ///< per session
   obs::TimelineSeries* disk_util_series_ = nullptr;
+  // Journal/SLO handles (null / empty when the hooks are off). Slots are
+  // resolved once at construction; per-cycle underflow deltas come from
+  // comparing the batch counters against uf_seen_ (preallocated).
+  obs::StreamJournal* journal_ = nullptr;
+  std::vector<std::ptrdiff_t> jslot_;        ///< per stream (spec order)
+  std::vector<std::int64_t> uf_seen_;        ///< per play session
+  obs::Slo* slo_underflow_ = nullptr;
+  obs::Slo* slo_slack_ = nullptr;
+
+  void ObserveCycleOutcomes(Seconds now, bool overrun);
 };
 
 }  // namespace memstream::server

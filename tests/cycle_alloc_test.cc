@@ -21,6 +21,8 @@
 
 #include "common/profiler.h"
 #include "device/device_catalog.h"
+#include "obs/slo.h"
+#include "obs/stream_journal.h"
 #include "model/mems_buffer.h"
 #include "model/mems_cache.h"
 #include "model/profiles.h"
@@ -163,6 +165,37 @@ TEST(CycleAllocTest, DirectServerSteadyStateAllocFree) {
         ASSERT_TRUE(srv.ok()) << srv.status().ToString();
         ASSERT_TRUE(srv.value().Run(duration).ok());
       });
+}
+
+TEST(CycleAllocTest, JournaledDirectServerSteadyStateAllocFree) {
+  // The lifecycle journal and SLO monitor hook every deposit and cycle
+  // end; registration allocates at Create, but the steady-state cycle
+  // must stay exactly as allocation-free as the unwired server.
+  auto disk = UniformFutureDisk();
+  obs::StreamJournal journal;
+  obs::SloMonitor slo;
+  ExpectSteadyStateAllocFree(
+      "server.direct.cycle", 10.0, 60.0, [&](Seconds duration) {
+        DirectServerConfig config;
+        config.cycle = 0.5;
+        config.journal = &journal;
+        config.slo = &slo;
+        std::vector<StreamSpec> streams;
+        for (int i = 0; i < 8; ++i) {
+          StreamSpec s;
+          s.id = i;
+          s.bit_rate = 1 * kMBps;
+          s.disk_offset = static_cast<double>(i) * 10 * kGB;
+          s.extent = 5 * kGB;
+          streams.push_back(s);
+        }
+        auto srv = DirectStreamingServer::Create(&disk, streams, config);
+        ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+        ASSERT_TRUE(srv.value().Run(duration).ok());
+      });
+  EXPECT_EQ(journal.size(), 8u);
+  EXPECT_NE(slo.Find("cycle_slack"), nullptr);
+  EXPECT_GT(slo.Find("cycle_slack")->good(), 0);
 }
 
 TEST(CycleAllocTest, PipelineServerSteadyStateAllocFree) {

@@ -51,6 +51,56 @@ TEST(HistogramTest, QuantilesOfUniformFill) {
   EXPECT_NEAR(h.Quantile(1.0), 100, 1.5);
 }
 
+// Percentile edge cases (regression tests for the quantile audit): the
+// empty, single-sample, and all-equal distributions must return exact,
+// well-defined values — bucket interpolation alone used to report p95 of
+// {5,5,5} past 5.
+
+TEST(HistogramTest, EmptyQuantileIsTheRangeLow) {
+  Histogram h(2, 10, 8);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAreTheSample) {
+  Histogram h(0, 10, 10);
+  h.Add(3.7);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 3.7) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, AllEqualSamplesQuantilesAreExact) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 3; ++i) h.Add(5.0);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 5.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SaturatedSampleQuantileReturnsTrueValue) {
+  // An out-of-range sample lands in the edge bucket, but quantiles clamp
+  // to the observed sample range — not the bucket boundary.
+  Histogram h(0, 10, 5);
+  h.Add(-100);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), -100.0);
+  Histogram hi(0, 10, 5);
+  hi.Add(+100);
+  EXPECT_DOUBLE_EQ(hi.Quantile(0.5), 100.0);
+}
+
+TEST(HistogramTest, QuantilesNeverExceedObservedRange) {
+  Histogram h(0, 100, 4);  // coarse buckets force interpolation
+  h.Add(10);
+  h.Add(11);
+  h.Add(97);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(h.Quantile(q), 10.0) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), 97.0) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, AsciiRenderingContainsBuckets) {
   Histogram h(0, 2, 2);
   h.Add(0.5);

@@ -1,0 +1,203 @@
+// Hostile-input hardening tests for the minimal JSON parser: depth
+// bombs, truncations, malformed escapes, and a deterministic randomized
+// sweep of mutated and garbage documents — none of which may crash,
+// recurse unboundedly, or report success on invalid input.
+
+#include "obs/json_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <random>
+#include <string>
+
+namespace memstream::obs {
+namespace {
+
+bool Parses(const std::string& text) {
+  bool ok = false;
+  ParseJson(text, &ok);
+  return ok;
+}
+
+TEST(JsonParserTest, AcceptsTheBasics) {
+  EXPECT_TRUE(Parses("null"));
+  EXPECT_TRUE(Parses("true"));
+  EXPECT_TRUE(Parses("-12.5e3"));
+  EXPECT_TRUE(Parses("\"a\\n\\\"b\\\\\""));
+  EXPECT_TRUE(Parses("[1, [2, {\"k\": [3]}], null]"));
+  EXPECT_TRUE(Parses("{\"a\": {\"b\": {\"c\": 1}}}"));
+}
+
+TEST(JsonParserTest, RejectsDepthBombsWithoutOverflow) {
+  // A flat string of open brackets used to recurse once per byte; a
+  // megabyte of them must fail fast instead of smashing the stack.
+  const std::string bomb(1 << 20, '[');
+  EXPECT_FALSE(Parses(bomb));
+  const std::string object_bomb = [] {
+    std::string s;
+    for (int i = 0; i < 100000; ++i) s += "{\"k\":";
+    return s;
+  }();
+  EXPECT_FALSE(Parses(object_bomb));
+}
+
+TEST(JsonParserTest, MaxDepthBoundaryIsExact) {
+  auto nested = [](std::size_t depth) {
+    std::string s(depth, '[');
+    s += "1";
+    s.append(depth, ']');
+    return s;
+  };
+  EXPECT_TRUE(Parses(nested(JsonParser::kMaxDepth)));
+  EXPECT_FALSE(Parses(nested(JsonParser::kMaxDepth + 1)));
+}
+
+TEST(JsonParserTest, RejectsTruncatedDocuments) {
+  const std::string doc = "{\"key\": [1, 2, {\"s\": \"text\"}]}";
+  for (std::size_t cut = 1; cut < doc.size(); ++cut) {
+    EXPECT_FALSE(Parses(doc.substr(0, cut))) << doc.substr(0, cut);
+  }
+  EXPECT_TRUE(Parses(doc));
+}
+
+TEST(JsonParserTest, RejectsMalformedEscapes) {
+  EXPECT_FALSE(Parses("\"\\u12\""));      // too few hex digits
+  EXPECT_FALSE(Parses("\"\\u12xz\""));    // non-hex digits
+  EXPECT_FALSE(Parses("\"\\u123"));       // truncated mid-escape
+  EXPECT_FALSE(Parses("\"\\q\""));        // unknown escape
+  EXPECT_TRUE(Parses("\"\\u1234\""));     // exactly four hex digits
+}
+
+TEST(JsonParserTest, RejectsTrailingGarbageAndBareJunk) {
+  EXPECT_FALSE(Parses("{} extra"));
+  EXPECT_FALSE(Parses("1 2"));
+  EXPECT_FALSE(Parses(""));
+  EXPECT_FALSE(Parses("   "));
+  EXPECT_FALSE(Parses("{,}"));
+  EXPECT_FALSE(Parses("[1,]"));
+  EXPECT_FALSE(Parses("{\"a\" 1}"));
+  EXPECT_FALSE(Parses("nul"));
+}
+
+TEST(JsonParserTest, HugeNumbersSaturateLikeStrtod) {
+  bool ok = false;
+  const JsonValue v = ParseJson("1e999", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(std::isinf(v.number));
+  const JsonValue neg = ParseJson("-1e999", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(std::isinf(neg.number));
+  EXPECT_LT(neg.number, 0);
+}
+
+TEST(JsonParserTest, DuplicateKeysKeepTheFirst) {
+  bool ok = false;
+  const JsonValue v = ParseJson("{\"k\": 1, \"k\": 2}", &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(v.Num("k"), 1);
+}
+
+TEST(JsonParserTest, ErrorPositionPointsIntoTheDocument) {
+  const std::string doc = "{\"ok\": 1, \"bad\": @}";
+  JsonParser parser(doc);
+  parser.Parse();
+  EXPECT_FALSE(parser.ok());
+  EXPECT_LE(parser.error_pos(), doc.size());
+  EXPECT_GE(parser.error_pos(), doc.find('@'));
+}
+
+// Deterministic fuzz: mutate a valid document one byte at a time and
+// also feed pure garbage. The only requirements are "no crash" and
+// "full consumption of invalid text is never reported as success" —
+// both checked implicitly by running under the test harness and
+// asserting parser self-consistency.
+TEST(JsonParserTest, RandomizedMutationsNeverCrash) {
+  const std::string seed_doc =
+      "{\"title\":\"run\",\"analytic\":[{\"k\":\"dram\",\"v\":1.5e9}],"
+      "\"nested\":{\"a\":[1,2,3],\"b\":null,\"c\":true},\"s\":\"\\u0041\"}";
+  ASSERT_TRUE(Parses(seed_doc));
+
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> pos(0,
+                                         static_cast<int>(seed_doc.size()) - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = seed_doc;
+    const int mutations = 1 + round % 4;
+    for (int m = 0; m < mutations; ++m) {
+      mutated[static_cast<std::size_t>(pos(rng))] =
+          static_cast<char>(byte(rng));
+    }
+    JsonParser parser(mutated);
+    parser.Parse();
+    if (!parser.ok()) {
+      EXPECT_LE(parser.error_pos(), mutated.size());
+    }
+  }
+
+  std::uniform_int_distribution<int> len(0, 256);
+  for (int round = 0; round < 2000; ++round) {
+    std::string garbage;
+    const int n = len(rng);
+    garbage.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      garbage.push_back(static_cast<char>(byte(rng)));
+    }
+    JsonParser parser(garbage);
+    parser.Parse();
+    if (!parser.ok()) {
+      EXPECT_LE(parser.error_pos(), garbage.size());
+    }
+  }
+}
+
+// Deterministic random *valid* documents must always parse: generate a
+// bounded random tree, render it with manual escaping, and round-trip.
+TEST(JsonParserTest, RandomizedValidDocumentsAlwaysParse) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> kind(0, 5);
+  std::uniform_int_distribution<int> fan(0, 3);
+  std::uniform_real_distribution<double> num(-1e6, 1e6);
+
+  // Recursive generator; depth-bounded far below kMaxDepth.
+  std::function<std::string(int)> gen = [&](int depth) -> std::string {
+    const int k = depth >= 6 ? kind(rng) % 4 : kind(rng);
+    switch (k) {
+      case 0:
+        return "null";
+      case 1:
+        return kind(rng) % 2 ? "true" : "false";
+      case 2:
+        return std::to_string(num(rng));
+      case 3:
+        return "\"s" + std::to_string(kind(rng)) + "\\n\\t\"";
+      case 4: {
+        std::string s = "[";
+        const int n = fan(rng);
+        for (int i = 0; i < n; ++i) {
+          if (i) s += ",";
+          s += gen(depth + 1);
+        }
+        return s + "]";
+      }
+      default: {
+        std::string s = "{";
+        const int n = fan(rng);
+        for (int i = 0; i < n; ++i) {
+          if (i) s += ",";
+          s += "\"k" + std::to_string(i) + "\":" + gen(depth + 1);
+        }
+        return s + "}";
+      }
+    }
+  };
+  for (int round = 0; round < 500; ++round) {
+    const std::string doc = gen(0);
+    EXPECT_TRUE(Parses(doc)) << doc;
+  }
+}
+
+}  // namespace
+}  // namespace memstream::obs

@@ -12,12 +12,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/profiler.h"
 #include "obs/json_parser.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace memstream {
 namespace {
@@ -135,6 +139,84 @@ TEST(MetricsHttpTest, UnknownPathIs404AndNonGetIs405) {
       "POST /metrics HTTP/1.1\r\nHost: localhost\r\n"
       "Content-Length: 0\r\nConnection: close\r\n\r\n");
   EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, SlostatusServesMonitorJsonAndDegradesHealthz) {
+  obs::SloMonitor monitor;
+  monitor.Add(obs::StandardUnderflowSlo())->Record(1.0, 99, 1);
+
+  obs::MetricsHttpServer server;
+  server.SetSloProvider([&monitor] { return monitor.StatusJson(); });
+  server.SetHealthProvider(
+      [&monitor](std::string* detail) { return monitor.healthy(detail); });
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response = Get(server.port(), "/slostatus");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos) << response;
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  bool ok = false;
+  const obs::JsonValue doc = obs::ParseJson(response.substr(body_at + 4), &ok);
+  ASSERT_TRUE(ok) << response;
+  const obs::JsonValue* slos = doc.Find("slos");
+  ASSERT_NE(slos, nullptr);
+  ASSERT_EQ(slos->array.size(), 1u);
+  EXPECT_EQ(slos->array[0].Str("name"), "underflow");
+
+  // Underflow objective is 0.999; 1/100 bad exhausts the budget, so the
+  // health provider must flip /healthz to 503 degraded.
+  const std::string health = Get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 503"), std::string::npos) << health;
+  EXPECT_NE(health.find("degraded"), std::string::npos) << health;
+  EXPECT_NE(health.find("underflow"), std::string::npos) << health;
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, SlostatusWithoutProviderIs503) {
+  obs::MetricsHttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Get(server.port(), "/slostatus").find("HTTP/1.1 503"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, ConcurrentClientsAllGetCompleteResponses) {
+  obs::MetricsRegistry registry;
+  registry.counter("sim.events_dispatched")->Increment(1);
+  obs::SloMonitor monitor;
+  monitor.Add(obs::StandardCycleSlackSlo())->Record(1.0, 10, 0);
+
+  obs::MetricsHttpServer server;
+  server.SetMetricsProvider(
+      [&registry] { return registry.ToPrometheusText(); });
+  server.SetSloProvider([&monitor] { return monitor.StatusJson(); });
+  server.SetHealthProvider(
+      [&monitor](std::string* detail) { return monitor.healthy(detail); });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 5;
+  const char* const paths[] = {"/metrics", "/healthz", "/slostatus"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsEach; ++r) {
+        const char* path = paths[(c + r) % 3];
+        const std::string response = Get(server.port(), path);
+        if (response.find("HTTP/1.1 200") == std::string::npos ||
+            response.find("\r\n\r\n") == std::string::npos) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_served(), kClients * kRequestsEach);
   server.Stop();
 }
 

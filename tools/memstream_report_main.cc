@@ -5,11 +5,18 @@
 //   memstream-report run1.json run2.json BENCH_sweeps.json
 //       -o dashboard.html --md report.md --title "nightly"
 //
+// Differential mode aligns two run bundles and renders only the deltas
+// (metrics, SLO attainment, per-stream outcomes, perf records):
+//
+//   memstream-report --diff clean.report.json faulted.report.json
+//       [--threshold 0.02] [-o delta.html] [--md delta.md]
+//
 // Inputs are classified by content, not filename. With no -o/--md the
-// Markdown report goes to stdout. Exit status: 0 on success, 1 on usage
+// Markdown output goes to stdout. Exit status: 0 on success, 1 on usage
 // errors, 2 when every input failed to load.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -23,9 +30,15 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input>... [-o out.html] [--md out.md] "
                "[--title <title>]\n"
+               "       %s --diff <runA> <runB> [--threshold <rel>] "
+               "[-o out.html] [--md out.md] [--title <title>]\n"
                "  inputs: run.report.json / metrics CSV / "
-               "BENCH_sweeps.json (content-sniffed)\n",
-               argv0);
+               "BENCH_sweeps.json (content-sniffed)\n"
+               "  --diff: compare two inputs (A vs B) and render only "
+               "significant deltas\n"
+               "  --threshold: relative significance cutoff for --diff "
+               "(default 0.02)\n",
+               argv0, argv0);
   return 1;
 }
 
@@ -36,13 +49,69 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
+int RunDiff(const std::vector<std::string>& inputs,
+            const std::string& html_path, const std::string& md_path,
+            const std::string& title,
+            const memstream::obs::DiffOptions& options) {
+  memstream::obs::ReportBundle bundle_a;
+  memstream::obs::ReportBundle bundle_b;
+  bool ok = true;
+  // First input (plus any before the midpoint) is side A, rest side B —
+  // the common case is exactly two files.
+  const std::size_t split = inputs.size() / 2;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto* bundle = i < split ? &bundle_a : &bundle_b;
+    const auto status = memstream::obs::LoadReportInput(inputs[i], bundle);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", inputs[i].c_str(),
+                   status.message().c_str());
+      ok = false;
+    }
+  }
+  if (!ok) return 2;
+
+  std::string label_a = inputs.front();
+  std::string label_b = inputs.back();
+  if (split > 1) {
+    label_a += " (+" + std::to_string(split - 1) + " more)";
+    label_b = inputs[split] + " (+" +
+              std::to_string(inputs.size() - split - 1) + " more)";
+  }
+  const memstream::obs::BundleDiff diff = memstream::obs::ComputeBundleDiff(
+      bundle_a, bundle_b, options, label_a, label_b);
+
+  if (!html_path.empty()) {
+    const std::string html = memstream::obs::RenderHtmlDiff(diff, title);
+    if (!WriteFile(html_path, html)) {
+      std::fprintf(stderr, "error: cannot write %s\n", html_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", html_path.c_str(),
+                 html.size());
+  }
+  const std::string markdown = memstream::obs::RenderMarkdownDiff(diff, title);
+  if (!md_path.empty()) {
+    if (!WriteFile(md_path, markdown)) {
+      std::fprintf(stderr, "error: cannot write %s\n", md_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", md_path.c_str(),
+                 markdown.size());
+  } else if (html_path.empty()) {
+    std::cout << markdown;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string html_path;
   std::string md_path;
-  std::string title = "memstream run report";
+  std::string title;
+  bool diff_mode = false;
+  memstream::obs::DiffOptions diff_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +124,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--title") {
       if (++i >= argc) return Usage(argv[0]);
       title = argv[i];
+    } else if (arg == "--diff") {
+      diff_mode = true;
+    } else if (arg == "--threshold") {
+      if (++i >= argc) return Usage(argv[0]);
+      char* end = nullptr;
+      diff_options.rel_threshold = std::strtod(argv[i], &end);
+      if (end == nullptr || *end != '\0' ||
+          diff_options.rel_threshold < 0) {
+        std::fprintf(stderr, "bad --threshold: %s\n", argv[i]);
+        return Usage(argv[0]);
+      }
     } else if (arg == "-h" || arg == "--help") {
       Usage(argv[0]);
       return 0;
@@ -64,6 +144,16 @@ int main(int argc, char** argv) {
     } else {
       inputs.push_back(arg);
     }
+  }
+  if (title.empty()) {
+    title = diff_mode ? "memstream run diff" : "memstream run report";
+  }
+  if (diff_mode) {
+    if (inputs.size() < 2) {
+      std::fprintf(stderr, "--diff needs two inputs (A and B)\n");
+      return Usage(argv[0]);
+    }
+    return RunDiff(inputs, html_path, md_path, title, diff_options);
   }
   if (inputs.empty()) return Usage(argv[0]);
 
