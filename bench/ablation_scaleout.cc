@@ -11,9 +11,9 @@
 
 #include "bench_common.h"
 #include "common/table_printer.h"
+#include "farm/sharded_farm.h"
 #include "model/scale_out.h"
 #include "model/timecycle.h"
-#include "server/farm.h"
 
 int main() {
   using namespace memstream;
@@ -85,13 +85,18 @@ int main() {
   }
   table.Print(std::cout);
 
-  // Execute a sampled plan to confirm it holds up in simulation.
+  // Execute a sampled plan to confirm it holds up in simulation. The
+  // plan's stream count is offered to the sharded executor (one shard
+  // per planned disk, the plan's DRAM budget split evenly) so the same
+  // admission math gets re-checked by the farm router per shard.
   {
     struct SimOutcome {
       bool ok = false;
-      std::int64_t total_streams = 0;
+      std::int64_t offered = 0;
+      std::int64_t admitted = 0;
       std::int64_t underflows = 0;
       std::int64_t overruns = 0;
+      std::int64_t violations = 0;
       int mean_disk_util_percent = 0;
     };
     const Seconds duration = bench::SmokeDuration(20, 2);
@@ -107,33 +112,41 @@ int main() {
           if (!plan.ok()) return out;
           device::DiskParameters uniform = device::FutureDisk2007();
           uniform.inner_rate = uniform.outer_rate;
-          auto probe = device::DiskDrive::Create(uniform).value();
-          auto cycle = model::IoCycleLength(
-              plan.value().streams_per_disk, 1 * kMBps,
-              model::DiskProfile(probe, plan.value().streams_per_disk));
-          server::FarmConfig farm;
-          farm.num_disks = 3;
-          farm.disk = uniform;
-          farm.streams_per_disk = plan.value().streams_per_disk;
-          farm.bit_rate = 1 * kMBps;
-          farm.cycle = cycle.value();
-          farm.duration = duration;
-          auto report = server::RunFarm(farm);
+          farm::ShardedFarmConfig sharded;
+          sharded.num_shards = 3;
+          sharded.num_titles = plan.value().total_streams;
+          // The analytic plan assumes evenly spread load; offer a
+          // uniform (exponent-0) workload so the only rejections are
+          // hash-placement skew, not Zipf hot spots (those are the
+          // ablation_millionfarm study).
+          sharded.zipf_exponent = 0.0;
+          sharded.offered_streams = plan.value().total_streams;
+          sharded.bit_rate = 1 * kMBps;
+          sharded.node_disk = uniform;
+          sharded.dram_budget_per_shard = 1 * kGB / 3.0;
+          sharded.duration = duration;
+          sharded.seed = 42;
+          sharded.threads = 1;  // already inside a sweep task
+          auto report = farm::RunShardedFarm(sharded);
           if (!report.ok()) return out;
           ctx.AddEvents(report.value().ios_completed);
           out.ok = true;
-          out.total_streams = plan.value().total_streams;
-          out.underflows = report.value().qos.underflow_events;
+          out.offered = report.value().offered;
+          out.admitted = report.value().admitted;
+          out.underflows = report.value().underflow_events;
           out.overruns = report.value().cycle_overruns;
+          out.violations = report.value().qos_violations;
           out.mean_disk_util_percent = static_cast<int>(
-              100 * report.value().mean_disk_utilization);
+              100 * report.value().mean_utilization);
           return out;
         });
     if (sims[0].ok) {
-      std::cout << "\nSimulated 3-disk plan (" << sims[0].total_streams
-                << " DVD streams): " << sims[0].underflows
-                << " underflows, " << sims[0].overruns
-                << " overruns, mean disk utilization "
+      std::cout << "\nSimulated 3-shard plan via the sharded executor ("
+                << sims[0].admitted << "/" << sims[0].offered
+                << " DVD streams admitted): " << sims[0].underflows
+                << " underflows, " << sims[0].overruns << " overruns, "
+                << sims[0].violations
+                << " QoS violations, mean disk utilization "
                 << sims[0].mean_disk_util_percent << "%\n";
     }
   }

@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "device/device_catalog.h"
 #include "device/disk_scheduler.h"
+#include "farm/placement.h"
 #include "model/mems_buffer.h"
 #include "model/planner.h"
 #include "model/timecycle.h"
@@ -421,6 +422,44 @@ void BM_StreamJournalHooks(benchmark::State& state) {
   ReportAllocsPerOp(state, allocs_before);
 }
 BENCHMARK(BM_StreamJournalHooks)->Arg(0)->Arg(1);
+
+// One catalog lookup through the farm placement at millionfarm scale
+// (128 shards, 20k titles): Arg(0) = consistent-hash ring walk,
+// Arg(1) = popularity-aware head/tail split. Route sits on this for
+// every admission attempt, so it must stay allocation-free —
+// allocs_per_op is asserted to be exactly 0 (placement_test holds the
+// same line as a unit test).
+void BM_PlacementLookup(benchmark::State& state) {
+  farm::PlacementConfig config;
+  config.num_shards = 128;
+  config.num_titles = 20000;
+  config.replicas = 4;
+  config.virtual_nodes = 64;
+  config.zipf_exponent = 0.8;
+  config.replication_budget = 0.10;
+  const auto policy = state.range(0) != 0
+                          ? farm::PlacementPolicy::kPopularityAware
+                          : farm::PlacementPolicy::kConsistentHash;
+  auto placement = farm::MakePlacement(policy, config);
+  std::int64_t title = 0;
+  const std::int64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement.value()->Lookup(title));
+    title = (title + 7919) % config.num_titles;
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportAllocsPerOp(state, allocs_before);
+  // The framework itself allocates O(1) times inside the timed window
+  // (including the short estimation runs); a per-op allocation in
+  // Lookup would scale with the iteration count instead.
+  const std::int64_t delta =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  if (delta > static_cast<std::int64_t>(state.iterations()) / 100 + 64) {
+    state.SkipWithError("Lookup allocates per op");
+  }
+}
+BENCHMARK(BM_PlacementLookup)->Arg(0)->Arg(1);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution dist(10000, 1.0);

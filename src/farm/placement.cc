@@ -1,0 +1,176 @@
+#include "farm/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/popularity.h"
+
+namespace memstream::farm {
+namespace {
+
+/// SplitMix64 finalizer: the placement hash. Stateless, so the ring and
+/// the lookup agree without sharing tables.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t TitleHash(std::uint64_t seed, std::int64_t title) {
+  return Mix64(seed ^ Mix64(static_cast<std::uint64_t>(title)));
+}
+
+/// High-bit tag separating ring-point inputs from title-id inputs.
+constexpr std::uint64_t kRingDomainTag = 1ULL << 56;
+
+Status ValidateCommon(const PlacementConfig& config) {
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config.num_titles < 1) {
+    return Status::InvalidArgument("num_titles must be >= 1");
+  }
+  if (config.replicas < 1 || config.replicas > kMaxReplicas) {
+    return Status::InvalidArgument("replicas must be in [1, kMaxReplicas]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kConsistentHash: return "consistent_hash";
+    case PlacementPolicy::kPopularityAware: return "popularity_aware";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<ConsistentHashPlacement>>
+ConsistentHashPlacement::Create(const PlacementConfig& config) {
+  MEMSTREAM_RETURN_IF_ERROR(ValidateCommon(config));
+  if (config.virtual_nodes < 1) {
+    return Status::InvalidArgument("virtual_nodes must be >= 1");
+  }
+  auto placement =
+      std::unique_ptr<ConsistentHashPlacement>(new ConsistentHashPlacement());
+  placement->num_shards_ = config.num_shards;
+  placement->num_titles_ = config.num_titles;
+  placement->replicas_ = std::min(config.replicas, config.num_shards);
+  placement->seed_ = config.seed;
+  placement->ring_.reserve(
+      static_cast<std::size_t>(config.num_shards * config.virtual_nodes));
+  for (std::int64_t s = 0; s < config.num_shards; ++s) {
+    for (std::int64_t v = 0; v < config.virtual_nodes; ++v) {
+      // Tag the ring's hash domain so a vnode's input can never collide
+      // with a title id (titles hash the bare id; an untagged (0, v)
+      // vnode would hash identically to title v and capture it).
+      const std::uint64_t h = Mix64(
+          config.seed ^ Mix64(kRingDomainTag |
+                              static_cast<std::uint64_t>(s) << 20 |
+                              static_cast<std::uint64_t>(v)));
+      placement->ring_.push_back({h, static_cast<std::int32_t>(s)});
+    }
+  }
+  std::sort(placement->ring_.begin(), placement->ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+            });
+  return placement;
+}
+
+ShardSet ConsistentHashPlacement::Lookup(std::int64_t title) const {
+  ShardSet out;
+  const std::uint64_t h = TitleHash(seed_, title);
+  // First ring point clockwise of the title's hash (wrapping).
+  std::size_t lo = 0, hi = ring_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ring_[mid].hash < h) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const std::size_t n = ring_.size();
+  for (std::size_t walked = 0;
+       walked < n && out.count < static_cast<std::int32_t>(replicas_);
+       ++walked) {
+    const std::int32_t s = ring_[(lo + walked) % n].shard;
+    if (!out.Contains(s)) {
+      out.shard[static_cast<std::size_t>(out.count++)] = s;
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<PopularityAwarePlacement>>
+PopularityAwarePlacement::Create(const PlacementConfig& config) {
+  MEMSTREAM_RETURN_IF_ERROR(ValidateCommon(config));
+  if (config.zipf_exponent < 0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  if (config.replication_budget <= 0 || config.replication_budget > 1) {
+    return Status::InvalidArgument("replication_budget must be in (0, 1]");
+  }
+  auto fitted = workload::FitZipfTwoClass(
+      config.num_titles, config.zipf_exponent, config.replication_budget);
+  MEMSTREAM_RETURN_IF_ERROR(fitted.status());
+
+  auto placement = std::unique_ptr<PopularityAwarePlacement>(
+      new PopularityAwarePlacement());
+  placement->num_shards_ = config.num_shards;
+  placement->num_titles_ = config.num_titles;
+  placement->replicas_ = std::min(config.replicas, config.num_shards);
+  placement->seed_ = config.seed;
+  placement->fitted_ = fitted.value();
+  placement->head_titles_ = std::clamp<std::int64_t>(
+      std::llround(fitted.value().x * static_cast<double>(config.num_titles)),
+      1, config.num_titles);
+  // Replicas sit `step` shards apart so every head title's copies spread
+  // across the farm instead of clustering next to its hash.
+  placement->step_ =
+      std::max<std::int64_t>(1, config.num_shards / placement->replicas_);
+  return placement;
+}
+
+ShardSet PopularityAwarePlacement::Lookup(std::int64_t title) const {
+  ShardSet out;
+  const std::int64_t first = static_cast<std::int64_t>(
+      TitleHash(seed_, title) % static_cast<std::uint64_t>(num_shards_));
+  if (title < head_titles_) {
+    for (std::int64_t r = 0;
+         r < replicas_ && out.count < static_cast<std::int32_t>(replicas_);
+         ++r) {
+      const std::int32_t s =
+          static_cast<std::int32_t>((first + r * step_) % num_shards_);
+      if (!out.Contains(s)) {
+        out.shard[static_cast<std::size_t>(out.count++)] = s;
+      }
+    }
+  } else {
+    out.shard[0] = static_cast<std::int32_t>(first);
+    out.count = 1;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Placement>> MakePlacement(
+    PlacementPolicy policy, const PlacementConfig& config) {
+  switch (policy) {
+    case PlacementPolicy::kConsistentHash: {
+      auto p = ConsistentHashPlacement::Create(config);
+      MEMSTREAM_RETURN_IF_ERROR(p.status());
+      return Result<std::unique_ptr<Placement>>(std::move(p).value());
+    }
+    case PlacementPolicy::kPopularityAware: {
+      auto p = PopularityAwarePlacement::Create(config);
+      MEMSTREAM_RETURN_IF_ERROR(p.status());
+      return Result<std::unique_ptr<Placement>>(std::move(p).value());
+    }
+  }
+  return Status::InvalidArgument("unknown placement policy");
+}
+
+}  // namespace memstream::farm

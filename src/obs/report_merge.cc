@@ -191,6 +191,44 @@ Status ParseRunReport(const std::string& path, const JsonValue& doc,
       }
     }
   }
+  if (const JsonValue* fa = doc.Find("farm"); fa != nullptr && fa->is_object()) {
+    run.has_farm = true;
+    run.farm.policy = fa->Str("policy");
+    run.farm.shards = static_cast<std::int64_t>(fa->Num("shards", 0));
+    run.farm.titles = static_cast<std::int64_t>(fa->Num("titles", 0));
+    run.farm.total_copies =
+        static_cast<std::int64_t>(fa->Num("total_copies", 0));
+    run.farm.offered = static_cast<std::int64_t>(fa->Num("offered", 0));
+    run.farm.admitted = static_cast<std::int64_t>(fa->Num("admitted", 0));
+    run.farm.rejected = static_cast<std::int64_t>(fa->Num("rejected", 0));
+    run.farm.failovers = static_cast<std::int64_t>(fa->Num("failovers", 0));
+    run.farm.shed = static_cast<std::int64_t>(fa->Num("shed", 0));
+    run.farm.readmits = static_cast<std::int64_t>(fa->Num("readmits", 0));
+    run.farm.availability = fa->Num("availability", 1.0);
+    run.farm.peak_dram_per_shard = fa->Num("peak_dram_per_shard", 0);
+    run.farm.mean_utilization = fa->Num("mean_utilization", 0);
+    if (const JsonValue* ps = fa->Find("per_shard");
+        ps != nullptr && ps->is_array()) {
+      for (const auto& e : ps->array) {
+        LoadedFarmShard shard;
+        shard.shard = static_cast<std::int64_t>(e.Num("shard", 0));
+        shard.streams = static_cast<std::int64_t>(e.Num("streams", 0));
+        shard.ios = static_cast<std::int64_t>(e.Num("ios", 0));
+        shard.underflow_events =
+            static_cast<std::int64_t>(e.Num("underflow_events", 0));
+        shard.cycle_overruns =
+            static_cast<std::int64_t>(e.Num("cycle_overruns", 0));
+        shard.qos_violations =
+            static_cast<std::int64_t>(e.Num("qos_violations", 0));
+        shard.failed_over_in =
+            static_cast<std::int64_t>(e.Num("failed_over_in", 0));
+        shard.shed = static_cast<std::int64_t>(e.Num("shed", 0));
+        shard.peak_dram_bytes = e.Num("peak_dram_bytes", 0);
+        shard.utilization = e.Num("utilization", 0);
+        run.farm.per_shard.push_back(shard);
+      }
+    }
+  }
   if (const JsonValue* st = doc.Find("streams");
       st != nullptr && st->is_object()) {
     run.has_streams = true;
@@ -642,6 +680,32 @@ std::string RenderMarkdownReport(const ReportBundle& bundle,
         out << "\n";
       }
     }
+    if (run.has_farm) {
+      const LoadedFarm& fm = run.farm;
+      out << "### Farm\n\n";
+      out << MdEscape(fm.policy) << " placement over " << fm.shards
+          << " shard(s), " << fm.titles << " title(s) (" << fm.total_copies
+          << " placed copies): " << fm.admitted << "/" << fm.offered
+          << " stream(s) admitted (" << fm.rejected << " rejected); "
+          << fm.failovers << " failover(s), " << fm.shed << " shed, "
+          << fm.readmits << " re-admit(s); availability "
+          << FormatDouble(fm.availability) << ", peak DRAM/shard "
+          << FormatDouble(fm.peak_dram_per_shard) << " B, mean util "
+          << FormatDouble(fm.mean_utilization) << "\n\n";
+      if (!fm.per_shard.empty()) {
+        out << "| shard | streams | ios | underflows | overruns | "
+               "violations | failed-over in | shed | peak DRAM (B) | util "
+               "|\n|---|---|---|---|---|---|---|---|---|---|\n";
+        for (const auto& s : fm.per_shard) {
+          out << "| " << s.shard << " | " << s.streams << " | " << s.ios
+              << " | " << s.underflow_events << " | " << s.cycle_overruns
+              << " | " << s.qos_violations << " | " << s.failed_over_in
+              << " | " << s.shed << " | " << FormatDouble(s.peak_dram_bytes)
+              << " | " << FormatDouble(s.utilization) << " |\n";
+        }
+        out << "\n";
+      }
+    }
     if (run.has_streams) {
       const LoadedStreams& st = run.streams;
       out << "### Streams\n\n";
@@ -865,6 +929,36 @@ std::string RenderHtmlDashboard(const ReportBundle& bundle,
               << (s.readmit_time < 0 ? std::string("never")
                                      : FormatDouble(s.readmit_time))
               << "</td></tr>\n";
+        }
+        out << "</table>\n";
+      }
+    }
+    if (run.has_farm) {
+      const LoadedFarm& fm = run.farm;
+      out << "<h3>Farm</h3>\n<p>" << HtmlEscape(fm.policy)
+          << " placement over " << fm.shards << " shard(s), " << fm.titles
+          << " title(s) (" << fm.total_copies << " placed copies): "
+          << fm.admitted << "/" << fm.offered << " admitted ("
+          << fm.rejected << " rejected); <span class=\""
+          << (fm.shed == 0 ? "ok" : "bad") << "\">" << fm.failovers
+          << " failover(s), " << fm.shed << " shed</span>, " << fm.readmits
+          << " re-admit(s); availability "
+          << FormatDouble(fm.availability) << ", peak DRAM/shard "
+          << FormatDouble(fm.peak_dram_per_shard) << " B, mean util "
+          << FormatDouble(fm.mean_utilization) << "</p>\n";
+      if (!fm.per_shard.empty()) {
+        out << "<table><tr><th>shard</th><th>streams</th><th>ios</th>"
+            << "<th>underflows</th><th>overruns</th><th>violations</th>"
+            << "<th>failed-over in</th><th>shed</th>"
+            << "<th>peak DRAM (B)</th><th>util</th></tr>\n";
+        for (const auto& s : fm.per_shard) {
+          out << "<tr><td>" << s.shard << "</td><td>" << s.streams
+              << "</td><td>" << s.ios << "</td><td>" << s.underflow_events
+              << "</td><td>" << s.cycle_overruns << "</td><td>"
+              << s.qos_violations << "</td><td>" << s.failed_over_in
+              << "</td><td>" << s.shed << "</td><td>"
+              << FormatDouble(s.peak_dram_bytes) << "</td><td>"
+              << FormatDouble(s.utilization) << "</td></tr>\n";
         }
         out << "</table>\n";
       }
@@ -1142,6 +1236,33 @@ KeyValues StreamKeyValues(const LoadedRunReport& run) {
   return kv;
 }
 
+KeyValues FarmKeyValues(const LoadedRunReport& run) {
+  KeyValues kv;
+  if (!run.has_farm) return kv;
+  const LoadedFarm& f = run.farm;
+  kv.emplace_back("shards", static_cast<double>(f.shards));
+  kv.emplace_back("total_copies", static_cast<double>(f.total_copies));
+  kv.emplace_back("offered", static_cast<double>(f.offered));
+  kv.emplace_back("admitted", static_cast<double>(f.admitted));
+  kv.emplace_back("rejected", static_cast<double>(f.rejected));
+  kv.emplace_back("failovers", static_cast<double>(f.failovers));
+  kv.emplace_back("shed", static_cast<double>(f.shed));
+  kv.emplace_back("readmits", static_cast<double>(f.readmits));
+  kv.emplace_back("availability", f.availability);
+  kv.emplace_back("peak_dram_per_shard", f.peak_dram_per_shard);
+  kv.emplace_back("mean_utilization", f.mean_utilization);
+  for (const auto& s : f.per_shard) {
+    const std::string prefix = "shard" + std::to_string(s.shard) + ".";
+    kv.emplace_back(prefix + "streams", static_cast<double>(s.streams));
+    kv.emplace_back(prefix + "ios", static_cast<double>(s.ios));
+    kv.emplace_back(prefix + "underflow_events",
+                    static_cast<double>(s.underflow_events));
+    kv.emplace_back(prefix + "peak_dram_bytes", s.peak_dram_bytes);
+    kv.emplace_back(prefix + "utilization", s.utilization);
+  }
+  return kv;
+}
+
 KeyValues SloKeyValues(const LoadedRunReport& run) {
   KeyValues kv;
   for (const auto& s : run.slos) {
@@ -1191,6 +1312,7 @@ std::vector<DiffSection> Sections(const RunPairDiff& pair) {
       {"simulated", &pair.simulated},
       {"qos", &pair.qos},
       {"faults", &pair.faults},
+      {"farm", &pair.farm},
       {"streams", &pair.streams},
       {"slo", &pair.slo},
       {"metrics", &pair.metrics, pair.metrics_elided},
@@ -1274,6 +1396,8 @@ BundleDiff ComputeBundleDiff(const ReportBundle& a, const ReportBundle& b,
     pair.qos = DiffKeyValues(QosKeyValues(*ra), QosKeyValues(*rb), options);
     pair.faults =
         DiffKeyValues(FaultKeyValues(*ra), FaultKeyValues(*rb), options);
+    pair.farm =
+        DiffKeyValues(FarmKeyValues(*ra), FarmKeyValues(*rb), options);
     pair.streams =
         DiffKeyValues(StreamKeyValues(*ra), StreamKeyValues(*rb), options);
     pair.slo = DiffKeyValues(SloKeyValues(*ra), SloKeyValues(*rb), options);

@@ -106,6 +106,38 @@ struct LoadedStreams {
   std::vector<LoadedStreamEntry> per_stream;
 };
 
+/// One per-shard row of a report's "farm" block (schema v4 additive).
+struct LoadedFarmShard {
+  std::int64_t shard = 0;
+  std::int64_t streams = 0;
+  std::int64_t ios = 0;
+  std::int64_t underflow_events = 0;
+  std::int64_t cycle_overruns = 0;
+  std::int64_t qos_violations = 0;
+  std::int64_t failed_over_in = 0;
+  std::int64_t shed = 0;
+  double peak_dram_bytes = 0;
+  double utilization = 0;
+};
+
+/// The "farm" block (sharded scale-out run) of one run.
+struct LoadedFarm {
+  std::string policy;
+  std::int64_t shards = 0;
+  std::int64_t titles = 0;
+  std::int64_t total_copies = 0;
+  std::int64_t offered = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t failovers = 0;
+  std::int64_t shed = 0;
+  std::int64_t readmits = 0;
+  double availability = 1.0;
+  double peak_dram_per_shard = 0;
+  double mean_utilization = 0;
+  std::vector<LoadedFarmShard> per_shard;
+};
+
 /// One SLO row of a report's "slo" block (schema v4).
 struct LoadedSlo {
   std::string name;
@@ -139,6 +171,9 @@ struct LoadedRunReport {
 
   bool has_streams = false;
   LoadedStreams streams;
+
+  bool has_farm = false;
+  LoadedFarm farm;
 
   bool has_slo = false;
   bool slo_healthy = true;
@@ -259,6 +294,7 @@ struct RunPairDiff {
   std::vector<DiffRow> simulated;
   std::vector<DiffRow> qos;      ///< violation/audit counters
   std::vector<DiffRow> faults;   ///< fault/shed/availability counters
+  std::vector<DiffRow> farm;     ///< farm aggregates + per-shard keys
   std::vector<DiffRow> streams;  ///< journal outcome counts + headroom
   std::vector<DiffRow> slo;      ///< per-SLO attainment/budget/burn
   std::vector<DiffRow> metrics;  ///< embedded metric samples by name

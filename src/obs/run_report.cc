@@ -130,6 +130,65 @@ std::string RunReport::ToJson() const {
     w.EndObject();
   }
 
+  if (farm != nullptr) {
+    w.Key("farm");
+    w.BeginObject();
+    w.Key("policy");
+    w.String(farm->policy);
+    w.Key("shards");
+    w.Int(farm->shards);
+    w.Key("titles");
+    w.Int(farm->titles);
+    w.Key("total_copies");
+    w.Int(farm->total_copies);
+    w.Key("offered");
+    w.Int(farm->offered);
+    w.Key("admitted");
+    w.Int(farm->admitted);
+    w.Key("rejected");
+    w.Int(farm->rejected);
+    w.Key("failovers");
+    w.Int(farm->failovers);
+    w.Key("shed");
+    w.Int(farm->shed);
+    w.Key("readmits");
+    w.Int(farm->readmits);
+    w.Key("availability");
+    w.Number(farm->availability);
+    w.Key("peak_dram_per_shard");
+    w.Number(farm->peak_dram_per_shard);
+    w.Key("mean_utilization");
+    w.Number(farm->mean_utilization);
+    w.Key("per_shard");
+    w.BeginArray();
+    for (const FarmShardEntry& s : farm->per_shard) {
+      w.BeginObject();
+      w.Key("shard");
+      w.Int(s.shard);
+      w.Key("streams");
+      w.Int(s.streams);
+      w.Key("ios");
+      w.Int(s.ios);
+      w.Key("underflow_events");
+      w.Int(s.underflow_events);
+      w.Key("cycle_overruns");
+      w.Int(s.cycle_overruns);
+      w.Key("qos_violations");
+      w.Int(s.qos_violations);
+      w.Key("failed_over_in");
+      w.Int(s.failed_over_in);
+      w.Key("shed");
+      w.Int(s.shed);
+      w.Key("peak_dram_bytes");
+      w.Number(s.peak_dram_bytes);
+      w.Key("utilization");
+      w.Number(s.utilization);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
   if (streams != nullptr && streams->size() > 0) {
     const StreamJournalSummary summary = streams->Summarize();
     w.Key("streams");

@@ -66,6 +66,41 @@ struct FaultsBlock {
   std::vector<ShedRecord> shed_streams;
 };
 
+/// Per-shard slice of a farm run ("farm.per_shard" array entries).
+struct FarmShardEntry {
+  std::int64_t shard = 0;
+  std::int64_t streams = 0;          ///< admitted residents at run end
+  std::int64_t ios = 0;
+  std::int64_t underflow_events = 0;
+  std::int64_t cycle_overruns = 0;
+  std::int64_t qos_violations = 0;
+  std::int64_t failed_over_in = 0;   ///< streams re-routed onto this shard
+  std::int64_t shed = 0;             ///< sheds caused by this shard failing
+  Bytes peak_dram_bytes = 0;
+  double utilization = 0;
+};
+
+/// Farm-run summary embedded as the "farm" block (schema v4, additive —
+/// v4 consumers that don't know the block keep working). Plain data:
+/// filled by the farm layer (farm::BuildFarmBlock) or by the legacy
+/// server::RunFarm aggregator.
+struct FarmBlock {
+  std::string policy;            ///< placement policy name
+  std::int64_t shards = 0;
+  std::int64_t titles = 0;
+  std::int64_t total_copies = 0; ///< placement storage cost in titles
+  std::int64_t offered = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t failovers = 0;    ///< shed -> re-admitted on a replica
+  std::int64_t shed = 0;
+  std::int64_t readmits = 0;
+  double availability = 1.0;     ///< served / admitted stream-seconds
+  Bytes peak_dram_per_shard = 0; ///< max over shards
+  double mean_utilization = 0;
+  std::vector<FarmShardEntry> per_shard;
+};
+
 /// One run's worth of side-by-side analytic and simulated quantities.
 /// `config` echoes the knobs as strings; `analytic` and `simulated` are
 /// numeric so tooling can diff prediction against observation directly.
@@ -90,6 +125,10 @@ struct RunReport {
 
   /// Optional: embedded as a "faults" object when set. Not owned.
   const FaultsBlock* faults = nullptr;
+
+  /// Optional: embedded as a "farm" object (per-shard and aggregate
+  /// scale-out outcome) when set. Not owned.
+  const FarmBlock* farm = nullptr;
 
   /// Optional: embedded as a "streams" object (per-stream lifecycle
   /// journal: phases, outcome counts, occupancy percentiles, envelope

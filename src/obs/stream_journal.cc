@@ -109,6 +109,20 @@ void StreamJournal::RecordIo(std::size_t slot, double t, Bytes bytes,
   }
 }
 
+void StreamJournal::RecordIoSummary(std::size_t slot, double t,
+                                    std::int64_t ios, Bytes bytes,
+                                    Bytes peak_level) {
+  StreamJournalEntry& e = entries_[slot];
+  e.ios += ios;
+  e.bytes += bytes;
+  e.peak_level_bytes = std::max(e.peak_level_bytes, peak_level);
+  e.occupancy.Add(peak_level);
+  if (ios > 0 && e.phase == StreamPhase::kAdmitted) {
+    e.phase = StreamPhase::kPlaying;
+    Append(e, t, StreamEventKind::kPlaying, 0);
+  }
+}
+
 void StreamJournal::RecordUnderflows(std::size_t slot, double t,
                                      std::int64_t count) {
   (void)t;

@@ -158,6 +158,14 @@ class StreamJournal {
   /// buffer at `level`. The first IO moves kAdmitted -> kPlaying.
   void RecordIo(std::size_t slot, double t, Bytes bytes, Bytes level);
 
+  /// Folds a whole execution slice (e.g. one farm epoch) into the
+  /// stream in one call: `ios` IOs moving `bytes` total with the DRAM
+  /// buffer peaking at `peak_level`. The occupancy histogram observes
+  /// the peak once. The first non-empty summary moves kAdmitted ->
+  /// kPlaying, like RecordIo.
+  void RecordIoSummary(std::size_t slot, double t, std::int64_t ios,
+                       Bytes bytes, Bytes peak_level);
+
   /// `count` new underflow events were observed for the stream.
   void RecordUnderflows(std::size_t slot, double t, std::int64_t count);
 

@@ -54,8 +54,41 @@ Result<FarmReport> RunFarm(const FarmConfig& config) {
     farm.peak_dram_demand += report.peak_buffer_demand;
     farm.mean_disk_utilization +=
         report.device_utilization / static_cast<double>(config.num_disks);
+    FarmDiskStats stats;
+    stats.disk = d;
+    stats.streams = config.streams_per_disk;
+    stats.ios_completed = report.ios_completed;
+    stats.cycle_overruns = report.cycle_overruns;
+    stats.underflow_events = report.qos.underflow_events;
+    stats.peak_dram_demand = report.peak_buffer_demand;
+    stats.utilization = report.device_utilization;
+    farm.per_disk.push_back(stats);
   }
   return farm;
+}
+
+obs::FarmBlock ToFarmBlock(const FarmReport& report) {
+  obs::FarmBlock block;
+  block.policy = "uniform_fanout";
+  block.shards = report.disks;
+  block.offered = report.total_streams;
+  block.admitted = report.total_streams;
+  block.mean_utilization = report.mean_disk_utilization;
+  for (const FarmDiskStats& d : report.per_disk) {
+    obs::FarmShardEntry e;
+    e.shard = d.disk;
+    e.streams = d.streams;
+    e.ios = d.ios_completed;
+    e.underflow_events = d.underflow_events;
+    e.cycle_overruns = d.cycle_overruns;
+    e.qos_violations = 0;
+    e.peak_dram_bytes = d.peak_dram_demand;
+    e.utilization = d.utilization;
+    block.per_shard.push_back(e);
+    block.peak_dram_per_shard =
+        std::max(block.peak_dram_per_shard, d.peak_dram_demand);
+  }
+  return block;
 }
 
 }  // namespace memstream::server

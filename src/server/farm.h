@@ -7,9 +7,11 @@
 #define MEMSTREAM_SERVER_FARM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "device/disk.h"
+#include "obs/run_report.h"
 #include "server/timecycle_server.h"
 
 namespace memstream::server {
@@ -32,6 +34,18 @@ struct FarmConfig {
   obs::SloMonitor* slo = nullptr;
 };
 
+/// One disk's slice of the aggregate (kept so reports and --diff can
+/// compare farm runs disk-by-disk instead of only via the sums).
+struct FarmDiskStats {
+  std::int64_t disk = 0;
+  std::int64_t streams = 0;
+  std::int64_t ios_completed = 0;
+  std::int64_t cycle_overruns = 0;
+  std::int64_t underflow_events = 0;
+  Bytes peak_dram_demand = 0;
+  double utilization = 0;
+};
+
 /// Aggregated farm statistics.
 struct FarmReport {
   std::int64_t disks = 0;
@@ -41,11 +55,18 @@ struct FarmReport {
   QosCounters qos;                ///< merged across disks
   Bytes peak_dram_demand = 0;     ///< summed across disks
   double mean_disk_utilization = 0;
+  std::vector<FarmDiskStats> per_disk;
 };
 
 /// Builds the disks, spreads streams over each, runs every per-disk
 /// server for `duration`, and aggregates.
 Result<FarmReport> RunFarm(const FarmConfig& config);
+
+/// The RunReport "farm" block of a RunFarm aggregate: per-disk
+/// peak-DRAM and utilization folded in so memstream-report --diff can
+/// compare farm runs shard-by-shard. Fan-out farms neither place nor
+/// shed, so the placement/availability members stay at their defaults.
+obs::FarmBlock ToFarmBlock(const FarmReport& report);
 
 }  // namespace memstream::server
 

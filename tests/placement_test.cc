@@ -1,0 +1,207 @@
+// Catalog placement: ring balance, replica distinctness, the fitted
+// head/tail split, and the allocation-free Lookup contract (this binary
+// replaces global operator new with a counting version, as in
+// cycle_alloc_test).
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "farm/placement.h"
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace memstream::farm {
+namespace {
+
+std::int64_t CurrentAllocs() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+PlacementConfig SmallConfig() {
+  PlacementConfig config;
+  config.num_shards = 4;
+  config.num_titles = 200;
+  config.zipf_exponent = 0.8;
+  return config;
+}
+
+TEST(ConsistentHashPlacementTest, LookupReturnsValidShard) {
+  auto p = ConsistentHashPlacement::Create(SmallConfig());
+  ASSERT_TRUE(p.ok());
+  for (std::int64_t t = 0; t < 200; ++t) {
+    const ShardSet s = p.value()->Lookup(t);
+    ASSERT_EQ(s.count, 1);
+    EXPECT_GE(s.shard[0], 0);
+    EXPECT_LT(s.shard[0], 4);
+  }
+}
+
+TEST(ConsistentHashPlacementTest, LookupIsDeterministic) {
+  auto a = ConsistentHashPlacement::Create(SmallConfig());
+  auto b = ConsistentHashPlacement::Create(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::int64_t t = 0; t < 200; ++t) {
+    EXPECT_EQ(a.value()->Lookup(t).shard[0], b.value()->Lookup(t).shard[0]);
+  }
+}
+
+TEST(ConsistentHashPlacementTest, ReplicasAreDistinctShards) {
+  PlacementConfig config = SmallConfig();
+  config.replicas = 3;
+  auto p = ConsistentHashPlacement::Create(config);
+  ASSERT_TRUE(p.ok());
+  for (std::int64_t t = 0; t < 200; ++t) {
+    const ShardSet s = p.value()->Lookup(t);
+    ASSERT_EQ(s.count, 3);
+    EXPECT_NE(s.shard[0], s.shard[1]);
+    EXPECT_NE(s.shard[0], s.shard[2]);
+    EXPECT_NE(s.shard[1], s.shard[2]);
+  }
+  EXPECT_EQ(p.value()->total_copies(), 600);
+}
+
+// Regression: ring vnode inputs must be domain-separated from title ids.
+// An untagged vnode (shard 0, v) hashes identically to title v, which
+// silently pinned every low-id title onto shard 0.
+TEST(ConsistentHashPlacementTest, CatalogSplitsRoughlyEvenly) {
+  auto p = ConsistentHashPlacement::Create(SmallConfig());
+  ASSERT_TRUE(p.ok());
+  std::vector<int> count(4, 0);
+  for (std::int64_t t = 0; t < 200; ++t) {
+    ++count[static_cast<std::size_t>(p.value()->Lookup(t).shard[0])];
+  }
+  for (int c : count) {
+    EXPECT_GT(c, 10);   // mean is 50; gross capture would leave ~0
+    EXPECT_LT(c, 100);  // ...and pile ~130+ onto one shard
+  }
+}
+
+TEST(ConsistentHashPlacementTest, LookupIsAllocationFree) {
+  auto p = ConsistentHashPlacement::Create(SmallConfig());
+  ASSERT_TRUE(p.ok());
+  (void)p.value()->Lookup(0);  // warm anything lazy
+  const std::int64_t before = CurrentAllocs();
+  std::int64_t sum = 0;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    sum += p.value()->Lookup(t).shard[0];
+  }
+  EXPECT_EQ(CurrentAllocs(), before) << "Lookup touched the heap";
+  EXPECT_GE(sum, 0);
+}
+
+TEST(PopularityAwarePlacementTest, HeadIsReplicatedTailIsNot) {
+  PlacementConfig config = SmallConfig();
+  config.replicas = 3;
+  auto p = PopularityAwarePlacement::Create(config);
+  ASSERT_TRUE(p.ok());
+  const std::int64_t head = p.value()->head_titles();
+  ASSERT_GT(head, 0);
+  ASSERT_LT(head, config.num_titles);
+  for (std::int64_t t = 0; t < config.num_titles; ++t) {
+    const ShardSet s = p.value()->Lookup(t);
+    if (t < head) {
+      ASSERT_EQ(s.count, 3) << "head title " << t;
+      EXPECT_NE(s.shard[0], s.shard[1]);
+      EXPECT_NE(s.shard[1], s.shard[2]);
+      EXPECT_NE(s.shard[0], s.shard[2]);
+    } else {
+      ASSERT_EQ(s.count, 1) << "tail title " << t;
+    }
+  }
+  EXPECT_EQ(p.value()->total_copies(),
+            head * 3 + (config.num_titles - head));
+}
+
+TEST(PopularityAwarePlacementTest, SplitFollowsReplicationBudget) {
+  PlacementConfig config = SmallConfig();
+  config.replicas = 2;
+  config.replication_budget = 0.10;
+  auto p = PopularityAwarePlacement::Create(config);
+  ASSERT_TRUE(p.ok());
+  // The fitted head fraction is the budget; the head captures the Zipf
+  // mass FitZipfTwoClass assigns to it.
+  EXPECT_NEAR(p.value()->fitted().x, 0.10, 0.01);
+  EXPECT_GT(p.value()->fitted().y, p.value()->fitted().x);
+  EXPECT_EQ(p.value()->head_titles(),
+            std::llround(p.value()->fitted().x * 200));
+}
+
+TEST(PopularityAwarePlacementTest, LookupIsAllocationFree) {
+  PlacementConfig config = SmallConfig();
+  config.replicas = 3;
+  auto p = PopularityAwarePlacement::Create(config);
+  ASSERT_TRUE(p.ok());
+  (void)p.value()->Lookup(0);
+  const std::int64_t before = CurrentAllocs();
+  std::int64_t sum = 0;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    sum += p.value()->Lookup(t).shard[0];
+  }
+  EXPECT_EQ(CurrentAllocs(), before) << "Lookup touched the heap";
+  EXPECT_GE(sum, 0);
+}
+
+TEST(PlacementFactoryTest, DispatchesByPolicy) {
+  auto hash = MakePlacement(PlacementPolicy::kConsistentHash, SmallConfig());
+  ASSERT_TRUE(hash.ok());
+  EXPECT_STREQ(hash.value()->name(), "consistent_hash");
+  auto pop = MakePlacement(PlacementPolicy::kPopularityAware, SmallConfig());
+  ASSERT_TRUE(pop.ok());
+  EXPECT_STREQ(pop.value()->name(), "popularity_aware");
+}
+
+TEST(PlacementFactoryTest, RejectsBadConfig) {
+  PlacementConfig config = SmallConfig();
+  config.num_shards = 0;
+  EXPECT_FALSE(
+      MakePlacement(PlacementPolicy::kConsistentHash, config).ok());
+  config = SmallConfig();
+  config.replicas = kMaxReplicas + 1;
+  EXPECT_FALSE(
+      MakePlacement(PlacementPolicy::kPopularityAware, config).ok());
+  config = SmallConfig();
+  config.replication_budget = 0;
+  EXPECT_FALSE(
+      MakePlacement(PlacementPolicy::kPopularityAware, config).ok());
+}
+
+TEST(PlacementFactoryTest, ReplicasClampToShardCount) {
+  PlacementConfig config = SmallConfig();
+  config.num_shards = 2;
+  config.replicas = 5;
+  auto p = MakePlacement(PlacementPolicy::kConsistentHash, config);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()->Lookup(0).count, 2);
+}
+
+}  // namespace
+}  // namespace memstream::farm

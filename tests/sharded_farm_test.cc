@@ -1,0 +1,235 @@
+// Sharded farm executor: the determinism contract (byte-identical merged
+// report, journal event order and slo.* gauges at any thread count), the
+// failover/readmit semantics of the two placements, and the farm block.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "device/device_catalog.h"
+#include "farm/sharded_farm.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/slo.h"
+#include "obs/stream_journal.h"
+
+namespace memstream::farm {
+namespace {
+
+fault::FaultPlan NodeOutage(std::int64_t shard, Seconds fail, Seconds repair) {
+  std::vector<fault::FaultEvent> events;
+  fault::FaultEvent down;
+  down.time = fail;
+  down.kind = fault::FaultKind::kMemsDeviceFail;
+  down.device = shard;
+  events.push_back(down);
+  fault::FaultEvent up;
+  up.time = repair;
+  up.kind = fault::FaultKind::kMemsDeviceRepair;
+  up.device = shard;
+  events.push_back(up);
+  return fault::FaultPlan::FromScript(events);
+}
+
+ShardedFarmConfig SmallFarm() {
+  ShardedFarmConfig config;
+  config.num_shards = 4;
+  config.num_titles = 200;
+  config.zipf_exponent = 0.8;
+  config.offered_streams = 400;
+  config.bit_rate = 100 * kKBps;
+  config.node_disk = device::FutureDisk2007();
+  config.node_disk.inner_rate = config.node_disk.outer_rate;
+  config.dram_budget_per_shard = 256 * kMB;
+  config.duration = 6;
+  config.seed = 42;
+  return config;
+}
+
+TEST(ShardedFarmTest, RejectsBadConfig) {
+  ShardedFarmConfig config = SmallFarm();
+  config.num_shards = 0;
+  EXPECT_FALSE(RunShardedFarm(config).ok());
+  config = SmallFarm();
+  config.offered_streams = -1;
+  EXPECT_FALSE(RunShardedFarm(config).ok());
+  config = SmallFarm();
+  config.duration = 0;
+  EXPECT_FALSE(RunShardedFarm(config).ok());
+}
+
+TEST(ShardedFarmTest, AdmitsAndServesCleanlyWithoutFaults) {
+  ShardedFarmConfig config = SmallFarm();
+  auto result = RunShardedFarm(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FarmRunReport& r = result.value();
+  EXPECT_EQ(r.offered, 400);
+  EXPECT_EQ(r.admitted + r.rejected, r.offered);
+  EXPECT_GT(r.admitted, 0);
+  EXPECT_EQ(r.shed_actions, 0);
+  EXPECT_EQ(r.failovers, 0);
+  EXPECT_EQ(r.underflow_events, 0);
+  EXPECT_EQ(r.qos_violations, 0);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_GT(r.ios_completed, 0);
+  EXPECT_GT(r.peak_dram_per_shard, 0);
+  EXPECT_LE(r.peak_dram_per_shard, config.dram_budget_per_shard);
+  ASSERT_EQ(static_cast<std::int64_t>(r.per_shard.size()), r.shards);
+  std::int64_t streams = 0;
+  for (const FarmShardReport& s : r.per_shard) streams += s.streams;
+  EXPECT_EQ(streams, r.admitted);
+}
+
+// The satellite contract: a seeded farm run produces a byte-identical
+// merged report — farm block, journal event order, slo.* gauges and
+// metrics included — at 1 and at 8 sweep threads.
+TEST(ShardedFarmTest, MergedReportIsByteIdenticalAcrossThreadCounts) {
+  auto run = [](int threads, std::string* json) {
+    ShardedFarmConfig config = SmallFarm();
+    config.policy = PlacementPolicy::kPopularityAware;
+    config.replicas = 2;
+    config.replication_budget = 0.10;
+    config.faults = NodeOutage(/*shard=*/0, /*fail=*/2.4, /*repair=*/4.5);
+    config.threads = threads;
+    obs::StreamJournal journal;
+    obs::SloMonitor slo;
+    obs::MetricsRegistry metrics;
+    config.journal = &journal;
+    config.slo = &slo;
+    config.metrics = &metrics;
+
+    auto result = RunShardedFarm(config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const FarmRunReport& r = result.value();
+    EXPECT_EQ(r.sweep.threads, threads);
+    EXPECT_GT(r.failovers, 0);  // the outage must actually exercise merge
+
+    obs::RunReport report;
+    report.title = "sharded farm determinism";
+    const obs::FarmBlock block = BuildFarmBlock(r);
+    report.farm = &block;
+    report.streams = &journal;
+    report.slo = &slo;
+    report.metrics = &metrics;
+    *json = report.ToJson();
+  };
+  std::string at_one;
+  std::string at_eight;
+  run(1, &at_one);
+  run(8, &at_eight);
+  ASSERT_FALSE(at_one.empty());
+  EXPECT_EQ(at_one, at_eight)
+      << "merged farm report must not depend on the thread count";
+}
+
+TEST(ShardedFarmTest, JournalRecordsShedAndReadmitInOrder) {
+  ShardedFarmConfig config = SmallFarm();
+  config.faults = NodeOutage(/*shard=*/0, /*fail=*/2.4, /*repair=*/4.5);
+  obs::StreamJournal journal;
+  config.journal = &journal;
+  auto result = RunShardedFarm(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result.value().shed_actions, 0);
+
+  // Every journaled stream's events must be time-ordered, and at least
+  // one stream must show the shed -> readmitted arc of the outage.
+  bool saw_shed_then_readmit = false;
+  for (std::size_t slot = 0; slot < journal.size(); ++slot) {
+    const obs::StreamJournalEntry& e = journal.entry(slot);
+    for (std::size_t i = 1; i < e.events.size(); ++i) {
+      EXPECT_LE(e.events[i - 1].t, e.events[i].t)
+          << "stream " << e.stream_id << " event " << i;
+    }
+    bool shed = false;
+    for (const obs::StreamEvent& ev : e.events) {
+      if (ev.kind == obs::StreamEventKind::kShed) shed = true;
+      if (shed && ev.kind == obs::StreamEventKind::kReadmitted) {
+        saw_shed_then_readmit = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_shed_then_readmit);
+}
+
+TEST(ShardedFarmTest, OnlyReplicatedHeadFailsOver) {
+  // Same outage, same offered load: consistent hashing (one copy per
+  // title) can only shed and wait for the repair; popularity-aware
+  // re-admits head streams on surviving replicas.
+  ShardedFarmConfig hash = SmallFarm();
+  hash.policy = PlacementPolicy::kConsistentHash;
+  hash.replicas = 1;
+  hash.faults = NodeOutage(/*shard=*/0, /*fail=*/2.4, /*repair=*/4.5);
+  auto hash_result = RunShardedFarm(hash);
+  ASSERT_TRUE(hash_result.ok()) << hash_result.status().ToString();
+  const FarmRunReport& h = hash_result.value();
+  EXPECT_GT(h.shed_actions, 0);
+  EXPECT_EQ(h.failovers, 0);
+  EXPECT_GT(h.readmits, 0);  // the repair brings shed streams back
+  EXPECT_LT(h.availability, 1.0);
+
+  ShardedFarmConfig pop = SmallFarm();
+  pop.policy = PlacementPolicy::kPopularityAware;
+  pop.replicas = 2;
+  pop.replication_budget = 0.10;
+  pop.faults = NodeOutage(/*shard=*/0, /*fail=*/2.4, /*repair=*/4.5);
+  auto pop_result = RunShardedFarm(pop);
+  ASSERT_TRUE(pop_result.ok()) << pop_result.status().ToString();
+  const FarmRunReport& p = pop_result.value();
+  EXPECT_GT(p.failovers, 0);
+  EXPECT_GE(p.readmits, p.failovers);
+  EXPECT_GT(p.availability, h.availability)
+      << "replicating the Zipf head must buy availability";
+}
+
+TEST(ShardedFarmTest, FarmBlockMirrorsReport) {
+  ShardedFarmConfig config = SmallFarm();
+  config.policy = PlacementPolicy::kPopularityAware;
+  config.replicas = 2;
+  config.faults = NodeOutage(/*shard=*/1, /*fail=*/2.4, /*repair=*/4.5);
+  auto result = RunShardedFarm(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FarmRunReport& r = result.value();
+  const obs::FarmBlock block = BuildFarmBlock(r);
+  EXPECT_EQ(block.policy, r.policy);
+  EXPECT_EQ(block.shards, r.shards);
+  EXPECT_EQ(block.titles, r.titles);
+  EXPECT_EQ(block.total_copies, r.total_copies);
+  EXPECT_EQ(block.offered, r.offered);
+  EXPECT_EQ(block.admitted, r.admitted);
+  EXPECT_EQ(block.rejected, r.rejected);
+  EXPECT_EQ(block.failovers, r.failovers);
+  EXPECT_EQ(block.shed, r.shed_actions);
+  EXPECT_EQ(block.readmits, r.readmits);
+  EXPECT_DOUBLE_EQ(block.availability, r.availability);
+  EXPECT_EQ(block.peak_dram_per_shard, r.peak_dram_per_shard);
+  ASSERT_EQ(block.per_shard.size(), r.per_shard.size());
+  for (std::size_t i = 0; i < block.per_shard.size(); ++i) {
+    EXPECT_EQ(block.per_shard[i].shard, r.per_shard[i].shard);
+    EXPECT_EQ(block.per_shard[i].streams, r.per_shard[i].streams);
+    EXPECT_EQ(block.per_shard[i].peak_dram_bytes,
+              r.per_shard[i].peak_dram_demand);
+  }
+}
+
+TEST(ShardedFarmTest, SloGaugesPublishAvailability) {
+  ShardedFarmConfig config = SmallFarm();
+  config.faults = NodeOutage(/*shard=*/0, /*fail=*/2.4, /*repair=*/4.5);
+  obs::SloMonitor slo;
+  obs::MetricsRegistry metrics;
+  config.slo = &slo;
+  config.metrics = &metrics;
+  auto result = RunShardedFarm(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto snapshot = slo.Snapshot();
+  EXPECT_FALSE(snapshot.empty());
+  bool saw_gauge = false;
+  for (const auto& m : metrics.Snapshot()) {
+    if (m.name.rfind("slo.", 0) == 0) saw_gauge = true;
+  }
+  EXPECT_TRUE(saw_gauge) << "farm must publish slo.* gauges";
+}
+
+}  // namespace
+}  // namespace memstream::farm

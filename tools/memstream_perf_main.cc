@@ -48,6 +48,7 @@ const char* const kSweepBenches[] = {
     "ablation_sensitivity", "ablation_generations",
     "ablation_placement",   "ablation_edf",
     "ablation_scaleout",    "ablation_faults",
+    "ablation_millionfarm",
 };
 
 int Usage(const char* argv0) {
